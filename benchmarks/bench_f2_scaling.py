@@ -1,0 +1,76 @@
+"""F2 — simulator scaling: wall-clock and oracle complexity vs n.
+
+Series reproduced: the simulated MPC pipeline's cost (wall-clock and
+distance-oracle evaluations) scales near-linearly in n at fixed m and k,
+versus the sequential GMM baseline — evidence that the reproduction is
+usable at the data scales the MPC model targets.  This is the only
+experiment whose primary axis is *time*, so it uses pytest-benchmark's
+timing machinery directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.gonzalez import gonzalez_kcenter
+from repro.core.kcenter import mpc_kcenter
+from repro.metric.oracle import CountingOracle
+from repro.mpc.cluster import MPCCluster
+from repro.workloads.registry import make_workload
+
+K, M = 8, 8
+SIZES = [256, 1024, 4096]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_f2_mpc_kcenter_scaling(benchmark, n):
+    wl = make_workload("gaussian", n, seed=0)
+    oracle = CountingOracle(wl.metric)
+
+    def run():
+        oracle.reset()
+        cluster = MPCCluster(oracle, M, seed=0)
+        return mpc_kcenter(cluster, K, epsilon=0.2)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.radius > 0
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["oracle_evaluations"] = oracle.evaluations
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_f2_sequential_gmm_scaling(benchmark, n):
+    wl = make_workload("gaussian", n, seed=0)
+    oracle = CountingOracle(wl.metric)
+
+    def run():
+        oracle.reset()
+        return gonzalez_kcenter(oracle, K)
+
+    _, radius = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert radius > 0
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["oracle_evaluations"] = oracle.evaluations
+
+
+def test_f2_oracle_complexity_near_linear(benchmark, show):
+    """Oracle evaluations of the MPC pipeline grow sub-quadratically in n."""
+
+    def run() -> list[dict]:
+        rows = []
+        for n in SIZES:
+            wl = make_workload("gaussian", n, seed=0)
+            oracle = CountingOracle(wl.metric)
+            cluster = MPCCluster(oracle, M, seed=0)
+            mpc_kcenter(cluster, K, epsilon=0.2)
+            rows.append({"n": n, "oracle evals": oracle.evaluations,
+                         "evals/n": oracle.evaluations / n})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.analysis.reports import format_table
+
+    show(format_table(rows, title="F2 oracle evaluations vs n (MPC k-center)"))
+    # 16x more points must cost far less than 256x more evaluations
+    growth = rows[-1]["oracle evals"] / rows[0]["oracle evals"]
+    assert growth < (SIZES[-1] / SIZES[0]) ** 1.7

@@ -1,0 +1,54 @@
+"""F6 — metric-kernel microbenchmarks (repro infrastructure).
+
+Times one `pairwise` block per metric at a fixed size, so kernel
+regressions show up in benchmark diffs.  The Euclidean expanded-norm
+kernel is the hot path of every experiment; the others bound what
+"expensive metric" means for the executor guidance in
+docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metric.cosine import AngularMetric
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.hamming import HammingMetric
+from repro.metric.haversine import HaversineMetric
+from repro.metric.lp import ChebyshevMetric, ManhattanMetric
+
+N = 1024
+I = np.arange(N // 2)
+J = np.arange(N // 2, N)
+
+
+def _points(kind: str) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    if kind == "latlon":
+        return np.stack(
+            [rng.uniform(-80, 80, N), rng.uniform(-180, 180, N)], axis=1
+        )
+    if kind == "categorical":
+        return rng.integers(0, 5, size=(N, 8)).astype(float)
+    return rng.normal(size=(N, 8))
+
+
+METRICS = {
+    "euclidean": lambda: EuclideanMetric(_points("real")),
+    "manhattan": lambda: ManhattanMetric(_points("real")),
+    "chebyshev": lambda: ChebyshevMetric(_points("real")),
+    "angular": lambda: AngularMetric(_points("real")),
+    "hamming": lambda: HammingMetric(_points("categorical")),
+    "haversine": lambda: HaversineMetric(_points("latlon")),
+}
+
+
+@pytest.mark.parametrize("name", sorted(METRICS))
+def test_f6_pairwise_kernel(benchmark, name):
+    metric = METRICS[name]()
+    out = benchmark(lambda: metric.pairwise(I, J))
+    assert out.shape == (I.size, J.size)
+    assert np.all(out >= 0)
+    benchmark.extra_info["metric"] = name
+    benchmark.extra_info["cells"] = int(I.size) * int(J.size)

@@ -1,0 +1,109 @@
+"""T3 — k-supplier approximation quality (Theorem 18).
+
+Claim reproduced: the MPC algorithm achieves radius ≤ 3(1+ε)·r* in any
+metric space, matching the sequential Hochbaum–Shmoys 3-approximation's
+regime (the problem's approximability floor is 3).  Ratios are against
+the certified instance lower bound; the small-instance variant uses the
+exact optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import aggregate, run_trials
+from repro.analysis.lower_bounds import ksupplier_lower_bound
+from repro.analysis.reports import format_table
+from repro.baselines.exact import exact_ksupplier
+from repro.baselines.ksupplier_seq import hochbaum_shmoys_ksupplier
+from repro.core.ksupplier import mpc_ksupplier
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.workloads.suppliers import supplier_instance
+
+from conftest import SEEDS
+
+NC, NS, K, M, EPS = 768, 256, 8, 8, 0.1
+LAYOUTS = ["uniform", "colocated", "perimeter"]
+
+
+def run_layout(layout: str) -> list[dict]:
+    def trial(seed: int) -> dict:
+        inst = supplier_instance(
+            NC, NS, supplier_layout=layout, rng=np.random.default_rng(seed)
+        )
+        metric = EuclideanMetric(inst.points)
+        lb = ksupplier_lower_bound(metric, inst.customers, inst.suppliers, K)
+        out = {}
+
+        cluster = MPCCluster(metric, M, seed=seed)
+        res = mpc_ksupplier(cluster, inst.customers, inst.suppliers, K, epsilon=EPS)
+        out["mpc_3eps"] = res.radius / lb
+        out["mpc_rounds"] = res.rounds
+
+        _, r = hochbaum_shmoys_ksupplier(metric, inst.customers, inst.suppliers, K)
+        out["hs_seq_3"] = r / lb
+        return out
+
+    agg = aggregate(run_trials(trial, SEEDS))
+    return [
+        {
+            "layout": layout,
+            "algorithm": name,
+            "ratio_vs_LB(mean)": agg[key]["mean"],
+            "ratio_vs_LB(max)": agg[key]["max"],
+            "guarantee": guar,
+        }
+        for name, key, guar in [
+            ("MPC k-supplier (paper, 3+eps)", "mpc_3eps", 3 * (1 + EPS)),
+            ("Hochbaum-Shmoys seq. (3)", "hs_seq_3", 3.0),
+        ]
+    ]
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_t3_ksupplier_quality(benchmark, show, layout):
+    rows = benchmark.pedantic(run_layout, args=(layout,), rounds=1, iterations=1)
+    show(
+        format_table(
+            rows,
+            title=f"T3 k-supplier quality — {layout} suppliers "
+            f"(|C|={NC}, |S|={NS}, k={K}, m={M})",
+        )
+    )
+    by_alg = {r["algorithm"]: r for r in rows}
+    mpc = by_alg["MPC k-supplier (paper, 3+eps)"]["ratio_vs_LB(max)"]
+    hs = by_alg["Hochbaum-Shmoys seq. (3)"]["ratio_vs_LB(max)"]
+    # scale-free cross check: radius_mpc <= 3(1+eps)·r* and radius_hs >= r*
+    assert mpc <= 3 * (1 + EPS) * hs + 1e-9
+    benchmark.extra_info.update({r["algorithm"]: r["ratio_vs_LB(mean)"] for r in rows})
+
+
+def test_t3_exact_small_instance(benchmark, show):
+    """Exact-optimum variant with a brute-forceable supplier pool."""
+
+    def run() -> dict:
+        rng = np.random.default_rng(3)
+        inst = supplier_instance(40, 12, supplier_layout="uniform", rng=rng)
+        metric = EuclideanMetric(inst.points)
+        _, opt = exact_ksupplier(metric, inst.customers, inst.suppliers, 3)
+        cluster = MPCCluster(metric, 3, seed=3)
+        res = mpc_ksupplier(cluster, inst.customers, inst.suppliers, 3, epsilon=EPS)
+        return {"opt": opt, "mpc": res.radius}
+
+    vals = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        format_table(
+            [
+                {"quantity": "optimum (exact)", "radius": vals["opt"], "ratio": 1.0},
+                {
+                    "quantity": "MPC 3+eps",
+                    "radius": vals["mpc"],
+                    "ratio": vals["mpc"] / vals["opt"],
+                },
+            ],
+            title="T3b k-supplier vs exact optimum (|C|=40, |S|=12, k=3)",
+        )
+    )
+    assert vals["mpc"] <= 3 * (1 + EPS) * vals["opt"] + 1e-9

@@ -1,0 +1,71 @@
+"""T5 — per-machine communication and memory (Theorems 9, 15, 17).
+
+Claim reproduced: the worst per-machine communication of the full
+k-center pipeline stays within a constant multiple of the Õ(mk)
+envelope (m·k·ln n·point_words) as n, m, and k sweep — i.e. the
+measured/envelope ratio stays flat instead of growing.  Memory is
+checked against the Õ(n/m + mk) envelope, with per-round received
+words + the local partition as the working-set proxy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.analysis.theory import communication_bound_words, memory_bound_words
+from repro.core.kcenter import mpc_kcenter
+from repro.mpc.cluster import MPCCluster
+from repro.workloads.registry import make_workload
+
+
+def measure(n: int, m: int, k: int, seed: int = 0) -> dict:
+    wl = make_workload("gaussian", n, seed=seed)
+    cluster = MPCCluster(wl.metric, m, seed=seed)
+    mpc_kcenter(cluster, k, epsilon=0.1)
+    stats = cluster.stats
+    pw = wl.metric.point_words()
+    envelope = communication_bound_words(n, m, k, point_words=pw)
+    # memory proxy: local partition + the largest single-round received load
+    part_words = int(max(cluster.partition_sizes()) * pw)
+    max_recv = max((int(r.received.max()) for r in stats.rounds_log), default=0)
+    mem_envelope = memory_bound_words(n, m, k, point_words=pw)
+    return {
+        "n": n,
+        "m": m,
+        "k": k,
+        "max words/machine/round": stats.max_machine_words,
+        "comm envelope m*k*ln(n)*d": int(envelope),
+        "comm ratio": stats.max_machine_words / envelope,
+        "memory proxy (words)": part_words + max_recv,
+        "mem envelope": int(mem_envelope),
+        "mem ratio": (part_words + max_recv) / mem_envelope,
+    }
+
+
+def run_sweeps() -> dict:
+    n_rows = [measure(n, 8, 8) for n in (512, 1024, 2048, 4096)]
+    m_rows = [measure(2048, m, 8) for m in (2, 4, 8, 16)]
+    k_rows = [measure(2048, 8, k) for k in (4, 8, 16)]
+    return {"n": n_rows, "m": m_rows, "k": k_rows}
+
+
+def test_t5_communication_envelopes(benchmark, show):
+    sweeps = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    for name, rows in sweeps.items():
+        show(format_table(rows, title=f"T5 communication/memory — sweep over {name}"))
+    # flatness: across each sweep, the measured/envelope ratio must not
+    # grow by more than a small constant factor end-to-end
+    for name, rows in sweeps.items():
+        ratios = [r["comm ratio"] for r in rows]
+        assert max(ratios) <= 60.0, f"comm ratio blew up in the {name} sweep: {ratios}"
+        mem_ratios = [r["mem ratio"] for r in rows]
+        assert max(mem_ratios) <= 60.0, f"memory ratio blew up in the {name} sweep"
+    # growing n at fixed m,k must not grow the per-machine communication
+    # super-logarithmically: compare largest-n to smallest-n measured words
+    n_rows = sweeps["n"]
+    growth = (
+        n_rows[-1]["max words/machine/round"] / n_rows[0]["max words/machine/round"]
+    )
+    assert growth <= 16.0
+    benchmark.extra_info["sweeps"] = {
+        name: [r["comm ratio"] for r in rows] for name, rows in sweeps.items()
+    }

@@ -1,0 +1,84 @@
+"""T6 — partition robustness.
+
+The paper's guarantees are worst-case over the initial data partition
+("the input set V is initially partitioned into m subsets", §2 — no
+distributional assumption).  This experiment runs the full k-center
+pipeline under benign through hostile partitioners, including the
+adversarial one that co-locates whole ground-truth clusters on single
+machines (the regime where per-machine GMM sees no global structure),
+and checks quality stays inside the guarantee everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import format_table
+from repro.core.kcenter import mpc_kcenter
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.partition import (
+    adversarial_partition,
+    block_partition,
+    random_partition,
+    skewed_partition,
+)
+from repro.workloads.clustered import separated_clusters
+
+from conftest import SEEDS
+
+N, K, M, EPS = 1024, 8, 8, 0.1
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    partitioners = {
+        "random": lambda n, m, labels, rng: random_partition(n, m, rng),
+        "block": lambda n, m, labels, rng: block_partition(n, m, rng),
+        "skewed": lambda n, m, labels, rng: skewed_partition(n, m, rng),
+        "adversarial (cluster/machine)": lambda n, m, labels, rng: adversarial_partition(
+            n, m, labels, rng
+        ),
+    }
+    for name, maker in partitioners.items():
+        ratios, comms, rounds = [], [], []
+        for seed in SEEDS:
+            rng = np.random.default_rng(seed)
+            inst = separated_clusters(
+                N, clusters=K, cluster_radius=1.0, separation=20.0, rng=rng
+            )
+            metric = EuclideanMetric(inst.points)
+            parts = maker(N, M, inst.labels, rng)
+            cluster = MPCCluster(metric, M, partition=parts, seed=seed)
+            res = mpc_kcenter(cluster, K, epsilon=EPS)
+            # the instance certifies r* <= cluster_radius = 1.0
+            ratios.append(res.radius / inst.kcenter_upper_bound)
+            comms.append(cluster.stats.max_machine_words)
+            rounds.append(res.rounds)
+        rows.append(
+            {
+                "partitioner": name,
+                "radius/r*_UB (mean)": float(np.mean(ratios)),
+                "radius/r*_UB (max)": float(np.max(ratios)),
+                "guarantee 2(1+eps)": 2 * (1 + EPS),
+                "max words/machine/round": int(np.max(comms)),
+                "rounds (mean)": float(np.mean(rounds)),
+            }
+        )
+    return rows
+
+
+def test_t6_partition_robustness(benchmark, show):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    show(
+        format_table(
+            rows,
+            title=f"T6 partition robustness — k-center on {K} separated clusters "
+            f"(n={N}, m={M}, eps={EPS})",
+        )
+    )
+    for r in rows:
+        # hard theorem check: against the *certified* optimum upper bound
+        assert r["radius/r*_UB (max)"] <= 2 * (1 + EPS) + 1e-9, r["partitioner"]
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,53 @@
+"""T7 — large-scale soak: the full pipeline at n = 16,384, m = 32.
+
+A single headline configuration at the scale the MPC model targets:
+quality versus the certified bound, round count, per-machine
+communication versus the Õ(mk) envelope, and wall-clock — all in one
+run, with every theorem assertion active.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.analysis.lower_bounds import kcenter_lower_bound
+from repro.analysis.reports import format_table
+from repro.analysis.theory import communication_bound_words
+from repro.core.kcenter import mpc_kcenter
+from repro.mpc.cluster import MPCCluster
+from repro.workloads.registry import make_workload
+
+N, M, K, EPS = 16_384, 32, 32, 0.1
+
+
+def run_soak() -> dict:
+    wl = make_workload("gaussian", N, seed=0)
+    lb = kcenter_lower_bound(wl.metric, K)
+    cluster = MPCCluster(wl.metric, M, seed=0)
+    t0 = time.perf_counter()
+    res = mpc_kcenter(cluster, K, epsilon=EPS)
+    wall = time.perf_counter() - t0
+    envelope = communication_bound_words(N, M, K, point_words=wl.metric.point_words())
+    return {
+        "n": N,
+        "m": M,
+        "k": K,
+        "gamma (m=n^g)": math.log(M) / math.log(N),
+        "radius/LB": res.radius / lb,
+        "guarantee": 2 * (1 + EPS),
+        "rounds": res.rounds,
+        "max words/machine/round": cluster.stats.max_machine_words,
+        "mk*ln(n)*d envelope": int(envelope),
+        "comm ratio": cluster.stats.max_machine_words / envelope,
+        "wall-clock (s)": wall,
+    }
+
+
+def test_t7_large_scale_soak(benchmark, show):
+    row = benchmark.pedantic(run_soak, rounds=1, iterations=1)
+    show(format_table([row], title="T7 large-scale soak (MPC k-center)"))
+    assert row["radius/LB"] <= 2 * (1 + EPS) * 2.0  # LB slack ≤ 2
+    assert row["comm ratio"] <= 60.0
+    assert row["rounds"] < 300
+    benchmark.extra_info.update(row)

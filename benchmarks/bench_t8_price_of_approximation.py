@@ -1,0 +1,94 @@
+"""T8 — the price of 2+ε: quality vs communication vs rounds.
+
+The paper improves the factor from 4 to 2+ε at the cost of more rounds
+(the MIS ladder) and more communication (degree approximation).  This
+experiment quantifies that trade for a downstream user deciding between
+the two-round 4-approximation coreset and the full ladder: radius,
+total words, per-machine peak, and rounds, side by side.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import aggregate, run_trials
+from repro.analysis.lower_bounds import kcenter_lower_bound
+from repro.analysis.reports import format_table
+from repro.baselines.malkomes import malkomes_kcenter
+from repro.core.kcenter import mpc_kcenter
+from repro.mpc.cluster import MPCCluster
+from repro.workloads.registry import make_workload
+
+from conftest import SEEDS
+
+N, K, M = 2048, 8, 8
+EPSILONS = [0.5, 0.1]
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+
+    def malkomes_trial(seed: int) -> dict:
+        wl = make_workload("gaussian", N, seed=seed)
+        lb = kcenter_lower_bound(wl.metric, K)
+        cluster = MPCCluster(wl.metric, M, seed=seed)
+        _, r = malkomes_kcenter(cluster, K)
+        return {
+            "ratio": r / lb,
+            "rounds": cluster.stats.rounds,
+            "total_words": cluster.stats.total_words,
+            "peak": cluster.stats.max_machine_words,
+        }
+
+    agg = aggregate(run_trials(malkomes_trial, SEEDS))
+    rows.append(
+        {
+            "algorithm": "Malkomes coreset (4-approx)",
+            "ratio_vs_LB": agg["ratio"]["mean"],
+            "rounds": agg["rounds"]["mean"],
+            "total words": int(agg["total_words"]["mean"]),
+            "peak words/machine/round": int(agg["peak"]["mean"]),
+        }
+    )
+
+    for eps in EPSILONS:
+
+        def ladder_trial(seed: int, eps=eps) -> dict:
+            wl = make_workload("gaussian", N, seed=seed)
+            lb = kcenter_lower_bound(wl.metric, K)
+            cluster = MPCCluster(wl.metric, M, seed=seed)
+            res = mpc_kcenter(cluster, K, epsilon=eps)
+            return {
+                "ratio": res.radius / lb,
+                "rounds": cluster.stats.rounds,
+                "total_words": cluster.stats.total_words,
+                "peak": cluster.stats.max_machine_words,
+            }
+
+        agg = aggregate(run_trials(ladder_trial, SEEDS))
+        rows.append(
+            {
+                "algorithm": f"paper ladder (2+eps, eps={eps})",
+                "ratio_vs_LB": agg["ratio"]["mean"],
+                "rounds": agg["rounds"]["mean"],
+                "total words": int(agg["total_words"]["mean"]),
+                "peak words/machine/round": int(agg["peak"]["mean"]),
+            }
+        )
+    return rows
+
+
+def test_t8_price_of_approximation(benchmark, show):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    show(
+        format_table(
+            rows,
+            title=f"T8 price of 2+eps — quality vs cost (n={N}, k={K}, m={M}, gaussian)",
+        )
+    )
+    by = {r["algorithm"]: r for r in rows}
+    coreset = by["Malkomes coreset (4-approx)"]
+    tight = by[f"paper ladder (2+eps, eps={EPSILONS[-1]})"]
+    # the ladder buys strictly better (or equal) quality...
+    assert tight["ratio_vs_LB"] <= coreset["ratio_vs_LB"] + 1e-9
+    # ...and pays in rounds, exactly as the theory prices it
+    assert tight["rounds"] > coreset["rounds"]
+    benchmark.extra_info["rows"] = rows

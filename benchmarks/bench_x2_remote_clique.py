@@ -1,0 +1,89 @@
+"""X2 — remote-clique diversity (related-work extension).
+
+Not a theorem of this paper: the related-work section situates the
+remote-edge result next to the remote-clique (max-*sum* dispersion)
+line (Indyk et al. 2014; Mirrokni & Zadimoghaddam 2015).  This
+experiment measures the extension module: greedy vs 2-approx local
+search vs the two-round composable-coreset MPC pipeline, against the
+exact optimum where brute force is feasible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reports import format_table
+from repro.extensions.remote_clique import (
+    exact_remote_clique,
+    greedy_remote_clique,
+    local_search_remote_clique,
+    mpc_remote_clique,
+    remote_clique_value,
+)
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.workloads.registry import make_workload
+
+from conftest import SEEDS
+
+
+def run_small_exact() -> list[dict]:
+    """n=14, k=4: ratio against the exact optimum."""
+    rows = []
+    for seed in SEEDS:
+        pts = np.random.default_rng(seed).normal(size=(14, 2))
+        metric = EuclideanMetric(pts)
+        _, opt = exact_remote_clique(metric, 4)
+        ids = np.arange(14)
+        g = remote_clique_value(metric, greedy_remote_clique(metric, ids, 4))
+        ls = remote_clique_value(metric, local_search_remote_clique(metric, ids, 4))
+        cluster = MPCCluster(metric, 2, seed=seed)
+        _, mpc = mpc_remote_clique(cluster, 4)
+        rows.append(
+            {
+                "seed": seed,
+                "opt/greedy": opt / g,
+                "opt/local-search": opt / ls,
+                "opt/MPC-coreset": opt / mpc,
+            }
+        )
+    return rows
+
+
+def test_x2_remote_clique_exact(benchmark, show):
+    rows = benchmark.pedantic(run_small_exact, rounds=1, iterations=1)
+    show(format_table(rows, title="X2 remote-clique vs exact optimum (n=14, k=4)"))
+    for r in rows:
+        assert r["opt/local-search"] <= 2.0 + 1e-9  # local optimum guarantee
+        assert r["opt/greedy"] <= 4.0 + 1e-9
+        assert r["opt/MPC-coreset"] <= 3.0 + 1e-9  # composable-coreset constant
+
+
+def run_scale() -> list[dict]:
+    """n=1024: MPC pipeline vs the sequential local search it matches."""
+    rows = []
+    for workload in ("gaussian", "uniform"):
+        wl = make_workload(workload, 1024, seed=0)
+        ids = np.arange(wl.n)
+        seq = remote_clique_value(
+            wl.metric, local_search_remote_clique(wl.metric, ids, 8)
+        )
+        cluster = MPCCluster(wl.metric, 8, seed=0)
+        _, mpc = mpc_remote_clique(cluster, 8)
+        rows.append(
+            {
+                "workload": workload,
+                "sequential local search": seq,
+                "MPC coreset pipeline": mpc,
+                "MPC/sequential": mpc / seq,
+            }
+        )
+    return rows
+
+
+def test_x2_remote_clique_scale(benchmark, show):
+    rows = benchmark.pedantic(run_scale, rounds=1, iterations=1)
+    show(format_table(rows, title="X2b remote-clique at scale (n=1024, k=8, m=8)"))
+    for r in rows:
+        assert r["MPC/sequential"] >= 0.8  # two rounds cost little quality
+    benchmark.extra_info["rows"] = rows

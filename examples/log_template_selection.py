@@ -1,0 +1,81 @@
+"""Selecting k maximally-distinct log templates by edit distance.
+
+A monitoring pipeline wants k representative alert templates that are
+as different from each other as possible, so a human scanning them sees
+the full variety of failure modes — k-diversity maximization under the
+Levenshtein metric.  No coordinates exist here; the algorithms only
+ever call the distance oracle, exactly the paper's model.
+
+Run:  python examples/log_template_selection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EditDistanceMetric, MPCCluster, mpc_diversity
+from repro.analysis.reports import format_table
+from repro.baselines import gonzalez_diversity
+
+
+def synth_templates(rng: np.random.Generator, n: int = 240) -> list[str]:
+    """Mutated variants of a handful of base alert templates."""
+    bases = [
+        "connection timeout to host {} after {} retries",
+        "disk usage on volume {} exceeded {} percent",
+        "failed to authenticate user {} from address {}",
+        "queue {} depth above threshold {} messages",
+        "tls certificate for {} expires in {} days",
+        "gc pause of {} ms detected on node {}",
+    ]
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    out = []
+    for i in range(n):
+        base = bases[int(rng.integers(0, len(bases)))]
+        s = base.format(
+            "".join(rng.choice(list(alphabet), size=4)),
+            int(rng.integers(1, 999)),
+        )
+        # random character noise to simulate template drift
+        chars = list(s)
+        for _ in range(int(rng.integers(0, 4))):
+            pos = int(rng.integers(0, len(chars)))
+            chars[pos] = str(rng.choice(list(alphabet)))
+        out.append("".join(chars))
+    return out
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    templates = synth_templates(rng)
+    metric = EditDistanceMetric(templates)
+    k = 6
+
+    cluster = MPCCluster(metric, num_machines=4, seed=9)
+    res = mpc_diversity(cluster, k=k, epsilon=0.25)
+    _, gmm_div = gonzalez_diversity(metric, k)
+
+    print(
+        format_table(
+            [
+                {
+                    "algorithm": "MPC diversity (2+eps)",
+                    "min pairwise edit distance": res.diversity,
+                    "rounds": res.rounds,
+                },
+                {
+                    "algorithm": "sequential GMM (2-approx)",
+                    "min pairwise edit distance": gmm_div,
+                    "rounds": 0,
+                },
+            ],
+            title=f"log template selection ({metric.n} templates, k={k})",
+        )
+    )
+    print("\nselected templates:")
+    for i in res.ids:
+        print(f"  - {templates[int(i)]}")
+
+
+if __name__ == "__main__":
+    main()

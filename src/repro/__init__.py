@@ -1,0 +1,145 @@
+"""repro — reproduction of *Almost Optimal Massively Parallel Algorithms
+for k-Center Clustering and Diversity Maximization* (Haqi &
+Zarrabi-Zadeh, SPAA 2023).
+
+Quickstart::
+
+    import numpy as np
+    from repro import EuclideanMetric, MPCCluster, mpc_kcenter
+
+    rng = np.random.default_rng(0)
+    metric = EuclideanMetric(rng.normal(size=(1000, 2)))
+    cluster = MPCCluster(metric, num_machines=8, seed=0)
+    result = mpc_kcenter(cluster, k=10, epsilon=0.1)
+    print(result.radius, result.stats["rounds"])
+
+Public surface:
+
+* metrics — :class:`EuclideanMetric`, :class:`ManhattanMetric`,
+  :class:`ChebyshevMetric`, :class:`MinkowskiMetric`,
+  :class:`HammingMetric`, :class:`AngularMetric`, :class:`MatrixMetric`,
+  :class:`GraphShortestPathMetric`, wrappers :class:`CountingOracle`,
+  :class:`CachedOracle`;
+* the simulator — :class:`MPCCluster`, :class:`Limits`, partitioners;
+* the paper's algorithms — :func:`mpc_kcenter`, :func:`mpc_diversity`,
+  :func:`mpc_ksupplier`, :func:`mpc_k_bounded_mis`,
+  :func:`mpc_degree_approximation`, :func:`gmm`, plus the two-round
+  4-approximation side products;
+* constants — :class:`TheoryConstants`.
+"""
+
+from repro.constants import DEFAULT_CONSTANTS, TheoryConstants
+from repro.core import (
+    ClusteringResult,
+    DiversityResult,
+    DominatingSetResult,
+    MISResult,
+    SupplierResult,
+    ThresholdGraphView,
+    gmm,
+    mpc_degree_approximation,
+    mpc_diversity,
+    mpc_diversity_coreset,
+    mpc_dominating_set,
+    mpc_k_bounded_mis,
+    mpc_kcenter,
+    mpc_kcenter_coreset,
+    mpc_ksupplier,
+    neighborhood_independence,
+    trim,
+)
+from repro.exceptions import (
+    CommunicationLimitExceeded,
+    ConvergenceError,
+    InfeasibleInstanceError,
+    InvalidSolutionError,
+    MemoryLimitExceeded,
+    MPCError,
+    ReproError,
+    SolutionError,
+    UnknownPointError,
+)
+from repro.metric import (
+    AngularMetric,
+    CachedOracle,
+    ChebyshevMetric,
+    CountingOracle,
+    EditDistanceMetric,
+    EuclideanMetric,
+    GraphShortestPathMetric,
+    HammingMetric,
+    HaversineMetric,
+    ManhattanMetric,
+    MatrixMetric,
+    Metric,
+    MinkowskiMetric,
+    PointSet,
+)
+from repro.mpc import (
+    Limits,
+    MPCCluster,
+    adversarial_partition,
+    block_partition,
+    random_partition,
+    skewed_partition,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # constants
+    "TheoryConstants",
+    "DEFAULT_CONSTANTS",
+    # metrics
+    "Metric",
+    "PointSet",
+    "EuclideanMetric",
+    "MinkowskiMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "HammingMetric",
+    "HaversineMetric",
+    "AngularMetric",
+    "EditDistanceMetric",
+    "MatrixMetric",
+    "GraphShortestPathMetric",
+    "CountingOracle",
+    "CachedOracle",
+    # simulator
+    "MPCCluster",
+    "Limits",
+    "random_partition",
+    "block_partition",
+    "skewed_partition",
+    "adversarial_partition",
+    # algorithms
+    "gmm",
+    "trim",
+    "ThresholdGraphView",
+    "mpc_degree_approximation",
+    "mpc_k_bounded_mis",
+    "mpc_kcenter",
+    "mpc_kcenter_coreset",
+    "mpc_diversity",
+    "mpc_diversity_coreset",
+    "mpc_ksupplier",
+    "mpc_dominating_set",
+    "neighborhood_independence",
+    # results
+    "DominatingSetResult",
+    "MISResult",
+    "ClusteringResult",
+    "DiversityResult",
+    "SupplierResult",
+    # errors
+    "ReproError",
+    "MPCError",
+    "MemoryLimitExceeded",
+    "CommunicationLimitExceeded",
+    "UnknownPointError",
+    "SolutionError",
+    "InvalidSolutionError",
+    "InfeasibleInstanceError",
+    "ConvergenceError",
+]

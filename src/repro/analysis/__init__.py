@@ -1,0 +1,56 @@
+"""Validation, ratio measurement, experiment running, and reporting."""
+
+from repro.analysis.assignment import Assignment, assign_to_centers
+from repro.analysis.experiments import Trial, aggregate, run_trials
+from repro.analysis.lower_bounds import (
+    diversity_upper_bound,
+    kcenter_lower_bound,
+    ksupplier_lower_bound,
+)
+from repro.analysis.ratios import (
+    Ratio,
+    diversity_ratio,
+    kcenter_ratio,
+    ksupplier_ratio,
+)
+from repro.analysis.reports import format_table
+from repro.analysis.theory import (
+    communication_bound_words,
+    ladder_length,
+    memory_bound_words,
+    round_bound,
+)
+from repro.analysis.validation import (
+    verify_diversity_solution,
+    verify_independent_set,
+    verify_k_bounded_mis,
+    verify_kcenter_solution,
+    verify_ksupplier_solution,
+    verify_maximal_independent_set,
+)
+
+__all__ = [
+    "Assignment",
+    "assign_to_centers",
+    "verify_independent_set",
+    "verify_maximal_independent_set",
+    "verify_k_bounded_mis",
+    "verify_kcenter_solution",
+    "verify_diversity_solution",
+    "verify_ksupplier_solution",
+    "kcenter_lower_bound",
+    "diversity_upper_bound",
+    "ksupplier_lower_bound",
+    "Ratio",
+    "kcenter_ratio",
+    "diversity_ratio",
+    "ksupplier_ratio",
+    "round_bound",
+    "ladder_length",
+    "run_trials",
+    "aggregate",
+    "Trial",
+    "format_table",
+    "communication_bound_words",
+    "memory_bound_words",
+]

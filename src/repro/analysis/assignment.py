@@ -1,0 +1,72 @@
+"""Cluster-assignment utilities.
+
+A k-center run returns centers; downstream users almost always want the
+induced clustering too: which center serves each point, how big each
+cluster is, and each cluster's local radius.  These helpers compute
+that from any metric + center set (chunked, so they work at full n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.metric.base import Metric
+
+
+@dataclass
+class Assignment:
+    """The clustering induced by a center set.
+
+    Attributes
+    ----------
+    centers:
+        The center ids, in the order labels refer to them.
+    labels:
+        For each point id ``i``, the index into :attr:`centers` of its
+        nearest center.
+    distances:
+        ``d(i, centers[labels[i]])`` for every point.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    distances: np.ndarray
+
+    @property
+    def radius(self) -> float:
+        """The service radius ``r(V, centers)``."""
+        return float(self.distances.max()) if self.distances.size else 0.0
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of points served by each center."""
+        return np.bincount(self.labels, minlength=self.centers.size)
+
+    def cluster_radii(self) -> np.ndarray:
+        """Local service radius of each center."""
+        out = np.zeros(self.centers.size, dtype=np.float64)
+        np.maximum.at(out, self.labels, self.distances)
+        return out
+
+    def members(self, center_index: int) -> np.ndarray:
+        """Ids of the points served by ``centers[center_index]``."""
+        return np.where(self.labels == center_index)[0].astype(np.int64)
+
+
+def assign_to_centers(metric: Metric, centers: Iterable[int]) -> Assignment:
+    """Assign every point of the ground set to its nearest center."""
+    centers = np.unique(np.asarray(centers, dtype=np.int64))
+    if centers.size == 0:
+        raise ValueError("need at least one center")
+    ids = np.arange(metric.n, dtype=np.int64)
+    labels = np.empty(metric.n, dtype=np.int64)
+    dists = np.empty(metric.n, dtype=np.float64)
+    step = max(1, metric.chunk_budget // max(1, centers.size))
+    for lo in range(0, metric.n, step):
+        hi = min(metric.n, lo + step)
+        D = metric.pairwise(ids[lo:hi], centers)
+        labels[lo:hi] = D.argmin(axis=1)
+        dists[lo:hi] = D[np.arange(hi - lo), labels[lo:hi]]
+    return Assignment(centers=centers, labels=labels, distances=dists)

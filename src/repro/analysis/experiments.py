@@ -1,0 +1,57 @@
+"""Sweep runner: repeated seeded trials and aggregation.
+
+A *trial* is one ``fn(seed) -> dict`` invocation; :func:`run_trials`
+executes several seeds and :func:`aggregate` reduces any numeric field
+to mean/std/min/max.  Used by the benchmark harness so every reported
+number is an average over independent seeds, not a single run.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List
+
+
+@dataclass
+class Trial:
+    """One trial's inputs and measured outputs."""
+
+    seed: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+def run_trials(
+    fn: Callable[[int], Dict[str, float]],
+    seeds: Iterable[int],
+) -> List[Trial]:
+    """Run ``fn`` once per seed, collecting its metric dict."""
+    return [Trial(seed=s, metrics=dict(fn(s))) for s in seeds]
+
+
+def aggregate(trials: List[Trial]) -> Dict[str, Dict[str, float]]:
+    """Reduce every numeric metric across trials.
+
+    Returns ``{metric: {mean, std, min, max, n}}``.  Non-numeric
+    fields are skipped.
+    """
+    if not trials:
+        return {}
+    keys = set().union(*(t.metrics.keys() for t in trials))
+    out: Dict[str, Dict[str, float]] = {}
+    for key in sorted(keys):
+        vals = [
+            float(t.metrics[key])
+            for t in trials
+            if key in t.metrics and isinstance(t.metrics[key], (int, float))
+        ]
+        if not vals:
+            continue
+        out[key] = {
+            "mean": statistics.fmean(vals),
+            "std": statistics.pstdev(vals) if len(vals) > 1 else 0.0,
+            "min": min(vals),
+            "max": max(vals),
+            "n": float(len(vals)),
+        }
+    return out

@@ -1,0 +1,73 @@
+"""Experiment-result serialization (JSON and CSV).
+
+The benchmark harness prints ASCII tables; this module persists the
+same row dicts so downstream plotting or regression tracking can
+consume them.  Only stdlib serialization — numpy scalars and arrays are
+converted to plain Python first.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List
+
+import numpy as np
+
+
+def _plain(value: Any) -> Any:
+    """Convert numpy scalars/arrays (recursively) to plain Python."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return [_plain(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def write_json(rows: Iterable[Dict[str, Any]], path: str | Path, meta: Dict | None = None) -> Path:
+    """Write rows (plus optional metadata) as a JSON document."""
+    path = Path(path)
+    doc = {"meta": _plain(meta or {}), "rows": [_plain(r) for r in rows]}
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_json(path: str | Path) -> Dict[str, Any]:
+    """Read a document written by :func:`write_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def write_csv(rows: Iterable[Dict[str, Any]], path: str | Path) -> Path:
+    """Write rows as CSV; the header is the union of keys in first-seen
+    order, missing cells are empty."""
+    rows = [_plain(r) for r in rows]
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in columns})
+    return path
+
+
+def read_csv(path: str | Path) -> List[Dict[str, str]]:
+    """Read a CSV written by :func:`write_csv` (values come back as str)."""
+    with Path(path).open() as fh:
+        return list(csv.DictReader(fh))

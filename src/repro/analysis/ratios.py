@@ -1,0 +1,76 @@
+"""Approximation-ratio measurement.
+
+Ratios are reported against the tightest available denominator:
+
+* an exact optimum (brute force) when the instance is small enough;
+* a certified bound (:mod:`repro.analysis.lower_bounds`) otherwise.
+
+Against a bound the reported ratio is an *upper bound* on the true
+ratio, so "reported ≤ theorem factor" remains a sound pass criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.lower_bounds import (
+    diversity_upper_bound,
+    kcenter_lower_bound,
+    ksupplier_lower_bound,
+)
+from repro.baselines.exact import exact_diversity, exact_kcenter
+from repro.metric.base import Metric
+
+
+@dataclass(frozen=True)
+class Ratio:
+    """A measured value, its denominator, and the denominator's kind."""
+
+    value: float
+    reference: float
+    reference_kind: str  # 'exact' or 'bound'
+
+    @property
+    def ratio(self) -> float:
+        if self.reference == 0.0:
+            return 1.0 if self.value == 0.0 else float("inf")
+        return self.value / self.reference
+
+
+def _exact_feasible(n: int, k: int, budget: int = 200_000) -> bool:
+    from math import comb
+
+    return comb(n, k) <= budget
+
+
+def kcenter_ratio(metric: Metric, radius: float, k: int) -> Ratio:
+    """``radius / r*`` (exact) or ``radius / LB`` (certified bound)."""
+    if _exact_feasible(metric.n, k):
+        _, opt = exact_kcenter(metric, k)
+        return Ratio(radius, opt, "exact")
+    return Ratio(radius, kcenter_lower_bound(metric, k), "bound")
+
+
+def diversity_ratio(metric: Metric, diversity: float, k: int) -> Ratio:
+    """``div* / diversity`` (exact) or ``UB / diversity`` (bound).
+
+    For maximization the ratio denominator is the achieved value;
+    ``ratio ≥ 1`` and the theorem says ``ratio ≤ 2+ε``.
+    """
+    if _exact_feasible(metric.n, k):
+        _, opt = exact_diversity(metric, k)
+        return Ratio(opt, diversity, "exact")
+    return Ratio(diversity_upper_bound(metric, k), diversity, "bound")
+
+
+def ksupplier_ratio(
+    metric: Metric,
+    customers: Iterable[int],
+    suppliers: Iterable[int],
+    radius: float,
+    k: int,
+) -> Ratio:
+    """``radius / LB`` against the certified k-supplier lower bound."""
+    lb = ksupplier_lower_bound(metric, customers, suppliers, k)
+    return Ratio(radius, lb, "bound")

@@ -1,0 +1,72 @@
+"""ASCII table rendering for the benchmark harness.
+
+The harness prints each experiment as the rows/series a paper table or
+figure would carry; keeping the renderer tiny and dependency-free means
+benchmark output is stable, diffable text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 10_000 or (value != 0 and abs(value) < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 3,
+    style: str = "ascii",
+) -> str:
+    """Render dict rows as a table.
+
+    ``style='ascii'`` (default) gives a fixed-width console table;
+    ``style='markdown'`` gives a GitHub-flavoured markdown table, which
+    is how the EXPERIMENTS.md tables are regenerated.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+
+    cells = [[_fmt(row.get(c, "-"), precision) for c in columns] for row in rows]
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    if style == "markdown":
+        parts.append("| " + " | ".join(str(c) for c in columns) + " |")
+        parts.append("|" + "|".join("---" for _ in columns) + "|")
+        for row in cells:
+            parts.append("| " + " | ".join(row) + " |")
+        return "\n".join(parts)
+    if style != "ascii":
+        raise ValueError(f"unknown table style {style!r}")
+
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in cells)) for i, c in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    parts.extend([header, sep, body])
+    return "\n".join(parts)

@@ -1,0 +1,44 @@
+"""Predicted theory envelopes the measurements are compared against.
+
+The paper's bounds hide polylog factors and constants (Õ notation);
+each function exposes the *shape* with an explicit slack constant so
+the T5 communication experiment can check measured/predicted stays flat
+as n, m, k sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _ln(n: int) -> float:
+    return max(1.0, math.log(max(n, 2)))
+
+
+def communication_bound_words(
+    n: int, m: int, k: int, point_words: int = 2, slack: float = 1.0
+) -> float:
+    """Õ(mk) words of communication per machine: ``slack·m·k·ln(n)·w``."""
+    return slack * m * k * _ln(n) * point_words
+
+
+def memory_bound_words(
+    n: int, m: int, k: int, point_words: int = 2, slack: float = 1.0
+) -> float:
+    """Õ(n/m + mk) words of memory per machine."""
+    return slack * (n / m + m * k) * _ln(n) * point_words
+
+
+def round_bound(gamma: float, slack: float = 1.0) -> float:
+    """Theorem 13's O(1/γ) outer-round bound for m = n^γ."""
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    return slack / gamma
+
+
+def ladder_length(epsilon: float, ceiling: float = 4.0) -> int:
+    """Number of thresholds in the geometric ladder — the O(log 1/ε)
+    factor in the round bounds of Theorems 3/17/18."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return int(math.ceil(math.log(ceiling) / math.log1p(epsilon))) + 1

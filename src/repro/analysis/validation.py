@@ -1,0 +1,141 @@
+"""Solution validators.
+
+Each ``verify_*`` function checks one algorithm's declared contract and
+raises :class:`~repro.exceptions.InvalidSolutionError` with a precise
+message on violation.  The integration tests run every MPC result
+through these, so correctness is asserted against the *problem
+definition*, never against the algorithm's own bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.results import MISResult
+from repro.exceptions import InvalidSolutionError
+from repro.metric.base import Metric
+
+
+def verify_independent_set(metric: Metric, ids: Iterable[int], tau: float) -> None:
+    """All pairwise distances must exceed ``tau``."""
+    ids = np.unique(np.asarray(ids, dtype=np.int64))
+    if ids.size < 2:
+        return
+    D = metric.pairwise(ids, ids)
+    np.fill_diagonal(D, np.inf)
+    worst = float(D.min())
+    if worst <= tau:
+        raise InvalidSolutionError(
+            f"not an independent set in G_tau: min pairwise distance "
+            f"{worst:.6g} <= tau={tau:.6g}"
+        )
+
+
+def verify_maximal_independent_set(
+    metric: Metric, ids: Iterable[int], tau: float, universe: Iterable[int]
+) -> None:
+    """Independent, and every universe vertex within ``tau`` of the set."""
+    ids = np.unique(np.asarray(ids, dtype=np.int64))
+    universe = np.unique(np.asarray(universe, dtype=np.int64))
+    verify_independent_set(metric, ids, tau)
+    if universe.size == 0:
+        return
+    if ids.size == 0:
+        raise InvalidSolutionError("empty set cannot be maximal on a nonempty universe")
+    dmin = metric.dist_to_set(universe, ids)
+    worst = float(dmin.max())
+    if worst > tau:
+        bad = int(universe[int(np.argmax(dmin))])
+        raise InvalidSolutionError(
+            f"not maximal: vertex {bad} at distance {worst:.6g} > tau={tau:.6g} "
+            f"from the set could be added"
+        )
+
+
+def verify_k_bounded_mis(
+    metric: Metric, result: MISResult, universe: Iterable[int]
+) -> None:
+    """The Definition 1 contract: independent, and (maximal with
+    size ≤ k) or (size exactly k)."""
+    ids = result.ids
+    if np.unique(ids).size != ids.size:
+        raise InvalidSolutionError("k-bounded MIS contains duplicate ids")
+    if ids.size > result.k:
+        raise InvalidSolutionError(
+            f"k-bounded MIS has size {ids.size} > k={result.k}"
+        )
+    verify_independent_set(metric, ids, result.tau)
+    if ids.size == result.k:
+        return  # size exactly k: contract satisfied
+    if not result.maximal:
+        raise InvalidSolutionError(
+            f"set of size {ids.size} < k={result.k} must be maximal, but the "
+            f"algorithm did not claim maximality (via={result.terminated_via})"
+        )
+    verify_maximal_independent_set(metric, ids, result.tau, universe)
+
+
+def verify_kcenter_solution(
+    metric: Metric, centers: Iterable[int], k: int, claimed_radius: float, atol: float = 1e-9
+) -> float:
+    """At most k centers; the claimed radius covers every point.
+
+    Returns the true radius."""
+    centers = np.unique(np.asarray(centers, dtype=np.int64))
+    if centers.size == 0 or centers.size > k:
+        raise InvalidSolutionError(f"need 1..k centers, got {centers.size}")
+    ids = np.arange(metric.n, dtype=np.int64)
+    radius = float(metric.dist_to_set(ids, centers).max())
+    if radius > claimed_radius + atol:
+        raise InvalidSolutionError(
+            f"claimed radius {claimed_radius:.6g} but true radius is {radius:.6g}"
+        )
+    return radius
+
+
+def verify_diversity_solution(
+    metric: Metric, ids: Iterable[int], k: int, claimed_diversity: float, atol: float = 1e-9
+) -> float:
+    """Exactly k distinct points with at least the claimed diversity.
+
+    Returns the true diversity."""
+    ids = np.asarray(ids, dtype=np.int64)
+    if np.unique(ids).size != k:
+        raise InvalidSolutionError(
+            f"diversity solution must have exactly k={k} distinct points, "
+            f"got {np.unique(ids).size}"
+        )
+    div = float(metric.diversity(ids))
+    if div + atol < claimed_diversity:
+        raise InvalidSolutionError(
+            f"claimed diversity {claimed_diversity:.6g} but true value is {div:.6g}"
+        )
+    return div
+
+
+def verify_ksupplier_solution(
+    metric: Metric,
+    customers: Iterable[int],
+    suppliers: Iterable[int],
+    opened: Iterable[int],
+    k: int,
+    claimed_radius: float,
+    atol: float = 1e-9,
+) -> float:
+    """At most k suppliers, all drawn from the supplier set, covering
+    every customer within the claimed radius.  Returns the true radius."""
+    customers = np.unique(np.asarray(customers, dtype=np.int64))
+    suppliers = np.unique(np.asarray(suppliers, dtype=np.int64))
+    opened = np.unique(np.asarray(opened, dtype=np.int64))
+    if opened.size == 0 or opened.size > k:
+        raise InvalidSolutionError(f"need 1..k opened suppliers, got {opened.size}")
+    if not np.isin(opened, suppliers).all():
+        raise InvalidSolutionError("opened a facility that is not a supplier")
+    radius = float(metric.dist_to_set(customers, opened).max())
+    if radius > claimed_radius + atol:
+        raise InvalidSolutionError(
+            f"claimed radius {claimed_radius:.6g} but true radius is {radius:.6g}"
+        )
+    return radius

@@ -1,0 +1,60 @@
+"""Baseline algorithms the paper positions itself against.
+
+Sequential references:
+
+* :mod:`repro.baselines.gonzalez` — GMM, the optimal sequential
+  2-approximation for both problems (Gonzalez 1985; Ravi et al. 1994).
+* :mod:`repro.baselines.hochbaum_shmoys` — parametric-pruning
+  2-approximation for k-center and 3-approximation for k-supplier
+  (Hochbaum & Shmoys 1985/1986).
+* :mod:`repro.baselines.charikar` — 3-approximation k-center with
+  outliers (Charikar et al. 2001), plus its weighted variant.
+* :mod:`repro.baselines.exact` — brute-force optima for small
+  instances (ratio denominators).
+* :mod:`repro.baselines.greedy_mis` / :mod:`repro.baselines.luby` —
+  reference MIS constructions on threshold graphs.
+
+MPC baselines:
+
+* :mod:`repro.baselines.malkomes` — 2-round 4-approximation k-center
+  via GMM coresets (Malkomes et al. 2015) and the 13-approximation
+  outlier variant.
+* :mod:`repro.baselines.indyk` — 6-approximation diversity via
+  3-composable GMM coresets (Indyk et al. 2014).
+* :mod:`repro.baselines.ene` — sampling-style MapReduce k-center in the
+  spirit of Ene et al. 2011.
+* :mod:`repro.baselines.ksupplier_seq` — sequential 3-approximation
+  k-supplier reference.
+"""
+
+from repro.baselines.charikar import charikar_kcenter_outliers
+from repro.baselines.ene import ene_sampling_kcenter
+from repro.baselines.exact import exact_diversity, exact_kcenter, exact_ksupplier
+from repro.baselines.gonzalez import gonzalez_diversity, gonzalez_kcenter
+from repro.baselines.greedy_dominating import greedy_dominating_set
+from repro.baselines.greedy_mis import greedy_mis
+from repro.baselines.hochbaum_shmoys import hochbaum_shmoys_kcenter
+from repro.baselines.indyk import indyk_diversity
+from repro.baselines.ksupplier_seq import hochbaum_shmoys_ksupplier
+from repro.baselines.luby import luby_mis
+from repro.baselines.malkomes import malkomes_kcenter, malkomes_kcenter_outliers
+from repro.baselines.streaming import streaming_kcenter
+
+__all__ = [
+    "gonzalez_kcenter",
+    "gonzalez_diversity",
+    "hochbaum_shmoys_kcenter",
+    "hochbaum_shmoys_ksupplier",
+    "charikar_kcenter_outliers",
+    "exact_kcenter",
+    "exact_diversity",
+    "exact_ksupplier",
+    "greedy_mis",
+    "greedy_dominating_set",
+    "luby_mis",
+    "malkomes_kcenter",
+    "malkomes_kcenter_outliers",
+    "indyk_diversity",
+    "ene_sampling_kcenter",
+    "streaming_kcenter",
+]

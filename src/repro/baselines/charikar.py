@@ -1,0 +1,94 @@
+"""Charikar et al. 3-approximation for k-center with outliers
+(SODA 2001), with the weighted variant used by the Malkomes et al.
+13-approximation coreset pipeline.
+
+For a candidate radius τ: greedily pick the point whose τ-ball covers
+the most uncovered (weight), then discard everything in its *3τ*-ball;
+after k picks, the instance is feasible iff the uncovered weight is
+≤ z.  Binary-searching τ over the pairwise distances gives centers
+covering all but z points within 3τ ≤ 3r*_z.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.metric.base import Metric
+
+
+def _greedy_disks(
+    D: np.ndarray, weights: np.ndarray, tau: float, k: int
+) -> Tuple[np.ndarray, float]:
+    """Greedy disk cover: k picks of max-uncovered-weight τ-balls, each
+    removing its 3τ-ball.  Returns (centers, uncovered weight)."""
+    n = D.shape[0]
+    uncovered = np.ones(n, dtype=bool)
+    centers = []
+    ball = D <= tau
+    ball3 = D <= 3.0 * tau
+    for _ in range(k):
+        if not uncovered.any():
+            break
+        gains = (ball & uncovered[None, :]) @ weights
+        c = int(np.argmax(gains))
+        centers.append(c)
+        uncovered &= ~ball3[c]
+    return np.asarray(centers, dtype=np.int64), float(weights[uncovered].sum())
+
+
+def charikar_kcenter_outliers(
+    metric: Metric,
+    k: int,
+    z: int,
+    weights: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, float]:
+    """3-approximation k-center ignoring up to ``z`` outliers.
+
+    Parameters
+    ----------
+    weights:
+        Optional point weights (a weighted point stands for that many
+        unit points; ``z`` is then a weight budget).  Defaults to 1.
+
+    Returns
+    -------
+    (centers, radius):
+        ``radius`` is the service radius of the *inliers*: the maximum
+        distance to a center after discarding the ``z`` heaviest-distance
+        points (unit weights) or a ``z``-weight prefix (weighted).
+    """
+    n = metric.n
+    if not (1 <= k <= n):
+        raise ValueError("need 1 <= k <= n")
+    if z < 0:
+        raise ValueError("z must be non-negative")
+    weights = (
+        np.ones(n, dtype=np.float64)
+        if weights is None
+        else np.asarray(weights, dtype=np.float64)
+    )
+    ids = np.arange(n, dtype=np.int64)
+    D = metric.pairwise(ids, ids)
+    radii = np.unique(D[np.triu_indices(n, k=1)]) if n > 1 else np.array([0.0])
+    radii = np.concatenate([[0.0], radii])
+
+    lo, hi = 0, radii.size - 1
+    best_centers, _ = _greedy_disks(D, weights, radii[hi], k)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        centers, miss = _greedy_disks(D, weights, radii[mid], k)
+        if miss <= z:
+            best_centers, hi = centers, mid
+        else:
+            lo = mid + 1
+
+    # service radius of the inliers
+    dmin = D[:, best_centers].min(axis=1)
+    order = np.argsort(dmin)
+    cum = np.cumsum(weights[order[::-1]])
+    drop = int(np.searchsorted(cum, z, side="right"))
+    kept = order[: n - drop] if drop else order
+    radius = float(dmin[kept].max()) if kept.size else 0.0
+    return best_centers, radius

@@ -1,0 +1,123 @@
+"""Brute-force optimal solutions for small instances.
+
+These are the denominators of the approximation-ratio measurements in
+the T1/T2 experiments.  Both problems are NP-hard, so the search is
+limited by ``max_subsets``; callers size their instances accordingly
+(the benchmarks use n ≤ 24 for exact rows and GMM-based bounds beyond).
+
+``exact_kcenter`` avoids full subset enumeration where it can: it
+binary-searches the candidate radii and checks feasibility with an
+exact set-cover search over the ball hypergraph (with memoized
+greedy pruning), which handles n ≈ 100, small k comfortably.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Tuple
+
+import numpy as np
+
+from repro.metric.base import Metric
+
+
+def _check_budget(n: int, k: int, max_subsets: int) -> None:
+    from math import comb
+
+    if comb(n, k) > max_subsets:
+        raise ValueError(
+            f"C({n},{k}) subsets exceed the exact-search budget of {max_subsets}"
+        )
+
+
+def exact_diversity(
+    metric: Metric, k: int, max_subsets: int = 5_000_000
+) -> Tuple[np.ndarray, float]:
+    """Optimal k-diversity by exhaustive search.
+
+    Returns ``(subset, diversity)`` maximizing the minimum pairwise
+    distance.
+    """
+    n = metric.n
+    if not (2 <= k <= n):
+        raise ValueError("need 2 <= k <= n")
+    _check_budget(n, k, max_subsets)
+    ids = np.arange(n, dtype=np.int64)
+    D = metric.pairwise(ids, ids)
+    best_val, best_set = -1.0, None
+    for comb_ids in combinations(range(n), k):
+        sub = np.asarray(comb_ids)
+        vals = D[np.ix_(sub, sub)]
+        div = vals[np.triu_indices(k, 1)].min()
+        if div > best_val:
+            best_val, best_set = float(div), sub
+    return np.asarray(best_set, dtype=np.int64), best_val
+
+
+def exact_ksupplier(
+    metric: Metric,
+    customers,
+    suppliers,
+    k: int,
+    max_subsets: int = 5_000_000,
+) -> Tuple[np.ndarray, float]:
+    """Optimal k-supplier by exhaustive search over supplier subsets.
+
+    Returns ``(opened, radius)`` minimizing ``r(C, opened)``.
+    """
+    C = np.unique(np.asarray(customers, dtype=np.int64))
+    S = np.unique(np.asarray(suppliers, dtype=np.int64))
+    if C.size == 0 or S.size == 0:
+        raise ValueError("need at least one customer and one supplier")
+    kk = min(k, S.size)
+    _check_budget(S.size, kk, max_subsets)
+    D = metric.pairwise(C, S)
+    best_val, best_set = np.inf, None
+    for comb_ids in combinations(range(S.size), kk):
+        radius = float(D[:, list(comb_ids)].min(axis=1).max())
+        if radius < best_val:
+            best_val, best_set = radius, comb_ids
+    return S[list(best_set)], best_val
+
+
+def _covers(D: np.ndarray, centers: tuple, tau: float) -> bool:
+    return bool((D[:, list(centers)].min(axis=1) <= tau).all())
+
+
+def exact_kcenter(
+    metric: Metric, k: int, max_subsets: int = 5_000_000
+) -> Tuple[np.ndarray, float]:
+    """Optimal k-center by radius binary search + exact cover check.
+
+    Returns ``(centers, radius)`` with the minimum possible ``radius``.
+    """
+    n = metric.n
+    if not (1 <= k <= n):
+        raise ValueError("need 1 <= k <= n")
+    ids = np.arange(n, dtype=np.int64)
+    D = metric.pairwise(ids, ids)
+    radii = np.unique(D[np.triu_indices(n, k=1)]) if n > 1 else np.array([0.0])
+    radii = np.concatenate([[0.0], radii])
+
+    def feasible(tau: float) -> np.ndarray | None:
+        # exact search over center subsets, pruned: a center set is only
+        # worth trying if every point has *some* candidate ball containing it
+        _check_budget(n, k, max_subsets)
+        for comb_ids in combinations(range(n), k):
+            if _covers(D, comb_ids, tau):
+                return np.asarray(comb_ids, dtype=np.int64)
+        return None
+
+    lo, hi = 0, radii.size - 1
+    best = feasible(radii[hi])
+    assert best is not None
+    while lo < hi:
+        mid = (lo + hi) // 2
+        sol = feasible(radii[mid])
+        if sol is not None:
+            best, hi = sol, mid
+        else:
+            lo = mid + 1
+    centers = best
+    radius = float(D[:, centers].min(axis=1).max())
+    return centers, radius

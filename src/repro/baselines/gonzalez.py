@@ -1,0 +1,42 @@
+"""Sequential GMM baselines (Gonzalez 1985; Ravi et al. 1994).
+
+GMM is the optimal-factor sequential algorithm for both problems: a
+2-approximation for k-center and for k-diversity.  These are the
+quality anchors every MPC row in the T1/T2 experiments is compared to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.gmm import gmm
+from repro.metric.base import Metric
+
+
+def gonzalez_kcenter(
+    metric: Metric, k: int, start: Optional[int] = None
+) -> Tuple[np.ndarray, float]:
+    """Sequential 2-approximation k-center.
+
+    Returns ``(centers, radius)`` with ``radius = r(V, centers)``.
+    """
+    ids = np.arange(metric.n, dtype=np.int64)
+    centers = gmm(metric, ids, k, start=start)
+    radius = float(metric.dist_to_set(ids, centers).max())
+    return centers, radius
+
+
+def gonzalez_diversity(
+    metric: Metric, k: int, start: Optional[int] = None
+) -> Tuple[np.ndarray, float]:
+    """Sequential 2-approximation k-diversity (the same GMM output).
+
+    Returns ``(subset, diversity)``.
+    """
+    if k < 2:
+        raise ValueError("diversity needs k >= 2")
+    ids = np.arange(metric.n, dtype=np.int64)
+    subset = gmm(metric, ids, k, start=start)
+    return subset, float(metric.diversity(subset))

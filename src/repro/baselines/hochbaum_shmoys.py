@@ -1,0 +1,63 @@
+"""Hochbaum–Shmoys parametric-pruning 2-approximation for k-center
+(Math. OR 1985 / JACM 1986).
+
+The optimal radius is one of the O(n²) pairwise distances.  For a
+candidate τ, a greedy maximal independent set of the *squared*
+bottleneck graph (adjacency ``d ≤ 2τ``) has size ≤ k iff τ ≥ r*; the
+smallest feasible τ yields centers covering V within 2τ ≤ 2r*.  We
+binary-search the sorted candidate distances.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.baselines.greedy_mis import greedy_mis
+from repro.metric.base import Metric
+
+
+def candidate_radii(metric: Metric, max_points: int = 4096) -> np.ndarray:
+    """Sorted unique pairwise distances (the optimal radius is one).
+
+    Refuses ground sets whose n² candidate matrix would not fit.
+    """
+    n = metric.n
+    if n > max_points:
+        raise ValueError(
+            f"n={n} too large for exact candidate enumeration (limit {max_points})"
+        )
+    ids = np.arange(n, dtype=np.int64)
+    D = metric.pairwise(ids, ids)
+    vals = np.unique(D[np.triu_indices(n, k=1)]) if n > 1 else np.array([0.0])
+    return vals
+
+
+def hochbaum_shmoys_kcenter(metric: Metric, k: int) -> Tuple[np.ndarray, float]:
+    """Sequential 2-approximation k-center.
+
+    Returns ``(centers, radius)``; ``radius = r(V, centers) ≤ 2r*``.
+    """
+    if not (1 <= k <= metric.n):
+        raise ValueError("need 1 <= k <= n")
+    ids = np.arange(metric.n, dtype=np.int64)
+    radii = candidate_radii(metric)
+
+    def feasible(tau: float) -> np.ndarray | None:
+        mis = greedy_mis(metric, ids, 2.0 * tau, limit=k + 1)
+        return mis if mis.size <= k else None
+
+    lo, hi = 0, radii.size - 1
+    best = feasible(radii[hi])
+    assert best is not None, "the largest distance is always feasible"
+    while lo < hi:
+        mid = (lo + hi) // 2
+        sol = feasible(radii[mid])
+        if sol is not None:
+            best, hi = sol, mid
+        else:
+            lo = mid + 1
+    centers = best
+    radius = float(metric.dist_to_set(ids, centers).max())
+    return centers, radius

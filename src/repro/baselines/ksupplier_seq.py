@@ -1,0 +1,73 @@
+"""Hochbaum–Shmoys sequential 3-approximation for k-supplier (1986).
+
+For a candidate τ: take a greedy maximal independent set of the
+customers in ``G_{2τ}``; each chosen customer must have a supplier
+within τ (else τ < r*); if the independent set has ≤ k members and all
+are serviceable, opening those suppliers covers every customer within
+``2τ + τ = 3τ``.  Binary search over candidate values of τ — here the
+customer–supplier distances, since r* is one of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.metric.base import Metric
+
+
+def hochbaum_shmoys_ksupplier(
+    metric: Metric,
+    customers: Iterable[int],
+    suppliers: Iterable[int],
+    k: int,
+) -> Tuple[np.ndarray, float]:
+    """Sequential 3-approximation k-supplier.
+
+    Returns ``(opened_suppliers, radius)`` with
+    ``radius = r(C, opened) ≤ 3r*``.
+    """
+    C = np.unique(np.asarray(customers, dtype=np.int64))
+    S = np.unique(np.asarray(suppliers, dtype=np.int64))
+    if C.size == 0 or S.size == 0:
+        raise ValueError("need at least one customer and one supplier")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+    D_cs = metric.pairwise(C, S)
+    taus = np.unique(D_cs)
+
+    def attempt(tau: float) -> np.ndarray | None:
+        # greedy MIS of customers in G_{2τ}
+        chosen: list[int] = []
+        opened: list[int] = []
+        alive = np.ones(C.size, dtype=bool)
+        D_cc_cols: list[np.ndarray] = []
+        while alive.any():
+            idx = int(np.argmax(alive))  # first alive customer
+            within = D_cs[idx] <= tau
+            if not within.any():
+                return None  # this pivot cannot be served at τ
+            chosen.append(idx)
+            opened.append(int(S[int(np.argmax(within))]))
+            if len(chosen) > k:
+                return None
+            col = metric.pairwise(C, [int(C[idx])])[:, 0]
+            alive &= col > 2.0 * tau
+        return np.unique(np.asarray(opened, dtype=np.int64))
+
+    lo, hi = 0, taus.size - 1
+    best = attempt(float(taus[hi]))
+    if best is None:
+        raise ValueError("instance infeasible even at the maximum distance")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        sol = attempt(float(taus[mid]))
+        if sol is not None:
+            best, hi = sol, mid
+        else:
+            lo = mid + 1
+
+    radius = float(metric.pairwise(C, best).min(axis=1).max())
+    return best, radius

@@ -1,0 +1,105 @@
+"""One-pass streaming k-center: the doubling algorithm of Charikar,
+Chekuri, Feder & Motwani (STOC 1997), an 8-approximation using O(k)
+memory.
+
+Included as the *streaming* point of comparison for the MPC algorithms:
+the related distributed-clustering literature (e.g. Ceccarello et al.,
+VLDB 2019, cited by the paper) habitually compares MapReduce/MPC
+algorithms against streaming ones, since both process data that does
+not fit one machine.
+
+Invariants maintained after every batch (the classic analysis):
+
+* at most ``k`` centers are kept, pairwise > ``2·lower``;
+* every point seen so far is within ``8·lower``-ish of a center —
+  concretely the final radius is at most 8 times the optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.metric.base import Metric
+
+
+def streaming_kcenter(
+    metric: Metric,
+    k: int,
+    order: Iterable[int] | None = None,
+    batch: int = 256,
+) -> Tuple[np.ndarray, float]:
+    """One-pass doubling k-center over the ground set.
+
+    Parameters
+    ----------
+    metric:
+        The distance oracle; points arrive by id.
+    k:
+        Number of centers to maintain.
+    order:
+        Arrival order (defaults to id order — pass a permutation to
+        simulate shuffled streams).
+    batch:
+        Points consumed per oracle call (vectorization only; the
+        algorithm is logically one-at-a-time).
+
+    Returns
+    -------
+    (centers, radius):
+        At most ``k`` center ids and their true service radius over the
+        whole ground set (≤ 8·optimal).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if k >= metric.n:
+        ids = np.arange(metric.n, dtype=np.int64)
+        return ids, 0.0
+    stream = np.asarray(
+        np.arange(metric.n, dtype=np.int64) if order is None else order,
+        dtype=np.int64,
+    )
+    if stream.size != metric.n or np.unique(stream).size != metric.n:
+        raise ValueError("order must be a permutation of all ids")
+
+    # bootstrap: first k+1 points fix the initial scale
+    head = stream[: k + 1]
+    centers = list(head[:k].tolist())
+    if metric.n <= k:
+        ids = np.arange(metric.n, dtype=np.int64)
+        return np.asarray(centers, dtype=np.int64), float(
+            metric.dist_to_set(ids, centers).max()
+        )
+    D0 = metric.pairwise(head, head)
+    np.fill_diagonal(D0, np.inf)
+    lower = float(D0.min()) / 2.0
+    if lower == 0.0:
+        lower = 1e-12  # duplicates in the head; any positive scale works
+
+    def absorb(pid: int) -> None:
+        nonlocal lower
+        d = float(metric.dist_to_set([pid], centers)[0])
+        if d > 4.0 * lower:
+            centers.append(int(pid))
+            while len(centers) > k:
+                # doubling phase: raise the scale, keep a 2·lower-separated net
+                lower *= 2.0
+                kept: list[int] = []
+                for c in centers:
+                    if not kept or float(metric.dist_to_set([c], kept)[0]) > 2.0 * lower:
+                        kept.append(c)
+                centers[:] = kept
+
+    # one pass (batched distance evaluation, sequential absorption)
+    for lo in range(k + 1, stream.size, batch):
+        chunk = stream[lo : lo + batch]
+        dists = metric.dist_to_set(chunk, centers)
+        for pid, d in zip(chunk, dists):
+            # d is stale once centers change; re-check only then
+            if d > 4.0 * lower:
+                absorb(int(pid))
+
+    ids = np.arange(metric.n, dtype=np.int64)
+    radius = float(metric.dist_to_set(ids, centers).max())
+    return np.asarray(sorted(centers), dtype=np.int64), radius

@@ -1,0 +1,429 @@
+"""Command-line front end.
+
+Usage examples::
+
+    repro kcenter   --workload gaussian --n 1000 --k 10 --machines 8
+    repro diversity --workload clustered --n 500 --k 8 --epsilon 0.2
+    repro supplier  --customers 600 --suppliers 200 --k 8
+    repro mis       --workload uniform --n 400 --tau 0.8 --k 20
+    repro workloads
+
+Every command prints the solution quality, the MPC round count, and the
+per-machine communication summary as an ASCII table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reports import format_table
+from repro.constants import TheoryConstants
+from repro.core import (
+    mpc_diversity,
+    mpc_dominating_set,
+    mpc_k_bounded_mis,
+    mpc_kcenter,
+    mpc_ksupplier,
+)
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.partition import get_partitioner
+from repro.workloads.registry import available_workloads, make_workload
+from repro.workloads.suppliers import supplier_instance
+
+
+def _constants(args: argparse.Namespace) -> TheoryConstants:
+    preset = getattr(args, "constants", "practical")
+    if preset == "paper":
+        return TheoryConstants.paper()
+    return TheoryConstants.practical()
+
+
+def _build_cluster(args: argparse.Namespace, metric) -> MPCCluster:
+    partition = get_partitioner(args.partition)(
+        metric.n, args.machines, np.random.default_rng(args.seed)
+    )
+    return MPCCluster(metric, args.machines, partition=partition, seed=args.seed)
+
+
+def _print_stats(cluster: MPCCluster) -> None:
+    print()
+    print(format_table([cluster.stats.summary()], title="MPC statistics"))
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--machines", type=int, default=8, help="number of MPC machines m")
+    p.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    p.add_argument(
+        "--partition",
+        choices=["random", "block", "skewed"],
+        default="random",
+        help="input partitioning strategy",
+    )
+    p.add_argument(
+        "--constants",
+        choices=["practical", "paper"],
+        default="practical",
+        help="analysis-constant preset (see repro.constants)",
+    )
+    p.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="also write the result record (and MPC stats) as JSON",
+    )
+
+
+def _maybe_json(args: argparse.Namespace, result, cluster: MPCCluster) -> None:
+    path = getattr(args, "json_out", None)
+    if not path:
+        return
+    from repro.analysis.io import write_json
+
+    write_json(
+        [result.to_dict()],
+        path,
+        meta={"command": args.command, "stats": cluster.stats.summary()},
+    )
+    print(f"\nwrote JSON result to {path}")
+
+
+def _cmd_kcenter(args: argparse.Namespace) -> int:
+    wl = make_workload(args.workload, args.n, seed=args.seed)
+    cluster = _build_cluster(args, wl.metric)
+    res = mpc_kcenter(cluster, args.k, args.epsilon, constants=_constants(args))
+    print(
+        format_table(
+            [
+                {
+                    "workload": wl.name,
+                    "n": wl.n,
+                    "k": args.k,
+                    "epsilon": args.epsilon,
+                    "radius": res.radius,
+                    "4-approx r": res.coreset_value,
+                    "centers": res.size,
+                    "rounds": res.rounds,
+                }
+            ],
+            title="MPC k-center (Algorithm 5)",
+        )
+    )
+    _print_stats(cluster)
+    _maybe_json(args, res, cluster)
+    return 0
+
+
+def _cmd_diversity(args: argparse.Namespace) -> int:
+    wl = make_workload(args.workload, args.n, seed=args.seed)
+    cluster = _build_cluster(args, wl.metric)
+    res = mpc_diversity(cluster, args.k, args.epsilon, constants=_constants(args))
+    print(
+        format_table(
+            [
+                {
+                    "workload": wl.name,
+                    "n": wl.n,
+                    "k": args.k,
+                    "epsilon": args.epsilon,
+                    "diversity": res.diversity,
+                    "4-approx r": res.coreset_value,
+                    "rounds": res.rounds,
+                }
+            ],
+            title="MPC k-diversity (Algorithm 2)",
+        )
+    )
+    _print_stats(cluster)
+    _maybe_json(args, res, cluster)
+    return 0
+
+
+def _cmd_supplier(args: argparse.Namespace) -> int:
+    inst = supplier_instance(
+        args.customers,
+        args.suppliers,
+        supplier_layout=args.layout,
+        rng=np.random.default_rng(args.seed),
+    )
+    metric = EuclideanMetric(inst.points)
+    cluster = _build_cluster(args, metric)
+    res = mpc_ksupplier(
+        cluster, inst.customers, inst.suppliers, args.k, args.epsilon,
+        constants=_constants(args),
+    )
+    print(
+        format_table(
+            [
+                {
+                    "customers": args.customers,
+                    "suppliers": args.suppliers,
+                    "k": args.k,
+                    "epsilon": args.epsilon,
+                    "radius": res.radius,
+                    "9-approx r": res.coreset_value,
+                    "opened": res.size,
+                    "rounds": res.rounds,
+                }
+            ],
+            title="MPC k-supplier (Algorithm 6)",
+        )
+    )
+    _print_stats(cluster)
+    _maybe_json(args, res, cluster)
+    return 0
+
+
+def _cmd_mis(args: argparse.Namespace) -> int:
+    wl = make_workload(args.workload, args.n, seed=args.seed)
+    cluster = _build_cluster(args, wl.metric)
+    res = mpc_k_bounded_mis(cluster, args.tau, args.k, constants=_constants(args))
+    print(
+        format_table(
+            [
+                {
+                    "workload": wl.name,
+                    "n": wl.n,
+                    "tau": args.tau,
+                    "k": args.k,
+                    "size": res.size,
+                    "maximal": res.maximal,
+                    "terminated_via": res.terminated_via,
+                    "rounds": res.rounds,
+                }
+            ],
+            title="MPC k-bounded MIS (Algorithm 4)",
+        )
+    )
+    _print_stats(cluster)
+    _maybe_json(args, res, cluster)
+    return 0
+
+
+def _cmd_dominating(args: argparse.Namespace) -> int:
+    wl = make_workload(args.workload, args.n, seed=args.seed)
+    cluster = _build_cluster(args, wl.metric)
+    res = mpc_dominating_set(cluster, args.tau, constants=_constants(args))
+    print(
+        format_table(
+            [
+                {
+                    "workload": wl.name,
+                    "n": wl.n,
+                    "tau": args.tau,
+                    "size": res.size,
+                    "packing LB": res.lower_bound,
+                    "certified ratio <=": res.certified_ratio,
+                    "rounds": res.rounds,
+                }
+            ],
+            title="MPC dominating set (k-bounded MIS application)",
+        )
+    )
+    _print_stats(cluster)
+    _maybe_json(args, res, cluster)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Head-to-head table: the paper's k-center vs every baseline."""
+    from repro.analysis.lower_bounds import kcenter_lower_bound
+    from repro.baselines import (
+        ene_sampling_kcenter,
+        gonzalez_kcenter,
+        hochbaum_shmoys_kcenter,
+        malkomes_kcenter,
+    )
+
+    wl = make_workload(args.workload, args.n, seed=args.seed)
+    lb = kcenter_lower_bound(wl.metric, args.k)
+    rows = []
+
+    cluster = _build_cluster(args, wl.metric)
+    res = mpc_kcenter(cluster, args.k, args.epsilon, constants=_constants(args))
+    rows.append(
+        {
+            "algorithm": "MPC k-center (paper, 2+eps)",
+            "radius": res.radius,
+            "ratio vs LB": res.radius / lb,
+            "rounds": res.rounds,
+        }
+    )
+    cluster = _build_cluster(args, wl.metric)
+    _, r = malkomes_kcenter(cluster, args.k)
+    rows.append(
+        {"algorithm": "Malkomes et al. (MPC, 4)", "radius": r, "ratio vs LB": r / lb, "rounds": 4}
+    )
+    cluster = _build_cluster(args, wl.metric)
+    _, r = ene_sampling_kcenter(cluster, args.k)
+    rows.append(
+        {"algorithm": "Ene-style sampling (MPC)", "radius": r, "ratio vs LB": r / lb, "rounds": 6}
+    )
+    _, r = gonzalez_kcenter(wl.metric, args.k)
+    rows.append(
+        {"algorithm": "GMM / Gonzalez (seq., 2)", "radius": r, "ratio vs LB": r / lb, "rounds": 0}
+    )
+    if args.n <= 2048:
+        _, r = hochbaum_shmoys_kcenter(wl.metric, args.k)
+        rows.append(
+            {
+                "algorithm": "Hochbaum-Shmoys (seq., 2)",
+                "radius": r,
+                "ratio vs LB": r / lb,
+                "rounds": 0,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"k-center comparison — {wl.name}, n={wl.n}, k={args.k}, m={args.machines}",
+        )
+    )
+    print(f"\ncertified optimum lower bound: {lb:.6g}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run an algorithm with message tracing and print the communication
+    breakdown by message tag and by round."""
+    from repro.mpc.trace import MessageTrace
+
+    wl = make_workload(args.workload, args.n, seed=args.seed)
+    cluster = _build_cluster(args, wl.metric)
+    trace = MessageTrace.attach(cluster)
+    if args.algorithm == "kcenter":
+        mpc_kcenter(cluster, args.k, args.epsilon, constants=_constants(args))
+    elif args.algorithm == "diversity":
+        mpc_diversity(cluster, args.k, args.epsilon, constants=_constants(args))
+    else:
+        mpc_k_bounded_mis(cluster, args.tau, args.k, constants=_constants(args))
+    trace.detach()
+
+    print(
+        format_table(
+            [
+                {"message tag": tag, "words": words}
+                for tag, words in trace.words_by_tag().items()
+            ],
+            title=f"communication by message tag — {args.algorithm}, "
+            f"n={wl.n}, k={args.k}, m={args.machines}",
+        )
+    )
+    heavy = trace.heaviest_events(limit=5)
+    print()
+    print(
+        format_table(
+            [
+                {"round": e.round_no, "src": e.src, "dst": e.dst, "tag": e.tag, "words": e.words}
+                for e in heavy
+            ],
+            title="heaviest individual messages",
+        )
+    )
+    print(f"\ntotal: {trace.total_words()} words over {cluster.stats.rounds} rounds")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    for name in available_workloads():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "MPC k-center clustering and diversity maximization "
+            "(reproduction of Haqi & Zarrabi-Zadeh, SPAA 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("kcenter", help="run MPC k-center (Algorithm 5)")
+    p.add_argument("--workload", default="gaussian", choices=available_workloads())
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--epsilon", type=float, default=0.1)
+    _add_common(p)
+    p.set_defaults(func=_cmd_kcenter)
+
+    p = sub.add_parser("diversity", help="run MPC k-diversity (Algorithm 2)")
+    p.add_argument("--workload", default="gaussian", choices=available_workloads())
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--epsilon", type=float, default=0.1)
+    _add_common(p)
+    p.set_defaults(func=_cmd_diversity)
+
+    p = sub.add_parser("supplier", help="run MPC k-supplier (Algorithm 6)")
+    p.add_argument("--customers", type=int, default=600)
+    p.add_argument("--suppliers", type=int, default=200)
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--epsilon", type=float, default=0.1)
+    p.add_argument(
+        "--layout", choices=["uniform", "colocated", "perimeter"], default="uniform"
+    )
+    _add_common(p)
+    p.set_defaults(func=_cmd_supplier)
+
+    p = sub.add_parser("mis", help="run the MPC k-bounded MIS (Algorithm 4)")
+    p.add_argument("--workload", default="uniform", choices=available_workloads())
+    p.add_argument("--n", type=int, default=500)
+    p.add_argument("--tau", type=float, required=True)
+    p.add_argument("--k", type=int, default=20)
+    _add_common(p)
+    p.set_defaults(func=_cmd_mis)
+
+    p = sub.add_parser(
+        "dominating", help="run the MPC dominating set (k-bounded MIS application)"
+    )
+    p.add_argument("--workload", default="uniform", choices=available_workloads())
+    p.add_argument("--n", type=int, default=500)
+    p.add_argument("--tau", type=float, required=True)
+    _add_common(p)
+    p.set_defaults(func=_cmd_dominating)
+
+    p = sub.add_parser(
+        "compare", help="head-to-head k-center table: paper vs all baselines"
+    )
+    p.add_argument("--workload", default="gaussian", choices=available_workloads())
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--epsilon", type=float, default=0.1)
+    _add_common(p)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "trace", help="run an algorithm and print its communication breakdown"
+    )
+    p.add_argument(
+        "--algorithm", choices=["kcenter", "diversity", "mis"], default="kcenter"
+    )
+    p.add_argument("--workload", default="gaussian", choices=available_workloads())
+    p.add_argument("--n", type=int, default=500)
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--epsilon", type=float, default=0.2)
+    p.add_argument("--tau", type=float, default=1.0, help="threshold (mis only)")
+    _add_common(p)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("workloads", help="list available workload names")
+    p.set_defaults(func=_cmd_workloads)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (``repro`` console script)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The paper's contributions.
+
+* :mod:`repro.core.gmm` — Algorithm 1 (GMM / Gonzalez greedy).
+* :mod:`repro.core.threshold_graph` — ``G_τ`` views over any metric.
+* :mod:`repro.core.trim` — the local Luby-style ``trim`` of Algorithm 4.
+* :mod:`repro.core.light_heavy` — Definition 4 split + Lemma 6 extraction.
+* :mod:`repro.core.degree_approx` — Algorithm 3 (Theorem 9).
+* :mod:`repro.core.kbounded_mis` — Algorithm 4 (Theorems 13–15).
+* :mod:`repro.core.threshold_search` — flip-pair binary search on ladders.
+* :mod:`repro.core.diversity` — Algorithm 2 (Theorem 3) + 4-approx coreset.
+* :mod:`repro.core.kcenter` — Algorithm 5 (Theorem 17) + 4-approx coreset.
+* :mod:`repro.core.ksupplier` — Algorithm 6 (Theorem 18).
+"""
+
+from repro.core.degree_approx import DegreeApproxResult, mpc_degree_approximation
+from repro.core.diversity import mpc_diversity, mpc_diversity_coreset
+from repro.core.dominating_set import (
+    DominatingSetResult,
+    mpc_dominating_set,
+    neighborhood_independence,
+    verify_dominating_set,
+)
+from repro.core.gmm import gmm, gmm_anti_cover_radius
+from repro.core.kbounded_mis import mpc_k_bounded_mis
+from repro.core.kcenter import mpc_kcenter, mpc_kcenter_coreset
+from repro.core.ksupplier import mpc_ksupplier
+from repro.core.results import (
+    ClusteringResult,
+    DiversityResult,
+    MISResult,
+    SupplierResult,
+)
+from repro.core.threshold_graph import ThresholdGraphView
+from repro.core.trim import trim
+
+__all__ = [
+    "gmm",
+    "gmm_anti_cover_radius",
+    "ThresholdGraphView",
+    "trim",
+    "mpc_degree_approximation",
+    "DegreeApproxResult",
+    "mpc_k_bounded_mis",
+    "mpc_diversity",
+    "mpc_diversity_coreset",
+    "mpc_kcenter",
+    "mpc_kcenter_coreset",
+    "mpc_ksupplier",
+    "mpc_dominating_set",
+    "DominatingSetResult",
+    "verify_dominating_set",
+    "neighborhood_independence",
+    "MISResult",
+    "ClusteringResult",
+    "DiversityResult",
+    "SupplierResult",
+]

@@ -1,0 +1,115 @@
+"""Algorithm 1 — the GMM (Gonzalez / greedy farthest-point) algorithm.
+
+GMM repeatedly picks the point furthest from those already chosen.  Its
+output ``T`` satisfies the *anti-cover* properties (Section 2.2): with
+``r = div(T)``,
+
+* every pair in ``T`` is at distance ≥ r, and
+* every input point is within distance r of ``T``.
+
+GMM is a 2-approximation for both k-center (Gonzalez 1985) and
+k-diversity (Ravi et al. 1994), and is the workhorse inside every
+machine of the MPC algorithms.
+
+The implementation is the standard O(k·|S|) farthest-first traversal:
+one distance column per chosen center, a running minimum — no n×n
+matrix.  The ``oracle`` argument accepts anything exposing
+``pairwise(I, J)`` (a :class:`~repro.metric.base.Metric` or a
+:class:`~repro.mpc.machine.Machine`, whose strict known-point checks
+then apply).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+def gmm(
+    oracle,
+    S: Iterable[int],
+    k: int,
+    start: Optional[int] = None,
+) -> np.ndarray:
+    """Run GMM on the id set ``S`` and return ``min(k, |S|)`` ids.
+
+    Parameters
+    ----------
+    oracle:
+        Object with ``pairwise(I, J) -> matrix``.
+    S:
+        Candidate ids.
+    k:
+        Number of points to select.
+    start:
+        Optional id of the first point (must be in ``S``); defaults to
+        the smallest id, making the routine deterministic.  The paper
+        allows an arbitrary start.
+
+    Returns
+    -------
+    numpy.ndarray
+        Selected ids in pick order (the first is ``start``).
+    """
+    S = np.asarray(S, dtype=np.int64).reshape(-1)
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if S.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    S = np.unique(S)
+    if start is None:
+        first = int(S[0])
+    else:
+        first = int(start)
+        if first not in set(S.tolist()):
+            raise ValueError("start point must belong to S")
+
+    chosen = [first]
+    if S.size == 1 or k == 1:
+        return np.asarray(chosen, dtype=np.int64)
+
+    # running distance of every candidate to the chosen set; chosen
+    # positions are masked so the output never repeats an id, even when
+    # the input contains coincident points (all remaining distances 0)
+    dist = oracle.pairwise(S, [first])[:, 0]
+    taken = np.zeros(S.size, dtype=bool)
+    taken[np.searchsorted(S, first)] = True
+    while len(chosen) < min(k, S.size):
+        masked = np.where(taken, -np.inf, dist)
+        pos = int(np.argmax(masked))
+        nxt = int(S[pos])
+        taken[pos] = True
+        chosen.append(nxt)
+        np.minimum(dist, oracle.pairwise(S, [nxt])[:, 0], out=dist)
+    return np.asarray(chosen, dtype=np.int64)
+
+
+def gmm_anti_cover_radius(oracle, S: Iterable[int], T: Iterable[int]) -> float:
+    """``r(S, T) = max_{p∈S} d(p, T)`` — the anti-cover radius of a GMM
+    output ``T`` over its input ``S`` (0 when ``S ⊆ balls(T, 0)``)."""
+    S = np.asarray(S, dtype=np.int64).reshape(-1)
+    T = np.asarray(T, dtype=np.int64).reshape(-1)
+    if S.size == 0:
+        return 0.0
+    if T.size == 0:
+        return float("inf")
+    return float(oracle.pairwise(S, T).min(axis=1).max())
+
+
+def check_anti_cover(oracle, S: Iterable[int], T: Iterable[int], atol: float = 1e-9) -> bool:
+    """Verify the two anti-cover properties of Section 2.2.
+
+    With ``r = div(T)``: every ``p ∈ T`` has ``d(p, T \\ {p}) >= r`` and
+    every ``p ∈ S`` has ``d(p, T) <= r``.  Used by tests and property
+    checks.
+    """
+    T = np.asarray(T, dtype=np.int64).reshape(-1)
+    if T.size < 2:
+        return True
+    D = oracle.pairwise(T, T)
+    np.fill_diagonal(D, np.inf)
+    r = float(D.min())
+    if np.any(D.min(axis=1) < r - atol):
+        return False
+    return gmm_anti_cover_radius(oracle, S, T) <= r + atol

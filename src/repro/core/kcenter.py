@@ -1,0 +1,151 @@
+"""Algorithm 5 — (2+ε)-approximation MPC k-center (Theorem 17), plus
+the two-round 4-approximation side product.
+
+Structure:
+
+* **Lines 1–3** (:func:`mpc_kcenter_coreset`): machines run GMM locally,
+  the central machine runs GMM on the union, and ``r = r(V, Q)`` is a
+  4-approximation of the optimal radius (via Lemma 16,
+  ``r(S, GMM(S)) ≤ div_{k+1}(S)``, and ``div_{k+1}(V) ≤ 2r*``).  This
+  matches the Malkomes et al. bound in two rounds.
+* **Lines 4–7** (:func:`mpc_kcenter`): probe the *descending* ladder
+  ``τ_i = r/(1+ε)^i`` with (k+1)-bounded MIS runs.  At the flip index,
+  ``M_j`` (≤ k points, maximal) covers V with radius τ_j, while the
+  k+1 independent points of ``M_{j+1}`` certify ``r* ≥ τ_{j+1}/2`` by
+  pigeonhole — together a 2(1+ε) factor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_CONSTANTS, TheoryConstants
+from repro.core.gmm import gmm
+from repro.core.kbounded_mis import mpc_k_bounded_mis
+from repro.core.results import ClusteringResult
+from repro.core.threshold_search import find_flip
+from repro.exceptions import InfeasibleInstanceError
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.message import PointBatch
+
+
+def _distributed_radius(cluster: MPCCluster, centers: np.ndarray) -> float:
+    """``r(V, centers)`` in two MPC rounds: broadcast the centers, gather
+    the per-machine maxima."""
+    cluster.broadcast_points_from_central(centers, tag="kcenter/centers")
+    local_r = cluster.map_machines(
+        lambda mach: float(mach.dist_to_set(mach.local_ids, centers).max())
+        if mach.local_ids.size
+        else 0.0
+    )
+    inbox = cluster.gather_to_central(
+        {i: local_r[i] for i in range(cluster.m)}, tag="kcenter/radius"
+    )
+    return max(float(msg.payload) for msg in inbox)
+
+
+def mpc_kcenter_coreset(cluster: MPCCluster, k: int) -> Tuple[np.ndarray, float]:
+    """Lines 1–3 of Algorithm 5: the two-round 4-approximation.
+
+    Returns ``(Q, r)`` with ``|Q| = k`` and ``r*/1 ≤ r = r(V, Q) ≤ 4r*``.
+    """
+    if k < 1:
+        raise InfeasibleInstanceError("k-center needs k >= 1")
+    if k > cluster.n:
+        raise InfeasibleInstanceError(f"k={k} exceeds the number of points n={cluster.n}")
+
+    local_T = cluster.map_machines(lambda mach: gmm(mach, mach.local_ids, k))
+    payloads = {i: PointBatch(local_T[i]) for i in range(cluster.m)}
+    inbox = cluster.gather_to_central(payloads, tag="kcenter/coreset")
+    T = np.unique(np.concatenate([msg.payload.ids for msg in inbox]))
+    Q = gmm(cluster.central, T, k)
+    r = _distributed_radius(cluster, Q)
+    return Q, float(r)
+
+
+def mpc_kcenter(
+    cluster: MPCCluster,
+    k: int,
+    epsilon: float = 0.1,
+    constants: Optional[TheoryConstants] = None,
+    trim_mode: str = "random",
+) -> ClusteringResult:
+    """Algorithm 5: (2+ε)-approximate k-center in O(log 1/ε) probes.
+
+    Parameters
+    ----------
+    cluster:
+        The MPC deployment over the input metric.
+    k:
+        Number of centers (1 ≤ k ≤ n).
+    epsilon:
+        Approximation slack; the output radius is at most
+        ``2(1+ε)·r*``.
+    constants, trim_mode:
+        Forwarded to the inner (k+1)-bounded MIS runs.
+
+    Returns
+    -------
+    ClusteringResult
+        ``centers`` of size ≤ k; ``radius = r(V, centers)``.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    constants = constants or DEFAULT_CONSTANTS
+    round0 = cluster.round_no
+
+    Q, r = mpc_kcenter_coreset(cluster, k)
+    if r <= 0.0:
+        # Q already covers everything at radius 0: optimal.
+        return ClusteringResult(
+            centers=Q,
+            radius=0.0,
+            k=k,
+            epsilon=epsilon,
+            tau=0.0,
+            coreset_value=r,
+            rounds=cluster.round_no - round0,
+            stats=cluster.stats.summary(),
+        )
+
+    t = int(math.ceil(math.log(4.0) / math.log1p(epsilon))) + 1
+    taus = [r / (1.0 + epsilon) ** i for i in range(t + 1)]
+
+    def probe(i: int) -> np.ndarray:
+        if i == 0:
+            return Q
+        return mpc_k_bounded_mis(
+            cluster, taus[i], k + 1, constants, trim_mode=trim_mode
+        ).ids
+
+    def good(M: np.ndarray) -> bool:
+        # a (k+1)-bounded MIS of size ≤ k is maximal, hence a k-center
+        # solution with radius τ_i; size k+1 certifies a lower bound.
+        return M.size <= k
+
+    cache: dict[int, np.ndarray] = {0: Q}
+    M_t = probe(t)
+    cache[t] = M_t
+    if good(M_t):
+        # Theory forbids this (τ_t < r/4 ≤ r*), but if the MIS hands us a
+        # ≤k maximal set at an even smaller radius, it is simply a better
+        # solution — take it.
+        centers, tau_j = M_t, taus[t]
+    else:
+        j, M_j, _ = find_flip(probe, good, 0, t, cache)
+        centers, tau_j = M_j, taus[j]
+
+    radius = _distributed_radius(cluster, centers)
+    return ClusteringResult(
+        centers=centers,
+        radius=float(radius),
+        k=k,
+        epsilon=epsilon,
+        tau=float(tau_j),
+        coreset_value=r,
+        rounds=cluster.round_no - round0,
+        stats=cluster.stats.summary(),
+    )

@@ -1,0 +1,64 @@
+"""Light/heavy vertex machinery (Definition 4, Lemmas 5–6).
+
+Given a vertex sample ``S``, a vertex ``v`` is *heavy* iff
+``|N(v) ∩ S| ≥ δ ln n`` and *light* otherwise.  Heavy vertices get a
+(1±ε)-accurate sampled degree estimate (Lemma 8); light vertices get
+exact degrees — unless there are so many light vertices that an
+independent set of size ``k`` can be pulled straight out of them
+(Lemma 6), in which case the whole pipeline short-circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def sample_degrees(oracle, query: Iterable[int], sample: Iterable[int], tau: float) -> np.ndarray:
+    """``|N(v) ∩ S|`` in ``G_τ`` for each queried ``v`` (self excluded)."""
+    query = np.asarray(query, dtype=np.int64).reshape(-1)
+    sample = np.asarray(sample, dtype=np.int64).reshape(-1)
+    if query.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if sample.size == 0:
+        return np.zeros(query.size, dtype=np.int64)
+    counts = oracle.count_within(query, sample, tau)
+    counts -= np.isin(query, sample).astype(np.int64)
+    return counts
+
+
+def greedy_bounded_independent_set(
+    oracle,
+    candidates: Iterable[int],
+    tau: float,
+    k: int,
+) -> np.ndarray:
+    """Greedy independent set of size ≤ k in ``G_τ`` over ``candidates``.
+
+    This is the local extraction step of Lemma 6: scan candidates in
+    order, keep a vertex iff it is non-adjacent to everything kept so
+    far, stop at ``k``.  Each kept vertex removes at most
+    ``max-degree + 1`` candidates, which is what powers the lemma's
+    ``|P| / (2δm ln n) ≥ k`` iteration count.
+
+    Distances are evaluated lazily against the kept set only, so the
+    cost is O(k · |candidates|).
+    """
+    cand = np.asarray(candidates, dtype=np.int64).reshape(-1)
+    if k < 1 or cand.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    cand = np.unique(cand)
+    kept: list[int] = [int(cand[0])]
+    # running distance of every candidate to the kept set
+    dist = oracle.pairwise(cand, [kept[0]])[:, 0]
+    alive = dist > tau
+    while len(kept) < k:
+        alive_ids = cand[alive]
+        if alive_ids.size == 0:
+            break
+        nxt = int(alive_ids[0])
+        kept.append(nxt)
+        new_d = oracle.pairwise(cand, [nxt])[:, 0]
+        alive &= new_d > tau
+    return np.asarray(kept, dtype=np.int64)

@@ -1,0 +1,59 @@
+"""Flip-pair binary search over a threshold ladder.
+
+Algorithms 2, 5, and 6 all probe a geometric ladder of thresholds
+``τ_0 … τ_t`` and need an *adjacent flip*: an index ``j`` where a
+predicate holds at ``j`` but fails at ``j+1``.  The predicate need not
+be monotone in ``j`` (MIS sizes are not monotone in τ); the classic
+invariant search still works whenever ``good(lo)`` holds and
+``good(hi)`` fails:
+
+    while hi - lo > 1:  probe mid; keep the endpoint whose value
+    preserves the invariant.
+
+Every probe is one (expensive, multi-round) k-bounded-MIS run, so the
+search costs O(log t) = O(log 1/ε) probes — the round bound claimed in
+Theorems 3, 17, 18.  Probes are memoized so the caller can retrieve
+both endpoints of the flip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def find_flip(
+    probe: Callable[[int], T],
+    good: Callable[[T], bool],
+    lo: int,
+    hi: int,
+    cache: Dict[int, T] | None = None,
+) -> Tuple[int, T, T]:
+    """Find ``j`` with ``good(probe(j))`` and ``not good(probe(j+1))``.
+
+    Preconditions: ``lo < hi``, ``good(probe(lo))`` holds and
+    ``good(probe(hi))`` fails (verified; violations raise
+    ``ValueError``).  Returns ``(j, value_j, value_j1)``.
+    """
+    if lo >= hi:
+        raise ValueError("need lo < hi")
+    cache = cache if cache is not None else {}
+
+    def get(i: int) -> T:
+        if i not in cache:
+            cache[i] = probe(i)
+        return cache[i]
+
+    if not good(get(lo)):
+        raise ValueError("invariant violated: good(lo) must hold")
+    if good(get(hi)):
+        raise ValueError("invariant violated: good(hi) must fail")
+
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if good(get(mid)):
+            lo = mid
+        else:
+            hi = mid
+    return lo, get(lo), get(hi)

@@ -1,0 +1,95 @@
+"""Error taxonomy for the ``repro`` library.
+
+The hierarchy mirrors the three layers of the system:
+
+* :class:`MPCError` — violations of the massively-parallel-computation
+  model enforced by the simulator (memory caps, communication caps,
+  touching points a machine never received).
+* :class:`SolutionError` — an algorithm produced an output that fails
+  its own contract (e.g. a "k-bounded MIS" that is neither maximal nor
+  of size ``k``).
+* :class:`ConvergenceError` — a randomized routine exceeded its round
+  budget without terminating (should not happen w.h.p.; surfacing it
+  beats silent livelock).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MPCError(ReproError):
+    """Base class for violations of the MPC model."""
+
+
+class MemoryLimitExceeded(MPCError):
+    """A machine's local store grew past its configured word budget."""
+
+    def __init__(self, machine_id: int, used: int, limit: int) -> None:
+        self.machine_id = machine_id
+        self.used = used
+        self.limit = limit
+        super().__init__(
+            f"machine {machine_id} uses {used} words of local memory, "
+            f"exceeding its limit of {limit} words"
+        )
+
+
+class CommunicationLimitExceeded(MPCError):
+    """A machine sent or received more words in one round than allowed."""
+
+    def __init__(self, machine_id: int, round_no: int, used: int, limit: int) -> None:
+        self.machine_id = machine_id
+        self.round_no = round_no
+        self.used = used
+        self.limit = limit
+        super().__init__(
+            f"machine {machine_id} moved {used} words in round {round_no}, "
+            f"exceeding its per-round limit of {limit} words"
+        )
+
+
+class UnknownPointError(MPCError):
+    """Strict mode: a machine evaluated a distance involving a point it
+    neither stores locally nor has received in a message."""
+
+    def __init__(self, machine_id: int, point_id: int) -> None:
+        self.machine_id = machine_id
+        self.point_id = point_id
+        super().__init__(
+            f"machine {machine_id} touched point {point_id} without "
+            f"holding or having received it (strict known-point mode)"
+        )
+
+
+class PartitionError(MPCError):
+    """The input could not be partitioned as requested."""
+
+
+class SolutionError(ReproError):
+    """An algorithm's output violates its declared contract."""
+
+
+class InvalidSolutionError(SolutionError):
+    """A produced solution fails validation (wrong size, not independent,
+    not maximal, radius/diversity contract broken, ...)."""
+
+
+class InfeasibleInstanceError(SolutionError):
+    """The instance admits no feasible solution (e.g. ``k`` larger than
+    the number of distinct points for diversity maximization)."""
+
+
+class ConvergenceError(ReproError):
+    """A randomized routine failed to terminate within its round budget."""
+
+    def __init__(self, algorithm: str, rounds: int) -> None:
+        self.algorithm = algorithm
+        self.rounds = rounds
+        super().__init__(
+            f"{algorithm} did not terminate within {rounds} rounds; "
+            f"this is a <1/n probability event under the paper's analysis — "
+            f"re-run with a different seed or raise the budget"
+        )

@@ -1,0 +1,25 @@
+"""Extensions beyond the paper's core results.
+
+* :mod:`repro.extensions.remote_clique` — the *remote-clique* diversity
+  measure (maximize the **sum** of pairwise distances) that the paper's
+  related-work section discusses (Indyk et al. 2014; Abbasi Zadeh et
+  al. 2017; Epasto et al. 2019; Mirrokni & Zadimoghaddam 2015):
+  sequential greedy and local-search algorithms, a brute-force optimum,
+  and a composable-coreset MPC pipeline in the style of Indyk et al.
+"""
+
+from repro.extensions.remote_clique import (
+    exact_remote_clique,
+    greedy_remote_clique,
+    local_search_remote_clique,
+    mpc_remote_clique,
+    remote_clique_value,
+)
+
+__all__ = [
+    "remote_clique_value",
+    "greedy_remote_clique",
+    "local_search_remote_clique",
+    "exact_remote_clique",
+    "mpc_remote_clique",
+]

@@ -1,0 +1,164 @@
+"""Remote-clique diversity maximization: pick a k-subset maximizing the
+*sum* of pairwise distances.
+
+The paper's related work (Section 1.2) situates its remote-edge result
+next to the remote-clique line of work: Indyk et al. (PODC 2014) gave
+constant-factor composable coresets for remote-clique, later improved
+via randomized composable coresets.  This module provides:
+
+* :func:`remote_clique_value` — the objective;
+* :func:`greedy_remote_clique` — the classic greedy dispersion
+  heuristic (add the point with the largest total distance to the
+  chosen set);
+* :func:`local_search_remote_clique` — single-swap local search, a
+  2-approximation at a local optimum (Ravi et al. / dispersion
+  folklore);
+* :func:`exact_remote_clique` — brute force for ratio measurement;
+* :func:`mpc_remote_clique` — two-round MPC pipeline à la Indyk et al.:
+  GMM coresets per machine (GMM output is a composable coreset for
+  remote-clique too), local search on the union at the central machine.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.core.gmm import gmm
+from repro.metric.base import Metric
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.message import PointBatch
+
+
+def remote_clique_value(metric: Metric, S: Iterable[int]) -> float:
+    """Sum of pairwise distances within ``S`` (0 for |S| < 2)."""
+    S = np.unique(np.asarray(S, dtype=np.int64))
+    if S.size < 2:
+        return 0.0
+    D = metric.pairwise(S, S)
+    return float(D.sum()) / 2.0
+
+
+def greedy_remote_clique(metric: Metric, candidates: Iterable[int], k: int) -> np.ndarray:
+    """Greedy dispersion: repeatedly add the candidate with the largest
+    total distance to the chosen set (first pick: the candidate with the
+    largest single distance)."""
+    cand = np.unique(np.asarray(candidates, dtype=np.int64))
+    if k < 1 or cand.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if cand.size <= k:
+        return cand
+    # seed with the farthest pair's first endpoint (cheap approximation:
+    # farthest point from the centroid-ish first candidate)
+    d0 = metric.pairwise(cand, cand[:1])[:, 0]
+    first = int(cand[int(np.argmax(d0))])
+    chosen = [first]
+    totals = metric.pairwise(cand, [first])[:, 0]
+    taken = cand == first
+    while len(chosen) < k:
+        masked = np.where(taken, -np.inf, totals)
+        pos = int(np.argmax(masked))
+        nxt = int(cand[pos])
+        chosen.append(nxt)
+        taken[pos] = True
+        totals += metric.pairwise(cand, [nxt])[:, 0]
+    return np.asarray(chosen, dtype=np.int64)
+
+
+def local_search_remote_clique(
+    metric: Metric,
+    candidates: Iterable[int],
+    k: int,
+    max_sweeps: int = 20,
+    start: np.ndarray | None = None,
+) -> np.ndarray:
+    """Single-swap local search from a greedy start.
+
+    At a local optimum the solution is a 2-approximation for max-sum
+    dispersion.  Each sweep tries to swap every member for every
+    outside candidate, taking improving swaps greedily; terminates when
+    a full sweep finds no improvement (or after ``max_sweeps``).
+    """
+    cand = np.unique(np.asarray(candidates, dtype=np.int64))
+    current = (
+        greedy_remote_clique(metric, cand, k)
+        if start is None
+        else np.unique(np.asarray(start, dtype=np.int64))
+    )
+    if current.size >= cand.size or current.size < 2:
+        return current
+    current = current.copy()
+
+    for _ in range(max_sweeps):
+        improved = False
+        outside = cand[~np.isin(cand, current)]
+        if outside.size == 0:
+            break
+        # distances of every candidate to every current member
+        D_in = metric.pairwise(cand, current)
+        idx_of = {int(v): i for i, v in enumerate(cand)}
+        # contribution of each member to the objective
+        member_rows = np.array([idx_of[int(v)] for v in current])
+        contrib = D_in[member_rows].sum(axis=1)  # includes 0 self column
+        for slot in range(current.size):
+            v = int(current[slot])
+            # objective delta of replacing v by u:
+            #   gain = Σ_{w ∈ S\{v}} d(u, w)  −  Σ_{w ∈ S\{v}} d(v, w)
+            sum_to_others = D_in.sum(axis=1) - D_in[:, slot]
+            base_loss = float(contrib[slot])
+            deltas = sum_to_others - base_loss
+            deltas[member_rows] = -np.inf  # cannot swap in a member
+            best = int(np.argmax(deltas))
+            if deltas[best] > 1e-12:
+                u = int(cand[best])
+                current[slot] = u
+                # refresh cached structures
+                D_in = metric.pairwise(cand, current)
+                member_rows = np.array([idx_of[int(w)] for w in current])
+                contrib = D_in[member_rows].sum(axis=1)
+                improved = True
+        if not improved:
+            break
+    return np.sort(current)
+
+
+def exact_remote_clique(
+    metric: Metric, k: int, max_subsets: int = 2_000_000
+) -> Tuple[np.ndarray, float]:
+    """Optimal remote-clique by exhaustive search (small n only)."""
+    from math import comb
+
+    n = metric.n
+    if not (2 <= k <= n):
+        raise ValueError("need 2 <= k <= n")
+    if comb(n, k) > max_subsets:
+        raise ValueError("instance too large for exact search")
+    ids = np.arange(n, dtype=np.int64)
+    D = metric.pairwise(ids, ids)
+    best_val, best_set = -1.0, None
+    for sub in combinations(range(n), k):
+        s = list(sub)
+        val = float(D[np.ix_(s, s)].sum()) / 2.0
+        if val > best_val:
+            best_val, best_set = val, s
+    return np.asarray(best_set, dtype=np.int64), best_val
+
+
+def mpc_remote_clique(cluster: MPCCluster, k: int) -> Tuple[np.ndarray, float]:
+    """Two-round composable-coreset MPC remote-clique (Indyk et al. style).
+
+    Every machine ships its GMM(k) output; the central machine runs the
+    local-search 2-approximation on the union.  Returns
+    ``(subset, value)``.
+    """
+    if k < 2:
+        raise ValueError("remote-clique needs k >= 2")
+    payloads = {}
+    for mach in cluster.machines:
+        payloads[mach.id] = PointBatch(gmm(mach, mach.local_ids, k))
+    inbox = cluster.gather_to_central(payloads, tag="rclique/coreset")
+    T = np.unique(np.concatenate([msg.payload.ids for msg in inbox]))
+    subset = local_search_remote_clique(cluster.central, T, min(k, T.size))
+    return subset, remote_clique_value(cluster.metric, subset)

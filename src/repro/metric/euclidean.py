@@ -1,0 +1,38 @@
+"""Euclidean (L²) metric over a :class:`~repro.metric.points.PointSet`."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.metric.base import Metric
+from repro.metric.points import PointSet
+
+
+class EuclideanMetric(Metric):
+    """L² distances computed with the expanded-norm kernel.
+
+    ``d(x, y)² = |x|² + |y|² − 2⟨x, y⟩`` — a single BLAS matmul per
+    block instead of a broadcasted difference, which is both faster and
+    lighter on memory for d ≫ 1 (per the optimization guide).
+    """
+
+    def __init__(self, points: PointSet | Iterable) -> None:
+        self.points = points if isinstance(points, PointSet) else PointSet(points)
+        self.n = self.points.n
+        self._sqnorms = np.einsum("ij,ij->i", self.points.data, self.points.data)
+
+    def point_words(self) -> int:
+        return self.points.dim
+
+    def _pairwise_kernel(self, I: np.ndarray, J: np.ndarray) -> np.ndarray:
+        X = self.points.data[I]
+        Y = self.points.data[J]
+        sq = self._sqnorms[I][:, None] + self._sqnorms[J][None, :] - 2.0 * (X @ Y.T)
+        np.maximum(sq, 0.0, out=sq)
+        out = np.sqrt(sq, out=sq)
+        # the expanded form leaves ~1e-8 residue on identical inputs;
+        # same-id pairs are exactly zero by definition
+        out[I[:, None] == J[None, :]] = 0.0
+        return out

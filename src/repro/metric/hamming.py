@@ -1,0 +1,31 @@
+"""Hamming metric over categorical vectors."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.metric.base import Metric
+from repro.metric.points import PointSet
+
+
+class HammingMetric(Metric):
+    """Number of coordinates on which two categorical vectors differ.
+
+    Input values are compared exactly; any numeric coding of categories
+    works.  This is a metric (it is the L⁰ "distance" on the discrete
+    product space).
+    """
+
+    def __init__(self, points: PointSet | Iterable) -> None:
+        self.points = points if isinstance(points, PointSet) else PointSet(points)
+        self.n = self.points.n
+
+    def point_words(self) -> int:
+        return self.points.dim
+
+    def _pairwise_kernel(self, I: np.ndarray, J: np.ndarray) -> np.ndarray:
+        X = self.points.data[I][:, None, :]
+        Y = self.points.data[J][None, :, :]
+        return (X != Y).sum(axis=2).astype(np.float64)

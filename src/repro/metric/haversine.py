@@ -1,0 +1,62 @@
+"""Great-circle (haversine) metric on the sphere.
+
+Points are (latitude, longitude) pairs in degrees; distances are
+geodesic arc lengths on a sphere of configurable radius (Earth's mean
+radius by default, giving kilometres).  Geodesic distance on a sphere
+is a true metric, and it is the natural space for facility-location
+workloads over geographic data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.metric.base import Metric
+from repro.metric.points import PointSet
+
+#: Earth's mean radius in kilometres.
+EARTH_RADIUS_KM = 6371.0088
+
+
+class HaversineMetric(Metric):
+    """Great-circle distance between (lat, lon)-degree points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array of latitudes and longitudes in degrees
+        (latitudes in [-90, 90], longitudes in [-180, 360)).
+    radius:
+        Sphere radius; the default yields kilometres on Earth.
+    """
+
+    def __init__(self, points: PointSet | Iterable, radius: float = EARTH_RADIUS_KM) -> None:
+        self.points = points if isinstance(points, PointSet) else PointSet(points)
+        if self.points.dim != 2:
+            raise ValueError("HaversineMetric needs (lat, lon) pairs")
+        lat = self.points.data[:, 0]
+        lon = self.points.data[:, 1]
+        if np.any(np.abs(lat) > 90.0):
+            raise ValueError("latitudes must lie in [-90, 90] degrees")
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.n = self.points.n
+        self.radius = float(radius)
+        self._lat = np.radians(lat)
+        self._lon = np.radians(lon)
+
+    def point_words(self) -> int:
+        return 2
+
+    def _pairwise_kernel(self, I: np.ndarray, J: np.ndarray) -> np.ndarray:
+        lat1 = self._lat[I][:, None]
+        lat2 = self._lat[J][None, :]
+        dlat = lat2 - lat1
+        dlon = self._lon[J][None, :] - self._lon[I][:, None]
+        a = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+        np.clip(a, 0.0, 1.0, out=a)
+        out = 2.0 * self.radius * np.arcsin(np.sqrt(a))
+        out[I[:, None] == J[None, :]] = 0.0
+        return out

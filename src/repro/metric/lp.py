@@ -1,0 +1,47 @@
+"""Minkowski (Lᵖ) metrics, including Manhattan (p=1) and Chebyshev (p=∞)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.metric.base import Metric
+from repro.metric.points import PointSet
+
+
+class MinkowskiMetric(Metric):
+    """Lᵖ distance for any ``p ≥ 1`` (``p = math.inf`` gives Chebyshev)."""
+
+    def __init__(self, points: PointSet | Iterable, p: float = 2.0) -> None:
+        if p < 1:
+            raise ValueError("Minkowski distance requires p >= 1 to be a metric")
+        self.points = points if isinstance(points, PointSet) else PointSet(points)
+        self.n = self.points.n
+        self.p = float(p)
+
+    def point_words(self) -> int:
+        return self.points.dim
+
+    def _pairwise_kernel(self, I: np.ndarray, J: np.ndarray) -> np.ndarray:
+        diff = np.abs(self.points.data[I][:, None, :] - self.points.data[J][None, :, :])
+        if math.isinf(self.p):
+            return diff.max(axis=2)
+        if self.p == 1.0:
+            return diff.sum(axis=2)
+        return (diff**self.p).sum(axis=2) ** (1.0 / self.p)
+
+
+class ManhattanMetric(MinkowskiMetric):
+    """L¹ distance."""
+
+    def __init__(self, points: PointSet | Iterable) -> None:
+        super().__init__(points, p=1.0)
+
+
+class ChebyshevMetric(MinkowskiMetric):
+    """L^∞ distance."""
+
+    def __init__(self, points: PointSet | Iterable) -> None:
+        super().__init__(points, p=math.inf)

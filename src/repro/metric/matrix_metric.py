@@ -1,0 +1,57 @@
+"""Explicit distance-matrix metric.
+
+Useful for tests (hand-crafted metrics), for adversarial instances, and
+as the backend of :class:`~repro.metric.graph_metric.GraphShortestPathMetric`
+after all-pairs precomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.metric.base import Metric
+
+
+class MatrixMetric(Metric):
+    """Metric defined by an explicit symmetric ``(n, n)`` matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Square array of pairwise distances.
+    validate:
+        When true (default), check symmetry, zero diagonal,
+        non-negativity, and the triangle inequality (O(n³) — skip for
+        large matrices you already trust).
+    """
+
+    def __init__(self, matrix: Iterable, validate: bool = True) -> None:
+        D = np.asarray(matrix, dtype=np.float64)
+        if D.ndim != 2 or D.shape[0] != D.shape[1]:
+            raise ValueError("distance matrix must be square")
+        if validate:
+            if not np.allclose(D, D.T):
+                raise ValueError("distance matrix must be symmetric")
+            if not np.allclose(np.diag(D), 0.0):
+                raise ValueError("distance matrix must have a zero diagonal")
+            if np.any(D < 0):
+                raise ValueError("distances must be non-negative")
+            # triangle inequality: D[i, k] <= D[i, j] + D[j, k] for all j
+            n = D.shape[0]
+            if n <= 512:  # cubic check is fine at this size
+                for j in range(n):
+                    if np.any(D > D[:, [j]] + D[[j], :] + 1e-9):
+                        raise ValueError("distance matrix violates the triangle inequality")
+        self._D = D.copy()
+        self._D.setflags(write=False)
+        self.n = D.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The read-only underlying distance matrix."""
+        return self._D
+
+    def _pairwise_kernel(self, I: np.ndarray, J: np.ndarray) -> np.ndarray:
+        return self._D[np.ix_(I, J)].astype(np.float64, copy=True)

@@ -1,0 +1,83 @@
+"""Point-set container shared by all coordinate-based metrics.
+
+A :class:`PointSet` owns an ``(n, d)`` float array and assigns each row
+the global id equal to its index.  All MPC algorithms address points by
+these ids; shipping a point between machines costs ``d`` words (plus one
+word for the id), which is how :mod:`repro.mpc.accounting` charges
+messages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+class PointSet:
+    """Immutable collection of ``n`` points in ``d`` dimensions.
+
+    Parameters
+    ----------
+    data:
+        Array-like of shape ``(n, d)``; a 1-D array is treated as
+        ``(n, 1)``.  The data is copied and made read-only so that
+        simulated machines cannot mutate shared state behind the
+        model's back.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Iterable) -> None:
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a 2-D array of points, got ndim={arr.ndim}")
+        if arr.shape[0] == 0:
+            raise ValueError("a PointSet must contain at least one point")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("points must be finite")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self._data = arr
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """Read-only ``(n, d)`` coordinate array."""
+        return self._data
+
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return self._data.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the ambient space."""
+        return self._data.shape[1]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PointSet(n={self.n}, dim={self.dim})"
+
+    # -- access ---------------------------------------------------------------
+
+    def ids(self) -> np.ndarray:
+        """All global point ids, ``0 .. n-1``."""
+        return np.arange(self.n, dtype=np.int64)
+
+    def take(self, ids: Iterable[int]) -> np.ndarray:
+        """Coordinates of the given ids, shape ``(len(ids), d)``."""
+        idx = np.asarray(ids, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n):
+            raise IndexError("point id out of range")
+        return self._data[idx]
+
+    def point_words(self) -> int:
+        """Words needed to ship one point over the simulated network."""
+        return self.dim

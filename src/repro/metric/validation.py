@@ -1,0 +1,37 @@
+"""Metric-axiom spot checks used by the test suite and property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metric.base import Metric
+
+
+def check_metric_axioms(
+    metric: Metric,
+    sample_size: int = 32,
+    rng: np.random.Generator | None = None,
+    atol: float = 1e-9,
+) -> None:
+    """Raise ``AssertionError`` if a sampled triple violates a metric axiom.
+
+    Checks, on a random id sample: ``d(x, x) = 0``, non-negativity,
+    symmetry, and the triangle inequality.  Identity of indiscernibles is
+    deliberately *not* required — the algorithms tolerate duplicate
+    points (pseudometrics), and several workloads include duplicates on
+    purpose.
+    """
+    rng = rng or np.random.default_rng(0)
+    ids = rng.choice(metric.n, size=min(sample_size, metric.n), replace=False)
+    D = metric.pairwise(ids, ids)
+    scale_tol = max(atol, 1e-7 * (1.0 + float(D.max())))
+    if not np.allclose(np.diag(D), 0.0, atol=scale_tol):
+        raise AssertionError("d(x, x) != 0 for some sampled point")
+    if np.any(D < -scale_tol):
+        raise AssertionError("negative distance found")
+    if not np.allclose(D, D.T, atol=scale_tol):
+        raise AssertionError("distance is not symmetric")
+    k = D.shape[0]
+    for j in range(k):
+        if np.any(D > D[:, [j]] + D[[j], :] + max(atol, 1e-7 * (1 + D.max()))):
+            raise AssertionError("triangle inequality violated")

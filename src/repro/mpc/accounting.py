@@ -1,0 +1,97 @@
+"""Communication and memory accounting for the MPC simulator.
+
+Each completed round produces a :class:`RoundStats` with the words sent
+and received per machine.  :class:`ClusterStats` aggregates them into the
+quantities the paper's theorems bound:
+
+* ``max_machine_words`` — the worst per-machine, per-round
+  sent+received load (the model's per-round constraint);
+* ``max_machine_total`` — worst cumulative communication by one machine
+  (the Õ(mk) quantity of Theorems 9/15/17/18);
+* ``total_words`` — network-wide traffic;
+* ``rounds`` — number of synchronous rounds executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class RoundStats:
+    """Per-machine words moved in one round."""
+
+    round_no: int
+    sent: np.ndarray
+    received: np.ndarray
+    messages: int
+
+    @property
+    def max_load(self) -> int:
+        """Worst sent+received load on any single machine this round."""
+        if self.sent.size == 0:
+            return 0
+        return int((self.sent + self.received).max())
+
+    @property
+    def total(self) -> int:
+        """Total words delivered this round (counted once, at senders)."""
+        return int(self.sent.sum())
+
+
+@dataclass
+class ClusterStats:
+    """Aggregated statistics for a full simulated execution."""
+
+    num_machines: int
+    rounds_log: List[RoundStats] = field(default_factory=list)
+    peak_known_points: int = 0
+
+    def record_round(self, stats: RoundStats) -> None:
+        self.rounds_log.append(stats)
+
+    @property
+    def rounds(self) -> int:
+        """Number of communication rounds executed."""
+        return len(self.rounds_log)
+
+    @property
+    def total_words(self) -> int:
+        """Total words that crossed the network."""
+        return sum(r.total for r in self.rounds_log)
+
+    @property
+    def max_machine_words(self) -> int:
+        """Worst single-round sent+received load on any machine."""
+        return max((r.max_load for r in self.rounds_log), default=0)
+
+    @property
+    def max_machine_total(self) -> int:
+        """Worst cumulative sent+received words over any machine."""
+        if not self.rounds_log:
+            return 0
+        acc = np.zeros(self.num_machines, dtype=np.int64)
+        for r in self.rounds_log:
+            acc += r.sent + r.received
+        return int(acc.max())
+
+    def per_machine_totals(self) -> np.ndarray:
+        """Cumulative sent+received words per machine."""
+        acc = np.zeros(self.num_machines, dtype=np.int64)
+        for r in self.rounds_log:
+            acc += r.sent + r.received
+        return acc
+
+    def summary(self) -> dict:
+        """Plain-dict summary for reports and benchmarks."""
+        return {
+            "machines": self.num_machines,
+            "rounds": self.rounds,
+            "total_words": self.total_words,
+            "max_machine_words_per_round": self.max_machine_words,
+            "max_machine_total_words": self.max_machine_total,
+            "peak_known_points": self.peak_known_points,
+        }

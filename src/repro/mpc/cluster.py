@@ -1,0 +1,227 @@
+"""The MPC cluster: machines + synchronous rounds + accounting.
+
+Usage pattern (driver style)::
+
+    cluster = MPCCluster(metric, num_machines=8, seed=0)
+    for mach in cluster.machines:          # local computation
+        sample = mach.rng.random(...) ...
+        cluster.send(mach.id, MPCCluster.CENTRAL, PointBatch(sample))
+    inboxes = cluster.step()               # round barrier: deliver
+    central_msgs = inboxes[MPCCluster.CENTRAL]
+
+Every ``step()`` is one MPC round: queued messages are charged to
+senders and receivers, limits (if any) are enforced, receivers learn the
+points carried by :class:`~repro.mpc.message.PointBatch` payloads, and
+the round counter advances.  Helper wrappers (:meth:`broadcast`,
+:meth:`gather_to_central`, …) express the collective patterns the
+paper's algorithms use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.metric.base import Metric
+from repro.mpc.accounting import ClusterStats, RoundStats
+from repro.mpc.limits import Limits
+from repro.mpc.executor import SerialExecutor
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message, PointBatch
+
+
+def _iter_point_batches(payload: Any):
+    """Yield every PointBatch nested anywhere inside a payload."""
+    if isinstance(payload, PointBatch):
+        yield payload
+    elif isinstance(payload, dict):
+        for v in payload.values():
+            yield from _iter_point_batches(v)
+    elif isinstance(payload, (tuple, list)):
+        for v in payload:
+            yield from _iter_point_batches(v)
+from repro.mpc.partition import random_partition
+
+
+class MPCCluster:
+    """A simulated MPC deployment over one metric space.
+
+    Parameters
+    ----------
+    metric:
+        The distance oracle over the ground set (its ``n`` is the input
+        size).
+    num_machines:
+        ``m``; the paper assumes ``m = n^γ`` for some γ > 0.
+    partition:
+        Pre-computed list of id arrays (one per machine), or ``None``
+        for a seeded random partition.
+    seed:
+        Master seed; machine RNG streams are spawned from it, so runs
+        are reproducible bit-for-bit.
+    strict:
+        Enforce the known-point discipline (default on).
+    limits:
+        Optional hard memory/communication caps.
+    """
+
+    #: Index of the central machine used by the paper's algorithms.
+    CENTRAL = 0
+
+    def __init__(
+        self,
+        metric: Metric,
+        num_machines: int,
+        partition: Optional[List[np.ndarray]] = None,
+        seed: int = 0,
+        strict: bool = True,
+        limits: Optional[Limits] = None,
+        executor=None,
+    ) -> None:
+        if num_machines < 1:
+            raise ValueError("need at least one machine")
+        self.metric = metric
+        self.m = int(num_machines)
+        self.seed = int(seed)
+        self.strict = strict
+        self.limits = limits
+        #: executes per-machine local work; see repro.mpc.executor
+        self.executor = executor or SerialExecutor()
+
+        master = np.random.default_rng(seed)
+        streams = master.spawn(self.m + 1)
+        #: cluster-level RNG (used by drivers for shared coin flips)
+        self.rng = streams[self.m]
+
+        if partition is None:
+            partition = random_partition(metric.n, self.m, np.random.default_rng(seed ^ 0x9E3779B9))
+        if len(partition) != self.m:
+            raise ValueError("partition size must equal num_machines")
+
+        self.machines: List[Machine] = [
+            Machine(i, metric, partition[i], streams[i], strict=strict)
+            for i in range(self.m)
+        ]
+        self.stats = ClusterStats(num_machines=self.m)
+        self._outbox: List[Message] = []
+        self.round_no = 0
+        self._check_memory()
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Ground-set size."""
+        return self.metric.n
+
+    @property
+    def central(self) -> Machine:
+        """The central machine (machine 0)."""
+        return self.machines[self.CENTRAL]
+
+    def partition_sizes(self) -> np.ndarray:
+        return np.array([mach.local_ids.size for mach in self.machines])
+
+    def map_machines(self, fn) -> list:
+        """Evaluate ``fn(machine)`` for every machine, possibly in
+        parallel (see the ``executor`` constructor argument).  Results
+        come back ordered by machine id.  ``fn`` must touch only its
+        machine's state — exactly the MPC local-computation contract."""
+        return self.executor.map_indexed(lambda i: fn(self.machines[i]), self.m)
+
+    # -- messaging ---------------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: Any, tag: str = "") -> None:
+        """Queue a message for delivery at the next :meth:`step`.
+
+        In strict mode a :class:`PointBatch` may only carry points the
+        *sender* knows.
+        """
+        if not (0 <= src < self.m and 0 <= dst < self.m):
+            raise ValueError("machine id out of range")
+        if self.strict:
+            for batch in _iter_point_batches(payload):
+                self.machines[src].require_known(batch.ids)
+        self._outbox.append(Message(src=src, dst=dst, payload=payload, tag=tag))
+
+    def broadcast(self, src: int, payload: Any, tag: str = "", include_self: bool = False) -> None:
+        """Queue the same payload from ``src`` to every (other) machine."""
+        for dst in range(self.m):
+            if dst == src and not include_self:
+                continue
+            self.send(src, dst, payload, tag=tag)
+
+    def step(self) -> Dict[int, List[Message]]:
+        """Round barrier: deliver all queued messages.
+
+        Returns the inboxes, ``{machine_id: [messages...]}`` (every
+        machine id present, possibly with an empty list).  Charges each
+        message to sender and receiver, enforces limits, and teaches
+        receivers the points in PointBatch payloads.
+        """
+        self.round_no += 1
+        sent = np.zeros(self.m, dtype=np.int64)
+        received = np.zeros(self.m, dtype=np.int64)
+        inboxes: Dict[int, List[Message]] = {i: [] for i in range(self.m)}
+        pw = self.metric.point_words()
+
+        for msg in self._outbox:
+            w = msg.words(pw)
+            sent[msg.src] += w
+            received[msg.dst] += w
+            inboxes[msg.dst].append(msg)
+            for batch in _iter_point_batches(msg.payload):
+                self.machines[msg.dst].learn(batch.ids)
+
+        if self.limits is not None:
+            for i in range(self.m):
+                self.limits.check_comm(i, self.round_no, int(sent[i] + received[i]))
+
+        self.stats.record_round(
+            RoundStats(
+                round_no=self.round_no,
+                sent=sent,
+                received=received,
+                messages=len(self._outbox),
+            )
+        )
+        self._outbox = []
+        self._check_memory()
+        return inboxes
+
+    def _check_memory(self) -> None:
+        peak = max(mach.known_count for mach in self.machines)
+        self.stats.peak_known_points = max(self.stats.peak_known_points, peak)
+        if self.limits is not None:
+            for mach in self.machines:
+                self.limits.check_memory(mach.id, mach.known_words())
+
+    # -- collective helpers ---------------------------------------------------------
+
+    def gather_to_central(self, payloads: Dict[int, Any], tag: str = "") -> List[Message]:
+        """One round: each ``src -> payload`` message goes to the central
+        machine; returns the central inbox sorted by source."""
+        for src, payload in payloads.items():
+            self.send(src, self.CENTRAL, payload, tag=tag)
+        inbox = self.step()[self.CENTRAL]
+        return sorted(inbox, key=lambda msg: msg.src)
+
+    def broadcast_points_from_central(self, ids: Iterable[int], columns: dict | None = None, tag: str = "") -> None:
+        """One round: central ships a PointBatch to every other machine."""
+        self.broadcast(self.CENTRAL, PointBatch(ids, columns), tag=tag)
+        self.step()
+
+    def all_to_all_points(self, ids_by_src: Dict[int, np.ndarray], tag: str = "") -> None:
+        """One round: every machine ships its batch to every other machine.
+
+        After this, every machine knows the union of all batches.
+        """
+        for src, ids in ids_by_src.items():
+            for dst in range(self.m):
+                if dst != src:
+                    self.send(src, dst, PointBatch(ids), tag=tag)
+        self.step()
+
+    def central_knows(self, ids: Iterable[int]) -> bool:
+        return self.central.knows(ids)

@@ -1,0 +1,53 @@
+"""Optional hard limits on the simulated machines.
+
+The MPC model constrains (a) local memory and (b) words moved per
+machine per round.  By default the simulator only *measures*; attach a
+:class:`Limits` to make it *enforce*, raising the corresponding
+exception the moment a machine oversteps — this powers the
+failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import CommunicationLimitExceeded, MemoryLimitExceeded
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Hard caps, in words.  ``None`` disables a cap.
+
+    Attributes
+    ----------
+    memory_words:
+        Maximum words of point data a machine may hold (its partition
+        plus everything it has received).
+    comm_words_per_round:
+        Maximum sent+received words for one machine in one round.
+    """
+
+    memory_words: Optional[int] = None
+    comm_words_per_round: Optional[int] = None
+
+    def check_memory(self, machine_id: int, used: int) -> None:
+        if self.memory_words is not None and used > self.memory_words:
+            raise MemoryLimitExceeded(machine_id, used, self.memory_words)
+
+    def check_comm(self, machine_id: int, round_no: int, used: int) -> None:
+        if self.comm_words_per_round is not None and used > self.comm_words_per_round:
+            raise CommunicationLimitExceeded(
+                machine_id, round_no, used, self.comm_words_per_round
+            )
+
+    @classmethod
+    def theory(cls, n: int, m: int, k: int, dim: int, slack: float = 64.0) -> "Limits":
+        """Limits matching the paper's Õ(n/m + mk) memory and Õ(mk)
+        communication, with a configurable polylog slack factor."""
+        import math
+
+        ln_n = max(1.0, math.log(max(n, 2)))
+        mem = int(slack * (n / m + m * k) * ln_n * dim)
+        comm = int(slack * m * k * ln_n * dim)
+        return cls(memory_words=mem, comm_words_per_round=comm)

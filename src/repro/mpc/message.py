@@ -1,0 +1,96 @@
+"""Message envelopes and payload word-size accounting.
+
+Word model (DESIGN.md §3, choice 5): one word = one scalar.  A *point*
+shipped between machines carries its id plus its coordinates, costing
+``1 + point_words`` words.  An id alone (referencing a point the
+receiver already knows, or pure bookkeeping) costs 1 word, as does any
+scalar.  Containers cost the sum of their parts.
+
+Payload wrappers:
+
+* :class:`PointBatch` — ids whose coordinates travel with the message.
+  On delivery the receiver marks these ids *known*.
+* :class:`Ids` — bare id references (no coordinates).
+* plain ints / floats / bools / numpy scalars — 1 word each.
+* tuples / lists / dicts — recursive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PointBatch:
+    """A batch of points shipped with coordinates.
+
+    ``ids`` is stored as an int64 array.  Extra per-point scalar columns
+    (e.g. approximate degrees travelling with their vertices) can be
+    attached via ``columns``; each costs one word per point.
+    """
+
+    ids: np.ndarray
+    columns: dict = field(default_factory=dict)
+
+    def __init__(self, ids: Iterable[int], columns: dict | None = None) -> None:
+        object.__setattr__(self, "ids", np.asarray(ids, dtype=np.int64).reshape(-1))
+        object.__setattr__(self, "columns", dict(columns or {}))
+        for name, col in self.columns.items():
+            arr = np.asarray(col, dtype=np.float64).reshape(-1)
+            if arr.size != self.ids.size:
+                raise ValueError(f"column {name!r} length mismatch")
+            self.columns[name] = arr
+
+    def words(self, point_words: int) -> int:
+        """Total words: id + coordinates + one word per extra column."""
+        return int(self.ids.size) * (1 + point_words + len(self.columns))
+
+
+@dataclass(frozen=True)
+class Ids:
+    """Bare id references — one word each, no coordinates attached."""
+
+    ids: np.ndarray
+
+    def __init__(self, ids: Iterable[int]) -> None:
+        object.__setattr__(self, "ids", np.asarray(ids, dtype=np.int64).reshape(-1))
+
+    def words(self) -> int:
+        return int(self.ids.size)
+
+
+def payload_words(payload: Any, point_words: int) -> int:
+    """Recursive word count of an arbitrary payload."""
+    if payload is None:
+        return 0
+    if isinstance(payload, PointBatch):
+        return payload.words(point_words)
+    if isinstance(payload, Ids):
+        return payload.words()
+    if isinstance(payload, (bool, int, float, np.integer, np.floating, np.bool_)):
+        return 1
+    if isinstance(payload, str):
+        return 1  # tags / labels count as a single word
+    if isinstance(payload, np.ndarray):
+        return int(payload.size)
+    if isinstance(payload, dict):
+        return sum(payload_words(v, point_words) for v in payload.values())
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(payload_words(v, point_words) for v in payload)
+    raise TypeError(f"cannot account words for payload of type {type(payload)!r}")
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight: ``src → dst``, delivered next round."""
+
+    src: int
+    dst: int
+    payload: Any
+    tag: str = ""
+
+    def words(self, point_words: int) -> int:
+        return payload_words(self.payload, point_words)

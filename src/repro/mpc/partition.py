@@ -1,0 +1,134 @@
+"""Input partitioners.
+
+The paper assumes "the input set V is initially partitioned into m
+subsets V₁…V_m" with no distributional guarantees; the proofs are
+worst-case over partitions.  We provide four strategies so experiments
+can stress the algorithms:
+
+* :func:`random_partition` — uniformly random assignment (the benign
+  case typical of real ingestion pipelines);
+* :func:`block_partition` — contiguous id blocks (data arrives sorted,
+  a classic hostile case for coreset methods);
+* :func:`skewed_partition` — geometrically decaying machine sizes
+  (stragglers / heterogeneous shards);
+* :func:`adversarial_partition` — co-locates whole ground-truth
+  clusters on single machines, which maximally starves local GMM runs
+  of global structure.
+
+All partitioners guarantee every machine gets at least one point when
+``n >= m`` and return a list of disjoint int64 id arrays covering
+``0..n-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import PartitionError
+
+
+def _validated(parts: List[np.ndarray], n: int, m: int) -> List[np.ndarray]:
+    if len(parts) != m:
+        raise PartitionError(f"expected {m} parts, got {len(parts)}")
+    concat = np.concatenate([p for p in parts]) if parts else np.array([], dtype=np.int64)
+    if concat.size != n or np.unique(concat).size != n:
+        raise PartitionError("parts must be a disjoint cover of all ids")
+    if n >= m and any(p.size == 0 for p in parts):
+        raise PartitionError("every machine must receive at least one point")
+    return [np.sort(p).astype(np.int64) for p in parts]
+
+
+def _rebalance_empty(parts: List[np.ndarray]) -> List[np.ndarray]:
+    """Move single ids from the largest parts into empty ones."""
+    parts = [p.copy() for p in parts]
+    while any(p.size == 0 for p in parts):
+        src = max(range(len(parts)), key=lambda i: parts[i].size)
+        dst = next(i for i, p in enumerate(parts) if p.size == 0)
+        if parts[src].size <= 1:
+            break  # n < m: impossible to fill everything
+        parts[dst] = parts[src][-1:]
+        parts[src] = parts[src][:-1]
+    return parts
+
+
+def random_partition(
+    n: int, m: int, rng: Optional[np.random.Generator] = None
+) -> List[np.ndarray]:
+    """Assign each id to a uniformly random machine."""
+    rng = rng or np.random.default_rng(0)
+    perm = rng.permutation(n)
+    parts = [perm[i::m] for i in range(m)]
+    return _validated(_rebalance_empty(parts), n, m)
+
+
+def block_partition(
+    n: int, m: int, rng: Optional[np.random.Generator] = None
+) -> List[np.ndarray]:
+    """Contiguous blocks of ids, sizes differing by at most one."""
+    bounds = np.linspace(0, n, m + 1).astype(np.int64)
+    parts = [np.arange(bounds[i], bounds[i + 1], dtype=np.int64) for i in range(m)]
+    return _validated(_rebalance_empty(parts), n, m)
+
+
+def skewed_partition(
+    n: int,
+    m: int,
+    rng: Optional[np.random.Generator] = None,
+    decay: float = 0.6,
+) -> List[np.ndarray]:
+    """Machine i receives a ~``decay^i`` share of a random permutation."""
+    if not (0 < decay <= 1):
+        raise PartitionError("decay must be in (0, 1]")
+    rng = rng or np.random.default_rng(0)
+    weights = decay ** np.arange(m, dtype=np.float64)
+    weights /= weights.sum()
+    sizes = np.maximum(1, np.floor(weights * n).astype(np.int64)) if n >= m else np.zeros(m, np.int64)
+    # fix rounding so sizes sum to n
+    while sizes.sum() > n:
+        sizes[int(np.argmax(sizes))] -= 1
+    while sizes.sum() < n:
+        sizes[int(np.argmin(sizes))] += 1
+    perm = rng.permutation(n)
+    parts, off = [], 0
+    for s in sizes:
+        parts.append(perm[off : off + s])
+        off += s
+    return _validated(_rebalance_empty(parts), n, m)
+
+
+def adversarial_partition(
+    n: int,
+    m: int,
+    labels: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Co-locate whole ground-truth clusters on single machines.
+
+    ``labels[i]`` is the cluster of point ``i``; cluster ``c`` goes to
+    machine ``c mod m``.  This starves per-machine GMM of any view of
+    the other clusters — the hardest regime for coreset baselines.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.size != n:
+        raise PartitionError("labels must have length n")
+    parts = [np.where(labels % m == i)[0].astype(np.int64) for i in range(m)]
+    return _validated(_rebalance_empty(parts), n, m)
+
+
+_REGISTRY: Dict[str, Callable] = {
+    "random": random_partition,
+    "block": block_partition,
+    "skewed": skewed_partition,
+}
+
+
+def get_partitioner(name: str) -> Callable:
+    """Look up a partitioner by name (``random``, ``block``, ``skewed``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PartitionError(
+            f"unknown partitioner {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

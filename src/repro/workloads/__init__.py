@@ -1,0 +1,54 @@
+"""Workload generators for experiments and benchmarks.
+
+* :mod:`repro.workloads.synthetic` — gaussian mixtures, uniform cubes
+  and balls, anisotropic blobs;
+* :mod:`repro.workloads.clustered` — well-separated clusters with
+  analytically known optimum envelopes;
+* :mod:`repro.workloads.adversarial` — duplicates, exponential spread,
+  colinear chains, all-equal degenerate inputs;
+* :mod:`repro.workloads.outliers` — clustered data plus uniform noise;
+* :mod:`repro.workloads.suppliers` — customer/supplier instances;
+* :mod:`repro.workloads.graphs` — graph-metric workloads (grids,
+  random geometric graphs);
+* :mod:`repro.workloads.registry` — name → builder registry used by the
+  CLI and the benchmark harness.
+"""
+
+from repro.workloads.adversarial import (
+    all_equal_points,
+    colinear_chain,
+    exponential_spread,
+    with_duplicates,
+)
+from repro.workloads.clustered import separated_clusters
+from repro.workloads.geo import synthetic_cities, world_cities_metric
+from repro.workloads.graphs import grid_graph_metric, random_geometric_graph_metric
+from repro.workloads.outliers import clustered_with_outliers
+from repro.workloads.registry import available_workloads, make_workload
+from repro.workloads.suppliers import supplier_instance
+from repro.workloads.synthetic import (
+    anisotropic_blobs,
+    gaussian_mixture,
+    uniform_ball,
+    uniform_cube,
+)
+
+__all__ = [
+    "gaussian_mixture",
+    "uniform_cube",
+    "uniform_ball",
+    "anisotropic_blobs",
+    "separated_clusters",
+    "with_duplicates",
+    "exponential_spread",
+    "colinear_chain",
+    "all_equal_points",
+    "clustered_with_outliers",
+    "supplier_instance",
+    "grid_graph_metric",
+    "random_geometric_graph_metric",
+    "synthetic_cities",
+    "world_cities_metric",
+    "make_workload",
+    "available_workloads",
+]

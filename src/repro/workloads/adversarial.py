@@ -1,0 +1,54 @@
+"""Degenerate and adversarial workloads.
+
+These target the algorithms' edge cases: zero distances (duplicates,
+all-equal inputs), scale-free spreads that break fixed ladders, and
+colinear chains where threshold graphs become long paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def all_equal_points(n: int, dim: int = 2, value: float = 1.0) -> np.ndarray:
+    """All ``n`` points identical — every distance is 0."""
+    return np.full((n, dim), value, dtype=np.float64)
+
+
+def with_duplicates(
+    points: np.ndarray,
+    fraction: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Replace a fraction of points with exact copies of the others."""
+    if not (0.0 <= fraction < 1.0):
+        raise ValueError("fraction must be in [0, 1)")
+    rng = rng or np.random.default_rng(0)
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    dups = int(fraction * n)
+    if dups == 0:
+        return points.copy()
+    keep = points[: n - dups]
+    copies = keep[rng.integers(0, keep.shape[0], size=dups)]
+    return np.concatenate([keep, copies])
+
+
+def exponential_spread(n: int, base: float = 2.0, dim: int = 1) -> np.ndarray:
+    """Points at exponentially growing coordinates: ``base^i`` on the
+    first axis — distances span ``base^n`` dynamic range, stressing
+    geometric ladders."""
+    xs = base ** np.arange(n, dtype=np.float64)
+    out = np.zeros((n, dim), dtype=np.float64)
+    out[:, 0] = xs
+    return out
+
+
+def colinear_chain(n: int, step: float = 1.0, dim: int = 2) -> np.ndarray:
+    """Evenly spaced points on a line — ``G_τ`` is a path power, the
+    worst case for greedy independence claims."""
+    out = np.zeros((n, dim), dtype=np.float64)
+    out[:, 0] = step * np.arange(n, dtype=np.float64)
+    return out

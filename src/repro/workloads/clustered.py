@@ -1,0 +1,76 @@
+"""Well-separated clusters with analytically known optimum envelopes.
+
+When cluster centers sit at pairwise distance ≥ ``separation`` and each
+cluster fits in a ball of radius ``cluster_radius`` with
+``separation > 4·cluster_radius``, the optimal k-center radius (for
+``k = #clusters``) is at most ``cluster_radius`` and at least
+``(separation − 2·cluster_radius)/2`` for any solution using fewer
+centers — a workload where approximation factors are directly visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class SeparatedClusters:
+    """Generated instance plus its analytic envelopes."""
+
+    points: np.ndarray
+    labels: np.ndarray
+    centers: np.ndarray
+    cluster_radius: float
+    separation: float
+
+    @property
+    def kcenter_upper_bound(self) -> float:
+        """Optimal radius for k = #clusters is at most this."""
+        return self.cluster_radius
+
+
+def separated_clusters(
+    n: int,
+    clusters: int,
+    dim: int = 2,
+    cluster_radius: float = 1.0,
+    separation: float = 10.0,
+    rng: Optional[np.random.Generator] = None,
+) -> SeparatedClusters:
+    """``n`` points split evenly over well-separated round clusters.
+
+    Cluster centers are placed greedily (rejection sampling) so all
+    pairwise center distances are ≥ ``separation``.
+    """
+    rng = rng or np.random.default_rng(0)
+    if separation <= 2 * cluster_radius:
+        raise ValueError("separation must exceed the cluster diameter")
+    box = separation * max(2.0, clusters ** (1.0 / dim)) * 2.0
+    centers: list[np.ndarray] = []
+    attempts = 0
+    while len(centers) < clusters:
+        cand = rng.uniform(-box, box, size=dim)
+        if all(np.linalg.norm(cand - c) >= separation for c in centers):
+            centers.append(cand)
+        attempts += 1
+        if attempts > 100_000:
+            raise RuntimeError("could not place separated cluster centers; lower the separation")
+    C = np.stack(centers)
+
+    labels = np.arange(n) % clusters
+    rng.shuffle(labels)
+    # uniform in the ball of the cluster radius
+    g = rng.normal(size=(n, dim))
+    g /= np.linalg.norm(g, axis=1, keepdims=True)
+    r = cluster_radius * rng.random(n) ** (1.0 / dim)
+    points = C[labels] + g * r[:, None]
+    return SeparatedClusters(
+        points=points,
+        labels=labels,
+        centers=C,
+        cluster_radius=cluster_radius,
+        separation=separation,
+    )

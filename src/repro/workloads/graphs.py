@@ -1,0 +1,60 @@
+"""Graph-metric workloads.
+
+The paper's guarantees hold in *any* metric space; exercising a
+shortest-path metric (where Euclidean intuition fails) is a stronger
+test than coordinates alone."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.metric.graph_metric import GraphShortestPathMetric
+
+
+def grid_graph_metric(rows: int, cols: int, weight: float = 1.0) -> GraphShortestPathMetric:
+    """Shortest-path metric of a ``rows × cols`` grid graph."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    n = rows * cols
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1, weight))
+            if r + 1 < rows:
+                edges.append((v, v + cols, weight))
+    return GraphShortestPathMetric(n, edges)
+
+
+def random_geometric_graph_metric(
+    n: int,
+    radius: float = 0.25,
+    dim: int = 2,
+    rng: Optional[np.random.Generator] = None,
+    max_retries: int = 50,
+) -> GraphShortestPathMetric:
+    """Shortest-path metric of a connected random geometric graph.
+
+    Vertices are uniform in the unit cube; edges connect pairs within
+    ``radius`` with Euclidean weight.  The radius is grown until the
+    graph is connected.
+    """
+    rng = rng or np.random.default_rng(0)
+    pts = rng.random((n, dim))
+    for _ in range(max_retries):
+        diff = pts[:, None, :] - pts[None, :, :]
+        D = np.sqrt((diff * diff).sum(axis=2))
+        iu = np.triu_indices(n, k=1)
+        mask = D[iu] <= radius
+        edges = [
+            (int(i), int(j), float(D[i, j]))
+            for i, j in zip(iu[0][mask], iu[1][mask])
+        ]
+        try:
+            return GraphShortestPathMetric(n, edges, precompute=True)
+        except ValueError:
+            radius *= 1.3  # disconnected: widen and retry
+    raise RuntimeError("could not build a connected geometric graph")

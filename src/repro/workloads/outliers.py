@@ -1,0 +1,40 @@
+"""Clustered data contaminated with uniform background noise —
+the regime the outlier-aware baselines (Charikar, Malkomes-13) exist
+for, and a robustness stressor for the clean-data algorithms."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.workloads.clustered import separated_clusters
+
+
+def clustered_with_outliers(
+    n: int,
+    clusters: int,
+    outlier_fraction: float = 0.05,
+    dim: int = 2,
+    cluster_radius: float = 1.0,
+    separation: float = 10.0,
+    noise_box: float = 60.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Separated clusters plus uniform noise.
+
+    Returns ``(points, labels)`` with ``label = -1`` marking outliers.
+    """
+    if not (0.0 <= outlier_fraction < 1.0):
+        raise ValueError("outlier_fraction must be in [0, 1)")
+    rng = rng or np.random.default_rng(0)
+    n_out = int(outlier_fraction * n)
+    n_in = n - n_out
+    inst = separated_clusters(
+        n_in, clusters, dim, cluster_radius, separation, rng=rng
+    )
+    noise = rng.uniform(-noise_box, noise_box, size=(n_out, dim))
+    points = np.concatenate([inst.points, noise])
+    labels = np.concatenate([inst.labels, np.full(n_out, -1, dtype=np.int64)])
+    perm = rng.permutation(n)
+    return points[perm], labels[perm]

@@ -1,0 +1,133 @@
+"""Named workload registry used by the CLI and the benchmark harness.
+
+Each builder takes ``(n, rng)`` and returns a
+:class:`WorkloadInstance`: a metric plus optional ground-truth labels
+and notes.  The registry keeps benchmark parameterization declarative —
+a bench row says ``workload='gaussian'`` and gets the same data every
+harness run (seeded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.metric.base import Metric
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.lp import ManhattanMetric
+from repro.workloads.adversarial import (
+    colinear_chain,
+    exponential_spread,
+    with_duplicates,
+)
+from repro.workloads.clustered import separated_clusters
+from repro.workloads.outliers import clustered_with_outliers
+from repro.workloads.synthetic import (
+    anisotropic_blobs,
+    gaussian_mixture,
+    uniform_cube,
+)
+
+
+@dataclass
+class WorkloadInstance:
+    """A ready-to-cluster instance."""
+
+    name: str
+    metric: Metric
+    labels: Optional[np.ndarray] = None
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.metric.n
+
+
+def _gaussian(n: int, rng: np.random.Generator) -> WorkloadInstance:
+    pts, labels = gaussian_mixture(n, dim=2, components=8, rng=rng)
+    return WorkloadInstance("gaussian", EuclideanMetric(pts), labels)
+
+
+def _uniform(n: int, rng: np.random.Generator) -> WorkloadInstance:
+    pts = uniform_cube(n, dim=2, side=10.0, rng=rng)
+    return WorkloadInstance("uniform", EuclideanMetric(pts))
+
+
+def _clustered(n: int, rng: np.random.Generator) -> WorkloadInstance:
+    inst = separated_clusters(n, clusters=8, dim=2, rng=rng)
+    return WorkloadInstance(
+        "clustered",
+        EuclideanMetric(inst.points),
+        inst.labels,
+        notes={"kcenter_ub": inst.kcenter_upper_bound, "clusters": 8},
+    )
+
+
+def _anisotropic(n: int, rng: np.random.Generator) -> WorkloadInstance:
+    pts, labels = anisotropic_blobs(n, dim=2, components=4, rng=rng)
+    return WorkloadInstance("anisotropic", EuclideanMetric(pts), labels)
+
+
+def _outliers(n: int, rng: np.random.Generator) -> WorkloadInstance:
+    pts, labels = clustered_with_outliers(n, clusters=6, outlier_fraction=0.05, rng=rng)
+    return WorkloadInstance("outliers", EuclideanMetric(pts), labels)
+
+
+def _duplicates(n: int, rng: np.random.Generator) -> WorkloadInstance:
+    pts, labels = gaussian_mixture(max(2, n // 2) * 2, dim=2, components=4, rng=rng)
+    pts = with_duplicates(pts, fraction=0.5, rng=rng)[:n]
+    return WorkloadInstance("duplicates", EuclideanMetric(pts))
+
+
+def _exponential(n: int, rng: np.random.Generator) -> WorkloadInstance:
+    # cap the dynamic range so float64 stays exact
+    pts = exponential_spread(min(n, 900), base=1.08, dim=2)
+    return WorkloadInstance("exponential", EuclideanMetric(pts))
+
+
+def _chain(n: int, rng: np.random.Generator) -> WorkloadInstance:
+    return WorkloadInstance("chain", EuclideanMetric(colinear_chain(n)))
+
+
+def _manhattan_gaussian(n: int, rng: np.random.Generator) -> WorkloadInstance:
+    pts, labels = gaussian_mixture(n, dim=3, components=6, rng=rng)
+    return WorkloadInstance("manhattan-gaussian", ManhattanMetric(pts), labels)
+
+
+def _cities(n: int, rng: np.random.Generator) -> WorkloadInstance:
+    from repro.workloads.geo import world_cities_metric
+
+    metric, labels = world_cities_metric(n, rng=rng)
+    return WorkloadInstance("cities", metric, labels, notes={"unit": "km"})
+
+
+_REGISTRY: Dict[str, Callable[[int, np.random.Generator], WorkloadInstance]] = {
+    "gaussian": _gaussian,
+    "uniform": _uniform,
+    "clustered": _clustered,
+    "anisotropic": _anisotropic,
+    "outliers": _outliers,
+    "duplicates": _duplicates,
+    "exponential": _exponential,
+    "chain": _chain,
+    "manhattan-gaussian": _manhattan_gaussian,
+    "cities": _cities,
+}
+
+
+def available_workloads() -> list[str]:
+    """Names accepted by :func:`make_workload`."""
+    return sorted(_REGISTRY)
+
+
+def make_workload(name: str, n: int, seed: int = 0) -> WorkloadInstance:
+    """Build the named workload with ``n`` points, deterministically."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from None
+    return builder(n, np.random.default_rng(seed))

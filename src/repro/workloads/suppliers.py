@@ -1,0 +1,65 @@
+"""Customer/supplier instances for the k-supplier experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.workloads.synthetic import gaussian_mixture
+
+
+@dataclass
+class SupplierInstance:
+    """A k-supplier instance over one shared coordinate array.
+
+    ``points`` stacks customers first, suppliers second; ``customers``
+    and ``suppliers`` are the id ranges of each role.
+    """
+
+    points: np.ndarray
+    customers: np.ndarray
+    suppliers: np.ndarray
+
+
+def supplier_instance(
+    n_customers: int,
+    n_suppliers: int,
+    dim: int = 2,
+    components: int = 6,
+    supplier_layout: str = "uniform",
+    rng: Optional[np.random.Generator] = None,
+) -> SupplierInstance:
+    """Clustered customers + suppliers laid out per ``supplier_layout``.
+
+    ``'uniform'`` scatters suppliers over the customer bounding box
+    (the generic case); ``'colocated'`` samples suppliers from the same
+    mixture (easy); ``'perimeter'`` pushes suppliers to the box border
+    (hard — every service distance is large).
+    """
+    rng = rng or np.random.default_rng(0)
+    cust, _ = gaussian_mixture(n_customers, dim=dim, components=components, rng=rng)
+    lo, hi = cust.min(axis=0), cust.max(axis=0)
+    span = np.maximum(hi - lo, 1e-9)
+
+    if supplier_layout == "uniform":
+        sup = lo + span * rng.random((n_suppliers, dim))
+    elif supplier_layout == "colocated":
+        sup, _ = gaussian_mixture(n_suppliers, dim=dim, components=components, rng=rng)
+    elif supplier_layout == "perimeter":
+        sup = lo + span * rng.random((n_suppliers, dim))
+        axis = rng.integers(0, dim, size=n_suppliers)
+        side = rng.integers(0, 2, size=n_suppliers).astype(np.float64)
+        sup[np.arange(n_suppliers), axis] = (lo + side[:, None] * span)[
+            np.arange(n_suppliers), axis
+        ]
+    else:
+        raise ValueError(f"unknown supplier layout {supplier_layout!r}")
+
+    points = np.concatenate([cust, sup])
+    return SupplierInstance(
+        points=points,
+        customers=np.arange(n_customers, dtype=np.int64),
+        suppliers=np.arange(n_customers, n_customers + n_suppliers, dtype=np.int64),
+    )

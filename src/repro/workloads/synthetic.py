@@ -1,0 +1,71 @@
+"""Synthetic coordinate workloads."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def gaussian_mixture(
+    n: int,
+    dim: int = 2,
+    components: int = 8,
+    spread: float = 8.0,
+    sigma: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``n`` points from a mixture of isotropic Gaussians.
+
+    Component means are drawn uniformly from ``[-spread, spread]^dim``.
+    Returns ``(points, labels)``.
+    """
+    rng = rng or np.random.default_rng(0)
+    if n < 1 or components < 1:
+        raise ValueError("need n >= 1 and components >= 1")
+    means = rng.uniform(-spread, spread, size=(components, dim))
+    labels = rng.integers(0, components, size=n)
+    points = means[labels] + rng.normal(scale=sigma, size=(n, dim))
+    return points, labels
+
+
+def uniform_cube(
+    n: int,
+    dim: int = 2,
+    side: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """``n`` points uniform in ``[0, side]^dim``."""
+    rng = rng or np.random.default_rng(0)
+    return rng.uniform(0.0, side, size=(n, dim))
+
+
+def uniform_ball(
+    n: int,
+    dim: int = 2,
+    radius: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """``n`` points uniform in the ``dim``-ball of the given radius."""
+    rng = rng or np.random.default_rng(0)
+    g = rng.normal(size=(n, dim))
+    g /= np.linalg.norm(g, axis=1, keepdims=True)
+    r = radius * rng.random(n) ** (1.0 / dim)
+    return g * r[:, None]
+
+
+def anisotropic_blobs(
+    n: int,
+    dim: int = 2,
+    components: int = 4,
+    spread: float = 10.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian blobs with per-component random covariance stretch —
+    breaks algorithms that implicitly assume isotropy."""
+    rng = rng or np.random.default_rng(0)
+    means = rng.uniform(-spread, spread, size=(components, dim))
+    scales = rng.uniform(0.2, 3.0, size=(components, dim))
+    labels = rng.integers(0, components, size=n)
+    points = means[labels] + rng.normal(size=(n, dim)) * scales[labels]
+    return points, labels

@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EuclideanMetric, MPCCluster
+from repro.constants import TheoryConstants
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_metric(rng):
+    """60 well-spread 2-D points — cheap enough for exact checks."""
+    pts = rng.normal(scale=3.0, size=(60, 2))
+    return EuclideanMetric(pts)
+
+
+@pytest.fixture
+def medium_metric(rng):
+    """400 gaussian-mixture points."""
+    means = rng.uniform(-10, 10, size=(6, 2))
+    labels = rng.integers(0, 6, size=400)
+    pts = means[labels] + rng.normal(size=(400, 2))
+    return EuclideanMetric(pts)
+
+
+@pytest.fixture
+def practical():
+    return TheoryConstants.practical()
+
+
+def make_cluster(metric, m=4, seed=0, **kwargs) -> MPCCluster:
+    return MPCCluster(metric, num_machines=m, seed=seed, **kwargs)

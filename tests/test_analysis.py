@@ -1,0 +1,218 @@
+"""Tests for the analysis package: validators, bounds, ratios,
+experiments, reports, theory envelopes."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import Trial, aggregate, run_trials
+from repro.analysis.lower_bounds import (
+    diversity_upper_bound,
+    kcenter_lower_bound,
+    ksupplier_lower_bound,
+)
+from repro.analysis.ratios import diversity_ratio, kcenter_ratio, ksupplier_ratio
+from repro.analysis.reports import format_table
+from repro.analysis.theory import (
+    communication_bound_words,
+    ladder_length,
+    memory_bound_words,
+    round_bound,
+)
+from repro.analysis.validation import (
+    verify_diversity_solution,
+    verify_independent_set,
+    verify_kcenter_solution,
+    verify_ksupplier_solution,
+    verify_maximal_independent_set,
+)
+from repro.baselines.exact import exact_diversity, exact_kcenter
+from repro.exceptions import InvalidSolutionError
+from repro.metric.euclidean import EuclideanMetric
+
+
+@pytest.fixture
+def line():
+    return EuclideanMetric(np.arange(10, dtype=float).reshape(-1, 1))
+
+
+class TestValidators:
+    def test_independent_accepts(self, line):
+        verify_independent_set(line, [0, 3, 6], 1.5)
+
+    def test_independent_rejects(self, line):
+        with pytest.raises(InvalidSolutionError, match="independent"):
+            verify_independent_set(line, [0, 1], 1.5)
+
+    def test_maximal_accepts(self, line):
+        verify_maximal_independent_set(line, [0, 2, 4, 6, 8], 1.0, np.arange(10))
+
+    def test_maximal_rejects_non_dominating(self, line):
+        with pytest.raises(InvalidSolutionError, match="maximal"):
+            verify_maximal_independent_set(line, [0], 1.0, np.arange(10))
+
+    def test_kcenter_accepts_and_returns_radius(self, line):
+        r = verify_kcenter_solution(line, [2, 7], 2, claimed_radius=2.5)
+        assert r == pytest.approx(2.0)
+
+    def test_kcenter_rejects_undercount(self, line):
+        with pytest.raises(InvalidSolutionError, match="radius"):
+            verify_kcenter_solution(line, [0], 1, claimed_radius=5.0)
+
+    def test_kcenter_rejects_too_many_centers(self, line):
+        with pytest.raises(InvalidSolutionError, match="centers"):
+            verify_kcenter_solution(line, [0, 1, 2], 2, claimed_radius=100.0)
+
+    def test_diversity_accepts(self, line):
+        verify_diversity_solution(line, [0, 5, 9], 3, claimed_diversity=4.0)
+
+    def test_diversity_rejects_overclaim(self, line):
+        with pytest.raises(InvalidSolutionError, match="diversity"):
+            verify_diversity_solution(line, [0, 5, 9], 3, claimed_diversity=5.0)
+
+    def test_diversity_rejects_wrong_size(self, line):
+        with pytest.raises(InvalidSolutionError, match="exactly"):
+            verify_diversity_solution(line, [0, 0, 9], 3, claimed_diversity=1.0)
+
+    def test_supplier_accepts(self, line):
+        verify_ksupplier_solution(line, [0, 1, 2], [5, 9], [5], 1, claimed_radius=5.0)
+
+    def test_supplier_rejects_non_supplier(self, line):
+        with pytest.raises(InvalidSolutionError, match="not a supplier"):
+            verify_ksupplier_solution(line, [0, 1], [5], [3], 1, claimed_radius=99.0)
+
+
+class TestBounds:
+    def test_kcenter_lb_below_opt(self, rng):
+        pts = rng.normal(size=(14, 2))
+        m = EuclideanMetric(pts)
+        _, opt = exact_kcenter(m, 3)
+        assert kcenter_lower_bound(m, 3) <= opt + 1e-9
+
+    def test_kcenter_lb_zero_when_k_ge_n(self, line):
+        assert kcenter_lower_bound(line, 10) == 0.0
+
+    def test_diversity_ub_above_opt(self, rng):
+        pts = rng.normal(size=(14, 2))
+        m = EuclideanMetric(pts)
+        _, opt = exact_diversity(m, 3)
+        assert diversity_upper_bound(m, 3) >= opt - 1e-9
+
+    def test_supplier_lb_below_opt(self, rng):
+        from repro.baselines.exact import exact_ksupplier
+
+        pts = rng.normal(size=(14, 2))
+        m = EuclideanMetric(pts)
+        C, S = np.arange(9), np.arange(9, 14)
+        _, opt = exact_ksupplier(m, C, S, 2)
+        assert ksupplier_lower_bound(m, C, S, 2) <= opt + 1e-9
+
+
+class TestRatios:
+    def test_exact_path_taken_on_small(self, rng):
+        m = EuclideanMetric(rng.normal(size=(12, 2)))
+        r = kcenter_ratio(m, radius=1.0, k=3)
+        assert r.reference_kind == "exact"
+        assert r.ratio == pytest.approx(1.0 / r.reference)
+
+    def test_bound_path_on_large(self, rng):
+        m = EuclideanMetric(rng.normal(size=(400, 2)))
+        r = kcenter_ratio(m, radius=1.0, k=20)
+        assert r.reference_kind == "bound"
+
+    def test_diversity_ratio_orientation(self, rng):
+        m = EuclideanMetric(rng.normal(size=(12, 2)))
+        _, opt = exact_diversity(m, 3)
+        r = diversity_ratio(m, opt, 3)
+        assert r.ratio == pytest.approx(1.0)
+
+    def test_zero_reference(self):
+        from repro.analysis.ratios import Ratio
+
+        assert Ratio(0.0, 0.0, "exact").ratio == 1.0
+        assert Ratio(1.0, 0.0, "exact").ratio == float("inf")
+
+    def test_supplier_ratio(self, rng):
+        m = EuclideanMetric(rng.normal(size=(20, 2)))
+        r = ksupplier_ratio(m, np.arange(12), np.arange(12, 20), 5.0, 3)
+        assert r.reference_kind == "bound" and r.ratio >= 1.0 or r.ratio > 0
+
+
+class TestExperiments:
+    def test_run_trials(self):
+        trials = run_trials(lambda s: {"x": s * 2.0}, seeds=[1, 2, 3])
+        assert [t.metrics["x"] for t in trials] == [2.0, 4.0, 6.0]
+
+    def test_aggregate(self):
+        trials = [Trial(0, {"a": 1.0}), Trial(1, {"a": 3.0})]
+        agg = aggregate(trials)
+        assert agg["a"]["mean"] == 2.0
+        assert agg["a"]["min"] == 1.0 and agg["a"]["max"] == 3.0
+        assert agg["a"]["n"] == 2
+
+    def test_aggregate_empty(self):
+        assert aggregate([]) == {}
+
+    def test_aggregate_skips_non_numeric(self):
+        trials = [Trial(0, {"a": 1.0, "tag": "x"})]
+        agg = aggregate(trials)
+        assert "tag" not in agg
+
+
+class TestReports:
+    def test_basic_table(self):
+        out = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        assert "a" in out and "b" in out and "10" in out
+
+    def test_title_and_missing_cells(self):
+        out = format_table([{"a": 1}, {"b": 2}], title="T")
+        assert out.startswith("T\n")
+        assert "-" in out
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_column_selection(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_float_formats(self):
+        out = format_table([{"x": 1e-9, "y": 123456.0, "z": float("nan")}])
+        assert "e" in out  # scientific for extremes
+        assert "-" in out  # NaN dash
+
+    def test_bool_rendering(self):
+        out = format_table([{"ok": True}])
+        assert "yes" in out
+
+    def test_markdown_style(self):
+        out = format_table([{"a": 1, "b": 2.5}], style="markdown", title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "| a | b |"
+        assert lines[2] == "|---|---|"
+        assert lines[3] == "| 1 | 2.500 |"
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError, match="style"):
+            format_table([{"a": 1}], style="html")
+
+
+class TestTheory:
+    def test_communication_shape(self):
+        assert communication_bound_words(1000, 8, 10) == pytest.approx(
+            8 * 10 * np.log(1000) * 2
+        )
+
+    def test_memory_shape(self):
+        v = memory_bound_words(1000, 8, 10)
+        assert v > 0
+
+    def test_round_bound(self):
+        assert round_bound(0.5) == 2.0
+        with pytest.raises(ValueError):
+            round_bound(0.0)
+
+    def test_ladder_length_decreasing_in_eps(self):
+        assert ladder_length(0.05) > ladder_length(0.5)
+        with pytest.raises(ValueError):
+            ladder_length(0.0)

@@ -1,0 +1,47 @@
+"""Tests for experiment-result serialization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.io import read_csv, read_json, write_csv, write_json
+
+
+@pytest.fixture
+def rows():
+    return [
+        {"n": np.int64(100), "ratio": np.float64(1.5), "ok": np.bool_(True)},
+        {"n": 200, "ratio": 2.0, "extra": [1, 2]},
+    ]
+
+
+class TestJson:
+    def test_roundtrip(self, rows, tmp_path):
+        p = write_json(rows, tmp_path / "out.json", meta={"k": 5})
+        doc = read_json(p)
+        assert doc["meta"] == {"k": 5}
+        assert doc["rows"][0] == {"n": 100, "ratio": 1.5, "ok": True}
+        assert doc["rows"][1]["extra"] == [1, 2]
+
+    def test_numpy_arrays_become_lists(self, tmp_path):
+        p = write_json([{"arr": np.arange(3)}], tmp_path / "a.json")
+        assert read_json(p)["rows"][0]["arr"] == [0, 1, 2]
+
+    def test_empty(self, tmp_path):
+        p = write_json([], tmp_path / "e.json")
+        assert read_json(p)["rows"] == []
+
+
+class TestCsv:
+    def test_roundtrip(self, rows, tmp_path):
+        p = write_csv(rows, tmp_path / "out.csv")
+        back = read_csv(p)
+        assert back[0]["n"] == "100" and back[0]["ratio"] == "1.5"
+
+    def test_union_header_missing_cells(self, rows, tmp_path):
+        p = write_csv(rows, tmp_path / "out.csv")
+        back = read_csv(p)
+        assert back[0]["extra"] == "" and back[1]["ok"] == ""
+
+    def test_empty(self, tmp_path):
+        p = write_csv([], tmp_path / "e.csv")
+        assert read_csv(p) == []

@@ -1,0 +1,69 @@
+"""Tests for cluster-assignment utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.assignment import Assignment, assign_to_centers
+from repro.metric.euclidean import EuclideanMetric
+
+
+@pytest.fixture
+def line():
+    return EuclideanMetric(np.arange(10, dtype=float).reshape(-1, 1))
+
+
+class TestAssignment:
+    def test_nearest_center_chosen(self, line):
+        a = assign_to_centers(line, [2, 7])
+        # points 0-4 closer to 2; 5-9 closer to 7
+        assert np.array_equal(a.labels[:5], np.zeros(5))
+        assert np.array_equal(a.labels[5:], np.ones(5))
+
+    def test_distances_correct(self, line):
+        a = assign_to_centers(line, [2, 7])
+        assert a.distances[0] == pytest.approx(2.0)
+        assert a.distances[9] == pytest.approx(2.0)
+        assert a.distances[2] == pytest.approx(0.0)
+
+    def test_radius_matches_metric(self, line):
+        a = assign_to_centers(line, [0])
+        assert a.radius == pytest.approx(9.0)
+
+    def test_cluster_sizes_sum_to_n(self, line):
+        a = assign_to_centers(line, [2, 7])
+        assert a.cluster_sizes().sum() == 10
+
+    def test_cluster_radii(self, line):
+        a = assign_to_centers(line, [2, 7])
+        assert a.cluster_radii()[0] == pytest.approx(2.0)
+        assert a.cluster_radii()[1] == pytest.approx(2.0)
+
+    def test_members_partition(self, line):
+        a = assign_to_centers(line, [2, 7])
+        all_members = np.concatenate([a.members(0), a.members(1)])
+        assert np.array_equal(np.sort(all_members), np.arange(10))
+
+    def test_chunked_equals_unchunked(self, rng):
+        pts = rng.normal(size=(200, 3))
+        m1 = EuclideanMetric(pts)
+        m2 = EuclideanMetric(pts)
+        m2.chunk_budget = 11
+        a1 = assign_to_centers(m1, [3, 50, 100])
+        a2 = assign_to_centers(m2, [3, 50, 100])
+        assert np.array_equal(a1.labels, a2.labels)
+        assert np.allclose(a1.distances, a2.distances)
+
+    def test_empty_centers_rejected(self, line):
+        with pytest.raises(ValueError):
+            assign_to_centers(line, [])
+
+    def test_integration_with_mpc_kcenter(self, rng):
+        from repro.core import mpc_kcenter
+        from repro.mpc.cluster import MPCCluster
+
+        metric = EuclideanMetric(rng.normal(size=(200, 2)))
+        cluster = MPCCluster(metric, 4, seed=0)
+        res = mpc_kcenter(cluster, 5, epsilon=0.3)
+        a = assign_to_centers(metric, res.centers)
+        assert a.radius == pytest.approx(res.radius)
+        assert a.cluster_sizes().sum() == 200

@@ -1,0 +1,114 @@
+"""Tests for the MPC baselines: Malkomes, Indyk, Ene, sequential
+k-supplier reference."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ene import ene_sampling_kcenter
+from repro.baselines.exact import exact_kcenter, exact_ksupplier
+from repro.baselines.indyk import indyk_diversity
+from repro.baselines.ksupplier_seq import hochbaum_shmoys_ksupplier
+from repro.baselines.malkomes import malkomes_kcenter, malkomes_kcenter_outliers
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+
+
+class TestMalkomes:
+    def test_four_approx_vs_exact(self, rng):
+        pts = rng.normal(size=(18, 2))
+        metric = EuclideanMetric(pts)
+        _, opt = exact_kcenter(metric, 3)
+        cluster = MPCCluster(metric, 3, seed=0)
+        centers, r = malkomes_kcenter(cluster, 3)
+        assert centers.size == 3
+        assert opt - 1e-9 <= r <= 4.0 * opt + 1e-9
+
+    def test_radius_is_true(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        centers, r = malkomes_kcenter(cluster, 8)
+        true_r = float(
+            medium_metric.dist_to_set(np.arange(medium_metric.n), centers).max()
+        )
+        assert r == pytest.approx(true_r)
+
+    def test_round_budget(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        malkomes_kcenter(cluster, 8)
+        assert cluster.stats.rounds <= 4  # 2 algorithmic + 2 reporting
+
+    def test_outliers_variant_ignores_noise(self, rng):
+        tight = rng.normal(size=(60, 2))
+        junk = rng.uniform(400, 500, size=(6, 2))
+        metric = EuclideanMetric(np.concatenate([tight, junk]))
+        cluster = MPCCluster(metric, 3, seed=0)
+        _, r = malkomes_kcenter_outliers(cluster, k=2, z=6)
+        assert r < 20.0  # junk at distance ~600 is excluded
+
+    def test_outliers_variant_weights_merge(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        centers, r = malkomes_kcenter_outliers(cluster, 5, 10)
+        assert centers.size <= 5 and r > 0
+
+
+class TestIndyk:
+    def test_six_approx_vs_exact(self, rng):
+        from repro.baselines.exact import exact_diversity
+
+        pts = rng.normal(size=(16, 2))
+        metric = EuclideanMetric(pts)
+        _, opt = exact_diversity(metric, 3)
+        cluster = MPCCluster(metric, 3, seed=0)
+        subset, d = indyk_diversity(cluster, 3)
+        assert subset.size == 3
+        assert opt / 6.0 - 1e-9 <= d <= opt + 1e-9
+
+    def test_k_validation(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        with pytest.raises(ValueError):
+            indyk_diversity(cluster, 1)
+
+
+class TestEne:
+    def test_radius_reported_truthfully(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        centers, r = ene_sampling_kcenter(cluster, 6)
+        true_r = float(
+            medium_metric.dist_to_set(np.arange(medium_metric.n), centers).max()
+        )
+        assert r == pytest.approx(true_r)
+        assert centers.size <= 6
+
+    def test_reasonable_on_clustered_data(self, rng):
+        from repro.workloads.clustered import separated_clusters
+
+        inst = separated_clusters(400, clusters=5, cluster_radius=1.0, separation=30.0, rng=rng)
+        metric = EuclideanMetric(inst.points)
+        cluster = MPCCluster(metric, 4, seed=0)
+        _, r = ene_sampling_kcenter(cluster, 5)
+        # coverage repair guarantees every machine's farthest point is pooled
+        assert r < 30.0
+
+
+class TestSequentialKSupplier:
+    def test_three_approx_vs_exact(self, rng):
+        pts = rng.normal(size=(16, 2))
+        metric = EuclideanMetric(pts)
+        C, S = np.arange(10), np.arange(10, 16)
+        _, opt = exact_ksupplier(metric, C, S, 2)
+        opened, r = hochbaum_shmoys_ksupplier(metric, C, S, 2)
+        assert opened.size <= 2
+        assert opt - 1e-9 <= r <= 3.0 * opt + 1e-9
+
+    def test_validation(self, rng):
+        metric = EuclideanMetric(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError):
+            hochbaum_shmoys_ksupplier(metric, [], [5], 1)
+        with pytest.raises(ValueError):
+            hochbaum_shmoys_ksupplier(metric, [0], [5], 0)
+
+    def test_single_supplier_forced(self, rng):
+        metric = EuclideanMetric(rng.normal(size=(10, 2)))
+        C, S = np.arange(9), np.array([9])
+        opened, r = hochbaum_shmoys_ksupplier(metric, C, S, 3)
+        assert np.array_equal(opened, S)
+        assert r == pytest.approx(float(metric.dist_to_set(C, S).max()))

@@ -1,0 +1,184 @@
+"""Tests for the sequential baselines: Gonzalez, Hochbaum–Shmoys,
+Charikar with outliers, exact brute force, greedy/Luby MIS."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.charikar import charikar_kcenter_outliers
+from repro.baselines.exact import exact_diversity, exact_kcenter, exact_ksupplier
+from repro.baselines.gonzalez import gonzalez_diversity, gonzalez_kcenter
+from repro.baselines.greedy_mis import greedy_mis
+from repro.baselines.hochbaum_shmoys import candidate_radii, hochbaum_shmoys_kcenter
+from repro.baselines.luby import luby_mis
+from repro.metric.euclidean import EuclideanMetric
+
+
+@pytest.fixture
+def tiny_metric(rng):
+    return EuclideanMetric(rng.normal(size=(15, 2)))
+
+
+class TestGonzalez:
+    def test_two_approx_kcenter(self, tiny_metric):
+        for k in (2, 3):
+            _, opt = exact_kcenter(tiny_metric, k)
+            _, r = gonzalez_kcenter(tiny_metric, k)
+            assert opt - 1e-9 <= r <= 2.0 * opt + 1e-9
+
+    def test_two_approx_diversity(self, tiny_metric):
+        for k in (2, 3):
+            _, opt = exact_diversity(tiny_metric, k)
+            _, d = gonzalez_diversity(tiny_metric, k)
+            assert opt / 2.0 - 1e-9 <= d <= opt + 1e-9
+
+    def test_diversity_requires_k_ge_2(self, tiny_metric):
+        with pytest.raises(ValueError):
+            gonzalez_diversity(tiny_metric, 1)
+
+    def test_start_parameter(self, tiny_metric):
+        c, _ = gonzalez_kcenter(tiny_metric, 3, start=7)
+        assert c[0] == 7
+
+
+class TestHochbaumShmoys:
+    def test_two_approx(self, tiny_metric):
+        for k in (2, 3, 4):
+            _, opt = exact_kcenter(tiny_metric, k)
+            centers, r = hochbaum_shmoys_kcenter(tiny_metric, k)
+            assert centers.size <= k
+            assert opt - 1e-9 <= r <= 2.0 * opt + 1e-9
+
+    def test_candidate_radii_sorted_unique(self, tiny_metric):
+        radii = candidate_radii(tiny_metric)
+        assert np.all(np.diff(radii) > 0)
+
+    def test_candidate_radii_size_guard(self, rng):
+        m = EuclideanMetric(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError, match="too large"):
+            candidate_radii(m, max_points=5)
+
+    def test_invalid_k(self, tiny_metric):
+        with pytest.raises(ValueError):
+            hochbaum_shmoys_kcenter(tiny_metric, 0)
+
+
+class TestCharikarOutliers:
+    def test_outliers_ignored(self, rng):
+        """Tight cluster + far-away junk: with z = #junk the radius must
+        reflect only the cluster."""
+        cluster_pts = rng.normal(size=(30, 2)) * 0.5
+        junk = rng.uniform(500, 600, size=(5, 2))
+        metric = EuclideanMetric(np.concatenate([cluster_pts, junk]))
+        _, r = charikar_kcenter_outliers(metric, k=1, z=5)
+        assert r < 10.0
+
+    def test_z_zero_covers_everything(self, tiny_metric):
+        centers, r = charikar_kcenter_outliers(tiny_metric, k=3, z=0)
+        true_r = float(
+            tiny_metric.dist_to_set(np.arange(tiny_metric.n), centers).max()
+        )
+        assert r == pytest.approx(true_r)
+
+    def test_three_approx_with_z_zero(self, tiny_metric):
+        _, opt = exact_kcenter(tiny_metric, 3)
+        _, r = charikar_kcenter_outliers(tiny_metric, 3, 0)
+        assert r <= 3.0 * opt + 1e-9
+
+    def test_weighted_variant(self, rng):
+        pts = rng.normal(size=(20, 2))
+        metric = EuclideanMetric(pts)
+        w = np.ones(20)
+        w[0] = 10.0
+        centers, r = charikar_kcenter_outliers(metric, 2, 3, weights=w)
+        assert centers.size <= 2 and r >= 0
+
+    def test_invalid_args(self, tiny_metric):
+        with pytest.raises(ValueError):
+            charikar_kcenter_outliers(tiny_metric, 0, 1)
+        with pytest.raises(ValueError):
+            charikar_kcenter_outliers(tiny_metric, 1, -1)
+
+
+class TestExact:
+    def test_kcenter_optimality_cross_check(self, rng):
+        """Exact must never exceed any heuristic's radius."""
+        pts = rng.normal(size=(12, 2))
+        m = EuclideanMetric(pts)
+        _, opt = exact_kcenter(m, 3)
+        _, g = gonzalez_kcenter(m, 3)
+        _, hs = hochbaum_shmoys_kcenter(m, 3)
+        assert opt <= g + 1e-9 and opt <= hs + 1e-9
+
+    def test_diversity_optimality_cross_check(self, rng):
+        pts = rng.normal(size=(12, 2))
+        m = EuclideanMetric(pts)
+        _, opt = exact_diversity(m, 3)
+        _, g = gonzalez_diversity(m, 3)
+        assert opt >= g - 1e-9
+
+    def test_budget_guard(self, rng):
+        m = EuclideanMetric(rng.normal(size=(40, 2)))
+        with pytest.raises(ValueError, match="budget"):
+            exact_diversity(m, 15, max_subsets=1000)
+
+    def test_ksupplier_exact(self, rng):
+        pts = rng.normal(size=(12, 2))
+        m = EuclideanMetric(pts)
+        C, S = np.arange(8), np.arange(8, 12)
+        opened, r = exact_ksupplier(m, C, S, 2)
+        assert opened.size == 2 and np.isin(opened, S).all()
+        # check optimality by enumeration
+        from itertools import combinations
+
+        best = min(
+            float(m.pairwise(C, list(sub)).min(axis=1).max())
+            for sub in combinations(S, 2)
+        )
+        assert r == pytest.approx(best)
+
+    def test_kcenter_k_equals_n(self, rng):
+        m = EuclideanMetric(rng.normal(size=(6, 2)))
+        _, opt = exact_kcenter(m, 6)
+        assert opt == pytest.approx(0.0)
+
+
+class TestMIS:
+    def test_greedy_is_maximal_independent(self, rng):
+        pts = rng.normal(size=(50, 2))
+        m = EuclideanMetric(pts)
+        tau = 0.7
+        mis = greedy_mis(m, np.arange(50), tau)
+        D = m.pairwise(mis, mis)
+        np.fill_diagonal(D, np.inf)
+        assert D.min() > tau
+        assert float(m.dist_to_set(np.arange(50), mis).max()) <= tau
+
+    def test_greedy_limit(self, rng):
+        pts = rng.uniform(0, 100, size=(50, 2))
+        m = EuclideanMetric(pts)
+        mis = greedy_mis(m, np.arange(50), 0.1, limit=5)
+        assert mis.size == 5
+
+    def test_greedy_shuffled_order(self, rng):
+        pts = rng.normal(size=(30, 2))
+        m = EuclideanMetric(pts)
+        a = greedy_mis(m, np.arange(30), 0.5)
+        b = greedy_mis(m, np.arange(30), 0.5, rng=np.random.default_rng(1))
+        # both must be valid MIS (sizes may differ)
+        for mis in (a, b):
+            assert float(m.dist_to_set(np.arange(30), mis).max()) <= 0.5
+
+    def test_luby_is_maximal_independent(self, rng):
+        pts = rng.normal(size=(60, 2))
+        m = EuclideanMetric(pts)
+        tau = 0.6
+        mis, rounds = luby_mis(m, np.arange(60), tau, rng=np.random.default_rng(3))
+        D = m.pairwise(mis, mis)
+        np.fill_diagonal(D, np.inf)
+        assert D.min() > tau
+        assert float(m.dist_to_set(np.arange(60), mis).max()) <= tau
+        assert rounds >= 1
+
+    def test_luby_empty_input(self, tiny_metric):
+        mis, rounds = luby_mis(tiny_metric, [], 1.0)
+        assert mis.size == 0 and rounds == 0

@@ -1,0 +1,219 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_kcenter_defaults(self):
+        args = build_parser().parse_args(["kcenter"])
+        assert args.workload == "gaussian" and args.k == 10
+        assert args.machines == 8 and args.partition == "random"
+
+    def test_mis_requires_tau(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mis"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["kcenter", "--workload", "bogus"])
+
+    def test_constants_choices(self):
+        args = build_parser().parse_args(["kcenter", "--constants", "paper"])
+        assert args.constants == "paper"
+
+
+class TestCommands:
+    def test_workloads_lists_names(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "gaussian" in out and "clustered" in out
+
+    def test_kcenter_runs(self, capsys):
+        rc = main(
+            [
+                "kcenter",
+                "--workload",
+                "uniform",
+                "--n",
+                "120",
+                "--k",
+                "4",
+                "--machines",
+                "3",
+                "--epsilon",
+                "0.3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "radius" in out and "MPC statistics" in out
+
+    def test_diversity_runs(self, capsys):
+        rc = main(
+            [
+                "diversity",
+                "--workload",
+                "uniform",
+                "--n",
+                "100",
+                "--k",
+                "4",
+                "--machines",
+                "3",
+                "--epsilon",
+                "0.3",
+            ]
+        )
+        assert rc == 0
+        assert "diversity" in capsys.readouterr().out
+
+    def test_supplier_runs(self, capsys):
+        rc = main(
+            [
+                "supplier",
+                "--customers",
+                "80",
+                "--suppliers",
+                "30",
+                "--k",
+                "3",
+                "--machines",
+                "3",
+                "--epsilon",
+                "0.3",
+            ]
+        )
+        assert rc == 0
+        assert "opened" in capsys.readouterr().out
+
+    def test_mis_runs(self, capsys):
+        rc = main(
+            [
+                "mis",
+                "--workload",
+                "uniform",
+                "--n",
+                "100",
+                "--tau",
+                "1.0",
+                "--k",
+                "8",
+                "--machines",
+                "3",
+            ]
+        )
+        assert rc == 0
+        assert "terminated_via" in capsys.readouterr().out
+
+    def test_dominating_runs(self, capsys):
+        rc = main(
+            [
+                "dominating",
+                "--workload",
+                "uniform",
+                "--n",
+                "120",
+                "--tau",
+                "1.5",
+                "--machines",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "packing LB" in out
+
+    def test_compare_runs(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--workload",
+                "uniform",
+                "--n",
+                "150",
+                "--k",
+                "4",
+                "--machines",
+                "3",
+                "--epsilon",
+                "0.4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Malkomes" in out and "Gonzalez" in out
+
+    def test_json_out(self, capsys, tmp_path):
+        out = tmp_path / "result.json"
+        rc = main(
+            [
+                "kcenter",
+                "--workload",
+                "uniform",
+                "--n",
+                "100",
+                "--k",
+                "3",
+                "--machines",
+                "2",
+                "--epsilon",
+                "0.5",
+                "--json-out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["meta"]["command"] == "kcenter"
+        assert doc["rows"][0]["k"] == 3
+        assert "rounds" in doc["meta"]["stats"]
+
+    def test_trace_runs(self, capsys):
+        rc = main(
+            [
+                "trace",
+                "--algorithm",
+                "mis",
+                "--workload",
+                "uniform",
+                "--n",
+                "120",
+                "--tau",
+                "1.0",
+                "--k",
+                "6",
+                "--machines",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "message tag" in out and "heaviest" in out
+
+    def test_block_partition_option(self, capsys):
+        rc = main(
+            [
+                "kcenter",
+                "--workload",
+                "uniform",
+                "--n",
+                "80",
+                "--k",
+                "3",
+                "--machines",
+                "2",
+                "--partition",
+                "block",
+                "--epsilon",
+                "0.5",
+            ]
+        )
+        assert rc == 0

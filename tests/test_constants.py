@@ -1,0 +1,84 @@
+"""Tests for repro.constants."""
+
+import math
+
+import pytest
+
+from repro.constants import DEFAULT_CONSTANTS, TheoryConstants
+
+
+class TestPresets:
+    def test_paper_delta_floor(self):
+        # with a large epsilon the 18 floor dominates
+        c = TheoryConstants.paper(epsilon=1.0)
+        assert c.delta == 18.0
+
+    def test_paper_delta_epsilon_term(self):
+        c = TheoryConstants.paper(epsilon=0.1)
+        assert c.delta == pytest.approx(12.0 / 0.01)
+
+    def test_paper_records_epsilon(self):
+        c = TheoryConstants.paper(epsilon=0.25)
+        assert c.mis_epsilon == 0.25
+
+    def test_practical_is_small(self):
+        c = TheoryConstants.practical()
+        assert c.delta < TheoryConstants.paper().delta
+
+    def test_default_is_practical(self):
+        assert DEFAULT_CONSTANTS.delta == TheoryConstants.practical().delta
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0])
+    def test_invalid_epsilon_rejected(self, eps):
+        with pytest.raises(ValueError):
+            TheoryConstants.paper(epsilon=eps)
+        with pytest.raises(ValueError):
+            TheoryConstants.practical(epsilon=eps)
+
+    def test_with_epsilon_copies(self):
+        c = TheoryConstants.practical()
+        c2 = c.with_epsilon(0.5)
+        assert c2.mis_epsilon == 0.5
+        assert c.mis_epsilon != 0.5  # frozen original untouched
+        assert c2.delta == c.delta
+
+
+class TestThresholds:
+    def test_ln_n_matches_log(self):
+        c = TheoryConstants.practical()
+        assert c.ln_n(1000) == pytest.approx(math.log(1000))
+
+    def test_ln_n_floor_on_tiny_inputs(self):
+        c = TheoryConstants.practical()
+        assert c.ln_n(1) == c.log_floor
+        assert c.ln_n(2) == c.log_floor
+
+    def test_heavy_threshold_formula(self):
+        c = TheoryConstants.practical()
+        assert c.heavy_threshold(100) == pytest.approx(c.delta * math.log(100))
+
+    def test_light_path_trigger_formula(self):
+        c = TheoryConstants.practical()
+        expected = c.light_blowup * c.delta * 8 * 5 * math.log(200)
+        assert c.light_path_trigger(200, 8, 5) == pytest.approx(expected)
+
+    def test_light_degree_bound_formula(self):
+        c = TheoryConstants.practical()
+        expected = c.light_blowup * c.delta * 8 * math.log(200)
+        assert c.light_degree_bound(200, 8) == pytest.approx(expected)
+
+    def test_pruning_trigger_formula(self):
+        c = TheoryConstants.practical()
+        assert c.pruning_trigger(200, 5) == pytest.approx(
+            c.pruning_factor * 5 * math.log(200)
+        )
+
+    def test_thresholds_monotone_in_n(self):
+        c = TheoryConstants.practical()
+        assert c.heavy_threshold(10_000) > c.heavy_threshold(100)
+        assert c.pruning_trigger(10_000, 3) > c.pruning_trigger(100, 3)
+
+    def test_frozen(self):
+        c = TheoryConstants.practical()
+        with pytest.raises(Exception):
+            c.delta = 99.0

@@ -1,0 +1,163 @@
+"""Tests for Algorithm 3 — MPC degree approximation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import TheoryConstants
+from repro.core.degree_approx import mpc_degree_approximation
+from repro.core.threshold_graph import ThresholdGraphView
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+
+
+def true_degrees(metric, active, tau):
+    view = ThresholdGraphView(metric, active, tau)
+    return view.degrees(active)
+
+
+class TestExactPathCorrectness:
+    def test_single_machine_degrees_exact(self, medium_metric):
+        """m=1 samples everything w.p. 1: heavy estimates and light exact
+        degrees must both equal the truth.  (light_blowup is raised so the
+        light path cannot preempt the degree computation.)"""
+        constants = TheoryConstants(delta=2.0, light_blowup=1e9)
+        cluster = MPCCluster(medium_metric, 1, seed=0)
+        res = mpc_degree_approximation(cluster, 1.0, 5, constants)
+        assert res.kind == "degrees"
+        active = np.arange(medium_metric.n)
+        truth = true_degrees(medium_metric, active, 1.0)
+        assert np.allclose(res.p[active], truth)
+
+    def test_light_vertices_get_exact_degrees(self, medium_metric, practical):
+        cluster = MPCCluster(medium_metric, 4, seed=1)
+        tau = 0.3  # sparse graph: everything is light
+        res = mpc_degree_approximation(cluster, tau, 5, practical)
+        if res.kind != "degrees":
+            pytest.skip("light path fired; covered elsewhere")
+        active = np.arange(medium_metric.n)
+        truth = true_degrees(medium_metric, active, tau)
+        # light vertices (the overwhelming majority at this tau) are exact
+        exact_matches = np.isclose(res.p[active], truth).sum()
+        assert exact_matches >= res.light_count
+
+    def test_p_nan_outside_active(self, medium_metric, practical):
+        active = [mach.local_ids[:10] for mach in MPCCluster(medium_metric, 4, seed=0).machines]
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        active = [mach.local_ids[:10] for mach in cluster.machines]
+        res = mpc_degree_approximation(cluster, 0.5, 5, practical, active)
+        all_active = np.concatenate(active)
+        inactive = np.setdiff1d(np.arange(medium_metric.n), all_active)
+        assert np.all(np.isnan(res.p[inactive]))
+        assert not np.any(np.isnan(res.p[all_active]))
+
+    def test_degrees_restricted_to_active_subgraph(self, medium_metric, practical):
+        cluster = MPCCluster(medium_metric, 2, seed=3)
+        active = [mach.local_ids[::2] for mach in cluster.machines]
+        res = mpc_degree_approximation(cluster, 0.8, 5, practical, active)
+        if res.kind != "degrees":
+            pytest.skip("light path fired")
+        all_active = np.concatenate(active)
+        truth = true_degrees(medium_metric, all_active, 0.8)
+        # light actives exact w.r.t. the *active* subgraph
+        light_ok = np.isclose(res.p[all_active], truth).sum()
+        assert light_ok >= res.light_count
+
+
+class TestHeavyEstimates:
+    def test_heavy_estimates_concentrate(self, rng):
+        """Dense graph, many machines: heavy estimates within a loose
+        multiplicative band of the truth."""
+        pts = rng.normal(size=(2000, 2))
+        metric = EuclideanMetric(pts)
+        constants = TheoryConstants.practical()
+        cluster = MPCCluster(metric, 4, seed=7)
+        tau = 2.0  # very dense graph
+        res = mpc_degree_approximation(cluster, tau, 5, constants)
+        assert res.kind == "degrees"
+        assert res.heavy_count > 0
+        active = np.arange(metric.n)
+        truth = true_degrees(metric, active, tau).astype(float)
+        heavy_mask = ~np.isnan(res.p[active]) & (truth > 0)
+        est = res.p[active][heavy_mask]
+        tru = truth[heavy_mask]
+        # sampled at rate 1/4 from degrees in the hundreds: 3x band is safe
+        ratio = est / tru
+        assert np.all(ratio > 1 / 3) and np.all(ratio < 3)
+
+    def test_sample_size_reported(self, medium_metric, practical):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        res = mpc_degree_approximation(cluster, 1.0, 5, practical)
+        assert res.sample_size >= 0
+        assert res.light_count + res.heavy_count == medium_metric.n
+
+
+class TestLightPath:
+    def make_sparse_instance(self, n, rng):
+        """Huge spread: the threshold graph is empty, everything light."""
+        pts = rng.uniform(0, 1e6, size=(n, 2))
+        return EuclideanMetric(pts)
+
+    def test_light_path_returns_independent_set(self, rng):
+        metric = self.make_sparse_instance(500, rng)
+        # trigger below |L| = 500 but large enough that the shipped
+        # rho-fraction holds at least k independent vertices
+        constants = TheoryConstants(delta=1.0, light_blowup=0.5)
+        cluster = MPCCluster(metric, 4, seed=0)
+        k = 5
+        res = mpc_degree_approximation(cluster, 1.0, k, constants)
+        assert res.kind == "independent_set"
+        assert res.light_path_taken
+        ids = res.independent_set
+        assert ids.size == k
+        D = metric.pairwise(ids, ids)
+        np.fill_diagonal(D, np.inf)
+        assert D.min() > 1.0
+
+    def test_light_path_falls_through_when_greedy_short(self):
+        """Three tight clusters: every vertex is light (sample degree below
+        the threshold) but the maximum independent set has only 3 vertices,
+        so the light-path greedy comes up short of k=5 and the routine must
+        fall through to exact degrees instead of failing."""
+        centers = np.array([[0.0, 0.0], [1000.0, 0.0], [2000.0, 0.0]])
+        pts = np.repeat(centers, 34, axis=0)  # n = 102, 3 clusters of 34
+        metric = EuclideanMetric(pts)
+        # heavy threshold δ·ln(102) ≈ 18.5 > expected sample degree ≈ 8
+        constants = TheoryConstants(delta=4.0, light_blowup=0.2)
+        cluster = MPCCluster(metric, 4, seed=0)
+        res = mpc_degree_approximation(cluster, 1.0, 5, constants)
+        assert res.kind == "degrees"
+        assert res.light_path_taken and res.light_path_fell_through
+        # exact light degrees: every vertex has 33 co-located neighbors
+        active = np.arange(102)
+        light_exact = np.isclose(res.p[active], 33.0).sum()
+        assert light_exact >= res.light_count > 0
+
+
+class TestAccountingAndEdges:
+    def test_rounds_used_reported(self, medium_metric, practical):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        before = cluster.round_no
+        res = mpc_degree_approximation(cluster, 0.5, 5, practical)
+        assert res.rounds_used == cluster.round_no - before
+        assert res.rounds_used >= 3  # sample + counts + decision at minimum
+
+    def test_empty_active_set(self, medium_metric, practical):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        empty = [np.zeros(0, dtype=np.int64) for _ in range(4)]
+        res = mpc_degree_approximation(cluster, 0.5, 5, practical, empty)
+        assert res.kind == "degrees"
+        assert np.all(np.isnan(res.p))
+
+    def test_strict_mode_holds(self, medium_metric, practical):
+        """The whole routine runs under strict known-point checking."""
+        cluster = MPCCluster(medium_metric, 4, seed=0, strict=True)
+        res = mpc_degree_approximation(cluster, 1.0, 5, practical)
+        assert res.kind in ("degrees", "independent_set")
+
+    def test_deterministic_given_seed(self, medium_metric, practical):
+        out = []
+        for _ in range(2):
+            cluster = MPCCluster(medium_metric, 4, seed=11)
+            res = mpc_degree_approximation(cluster, 0.7, 5, practical)
+            out.append(res.p.copy())
+        assert np.array_equal(out[0], out[1], equal_nan=True)

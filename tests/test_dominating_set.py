@@ -1,0 +1,135 @@
+"""Tests for the dominating-set application (the paper's conclusion
+claim: constant-factor MPC dominating set via k-bounded MIS in graphs
+with bounded neighborhood independence)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy_dominating import greedy_dominating_set
+from repro.core.dominating_set import (
+    mpc_dominating_set,
+    neighborhood_independence,
+    verify_dominating_set,
+)
+from repro.exceptions import InvalidSolutionError
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.workloads.graphs import grid_graph_metric
+
+
+@pytest.fixture
+def geo_metric(rng):
+    return EuclideanMetric(rng.uniform(0, 15, size=(300, 2)))
+
+
+class TestMPCDominatingSet:
+    @pytest.mark.parametrize("tau", [0.8, 1.5, 3.0])
+    def test_output_dominates(self, geo_metric, tau):
+        cluster = MPCCluster(geo_metric, 4, seed=0)
+        ds = mpc_dominating_set(cluster, tau)
+        verify_dominating_set(geo_metric, ds.ids, tau)
+
+    def test_lower_bound_certifies(self, geo_metric):
+        """greedy DS size >= LB must hold (LB is below the optimum)."""
+        tau = 1.5
+        cluster = MPCCluster(geo_metric, 4, seed=0)
+        ds = mpc_dominating_set(cluster, tau)
+        greedy = greedy_dominating_set(geo_metric, tau)
+        assert ds.lower_bound <= greedy.size
+        assert ds.lower_bound <= ds.size
+
+    def test_constant_factor_vs_rho(self, geo_metric):
+        """The MIS-based DS is within rho * (greedy DS) where rho is the
+        neighborhood independence — the conclusion's constant factor.
+        (greedy >= OPT, so this is implied by |MIS| <= rho * OPT.)"""
+        tau = 1.5
+        cluster = MPCCluster(geo_metric, 4, seed=0)
+        ds = mpc_dominating_set(cluster, tau)
+        rho = neighborhood_independence(geo_metric, tau, sample=50)
+        greedy = greedy_dominating_set(geo_metric, tau)
+        assert ds.size <= rho * greedy.size
+
+    def test_result_is_independent_set(self, geo_metric):
+        tau = 1.5
+        cluster = MPCCluster(geo_metric, 4, seed=0)
+        ds = mpc_dominating_set(cluster, tau)
+        D = geo_metric.pairwise(ds.ids, ds.ids)
+        np.fill_diagonal(D, np.inf)
+        assert D.min() > tau
+
+    def test_on_graph_metric(self):
+        metric = grid_graph_metric(10, 10)
+        cluster = MPCCluster(metric, 4, seed=0)
+        ds = mpc_dominating_set(cluster, 1.0)
+        verify_dominating_set(metric, ds.ids, 1.0)
+
+    def test_determinism(self, geo_metric):
+        sizes = []
+        for _ in range(2):
+            cluster = MPCCluster(geo_metric, 4, seed=21)
+            sizes.append(mpc_dominating_set(cluster, 1.2).size)
+        assert sizes[0] == sizes[1]
+
+    def test_stats_attached(self, geo_metric):
+        cluster = MPCCluster(geo_metric, 4, seed=0)
+        ds = mpc_dominating_set(cluster, 1.5)
+        assert ds.rounds > 0 and "rounds" in ds.stats
+        assert ds.certified_ratio >= 1.0
+
+
+class TestVerifier:
+    def test_accepts_full_set(self, geo_metric):
+        verify_dominating_set(geo_metric, np.arange(geo_metric.n), 0.0)
+
+    def test_rejects_undominated(self):
+        metric = EuclideanMetric([[0.0], [10.0]])
+        with pytest.raises(InvalidSolutionError, match="undominated"):
+            verify_dominating_set(metric, [0], 1.0)
+
+    def test_rejects_empty_on_nonempty(self, geo_metric):
+        with pytest.raises(InvalidSolutionError, match="empty"):
+            verify_dominating_set(geo_metric, [], 1.0)
+
+    def test_universe_restriction(self):
+        metric = EuclideanMetric([[0.0], [10.0], [10.5]])
+        verify_dominating_set(metric, [1], 1.0, universe=[1, 2])
+
+
+class TestGreedyBaseline:
+    def test_dominates(self, geo_metric):
+        out = greedy_dominating_set(geo_metric, 1.5)
+        verify_dominating_set(geo_metric, out, 1.5)
+
+    def test_complete_graph_one_vertex(self):
+        metric = EuclideanMetric(np.zeros((20, 2)))
+        assert greedy_dominating_set(metric, 1.0).size == 1
+
+    def test_empty_graph_tau_zero_distinct(self, rng):
+        pts = rng.uniform(0, 100, size=(10, 2))
+        metric = EuclideanMetric(pts)
+        out = greedy_dominating_set(metric, 1e-9)
+        assert out.size == 10  # everyone must dominate themselves
+
+    def test_restricted_vertices(self, geo_metric):
+        sub = np.arange(0, 100)
+        out = greedy_dominating_set(geo_metric, 1.5, vertices=sub)
+        assert np.isin(out, sub).all()
+        verify_dominating_set(geo_metric, out, 1.5, universe=sub)
+
+
+class TestNeighborhoodIndependence:
+    def test_plane_constant_bounded(self, geo_metric):
+        """In the Euclidean plane rho <= 5 for threshold balls."""
+        rho = neighborhood_independence(geo_metric, 1.5, sample=80)
+        assert 1 <= rho <= 6  # 5 + the center itself in the closed ball
+
+    def test_complete_graph_rho_one(self):
+        metric = EuclideanMetric(np.zeros((10, 2)))
+        assert neighborhood_independence(metric, 1.0) == 1
+
+    def test_sampled_vs_full_consistency(self, rng):
+        pts = rng.uniform(0, 5, size=(40, 2))
+        metric = EuclideanMetric(pts)
+        full = neighborhood_independence(metric, 1.0)
+        sampled = neighborhood_independence(metric, 1.0, sample=40)
+        assert sampled == full

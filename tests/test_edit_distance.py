@@ -1,0 +1,88 @@
+"""Tests for the Levenshtein metric."""
+
+import numpy as np
+import pytest
+
+from repro.metric.edit_distance import EditDistanceMetric, levenshtein
+from repro.metric.validation import check_metric_axioms
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xyz", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("a", "b", 1),
+            ("ab", "ba", 2),
+            ("saturday", "sunday", 3),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_symmetric(self):
+        assert levenshtein("hello", "yellow") == levenshtein("yellow", "hello")
+
+    def test_triangle_random(self, rng):
+        import string
+
+        words = [
+            "".join(rng.choice(list(string.ascii_lowercase), size=rng.integers(1, 8)))
+            for _ in range(12)
+        ]
+        for a in words[:5]:
+            for b in words[:5]:
+                for c in words[:5]:
+                    assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestMetric:
+    @pytest.fixture
+    def metric(self):
+        return EditDistanceMetric(
+            ["kitten", "sitting", "kitchen", "mitten", "sit", "abba", "xyz"]
+        )
+
+    def test_axioms(self, metric):
+        check_metric_axioms(metric, sample_size=7)
+
+    def test_pairwise_values(self, metric):
+        assert metric.distance(0, 1) == 3.0  # kitten -> sitting
+        assert metric.distance(0, 3) == 1.0  # kitten -> mitten
+
+    def test_cache_reuse(self, metric):
+        metric.distance(0, 1)
+        before = len(metric._cache)
+        metric.distance(1, 0)  # symmetric key hit
+        assert len(metric._cache) == before
+
+    def test_rejects_empty_corpus(self):
+        with pytest.raises(ValueError):
+            EditDistanceMetric([])
+
+    def test_point_words_positive(self, metric):
+        assert metric.point_words() >= 1
+
+    def test_works_with_gmm(self, metric):
+        from repro.core.gmm import gmm
+
+        out = gmm(metric, np.arange(metric.n), 3)
+        assert out.size == 3
+
+    def test_end_to_end_diversity(self):
+        from repro.core.diversity import mpc_diversity
+        from repro.mpc.cluster import MPCCluster
+
+        words = [w + str(i % 3) for i, w in enumerate(
+            ["alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+             "eta", "theta", "iota", "kappa", "lam", "mu"] * 3
+        )]
+        metric = EditDistanceMetric(words)
+        cluster = MPCCluster(metric, 3, seed=0)
+        res = mpc_diversity(cluster, 4, epsilon=0.3)
+        assert res.size == 4 and res.diversity >= 1.0

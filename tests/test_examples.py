@@ -1,0 +1,46 @@
+"""Smoke tests for the example scripts.
+
+The quickstart runs end-to-end (it is the documented first contact with
+the library); the other examples are compiled and import-checked so a
+syntax or API drift breaks CI without paying their full runtime.
+"""
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestCompile:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "diversified_retrieval.py",
+            "facility_location.py",
+            "scaling_study.py",
+            "noisy_sensor_network.py",
+            "road_network.py",
+            "log_template_selection.py",
+            "global_hubs.py",
+            "anatomy_of_a_run.py",
+        ],
+    )
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+class TestQuickstartRuns:
+    def test_main(self, capsys):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "quickstart", EXAMPLES / "quickstart.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        mod.main()
+        out = capsys.readouterr().out
+        assert "k-center" in out and "MPC" in out

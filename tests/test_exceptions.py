@@ -1,0 +1,67 @@
+"""Tests for the exception taxonomy."""
+
+import pytest
+
+from repro.exceptions import (
+    CommunicationLimitExceeded,
+    ConvergenceError,
+    InfeasibleInstanceError,
+    InvalidSolutionError,
+    MemoryLimitExceeded,
+    MPCError,
+    PartitionError,
+    ReproError,
+    SolutionError,
+    UnknownPointError,
+)
+
+
+class TestHierarchy:
+    def test_all_are_repro_errors(self):
+        for exc in (
+            MemoryLimitExceeded(0, 1, 2),
+            CommunicationLimitExceeded(0, 1, 2, 3),
+            UnknownPointError(0, 1),
+            PartitionError("x"),
+            InvalidSolutionError("x"),
+            InfeasibleInstanceError("x"),
+            ConvergenceError("alg", 10),
+        ):
+            assert isinstance(exc, ReproError)
+
+    def test_mpc_branch(self):
+        assert issubclass(MemoryLimitExceeded, MPCError)
+        assert issubclass(CommunicationLimitExceeded, MPCError)
+        assert issubclass(UnknownPointError, MPCError)
+        assert issubclass(PartitionError, MPCError)
+
+    def test_solution_branch(self):
+        assert issubclass(InvalidSolutionError, SolutionError)
+        assert issubclass(InfeasibleInstanceError, SolutionError)
+        assert not issubclass(InvalidSolutionError, MPCError)
+
+
+class TestPayloads:
+    def test_memory_limit_carries_context(self):
+        e = MemoryLimitExceeded(3, 100, 50)
+        assert e.machine_id == 3 and e.used == 100 and e.limit == 50
+        assert "machine 3" in str(e)
+
+    def test_comm_limit_carries_context(self):
+        e = CommunicationLimitExceeded(2, 7, 999, 100)
+        assert e.round_no == 7
+        assert "round 7" in str(e)
+
+    def test_unknown_point_carries_context(self):
+        e = UnknownPointError(1, 42)
+        assert e.point_id == 42
+        assert "42" in str(e)
+
+    def test_convergence_mentions_algorithm(self):
+        e = ConvergenceError("mpc_k_bounded_mis", 200)
+        assert "mpc_k_bounded_mis" in str(e)
+        assert e.rounds == 200
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise UnknownPointError(0, 0)

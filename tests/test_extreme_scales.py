@@ -1,0 +1,83 @@
+"""Numerically extreme workloads: huge dynamic ranges and degenerate
+geometries that stress the geometric threshold ladders."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    verify_diversity_solution,
+    verify_kcenter_solution,
+)
+from repro.core import mpc_diversity, mpc_kcenter
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.workloads.adversarial import colinear_chain, exponential_spread
+
+
+class TestExponentialSpread:
+    """Distances spanning many orders of magnitude: the ladder indices
+    stay well-conditioned because they are *relative* to r."""
+
+    @pytest.fixture
+    def metric(self):
+        return EuclideanMetric(exponential_spread(40, base=2.0))
+
+    def test_kcenter(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        res = mpc_kcenter(cluster, 4, epsilon=0.2)
+        verify_kcenter_solution(metric, res.centers, 4, res.radius)
+
+    def test_diversity_picks_the_tail(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        res = mpc_diversity(cluster, 3, epsilon=0.2)
+        verify_diversity_solution(metric, res.ids, 3, res.diversity)
+        # optimal 3-subset is {2^37, 2^38, 2^39}-ish: diversity ~ 2^37;
+        # the 2.4-factor guarantee keeps us in that magnitude
+        assert res.diversity >= 2.0**37 / 2.4
+
+    def test_tiny_scale(self):
+        """Everything at 1e-9 scale: absolute tolerances must not bite."""
+        pts = 1e-9 * np.random.default_rng(0).normal(size=(50, 2))
+        metric = EuclideanMetric(pts)
+        cluster = MPCCluster(metric, 3, seed=0)
+        res = mpc_kcenter(cluster, 4, epsilon=0.2)
+        verify_kcenter_solution(metric, res.centers, 4, res.radius)
+        assert 0 < res.radius < 1e-7
+
+
+class TestColinear:
+    def test_kcenter_on_chain(self):
+        metric = EuclideanMetric(colinear_chain(60))
+        cluster = MPCCluster(metric, 3, seed=0)
+        res = mpc_kcenter(cluster, 5, epsilon=0.2)
+        verify_kcenter_solution(metric, res.centers, 5, res.radius)
+        # optimal radius for 5 centers on a 59-long chain is ~5.9;
+        # guarantee 2(1.2) puts us under ~14.2
+        assert res.radius <= 2.4 * 5.9 + 1e-9
+
+    def test_diversity_on_chain(self):
+        metric = EuclideanMetric(colinear_chain(60))
+        cluster = MPCCluster(metric, 3, seed=0)
+        res = mpc_diversity(cluster, 4, epsilon=0.2)
+        verify_diversity_solution(metric, res.ids, 4, res.diversity)
+        # optimal 4-subset spreads to pairwise ~19.67
+        assert res.diversity >= 19.0 / 2.4
+
+
+class TestHighDimensional:
+    def test_kcenter_in_high_dim(self, rng):
+        """d=64: distance concentration makes all pairwise distances
+        similar — the ladder's flip lands immediately, which must still
+        satisfy the contract."""
+        pts = rng.normal(size=(200, 64))
+        metric = EuclideanMetric(pts)
+        cluster = MPCCluster(metric, 4, seed=0)
+        res = mpc_kcenter(cluster, 6, epsilon=0.2)
+        verify_kcenter_solution(metric, res.centers, 6, res.radius)
+
+    def test_diversity_in_high_dim(self, rng):
+        pts = rng.normal(size=(200, 64))
+        metric = EuclideanMetric(pts)
+        cluster = MPCCluster(metric, 4, seed=0)
+        res = mpc_diversity(cluster, 6, epsilon=0.2)
+        verify_diversity_solution(metric, res.ids, 6, res.diversity)

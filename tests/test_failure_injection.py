@@ -1,0 +1,122 @@
+"""Failure injection: limits trip the right exceptions, strict mode
+catches oracle misuse, and degenerate inputs fail loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.core import mpc_kcenter
+from repro.exceptions import (
+    CommunicationLimitExceeded,
+    MemoryLimitExceeded,
+    UnknownPointError,
+)
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.limits import Limits
+from repro.mpc.message import PointBatch
+
+
+@pytest.fixture
+def metric(rng):
+    return EuclideanMetric(rng.normal(size=(100, 2)))
+
+
+class TestCommunicationLimits:
+    def test_tight_limit_kills_algorithm(self, metric):
+        cluster = MPCCluster(
+            metric, 4, seed=0, limits=Limits(comm_words_per_round=5)
+        )
+        with pytest.raises(CommunicationLimitExceeded):
+            mpc_kcenter(cluster, 5, epsilon=0.3)
+
+    def test_generous_limit_passes(self, metric):
+        lim = Limits(comm_words_per_round=10_000_000)
+        cluster = MPCCluster(metric, 4, seed=0, limits=lim)
+        res = mpc_kcenter(cluster, 5, epsilon=0.3)
+        assert res.radius > 0
+
+    def test_theory_limit_with_slack_passes(self, metric):
+        lim = Limits.theory(n=metric.n, m=4, k=5, dim=2, slack=512.0)
+        cluster = MPCCluster(metric, 4, seed=0, limits=lim)
+        res = mpc_kcenter(cluster, 5, epsilon=0.3)
+        assert res.radius > 0
+
+    def test_exception_identifies_machine_and_round(self, metric):
+        cluster = MPCCluster(metric, 2, seed=0, limits=Limits(comm_words_per_round=1))
+        cluster.send(0, 1, np.zeros(10))
+        with pytest.raises(CommunicationLimitExceeded) as e:
+            cluster.step()
+        assert e.value.round_no == 1
+        assert e.value.used == 10
+
+
+class TestMemoryLimits:
+    def test_learning_past_cap_raises(self, metric):
+        # each machine starts with ~25 points = 50 words; cap just above
+        cluster = MPCCluster(metric, 4, seed=0, limits=Limits(memory_words=60))
+        ids = cluster.machines[1].local_ids[:10]
+        cluster.send(1, 0, PointBatch(ids))
+        with pytest.raises(MemoryLimitExceeded):
+            cluster.step()
+
+
+class TestStrictMode:
+    def test_touching_unreceived_point_raises(self, metric):
+        cluster = MPCCluster(metric, 4, seed=0, strict=True)
+        mach = cluster.machines[1]
+        foreign = cluster.machines[2].local_ids[0]
+        with pytest.raises(UnknownPointError):
+            mach.pairwise([int(foreign)], mach.local_ids[:1])
+
+    def test_sending_unknown_points_raises(self, metric):
+        cluster = MPCCluster(metric, 4, seed=0, strict=True)
+        foreign = cluster.machines[2].local_ids[:2]
+        with pytest.raises(UnknownPointError):
+            cluster.send(1, 0, PointBatch(foreign))
+
+    def test_non_strict_cluster_permits(self, metric):
+        cluster = MPCCluster(metric, 4, seed=0, strict=False)
+        foreign = cluster.machines[2].local_ids[:2]
+        cluster.send(1, 0, PointBatch(foreign))
+        cluster.step()
+
+    def test_all_core_algorithms_pass_strict(self, metric):
+        """The headline guarantee: nothing in the pipeline peeks at data
+        it never received."""
+        from repro.core import mpc_diversity, mpc_k_bounded_mis
+
+        for fn in (
+            lambda c: mpc_kcenter(c, 5, epsilon=0.3),
+            lambda c: mpc_diversity(c, 5, epsilon=0.3),
+            lambda c: mpc_k_bounded_mis(c, 0.5, 8),
+        ):
+            cluster = MPCCluster(metric, 4, seed=3, strict=True)
+            fn(cluster)  # must not raise UnknownPointError
+
+
+class TestDegenerateInputs:
+    def test_single_point_kcenter(self):
+        metric = EuclideanMetric([[1.0, 2.0]])
+        cluster = MPCCluster(metric, 1, seed=0)
+        res = mpc_kcenter(cluster, 1, epsilon=0.5)
+        assert res.radius == 0.0
+
+    def test_two_points_two_machines(self):
+        metric = EuclideanMetric([[0.0, 0.0], [1.0, 0.0]])
+        cluster = MPCCluster(metric, 2, seed=0)
+        res = mpc_kcenter(cluster, 2, epsilon=0.5)
+        assert res.radius == pytest.approx(0.0)
+
+    def test_more_machines_than_points_leaves_idle_machines(self):
+        """n < m is allowed: the surplus machines simply hold nothing
+        (the paper assumes m = n^γ << n; this is the graceful fallback)."""
+        from repro.mpc.partition import random_partition
+
+        parts = random_partition(2, 5, np.random.default_rng(0))
+        assert sum(p.size for p in parts) == 2
+        assert sum(p.size == 0 for p in parts) == 3
+        # and the algorithms still run
+        metric = EuclideanMetric([[0.0, 0.0], [3.0, 0.0]])
+        cluster = MPCCluster(metric, 5, partition=parts, seed=0)
+        res = mpc_kcenter(cluster, 1, epsilon=0.5)
+        assert res.radius == pytest.approx(3.0)

@@ -1,0 +1,119 @@
+"""Tests for Algorithm 1 (GMM), including property-based anti-cover checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.gmm import check_anti_cover, gmm, gmm_anti_cover_radius
+from repro.metric.euclidean import EuclideanMetric
+
+
+class TestBasics:
+    def test_returns_k_points(self, small_metric):
+        out = gmm(small_metric, np.arange(60), 7)
+        assert out.size == 7 and np.unique(out).size == 7
+
+    def test_first_is_start(self, small_metric):
+        out = gmm(small_metric, np.arange(60), 5, start=13)
+        assert out[0] == 13
+
+    def test_default_start_is_smallest_id(self, small_metric):
+        out = gmm(small_metric, np.arange(10, 40), 3)
+        assert out[0] == 10
+
+    def test_start_not_in_s_rejected(self, small_metric):
+        with pytest.raises(ValueError, match="must belong"):
+            gmm(small_metric, np.arange(10), 3, start=50)
+
+    def test_k_larger_than_s_returns_all(self, small_metric):
+        out = gmm(small_metric, np.arange(5), 99)
+        assert np.array_equal(np.sort(out), np.arange(5))
+
+    def test_k_one(self, small_metric):
+        assert gmm(small_metric, np.arange(60), 1).size == 1
+
+    def test_invalid_k(self, small_metric):
+        with pytest.raises(ValueError):
+            gmm(small_metric, np.arange(10), 0)
+
+    def test_empty_s(self, small_metric):
+        assert gmm(small_metric, [], 3).size == 0
+
+    def test_deterministic(self, small_metric):
+        a = gmm(small_metric, np.arange(60), 6)
+        b = gmm(small_metric, np.arange(60), 6)
+        assert np.array_equal(a, b)
+
+    def test_greedy_picks_farthest(self):
+        # 1-D: 0, 1, 10 — starting from 0, the farthest is 10
+        m = EuclideanMetric([[0.0], [1.0], [10.0]])
+        out = gmm(m, [0, 1, 2], 2, start=0)
+        assert np.array_equal(out, [0, 2])
+
+    def test_duplicate_ids_collapsed(self, small_metric):
+        out = gmm(small_metric, [3, 3, 3, 7, 7], 2)
+        assert np.unique(out).size == 2
+
+
+class TestAntiCover:
+    def test_anti_cover_holds(self, medium_metric):
+        S = np.arange(medium_metric.n)
+        T = gmm(medium_metric, S, 10)
+        assert check_anti_cover(medium_metric, S, T)
+
+    def test_anti_cover_radius_value(self):
+        m = EuclideanMetric([[0.0], [4.0], [10.0]])
+        assert gmm_anti_cover_radius(m, [0, 1, 2], [0, 2]) == pytest.approx(4.0)
+
+    def test_anti_cover_radius_empty_t(self, small_metric):
+        assert np.isinf(gmm_anti_cover_radius(small_metric, [0], []))
+
+    def test_anti_cover_radius_empty_s(self, small_metric):
+        assert gmm_anti_cover_radius(small_metric, [], [0]) == 0.0
+
+    def test_check_rejects_bad_t(self):
+        # 0 and 1 are close; 10 is far: {0, 1} is not an anti-cover of all
+        m = EuclideanMetric([[0.0], [1.0], [10.0]])
+        assert not check_anti_cover(m, [0, 1, 2], [0, 1])
+
+
+class TestTwoApproximation:
+    def test_kcenter_factor_two_vs_exact(self, rng):
+        from repro.baselines.exact import exact_kcenter
+
+        pts = rng.normal(size=(16, 2))
+        m = EuclideanMetric(pts)
+        for k in (2, 3, 4):
+            T = gmm(m, np.arange(16), k)
+            radius = float(m.dist_to_set(np.arange(16), T).max())
+            _, opt = exact_kcenter(m, k)
+            assert radius <= 2.0 * opt + 1e-9
+
+    def test_diversity_factor_two_vs_exact(self, rng):
+        from repro.baselines.exact import exact_diversity
+
+        pts = rng.normal(size=(14, 2))
+        m = EuclideanMetric(pts)
+        for k in (2, 3, 4):
+            T = gmm(m, np.arange(14), k)
+            _, opt = exact_diversity(m, k)
+            assert float(m.diversity(T)) >= opt / 2.0 - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pts=arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(4, 20), st.just(2)),
+        elements=st.floats(-50, 50, allow_nan=False),
+    ),
+    k=st.integers(2, 5),
+)
+def test_gmm_anti_cover_property(pts, k):
+    """Hypothesis: GMM output always satisfies the anti-cover properties."""
+    m = EuclideanMetric(pts)
+    S = np.arange(m.n)
+    T = gmm(m, S, min(k, m.n))
+    assert check_anti_cover(m, S, T, atol=1e-6)

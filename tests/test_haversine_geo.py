@@ -1,0 +1,82 @@
+"""Tests for the haversine metric and the geographic workload."""
+
+import numpy as np
+import pytest
+
+from repro.metric.haversine import EARTH_RADIUS_KM, HaversineMetric
+from repro.metric.validation import check_metric_axioms
+from repro.workloads.geo import synthetic_cities, world_cities_metric
+
+
+class TestHaversine:
+    def test_known_distance_equator_quarter(self):
+        # 90 degrees of longitude at the equator = quarter circumference
+        m = HaversineMetric([[0.0, 0.0], [0.0, 90.0]])
+        expected = 2 * np.pi * EARTH_RADIUS_KM / 4
+        assert m.distance(0, 1) == pytest.approx(expected, rel=1e-6)
+
+    def test_pole_to_pole(self):
+        m = HaversineMetric([[90.0, 0.0], [-90.0, 0.0]])
+        assert m.distance(0, 1) == pytest.approx(np.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_antimeridian_wrap(self):
+        # 179.5°E to 179.5°W is ~111 km at the equator, not half the globe
+        m = HaversineMetric([[0.0, 179.5], [0.0, -179.5]])
+        assert m.distance(0, 1) < 150.0
+
+    def test_same_point_zero(self):
+        m = HaversineMetric([[48.85, 2.35], [48.85, 2.35]])
+        assert m.distance(0, 1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_axioms(self, rng):
+        coords, _ = synthetic_cities(60, rng=rng)
+        check_metric_axioms(HaversineMetric(coords), sample_size=30)
+
+    def test_custom_radius_scales(self):
+        a = HaversineMetric([[0.0, 0.0], [0.0, 10.0]], radius=1.0)
+        b = HaversineMetric([[0.0, 0.0], [0.0, 10.0]], radius=2.0)
+        assert b.distance(0, 1) == pytest.approx(2 * a.distance(0, 1))
+
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError, match="latitudes"):
+            HaversineMetric([[95.0, 0.0], [0.0, 0.0]])
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(ValueError, match="lat, lon"):
+            HaversineMetric([[0.0, 0.0, 0.0]])
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            HaversineMetric([[0.0, 0.0]], radius=0.0)
+
+    def test_point_words(self):
+        assert HaversineMetric([[0.0, 0.0]]).point_words() == 2
+
+
+class TestGeoWorkload:
+    def test_shapes_and_bounds(self, rng):
+        coords, labels = synthetic_cities(200, rng=rng)
+        assert coords.shape == (200, 2) and labels.shape == (200,)
+        assert np.all(np.abs(coords[:, 0]) <= 89.0)
+        assert np.all(coords[:, 1] >= -180.0) and np.all(coords[:, 1] < 180.0)
+
+    def test_deterministic(self):
+        a, _ = synthetic_cities(50, rng=np.random.default_rng(4))
+        b, _ = synthetic_cities(50, rng=np.random.default_rng(4))
+        assert np.array_equal(a, b)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            synthetic_cities(0, rng=rng)
+
+    def test_world_cities_metric_end_to_end(self, rng):
+        from repro.core import mpc_kcenter
+        from repro.mpc.cluster import MPCCluster
+
+        metric, labels = world_cities_metric(300, rng=rng)
+        cluster = MPCCluster(metric, 4, seed=0)
+        res = mpc_kcenter(cluster, 6, epsilon=0.3)
+        from repro.analysis.validation import verify_kcenter_solution
+
+        verify_kcenter_solution(metric, res.centers, 6, res.radius)
+        assert 0 < res.radius < np.pi * EARTH_RADIUS_KM

@@ -1,0 +1,116 @@
+"""End-to-end integration tests: every algorithm × several metrics ×
+partitioners × constants presets, always validated against the problem
+definition (never against the algorithm's own bookkeeping)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    verify_diversity_solution,
+    verify_k_bounded_mis,
+    verify_kcenter_solution,
+)
+from repro.constants import TheoryConstants
+from repro.core import mpc_diversity, mpc_k_bounded_mis, mpc_kcenter
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.lp import ChebyshevMetric, ManhattanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.partition import block_partition, random_partition, skewed_partition
+from repro.workloads.graphs import grid_graph_metric
+from repro.workloads.registry import make_workload
+
+
+METRICS = {
+    "euclidean": lambda pts: EuclideanMetric(pts),
+    "manhattan": lambda pts: ManhattanMetric(pts),
+    "chebyshev": lambda pts: ChebyshevMetric(pts),
+}
+
+PARTITIONERS = {
+    "random": random_partition,
+    "block": block_partition,
+    "skewed": skewed_partition,
+}
+
+
+@pytest.fixture(scope="module")
+def pts():
+    return np.random.default_rng(99).normal(scale=4.0, size=(250, 2))
+
+
+class TestKCenterMatrix:
+    @pytest.mark.parametrize("metric_name", list(METRICS))
+    @pytest.mark.parametrize("part_name", list(PARTITIONERS))
+    def test_metric_x_partition(self, pts, metric_name, part_name):
+        metric = METRICS[metric_name](pts)
+        parts = PARTITIONERS[part_name](metric.n, 4, np.random.default_rng(0))
+        cluster = MPCCluster(metric, 4, partition=parts, seed=0)
+        res = mpc_kcenter(cluster, 8, epsilon=0.25)
+        verify_kcenter_solution(metric, res.centers, 8, res.radius)
+        # the certified factor versus the coreset 4-approx chain:
+        # radius <= tau_j <= r = coreset_value
+        assert res.radius <= res.coreset_value + 1e-9
+
+
+class TestDiversityMatrix:
+    @pytest.mark.parametrize("metric_name", list(METRICS))
+    def test_metrics(self, pts, metric_name):
+        metric = METRICS[metric_name](pts)
+        cluster = MPCCluster(metric, 4, seed=1)
+        res = mpc_diversity(cluster, 8, epsilon=0.25)
+        verify_diversity_solution(metric, res.ids, 8, res.diversity)
+        assert res.diversity >= res.coreset_value - 1e-9
+
+
+class TestGraphMetricEndToEnd:
+    def test_kcenter_on_grid_graph(self):
+        metric = grid_graph_metric(12, 12)  # 144 vertices
+        cluster = MPCCluster(metric, 4, seed=0)
+        res = mpc_kcenter(cluster, 6, epsilon=0.25)
+        verify_kcenter_solution(metric, res.centers, 6, res.radius)
+
+    def test_mis_on_grid_graph(self):
+        metric = grid_graph_metric(10, 10)
+        cluster = MPCCluster(metric, 4, seed=0)
+        res = mpc_k_bounded_mis(cluster, 1.0, k=30)
+        verify_k_bounded_mis(metric, res, np.arange(metric.n))
+
+
+class TestConstantsPresets:
+    @pytest.mark.parametrize("preset", ["practical", "paper"])
+    def test_both_presets_end_to_end(self, pts, preset):
+        constants = (
+            TheoryConstants.paper() if preset == "paper" else TheoryConstants.practical()
+        )
+        metric = EuclideanMetric(pts)
+        cluster = MPCCluster(metric, 4, seed=2)
+        res = mpc_kcenter(cluster, 6, epsilon=0.3, constants=constants)
+        verify_kcenter_solution(metric, res.centers, 6, res.radius)
+
+
+class TestRegistryWorkloadsEndToEnd:
+    @pytest.mark.parametrize(
+        "name", ["gaussian", "uniform", "clustered", "duplicates", "chain"]
+    )
+    def test_kcenter_on_registry_workloads(self, name):
+        wl = make_workload(name, 150, seed=4)
+        cluster = MPCCluster(wl.metric, 3, seed=4)
+        res = mpc_kcenter(cluster, 5, epsilon=0.3)
+        verify_kcenter_solution(wl.metric, res.centers, 5, res.radius)
+
+    @pytest.mark.parametrize("name", ["gaussian", "uniform", "manhattan-gaussian"])
+    def test_diversity_on_registry_workloads(self, name):
+        wl = make_workload(name, 120, seed=5)
+        cluster = MPCCluster(wl.metric, 3, seed=5)
+        res = mpc_diversity(cluster, 5, epsilon=0.3)
+        verify_diversity_solution(wl.metric, res.ids, 5, res.diversity)
+
+
+class TestCommunicationStaysAccounted:
+    def test_every_round_has_stats(self, pts):
+        metric = EuclideanMetric(pts)
+        cluster = MPCCluster(metric, 4, seed=0)
+        mpc_kcenter(cluster, 6, epsilon=0.3)
+        assert cluster.stats.rounds == cluster.round_no
+        assert len(cluster.stats.rounds_log) == cluster.round_no
+        assert cluster.stats.total_words > 0

@@ -1,0 +1,152 @@
+"""Tests for Algorithm 4 — the MPC k-bounded MIS (Theorems 13–15).
+
+The heart of the suite: the Definition 1 contract is validated against
+the problem definition across thresholds, machine counts, seeds,
+partitions, metrics, and constants presets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import verify_k_bounded_mis
+from repro.constants import TheoryConstants
+from repro.core.kbounded_mis import _sample_probability, mpc_k_bounded_mis
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.lp import ManhattanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.partition import block_partition
+
+
+class TestSampleProbability:
+    def test_clamped_for_small_p(self):
+        q = _sample_probability(np.array([0.0, 0.25, 0.5]))
+        assert np.array_equal(q, [1.0, 1.0, 1.0])
+
+    def test_formula_above_half(self):
+        q = _sample_probability(np.array([1.0, 2.0, 10.0]))
+        assert np.allclose(q, [0.5, 0.25, 0.05])
+
+
+class TestContract:
+    @pytest.mark.parametrize("tau", [0.2, 0.6, 1.2, 3.0])
+    @pytest.mark.parametrize("m", [1, 2, 4])
+    def test_contract_across_taus_and_machines(self, medium_metric, tau, m):
+        cluster = MPCCluster(medium_metric, m, seed=0)
+        res = mpc_k_bounded_mis(cluster, tau, k=12)
+        verify_k_bounded_mis(medium_metric, res, np.arange(medium_metric.n))
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_contract_across_seeds(self, medium_metric, seed):
+        cluster = MPCCluster(medium_metric, 4, seed=seed)
+        res = mpc_k_bounded_mis(cluster, 0.8, k=10)
+        verify_k_bounded_mis(medium_metric, res, np.arange(medium_metric.n))
+
+    def test_contract_paper_constants(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        res = mpc_k_bounded_mis(
+            cluster, 0.8, k=10, constants=TheoryConstants.paper()
+        )
+        verify_k_bounded_mis(medium_metric, res, np.arange(medium_metric.n))
+
+    def test_contract_block_partition(self, medium_metric):
+        parts = block_partition(medium_metric.n, 4)
+        cluster = MPCCluster(medium_metric, 4, partition=parts, seed=0)
+        res = mpc_k_bounded_mis(cluster, 0.8, k=10)
+        verify_k_bounded_mis(medium_metric, res, np.arange(medium_metric.n))
+
+    def test_contract_manhattan_metric(self, rng):
+        metric = ManhattanMetric(rng.normal(size=(200, 3)))
+        cluster = MPCCluster(metric, 3, seed=0)
+        res = mpc_k_bounded_mis(cluster, 1.0, k=8)
+        verify_k_bounded_mis(metric, res, np.arange(metric.n))
+
+    def test_active_subset_restriction(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        active = [mach.local_ids[::2] for mach in cluster.machines]
+        universe = np.concatenate(active)
+        res = mpc_k_bounded_mis(cluster, 0.8, k=10, active_by_machine=active)
+        verify_k_bounded_mis(medium_metric, res, universe)
+        assert np.isin(res.ids, universe).all()
+
+
+class TestTerminationModes:
+    def test_empty_graph_returns_size_k_fast(self, rng):
+        """tau below every distance: all isolated, immediate k-IS."""
+        pts = rng.uniform(0, 1000, size=(300, 2))
+        metric = EuclideanMetric(pts)
+        cluster = MPCCluster(metric, 4, seed=0)
+        res = mpc_k_bounded_mis(cluster, 1e-6, k=20)
+        assert res.size == 20
+        assert res.terminated_via in ("size_k_pruning", "size_k_central", "size_k_light_path")
+
+    def test_complete_graph_returns_maximal_singleton(self):
+        """All points identical: the MIS is a single vertex."""
+        metric = EuclideanMetric(np.zeros((100, 2)))
+        cluster = MPCCluster(metric, 4, seed=0)
+        res = mpc_k_bounded_mis(cluster, 1.0, k=5)
+        assert res.size == 1 and res.maximal
+        assert res.terminated_via == "maximal"
+
+    def test_k_one(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        res = mpc_k_bounded_mis(cluster, 0.5, k=1)
+        assert res.size == 1
+
+    def test_invalid_k(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        with pytest.raises(ValueError):
+            mpc_k_bounded_mis(cluster, 0.5, k=0)
+
+    def test_huge_k_returns_maximal(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        res = mpc_k_bounded_mis(cluster, 0.8, k=10_000)
+        assert res.maximal
+        verify_k_bounded_mis(medium_metric, res, np.arange(medium_metric.n))
+
+    def test_pruning_disabled_still_correct(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        res = mpc_k_bounded_mis(cluster, 0.8, k=10, enable_pruning=False)
+        verify_k_bounded_mis(medium_metric, res, np.arange(medium_metric.n))
+
+    @pytest.mark.parametrize("mode", ["random", "id"])
+    def test_trim_modes_correct(self, medium_metric, mode):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        res = mpc_k_bounded_mis(cluster, 0.8, k=10, trim_mode=mode)
+        verify_k_bounded_mis(medium_metric, res, np.arange(medium_metric.n))
+
+
+class TestRoundsAndInstrumentation:
+    def test_rounds_reported(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        before = cluster.round_no
+        res = mpc_k_bounded_mis(cluster, 0.8, k=10)
+        assert res.rounds == cluster.round_no - before > 0
+
+    def test_edge_trace_decreasing(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        res = mpc_k_bounded_mis(cluster, 0.6, k=2_000, instrument=True)
+        trace = res.edge_trace
+        assert len(trace) >= 1
+        assert all(trace[i + 1] <= trace[i] for i in range(len(trace) - 1))
+        if res.maximal:
+            assert trace[-1] == 0 or res.rounds > 0
+
+    def test_no_trace_without_instrument(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        res = mpc_k_bounded_mis(cluster, 0.6, k=10)
+        assert res.edge_trace == []
+
+    def test_determinism(self, medium_metric):
+        out = []
+        for _ in range(2):
+            cluster = MPCCluster(medium_metric, 4, seed=42)
+            res = mpc_k_bounded_mis(cluster, 0.7, k=15)
+            out.append((tuple(np.sort(res.ids)), res.rounds, cluster.stats.total_words))
+        assert out[0] == out[1]
+
+    def test_convergence_error_on_tiny_budget(self, medium_metric):
+        from repro.exceptions import ConvergenceError
+
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        with pytest.raises(ConvergenceError):
+            mpc_k_bounded_mis(cluster, 0.6, k=3_000, max_outer_rounds=0)

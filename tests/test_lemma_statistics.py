@@ -1,0 +1,130 @@
+"""Statistical verification of the paper's probabilistic lemmas.
+
+These tests reproduce the *lemmas* themselves, not just the algorithms
+built on them: fixed graphs, many independent randomness draws (seeded,
+so runs are deterministic), and empirical frequencies compared against
+the lemma statements with generous margins.
+
+* Lemma 5 — light vertices have true degree < 2δm·ln n (w.h.p.):
+  empirically, high-degree vertices almost never classify light.
+* Lemma 7 — heavy vertices have true degree > δm·ln n / 2 (w.h.p.):
+  empirically, low-degree vertices almost never classify heavy.
+* Lemma 8 — the heavy estimate m·|N(v)∩S| concentrates around d(v).
+* Lemma 10 — trim keeps a vertex with probability ≥ 1/(5 p_v).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.light_heavy import sample_degrees
+from repro.core.trim import trim
+from repro.metric.euclidean import EuclideanMetric
+from repro.workloads.synthetic import gaussian_mixture, uniform_cube
+
+M = 4
+DELTA = 2.0
+
+
+@pytest.fixture(scope="module")
+def dense_instance():
+    """2000 mixture points: dense cluster cores and sparse tails, so the
+    degree distribution spans well below and well above the lemma
+    thresholds."""
+    pts, _ = gaussian_mixture(
+        2000, dim=2, components=5, spread=25.0, sigma=1.0,
+        rng=np.random.default_rng(5),
+    )
+    metric = EuclideanMetric(pts)
+    tau = 1.2
+    ids = np.arange(2000)
+    deg = (metric.count_within(ids, ids, tau) - 1).astype(float)
+    return metric, tau, deg
+
+
+def draw_sample_degrees(metric, tau, seed):
+    """One draw of Algorithm 3's sampling step (probability 1/m)."""
+    rng = np.random.default_rng(seed)
+    ids = np.arange(metric.n)
+    S = ids[rng.random(metric.n) < 1.0 / M]
+    return sample_degrees(metric, ids, S, tau)
+
+
+class TestLemma5And7:
+    def test_lemma5_high_degree_rarely_light(self, dense_instance):
+        metric, tau, deg = dense_instance
+        ln_n = np.log(metric.n)
+        heavy_thr = DELTA * ln_n                 # Definition 4 threshold
+        degree_bound = 2 * DELTA * M * ln_n      # Lemma 5's degree bound
+        big = deg >= degree_bound
+        assert big.sum() > 50, "instance must contain high-degree vertices"
+        violations, total = 0, 0
+        for seed in range(20):
+            sdeg = draw_sample_degrees(metric, tau, seed)
+            light = sdeg < heavy_thr
+            violations += int((light & big).sum())
+            total += int(big.sum())
+        # Lemma 5 says w.h.p. zero; allow a generous empirical 10%
+        assert violations / total < 0.10
+
+    def test_lemma7_low_degree_rarely_heavy(self, dense_instance):
+        metric, tau, deg = dense_instance
+        ln_n = np.log(metric.n)
+        heavy_thr = DELTA * ln_n
+        degree_floor = DELTA * M * ln_n / 2.0    # Lemma 7's floor
+        small = deg <= degree_floor / 2.0        # well below the floor
+        assert small.sum() > 50
+        violations, total = 0, 0
+        for seed in range(20):
+            sdeg = draw_sample_degrees(metric, tau, seed)
+            heavy = sdeg >= heavy_thr
+            violations += int((heavy & small).sum())
+            total += int(small.sum())
+        assert violations / total < 0.10
+
+
+class TestLemma8:
+    def test_heavy_estimate_concentrates(self, dense_instance):
+        """Over repeated draws, the estimate m·|N(v)∩S| is unbiased and
+        its relative error shrinks as 1/√d — check the dense tail."""
+        metric, tau, deg = dense_instance
+        dense = np.where(deg >= 200)[0]
+        assert dense.size > 30
+        estimates = []
+        for seed in range(30):
+            sdeg = draw_sample_degrees(metric, tau, seed)
+            estimates.append(M * sdeg[dense].astype(float))
+        est = np.stack(estimates)
+        mean_est = est.mean(axis=0)
+        rel_bias = np.abs(mean_est - deg[dense]) / deg[dense]
+        assert np.percentile(rel_bias, 95) < 0.10  # unbiased in the mean
+        rel_err = np.abs(est - deg[dense][None, :]) / deg[dense][None, :]
+        assert np.percentile(rel_err, 95) < 0.35   # per-draw concentration
+
+
+class TestLemma10:
+    def test_trim_survival_probability(self):
+        """Pr[v ∈ trim(S)] ≥ 1/(5 p_v) when p_v ≥ (1−ε) d(v)."""
+        pts = uniform_cube(60, dim=2, side=4.0, rng=np.random.default_rng(3))
+        metric = EuclideanMetric(pts)
+        tau = 1.0
+        ids = np.arange(60)
+        deg = (metric.count_within(ids, ids, tau) - 1).astype(float)
+        p = np.maximum(deg, 1.0)  # exact degrees (ε = 0), floored at 1
+        q = np.minimum(1.0, 1.0 / (2.0 * p))
+
+        draws = 1500
+        rng = np.random.default_rng(11)
+        hits = np.zeros(60)
+        for _ in range(draws):
+            S = ids[rng.random(60) < q]
+            tie = rng.random(60)
+            kept = trim(metric, S, tau, p, tie)
+            hits[kept] += 1
+        freq = hits / draws
+        floor = 1.0 / (5.0 * p)
+        # allow binomial noise: 4 standard errors below the floor
+        se = np.sqrt(floor * (1 - floor) / draws)
+        ok = freq >= floor - 4 * se
+        assert ok.mean() > 0.95, (
+            f"Lemma 10 floor violated for {int((~ok).sum())}/60 vertices"
+        )

@@ -1,0 +1,81 @@
+"""Tests for the light/heavy machinery (sample degrees, Lemma 6 greedy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.light_heavy import greedy_bounded_independent_set, sample_degrees
+from repro.metric.euclidean import EuclideanMetric
+
+
+@pytest.fixture
+def line_metric():
+    return EuclideanMetric(np.arange(12, dtype=float).reshape(-1, 1))
+
+
+class TestSampleDegrees:
+    def test_counts_sample_neighbors(self, line_metric):
+        # sample {0, 1, 2}; vertex 1 has sample-neighbors 0 and 2 at tau=1
+        out = sample_degrees(line_metric, [1], [0, 1, 2], 1.0)
+        assert out[0] == 2
+
+    def test_self_excluded(self, line_metric):
+        out = sample_degrees(line_metric, [5], [5], 1.0)
+        assert out[0] == 0
+
+    def test_query_not_in_sample(self, line_metric):
+        out = sample_degrees(line_metric, [5], [4, 6], 1.0)
+        assert out[0] == 2
+
+    def test_empty_sample(self, line_metric):
+        out = sample_degrees(line_metric, [0, 1], [], 1.0)
+        assert np.array_equal(out, [0, 0])
+
+    def test_empty_query(self, line_metric):
+        assert sample_degrees(line_metric, [], [0], 1.0).size == 0
+
+    def test_vectorized_consistency(self, line_metric):
+        sample = np.array([0, 3, 6, 9])
+        batch = sample_degrees(line_metric, np.arange(12), sample, 2.0)
+        single = [
+            sample_degrees(line_metric, [v], sample, 2.0)[0] for v in range(12)
+        ]
+        assert np.array_equal(batch, single)
+
+
+class TestGreedyBoundedIS:
+    def test_independent_output(self, line_metric):
+        out = greedy_bounded_independent_set(line_metric, np.arange(12), 1.0, 10)
+        D = line_metric.pairwise(out, out)
+        np.fill_diagonal(D, np.inf)
+        assert D.min() > 1.0
+
+    def test_respects_k_bound(self, line_metric):
+        out = greedy_bounded_independent_set(line_metric, np.arange(12), 0.5, 3)
+        assert out.size == 3
+
+    def test_stops_when_exhausted(self, line_metric):
+        # tau=12 makes the graph complete: only one vertex fits
+        out = greedy_bounded_independent_set(line_metric, np.arange(12), 12.0, 5)
+        assert out.size == 1
+
+    def test_path_graph_picks_alternating(self, line_metric):
+        out = greedy_bounded_independent_set(line_metric, np.arange(12), 1.0, 100)
+        assert np.array_equal(out, [0, 2, 4, 6, 8, 10])
+
+    def test_empty_candidates(self, line_metric):
+        assert greedy_bounded_independent_set(line_metric, [], 1.0, 3).size == 0
+
+    def test_k_zero(self, line_metric):
+        assert greedy_bounded_independent_set(line_metric, [0, 1], 1.0, 0).size == 0
+
+    def test_lemma6_iteration_count(self, rng):
+        """Lemma 6's engine: if every candidate has degree < Δ within the
+        candidate set, greedy yields at least |P| / (Δ+1) points."""
+        pts = rng.uniform(0, 100, size=(200, 2))
+        m = EuclideanMetric(pts)
+        tau = 2.0
+        cand = np.arange(200)
+        deg = m.count_within(cand, cand, tau) - 1
+        max_deg = int(deg.max())
+        out = greedy_bounded_independent_set(m, cand, tau, 10_000)
+        assert out.size >= 200 // (max_deg + 1)

@@ -1,0 +1,103 @@
+"""Property-based tests: every metric implementation satisfies the
+metric axioms on random data (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metric.cosine import AngularMetric
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.hamming import HammingMetric
+from repro.metric.lp import ChebyshevMetric, ManhattanMetric, MinkowskiMetric
+from repro.metric.validation import check_metric_axioms
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def point_arrays(min_n=3, max_n=12, dim=3):
+    return arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_n, max_n), st.just(dim)
+        ),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(pts=point_arrays())
+def test_euclidean_axioms(pts):
+    check_metric_axioms(EuclideanMetric(pts))
+
+
+@settings(max_examples=40, deadline=None)
+@given(pts=point_arrays())
+def test_manhattan_axioms(pts):
+    check_metric_axioms(ManhattanMetric(pts))
+
+
+@settings(max_examples=40, deadline=None)
+@given(pts=point_arrays())
+def test_chebyshev_axioms(pts):
+    check_metric_axioms(ChebyshevMetric(pts))
+
+
+@settings(max_examples=30, deadline=None)
+@given(pts=point_arrays(), p=st.floats(min_value=1.0, max_value=5.0))
+def test_minkowski_axioms(pts, p):
+    check_metric_axioms(MinkowskiMetric(pts, p=p))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pts=arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(3, 10), st.just(4)),
+        elements=st.sampled_from([0.0, 1.0, 2.0]),
+    )
+)
+def test_hamming_axioms(pts):
+    check_metric_axioms(HammingMetric(pts))
+
+
+@settings(max_examples=40, deadline=None)
+@given(pts=point_arrays())
+def test_angular_axioms(pts):
+    norms = np.linalg.norm(pts, axis=1)
+    pts = pts[norms > 1e-6]
+    if pts.shape[0] < 3:
+        return
+    check_metric_axioms(AngularMetric(pts))
+
+
+class TestValidatorItself:
+    def test_catches_asymmetry(self):
+        from repro.metric.matrix_metric import MatrixMetric
+
+        bad = MatrixMetric(
+            np.array([[0.0, 1.0], [2.0, 0.0]]), validate=False
+        )
+        with pytest.raises(AssertionError, match="symmetric"):
+            check_metric_axioms(bad, sample_size=2)
+
+    def test_catches_triangle_violation(self):
+        from repro.metric.matrix_metric import MatrixMetric
+
+        bad = MatrixMetric(
+            np.array(
+                [[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]]
+            ),
+            validate=False,
+        )
+        with pytest.raises(AssertionError, match="triangle"):
+            check_metric_axioms(bad, sample_size=3)
+
+    def test_accepts_pseudometric_duplicates(self):
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0]])
+        check_metric_axioms(EuclideanMetric(pts), sample_size=3)

@@ -1,0 +1,112 @@
+"""Tests for EuclideanMetric, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.metric.euclidean import EuclideanMetric
+
+
+@pytest.fixture
+def pts(rng):
+    return rng.normal(size=(50, 4))
+
+
+@pytest.fixture
+def metric(pts):
+    return EuclideanMetric(pts)
+
+
+class TestKernel:
+    def test_matches_scipy(self, metric, pts):
+        I = np.arange(20)
+        J = np.arange(20, 50)
+        ours = metric.pairwise(I, J)
+        ref = cdist(pts[I], pts[J])
+        assert np.allclose(ours, ref, atol=1e-9)
+
+    def test_self_distance_zero(self, metric):
+        ids = np.arange(metric.n)
+        D = metric.pairwise(ids, ids)
+        assert np.allclose(np.diag(D), 0.0, atol=1e-6)
+
+    def test_scalar_distance(self, metric, pts):
+        assert metric.distance(3, 7) == pytest.approx(np.linalg.norm(pts[3] - pts[7]))
+
+    def test_no_negative_from_cancellation(self, rng):
+        # nearly identical points stress the expanded-norm kernel
+        base = rng.normal(size=(1, 8))
+        pts = np.repeat(base, 10, axis=0) + 1e-12 * rng.normal(size=(10, 8))
+        m = EuclideanMetric(pts)
+        D = m.pairwise(np.arange(10), np.arange(10))
+        assert np.all(D >= 0.0)
+
+    def test_point_words_is_dim(self, metric):
+        assert metric.point_words() == 4
+
+    def test_accepts_raw_array(self, rng):
+        m = EuclideanMetric(rng.normal(size=(5, 2)))
+        assert m.n == 5
+
+
+class TestHelpers:
+    def test_dist_to_set(self, metric, pts):
+        I = np.arange(10)
+        T = np.array([30, 40])
+        expected = cdist(pts[I], pts[T]).min(axis=1)
+        assert np.allclose(metric.dist_to_set(I, T), expected)
+
+    def test_dist_to_empty_set_is_inf(self, metric):
+        out = metric.dist_to_set([0, 1], [])
+        assert np.all(np.isinf(out))
+
+    def test_radius(self, metric, pts):
+        r = metric.radius(np.arange(50), [0])
+        assert r == pytest.approx(cdist(pts, pts[[0]]).max())
+
+    def test_radius_empty_x(self, metric):
+        assert metric.radius([], [0]) == 0.0
+
+    def test_diversity(self, metric, pts):
+        ids = np.array([0, 1, 2, 3])
+        D = cdist(pts[ids], pts[ids])
+        np.fill_diagonal(D, np.inf)
+        assert metric.diversity(ids) == pytest.approx(D.min())
+
+    def test_diversity_singleton_is_inf(self, metric):
+        assert np.isinf(metric.diversity([3]))
+
+    def test_within_threshold(self, metric, pts):
+        I, J = np.arange(5), np.arange(5, 15)
+        tau = 2.0
+        assert np.array_equal(
+            metric.within(I, J, tau), cdist(pts[I], pts[J]) <= tau
+        )
+
+    def test_count_within(self, metric, pts):
+        I, J = np.arange(5), np.arange(50)
+        tau = 3.0
+        expected = (cdist(pts[I], pts[J]) <= tau).sum(axis=1)
+        assert np.array_equal(metric.count_within(I, J, tau), expected)
+
+    def test_argmax_dist_to_set(self, metric, pts):
+        vid, d = metric.argmax_dist_to_set(np.arange(50), [0])
+        ref = cdist(pts, pts[[0]])[:, 0]
+        assert vid == int(np.argmax(ref)) and d == pytest.approx(ref.max())
+
+    def test_chunking_equivalence(self, pts):
+        m_small = EuclideanMetric(pts)
+        m_small.chunk_budget = 7  # force many tiny chunks
+        m_big = EuclideanMetric(pts)
+        I = np.arange(50)
+        assert np.allclose(
+            m_small.dist_to_set(I, [1, 2, 3]), m_big.dist_to_set(I, [1, 2, 3])
+        )
+        assert m_small.diversity(I) == pytest.approx(m_big.diversity(I))
+        assert np.array_equal(
+            m_small.count_within(I, I, 2.5), m_big.count_within(I, I, 2.5)
+        )
+
+    def test_id_out_of_range_raises(self, metric):
+        with pytest.raises(IndexError):
+            metric.pairwise([0], [999])

@@ -1,0 +1,92 @@
+"""Tests for the graph shortest-path metric (own Dijkstra vs networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.metric.graph_metric import GraphShortestPathMetric, dijkstra
+
+
+def random_connected_graph(n, rng):
+    """Random weighted graph guaranteed connected via a spanning path."""
+    edges = [(i, i + 1, float(rng.uniform(0.5, 2.0))) for i in range(n - 1)]
+    extra = rng.integers(0, n, size=(2 * n, 2))
+    for u, v in extra:
+        if u != v:
+            edges.append((int(u), int(v), float(rng.uniform(0.5, 3.0))))
+    return edges
+
+
+class TestDijkstra:
+    def test_matches_networkx(self, rng):
+        n = 40
+        edges = random_connected_graph(n, rng)
+        metric = GraphShortestPathMetric(n, edges)
+        G = nx.Graph()
+        G.add_nodes_from(range(n))
+        for u, v, w in edges:
+            if G.has_edge(u, v):
+                G[u][v]["weight"] = min(G[u][v]["weight"], w)
+            else:
+                G.add_edge(u, v, weight=w)
+        ref = dict(nx.single_source_dijkstra_path_length(G, 0))
+        ours = metric.pairwise([0], np.arange(n))[0]
+        for v in range(n):
+            assert ours[v] == pytest.approx(ref[v])
+
+    def test_path_graph_distances(self):
+        m = GraphShortestPathMetric(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        assert m.distance(0, 3) == pytest.approx(6.0)
+        assert m.distance(1, 3) == pytest.approx(5.0)
+
+    def test_dijkstra_unreachable_is_inf(self):
+        adj = [[(1, 1.0)], [(0, 1.0)], []]
+        dist = dijkstra(adj, 0)
+        assert np.isinf(dist[2])
+
+
+class TestConstruction:
+    def test_rejects_disconnected_on_precompute(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            GraphShortestPathMetric(4, [(0, 1, 1.0), (2, 3, 1.0)], precompute=True)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GraphShortestPathMetric(2, [(0, 1, -1.0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="out of range"):
+            GraphShortestPathMetric(2, [(0, 5, 1.0)])
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError, match="at least one"):
+            GraphShortestPathMetric(0, [])
+
+    def test_lazy_mode_memoizes(self, rng):
+        n = 30
+        edges = random_connected_graph(n, rng)
+        m = GraphShortestPathMetric(n, edges, precompute=False)
+        assert len(m._rows) == 0
+        m.pairwise([3], [5])
+        assert 3 in m._rows
+        first = m.pairwise([3], np.arange(n)).copy()
+        second = m.pairwise([3], np.arange(n))
+        assert np.array_equal(first, second)
+
+    def test_lazy_and_eager_agree(self, rng):
+        n = 25
+        edges = random_connected_graph(n, rng)
+        eager = GraphShortestPathMetric(n, edges, precompute=True)
+        lazy = GraphShortestPathMetric(n, edges, precompute=False)
+        I = np.arange(n)
+        assert np.allclose(eager.pairwise(I, I), lazy.pairwise(I, I))
+
+    def test_symmetry(self, rng):
+        n = 20
+        m = GraphShortestPathMetric(n, random_connected_graph(n, rng))
+        D = m.pairwise(np.arange(n), np.arange(n))
+        assert np.allclose(D, D.T)
+
+    def test_point_words_is_one(self, rng):
+        m = GraphShortestPathMetric(5, random_connected_graph(5, rng))
+        assert m.point_words() == 1

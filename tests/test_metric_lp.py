@@ -1,0 +1,57 @@
+"""Tests for Minkowski / Manhattan / Chebyshev metrics."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.metric.lp import ChebyshevMetric, ManhattanMetric, MinkowskiMetric
+
+
+@pytest.fixture
+def pts(rng):
+    return rng.normal(size=(30, 3))
+
+
+class TestMinkowski:
+    def test_p2_matches_euclidean(self, pts):
+        m = MinkowskiMetric(pts, p=2.0)
+        ref = cdist(pts, pts, metric="euclidean")
+        assert np.allclose(m.pairwise(np.arange(30), np.arange(30)), ref)
+
+    def test_p3_matches_scipy(self, pts):
+        m = MinkowskiMetric(pts, p=3.0)
+        ref = cdist(pts, pts, metric="minkowski", p=3)
+        assert np.allclose(m.pairwise(np.arange(30), np.arange(30)), ref)
+
+    def test_rejects_p_below_one(self, pts):
+        with pytest.raises(ValueError, match="p >= 1"):
+            MinkowskiMetric(pts, p=0.5)
+
+
+class TestManhattan:
+    def test_matches_scipy(self, pts):
+        m = ManhattanMetric(pts)
+        ref = cdist(pts, pts, metric="cityblock")
+        assert np.allclose(m.pairwise(np.arange(30), np.arange(30)), ref)
+
+    def test_dominates_euclidean(self, pts):
+        l1 = ManhattanMetric(pts).pairwise(np.arange(30), np.arange(30))
+        l2 = cdist(pts, pts)
+        assert np.all(l1 >= l2 - 1e-9)
+
+
+class TestChebyshev:
+    def test_matches_scipy(self, pts):
+        m = ChebyshevMetric(pts)
+        ref = cdist(pts, pts, metric="chebyshev")
+        assert np.allclose(m.pairwise(np.arange(30), np.arange(30)), ref)
+
+    def test_p_is_inf(self, pts):
+        import math
+
+        assert math.isinf(ChebyshevMetric(pts).p)
+
+    def test_below_euclidean(self, pts):
+        linf = ChebyshevMetric(pts).pairwise(np.arange(30), np.arange(30))
+        l2 = cdist(pts, pts)
+        assert np.all(linf <= l2 + 1e-9)

@@ -1,0 +1,70 @@
+"""Focused unit tests for the accounting structures."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.accounting import ClusterStats, RoundStats
+
+
+def rs(round_no, sent, received, messages=1):
+    return RoundStats(
+        round_no=round_no,
+        sent=np.asarray(sent, dtype=np.int64),
+        received=np.asarray(received, dtype=np.int64),
+        messages=messages,
+    )
+
+
+class TestRoundStats:
+    def test_max_load_is_sent_plus_received(self):
+        r = rs(1, [5, 0, 3], [0, 4, 3])
+        assert r.max_load == 6  # machine 2: 3 + 3
+
+    def test_total_counts_senders_once(self):
+        r = rs(1, [5, 2, 0], [0, 0, 7])
+        assert r.total == 7
+
+    def test_empty_machines(self):
+        r = rs(1, np.zeros(0), np.zeros(0))
+        assert r.max_load == 0 and r.total == 0
+
+
+class TestClusterStats:
+    def test_rounds_and_totals(self):
+        s = ClusterStats(num_machines=3)
+        s.record_round(rs(1, [1, 0, 0], [0, 1, 0]))
+        s.record_round(rs(2, [0, 5, 0], [0, 0, 5]))
+        assert s.rounds == 2
+        assert s.total_words == 6
+        assert s.max_machine_words == 5
+
+    def test_max_machine_total_accumulates(self):
+        s = ClusterStats(num_machines=2)
+        s.record_round(rs(1, [3, 0], [0, 3]))
+        s.record_round(rs(2, [3, 0], [0, 3]))
+        # machine 0 sent 6 total; machine 1 received 6 total
+        assert s.max_machine_total == 6
+        assert np.array_equal(s.per_machine_totals(), [6, 6])
+
+    def test_empty_stats(self):
+        s = ClusterStats(num_machines=4)
+        assert s.rounds == 0
+        assert s.total_words == 0
+        assert s.max_machine_words == 0
+        assert s.max_machine_total == 0
+        assert np.array_equal(s.per_machine_totals(), np.zeros(4, dtype=np.int64))
+
+    def test_summary_round_trips_values(self):
+        s = ClusterStats(num_machines=2)
+        s.record_round(rs(1, [2, 0], [0, 2]))
+        out = s.summary()
+        assert out["machines"] == 2
+        assert out["rounds"] == 1
+        assert out["total_words"] == 2
+        assert out["max_machine_words_per_round"] == 2
+
+    def test_peak_known_points_monotone(self):
+        s = ClusterStats(num_machines=1)
+        s.peak_known_points = max(s.peak_known_points, 10)
+        s.peak_known_points = max(s.peak_known_points, 5)
+        assert s.peak_known_points == 10

@@ -1,0 +1,89 @@
+"""Tests for the local-work executors: threaded execution must be a
+bit-for-bit drop-in for serial."""
+
+import numpy as np
+import pytest
+
+from repro.core import mpc_diversity, mpc_k_bounded_mis, mpc_kcenter
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.executor import SerialExecutor, ThreadedExecutor
+
+
+class TestExecutorsDirect:
+    def test_serial_order(self):
+        out = SerialExecutor().map_indexed(lambda i: i * i, 5)
+        assert out == [0, 1, 4, 9, 16]
+
+    def test_threaded_order_preserved(self):
+        ex = ThreadedExecutor(max_workers=4)
+        out = ex.map_indexed(lambda i: i * i, 16)
+        assert out == [i * i for i in range(16)]
+        ex.shutdown()
+
+    def test_threaded_single_task_inline(self):
+        ex = ThreadedExecutor()
+        assert ex.map_indexed(lambda i: i + 1, 1) == [1]
+        assert ex._pool is None  # no pool spun up for one task
+
+    def test_threaded_exception_propagates(self):
+        ex = ThreadedExecutor(max_workers=2)
+
+        def boom(i):
+            if i == 3:
+                raise RuntimeError("task 3 failed")
+            return i
+
+        with pytest.raises(RuntimeError, match="task 3"):
+            ex.map_indexed(boom, 8)
+        ex.shutdown()
+
+    def test_shutdown_idempotent(self):
+        ex = ThreadedExecutor()
+        ex.map_indexed(lambda i: i, 4)
+        ex.shutdown()
+        ex.shutdown()
+
+
+class TestBitIdenticalResults:
+    """Same seed + threaded executor == same seed + serial executor."""
+
+    @pytest.fixture
+    def metric(self, rng):
+        return EuclideanMetric(rng.normal(scale=3.0, size=(300, 2)))
+
+    def run_both(self, metric, fn):
+        out = []
+        for executor in (SerialExecutor(), ThreadedExecutor(max_workers=8)):
+            cluster = MPCCluster(metric, 4, seed=7, executor=executor)
+            out.append((fn(cluster), cluster))
+        return out
+
+    def test_mis_identical(self, metric):
+        (r1, c1), (r2, c2) = self.run_both(
+            metric, lambda c: mpc_k_bounded_mis(c, 0.7, 10)
+        )
+        assert np.array_equal(np.sort(r1.ids), np.sort(r2.ids))
+        assert c1.stats.total_words == c2.stats.total_words
+        assert c1.stats.rounds == c2.stats.rounds
+
+    def test_kcenter_identical(self, metric):
+        (r1, _), (r2, _) = self.run_both(
+            metric, lambda c: mpc_kcenter(c, 6, epsilon=0.2)
+        )
+        assert r1.radius == r2.radius
+        assert np.array_equal(np.sort(r1.centers), np.sort(r2.centers))
+
+    def test_diversity_identical(self, metric):
+        (r1, _), (r2, _) = self.run_both(
+            metric, lambda c: mpc_diversity(c, 6, epsilon=0.2)
+        )
+        assert r1.diversity == r2.diversity
+
+    def test_communication_ledger_identical(self, metric):
+        (_, c1), (_, c2) = self.run_both(
+            metric, lambda c: mpc_k_bounded_mis(c, 0.7, 10)
+        )
+        for a, b in zip(c1.stats.rounds_log, c2.stats.rounds_log):
+            assert np.array_equal(a.sent, b.sent)
+            assert np.array_equal(a.received, b.received)

@@ -1,0 +1,79 @@
+"""Tests for message envelopes and word accounting."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.message import Ids, Message, PointBatch, payload_words
+
+
+class TestPointBatch:
+    def test_words_include_id_and_coords(self):
+        b = PointBatch([1, 2, 3])
+        assert b.words(point_words=2) == 3 * (1 + 2)
+
+    def test_columns_cost_one_word_each(self):
+        b = PointBatch([1, 2], {"p": [0.5, 0.7], "tie": [0.1, 0.2]})
+        assert b.words(point_words=3) == 2 * (1 + 3 + 2)
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            PointBatch([1, 2], {"p": [0.5]})
+
+    def test_empty_batch(self):
+        assert PointBatch([]).words(point_words=5) == 0
+
+    def test_ids_are_int64(self):
+        assert PointBatch([1.0, 2.0]).ids.dtype == np.int64
+
+
+class TestIds:
+    def test_one_word_each(self):
+        assert Ids([4, 5, 6]).words() == 3
+
+    def test_empty(self):
+        assert Ids([]).words() == 0
+
+
+class TestPayloadWords:
+    @pytest.mark.parametrize(
+        "payload,expected",
+        [
+            (None, 0),
+            (3, 1),
+            (3.14, 1),
+            (True, 1),
+            ("tag", 1),
+            (np.float64(1.5), 1),
+            (np.int32(7), 1),
+        ],
+    )
+    def test_scalars(self, payload, expected):
+        assert payload_words(payload, point_words=4) == expected
+
+    def test_ndarray_by_size(self):
+        assert payload_words(np.zeros((3, 4)), point_words=9) == 12
+
+    def test_nested_containers(self):
+        payload = {"a": PointBatch([1, 2]), "b": [1.0, 2.0, Ids([5])]}
+        assert payload_words(payload, point_words=2) == 2 * 3 + 2 + 1
+
+    def test_tuple(self):
+        assert payload_words((PointBatch([1]), 2.0), point_words=1) == 2 + 1
+
+    def test_unsupported_type_raises(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            payload_words(Weird(), point_words=1)
+
+
+class TestMessage:
+    def test_words_delegate(self):
+        msg = Message(src=0, dst=1, payload=PointBatch([1, 2, 3]))
+        assert msg.words(point_words=2) == 9
+
+    def test_frozen(self):
+        msg = Message(src=0, dst=1, payload=None)
+        with pytest.raises(Exception):
+            msg.src = 5

@@ -1,0 +1,96 @@
+"""Tests for the input partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.mpc.partition import (
+    adversarial_partition,
+    block_partition,
+    get_partitioner,
+    random_partition,
+    skewed_partition,
+)
+
+ALL = [random_partition, block_partition, skewed_partition]
+
+
+def check_cover(parts, n, m):
+    assert len(parts) == m
+    concat = np.concatenate(parts)
+    assert np.array_equal(np.sort(concat), np.arange(n))
+    if n >= m:
+        assert all(p.size >= 1 for p in parts)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("fn", ALL)
+    @pytest.mark.parametrize("n,m", [(100, 4), (17, 5), (8, 8), (1000, 1)])
+    def test_disjoint_cover(self, fn, n, m, rng):
+        check_cover(fn(n, m, rng), n, m)
+
+    @pytest.mark.parametrize("fn", ALL)
+    def test_parts_sorted_int64(self, fn, rng):
+        parts = fn(50, 3, rng)
+        for p in parts:
+            assert p.dtype == np.int64
+            assert np.array_equal(p, np.sort(p))
+
+
+class TestRandom:
+    def test_deterministic_given_rng(self):
+        a = random_partition(100, 4, np.random.default_rng(7))
+        b = random_partition(100, 4, np.random.default_rng(7))
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_roughly_balanced(self, rng):
+        parts = random_partition(1000, 4, rng)
+        sizes = [p.size for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestBlock:
+    def test_contiguity(self):
+        parts = block_partition(10, 3)
+        flat = np.concatenate(parts)
+        assert np.array_equal(flat, np.arange(10))
+        for p in parts:
+            assert np.array_equal(p, np.arange(p[0], p[-1] + 1))
+
+
+class TestSkewed:
+    def test_decreasing_sizes(self, rng):
+        parts = skewed_partition(1000, 5, rng, decay=0.5)
+        sizes = [p.size for p in parts]
+        assert sizes[0] > sizes[-1]
+
+    def test_invalid_decay(self, rng):
+        with pytest.raises(PartitionError):
+            skewed_partition(10, 2, rng, decay=0.0)
+        with pytest.raises(PartitionError):
+            skewed_partition(10, 2, rng, decay=1.5)
+
+
+class TestAdversarial:
+    def test_colocates_clusters(self, rng):
+        labels = np.repeat(np.arange(4), 25)
+        parts = adversarial_partition(100, 2, labels, rng)
+        check_cover(parts, 100, 2)
+        # cluster 0 and 2 on machine 0; 1 and 3 on machine 1
+        assert set(labels[parts[0]]) == {0, 2}
+        assert set(labels[parts[1]]) == {1, 3}
+
+    def test_label_length_mismatch(self, rng):
+        with pytest.raises(PartitionError, match="length n"):
+            adversarial_partition(10, 2, np.zeros(5, dtype=int), rng)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_partitioner("random") is random_partition
+        assert get_partitioner("block") is block_partition
+
+    def test_unknown_name(self):
+        with pytest.raises(PartitionError, match="unknown partitioner"):
+            get_partitioner("nope")

@@ -1,0 +1,86 @@
+"""Tests for the message-trace debugger."""
+
+import numpy as np
+import pytest
+
+from repro.core import mpc_k_bounded_mis
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.message import PointBatch
+from repro.mpc.trace import MessageTrace
+
+
+@pytest.fixture
+def metric(rng):
+    return EuclideanMetric(rng.normal(size=(100, 2)))
+
+
+class TestTracing:
+    def test_records_manual_messages(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        trace = MessageTrace.attach(cluster)
+        cluster.send(0, 1, 5.0, tag="hello")
+        cluster.send(1, 2, np.zeros(4), tag="data")
+        cluster.step()
+        assert len(trace) == 2
+        tags = {e.tag for e in trace.events}
+        assert tags == {"hello", "data"}
+        assert trace.total_words() == 5
+
+    def test_words_match_cluster_stats(self, metric):
+        cluster = MPCCluster(metric, 4, seed=0)
+        trace = MessageTrace.attach(cluster)
+        mpc_k_bounded_mis(cluster, 0.6, 8)
+        assert trace.total_words() == cluster.stats.total_words
+
+    def test_words_by_tag_covers_algorithm_phases(self, metric):
+        cluster = MPCCluster(metric, 4, seed=0)
+        trace = MessageTrace.attach(cluster)
+        mpc_k_bounded_mis(cluster, 0.6, 8)
+        by_tag = trace.words_by_tag()
+        assert "degree/sample" in by_tag
+        # descending order
+        vals = list(by_tag.values())
+        assert vals == sorted(vals, reverse=True)
+
+    def test_words_by_round_sums_to_total(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        trace = MessageTrace.attach(cluster)
+        mpc_k_bounded_mis(cluster, 0.6, 5)
+        assert sum(trace.words_by_round().values()) == trace.total_words()
+
+    def test_messages_between(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        trace = MessageTrace.attach(cluster)
+        cluster.send(2, 0, 1.0, tag="a")
+        cluster.send(0, 2, 2.0, tag="b")
+        cluster.step()
+        assert len(trace.messages_between(2, 0)) == 1
+        assert trace.messages_between(2, 0)[0].tag == "a"
+
+    def test_heaviest_events(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        trace = MessageTrace.attach(cluster)
+        cluster.send(0, 1, np.zeros(100), tag="big")
+        cluster.send(0, 1, 1.0, tag="small")
+        cluster.step()
+        top = trace.heaviest_events(limit=1)
+        assert top[0].tag == "big"
+
+    def test_detach_restores(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        trace = MessageTrace.attach(cluster)
+        cluster.send(0, 1, 1.0)
+        cluster.step()
+        trace.detach()
+        cluster.send(0, 1, 1.0)
+        cluster.step()
+        assert len(trace) == 1  # nothing recorded after detach
+
+    def test_pointbatch_words_accounted(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        trace = MessageTrace.attach(cluster)
+        ids = cluster.machines[0].local_ids[:3]
+        cluster.send(0, 1, PointBatch(ids), tag="pts")
+        cluster.step()
+        assert trace.events[0].words == 3 * (1 + metric.point_words())

@@ -1,0 +1,108 @@
+"""End-to-end runs under the paper-literal constants and under hostile
+configurations: adversarial partitions, theory-scaled hard limits, and
+the full algorithm set.  These are the 'everything on' runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    verify_diversity_solution,
+    verify_kcenter_solution,
+    verify_ksupplier_solution,
+)
+from repro.constants import TheoryConstants
+from repro.core import mpc_diversity, mpc_kcenter, mpc_ksupplier
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.limits import Limits
+from repro.mpc.partition import adversarial_partition
+from repro.workloads.clustered import separated_clusters
+from repro.workloads.suppliers import supplier_instance
+
+
+class TestPaperConstants:
+    """δ = max(18, 12/ε²) literally; everything is light at these sizes,
+    so the light path and exact-degree path carry the algorithms."""
+
+    def test_diversity_paper_constants(self, medium_metric):
+        cluster = MPCCluster(medium_metric, 4, seed=0)
+        res = mpc_diversity(
+            cluster, 8, epsilon=0.2, constants=TheoryConstants.paper()
+        )
+        verify_diversity_solution(medium_metric, res.ids, 8, res.diversity)
+
+    def test_supplier_paper_constants(self, rng):
+        inst = supplier_instance(150, 60, rng=rng)
+        metric = EuclideanMetric(inst.points)
+        cluster = MPCCluster(metric, 3, seed=0)
+        res = mpc_ksupplier(
+            cluster,
+            inst.customers,
+            inst.suppliers,
+            5,
+            epsilon=0.2,
+            constants=TheoryConstants.paper(),
+        )
+        verify_ksupplier_solution(
+            metric, inst.customers, inst.suppliers, res.suppliers, 5, res.radius
+        )
+
+
+class TestAdversarialPartition:
+    """Whole ground-truth clusters co-located on single machines — the
+    regime where local GMM sees no global structure."""
+
+    def test_kcenter_quality_survives(self, rng):
+        inst = separated_clusters(
+            240, clusters=6, cluster_radius=1.0, separation=25.0, rng=rng
+        )
+        metric = EuclideanMetric(inst.points)
+        parts = adversarial_partition(240, 3, inst.labels, rng)
+        cluster = MPCCluster(metric, 3, partition=parts, seed=0)
+        res = mpc_kcenter(cluster, 6, epsilon=0.15)
+        verify_kcenter_solution(metric, res.centers, 6, res.radius)
+        # guarantee: 2(1+eps) * optimal <= 2.3 * cluster_radius
+        assert res.radius <= 2.3 * inst.kcenter_upper_bound + 1e-9
+
+    def test_diversity_on_adversarial_partition(self, rng):
+        inst = separated_clusters(
+            240, clusters=6, cluster_radius=1.0, separation=25.0, rng=rng
+        )
+        metric = EuclideanMetric(inst.points)
+        parts = adversarial_partition(240, 3, inst.labels, rng)
+        cluster = MPCCluster(metric, 3, partition=parts, seed=0)
+        res = mpc_diversity(cluster, 6, epsilon=0.15)
+        verify_diversity_solution(metric, res.ids, 6, res.diversity)
+        # six separated clusters: an optimal 6-subset takes one per cluster,
+        # with diversity >= separation - 2*radius = 23; factor 2.3 applies
+        assert res.diversity >= (inst.separation - 2.0) / 2.3 - 1e-9
+
+
+class TestTheoryLimitsEverythingOn:
+    """Strict mode + theory-scaled hard caps + all three applications."""
+
+    @pytest.fixture
+    def metric(self, rng):
+        return EuclideanMetric(rng.normal(scale=4.0, size=(256, 2)))
+
+    def test_kcenter(self, metric):
+        lim = Limits.theory(n=256, m=4, k=6, dim=2, slack=512.0)
+        cluster = MPCCluster(metric, 4, seed=1, strict=True, limits=lim)
+        res = mpc_kcenter(cluster, 6, epsilon=0.25)
+        verify_kcenter_solution(metric, res.centers, 6, res.radius)
+
+    def test_diversity(self, metric):
+        lim = Limits.theory(n=256, m=4, k=6, dim=2, slack=512.0)
+        cluster = MPCCluster(metric, 4, seed=1, strict=True, limits=lim)
+        res = mpc_diversity(cluster, 6, epsilon=0.25)
+        verify_diversity_solution(metric, res.ids, 6, res.diversity)
+
+    def test_supplier(self, rng):
+        inst = supplier_instance(180, 76, rng=rng)
+        metric = EuclideanMetric(inst.points)
+        lim = Limits.theory(n=256, m=4, k=6, dim=2, slack=512.0)
+        cluster = MPCCluster(metric, 4, seed=1, strict=True, limits=lim)
+        res = mpc_ksupplier(cluster, inst.customers, inst.suppliers, 6, epsilon=0.25)
+        verify_ksupplier_solution(
+            metric, inst.customers, inst.suppliers, res.suppliers, 6, res.radius
+        )

@@ -1,0 +1,61 @@
+"""Property-based tests for the partitioners (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.partition import (
+    adversarial_partition,
+    block_partition,
+    random_partition,
+    skewed_partition,
+)
+
+
+def check_invariants(parts, n, m):
+    assert len(parts) == m
+    concat = np.concatenate(parts) if parts else np.array([], dtype=np.int64)
+    assert concat.size == n
+    assert np.array_equal(np.sort(concat), np.arange(n))
+    if n >= m:
+        assert all(p.size >= 1 for p in parts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(1, 300), m=st.integers(1, 12), seed=st.integers(0, 100))
+def test_random_partition_invariants(n, m, seed):
+    check_invariants(random_partition(n, m, np.random.default_rng(seed)), n, m)
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(1, 300), m=st.integers(1, 12))
+def test_block_partition_invariants(n, m):
+    parts = block_partition(n, m)
+    check_invariants(parts, n, m)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 300),
+    m=st.integers(1, 12),
+    seed=st.integers(0, 100),
+    decay=st.floats(0.1, 1.0),
+)
+def test_skewed_partition_invariants(n, m, seed, decay):
+    parts = skewed_partition(n, m, np.random.default_rng(seed), decay=decay)
+    check_invariants(parts, n, m)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    m=st.integers(1, 8),
+    clusters=st.integers(1, 10),
+    seed=st.integers(0, 50),
+)
+def test_adversarial_partition_invariants(n, m, clusters, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, clusters, size=n)
+    parts = adversarial_partition(n, m, labels, rng)
+    check_invariants(parts, n, m)

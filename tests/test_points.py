@@ -1,0 +1,64 @@
+"""Tests for repro.metric.points.PointSet."""
+
+import numpy as np
+import pytest
+
+from repro.metric.points import PointSet
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        ps = PointSet(np.zeros((5, 3)))
+        assert ps.n == 5 and ps.dim == 3 and len(ps) == 5
+
+    def test_1d_promoted_to_column(self):
+        ps = PointSet([1.0, 2.0, 3.0])
+        assert ps.n == 3 and ps.dim == 1
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            PointSet(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PointSet(np.zeros((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            PointSet([[1.0, float("nan")]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            PointSet([[float("inf"), 0.0]])
+
+    def test_data_is_copied(self):
+        src = np.ones((3, 2))
+        ps = PointSet(src)
+        src[0, 0] = 99.0
+        assert ps.data[0, 0] == 1.0
+
+    def test_data_is_readonly(self):
+        ps = PointSet(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            ps.data[0, 0] = 5.0
+
+
+class TestAccess:
+    def test_ids(self):
+        ps = PointSet(np.zeros((4, 2)))
+        assert np.array_equal(ps.ids(), [0, 1, 2, 3])
+
+    def test_take(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        out = ps.take([2, 0])
+        assert np.array_equal(out, [[2.0, 2.0], [0.0, 0.0]])
+
+    def test_take_out_of_range(self):
+        ps = PointSet(np.zeros((3, 2)))
+        with pytest.raises(IndexError):
+            ps.take([5])
+        with pytest.raises(IndexError):
+            ps.take([-1])
+
+    def test_point_words_is_dim(self):
+        assert PointSet(np.zeros((2, 7))).point_words() == 7

@@ -1,0 +1,85 @@
+"""End-to-end property-based tests (hypothesis): the theorem contracts
+hold on arbitrary small instances, not just the fixtures we chose."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.validation import (
+    verify_diversity_solution,
+    verify_k_bounded_mis,
+    verify_kcenter_solution,
+)
+from repro.baselines.exact import exact_diversity, exact_kcenter
+from repro.core import mpc_diversity, mpc_k_bounded_mis, mpc_kcenter
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+
+small_points = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(6, 16), st.just(2)),
+    elements=st.floats(-20, 20, allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pts=small_points, tau=st.floats(0.05, 10.0), k=st.integers(1, 6), seed=st.integers(0, 50))
+def test_kbounded_mis_contract_property(pts, tau, k, seed):
+    """Definition 1 holds for arbitrary points, thresholds, k, and seeds."""
+    metric = EuclideanMetric(pts)
+    m = min(3, metric.n)
+    cluster = MPCCluster(metric, m, seed=seed)
+    res = mpc_k_bounded_mis(cluster, tau, k)
+    verify_k_bounded_mis(metric, res, np.arange(metric.n))
+
+
+@settings(max_examples=15, deadline=None)
+@given(pts=small_points, k=st.integers(1, 4), seed=st.integers(0, 20))
+def test_kcenter_factor_property(pts, k, seed):
+    """Theorem 17's 2(1+ε) factor versus the exact optimum."""
+    metric = EuclideanMetric(pts)
+    if k > metric.n:
+        return
+    _, opt = exact_kcenter(metric, k)
+    cluster = MPCCluster(metric, min(3, metric.n), seed=seed)
+    eps = 0.25
+    res = mpc_kcenter(cluster, k, epsilon=eps)
+    verify_kcenter_solution(metric, res.centers, k, res.radius)
+    assert res.radius <= 2.0 * (1.0 + eps) * opt + 1e-7 * (1.0 + opt)
+
+
+@settings(max_examples=15, deadline=None)
+@given(pts=small_points, k=st.integers(2, 4), seed=st.integers(0, 20))
+def test_diversity_factor_property(pts, k, seed):
+    """Theorem 3's 2(1+ε) factor versus the exact optimum."""
+    metric = EuclideanMetric(pts)
+    if k > metric.n:
+        return
+    _, opt = exact_diversity(metric, k)
+    cluster = MPCCluster(metric, min(3, metric.n), seed=seed)
+    eps = 0.25
+    res = mpc_diversity(cluster, k, epsilon=eps)
+    verify_diversity_solution(metric, res.ids, k, res.diversity)
+    assert res.diversity >= opt / (2.0 * (1.0 + eps)) - 1e-7 * (1.0 + opt)
+    assert res.diversity <= opt + 1e-7 * (1.0 + opt)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pts=small_points,
+    seed=st.integers(0, 30),
+    m=st.integers(1, 4),
+)
+def test_communication_ledger_invariants_property(pts, seed, m):
+    """Accounting invariants: sent totals equal received totals every
+    round; rounds in the log match the cluster clock."""
+    metric = EuclideanMetric(pts)
+    m = min(m, metric.n)
+    cluster = MPCCluster(metric, m, seed=seed)
+    mpc_k_bounded_mis(cluster, 1.0, 3)
+    assert cluster.stats.rounds == cluster.round_no
+    for r in cluster.stats.rounds_log:
+        assert r.sent.sum() == r.received.sum()
+        assert (r.sent >= 0).all() and (r.received >= 0).all()

@@ -1,0 +1,133 @@
+"""Tests for the remote-clique diversity extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.remote_clique import (
+    exact_remote_clique,
+    greedy_remote_clique,
+    local_search_remote_clique,
+    mpc_remote_clique,
+    remote_clique_value,
+)
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+
+
+@pytest.fixture
+def small(rng):
+    return EuclideanMetric(rng.normal(size=(14, 2)))
+
+
+class TestObjective:
+    def test_value_matches_manual(self):
+        m = EuclideanMetric([[0.0], [1.0], [3.0]])
+        # pairs: (0,1)=1, (0,3)=3, (1,3)=2 → sum 6
+        assert remote_clique_value(m, [0, 1, 2]) == pytest.approx(6.0)
+
+    def test_singleton_zero(self, small):
+        assert remote_clique_value(small, [3]) == 0.0
+
+    def test_duplicate_ids_collapsed(self):
+        m = EuclideanMetric([[0.0], [2.0]])
+        assert remote_clique_value(m, [0, 0, 1]) == pytest.approx(2.0)
+
+
+class TestGreedy:
+    def test_size_and_distinct(self, small):
+        out = greedy_remote_clique(small, np.arange(14), 5)
+        assert out.size == 5 and np.unique(out).size == 5
+
+    def test_small_candidate_set_returned_whole(self, small):
+        out = greedy_remote_clique(small, [1, 2, 3], 7)
+        assert np.array_equal(np.sort(out), [1, 2, 3])
+
+    def test_line_picks_extremes(self):
+        m = EuclideanMetric(np.arange(10, dtype=float).reshape(-1, 1))
+        out = greedy_remote_clique(m, np.arange(10), 2)
+        assert set(out) == {0, 9}
+
+    def test_constant_factor_vs_exact(self, rng):
+        for seed in range(3):
+            pts = np.random.default_rng(seed).normal(size=(12, 2))
+            m = EuclideanMetric(pts)
+            _, opt = exact_remote_clique(m, 4)
+            val = remote_clique_value(m, greedy_remote_clique(m, np.arange(12), 4))
+            assert val >= opt / 4.0 - 1e-9  # classic dispersion greedy bound
+
+
+class TestLocalSearch:
+    def test_never_worse_than_greedy(self, small):
+        g = greedy_remote_clique(small, np.arange(14), 5)
+        ls = local_search_remote_clique(small, np.arange(14), 5)
+        assert remote_clique_value(small, ls) >= remote_clique_value(small, g) - 1e-9
+
+    def test_two_approx_vs_exact(self):
+        for seed in range(3):
+            pts = np.random.default_rng(seed).normal(size=(12, 2))
+            m = EuclideanMetric(pts)
+            _, opt = exact_remote_clique(m, 4)
+            val = remote_clique_value(
+                m, local_search_remote_clique(m, np.arange(12), 4)
+            )
+            assert val >= opt / 2.0 - 1e-9
+
+    def test_respects_start(self, small):
+        start = np.array([0, 1, 2])
+        out = local_search_remote_clique(small, np.arange(14), 3, start=start)
+        assert out.size == 3
+
+    def test_k_equals_n(self, small):
+        out = local_search_remote_clique(small, np.arange(14), 14)
+        assert out.size == 14
+
+
+class TestExact:
+    def test_optimality_dominates_heuristics(self, small):
+        _, opt = exact_remote_clique(small, 3)
+        g = remote_clique_value(small, greedy_remote_clique(small, np.arange(14), 3))
+        assert opt >= g - 1e-9
+
+    def test_budget_guard(self, rng):
+        m = EuclideanMetric(rng.normal(size=(40, 2)))
+        with pytest.raises(ValueError):
+            exact_remote_clique(m, 15, max_subsets=100)
+
+    def test_k_validation(self, small):
+        with pytest.raises(ValueError):
+            exact_remote_clique(small, 1)
+
+
+class TestMPC:
+    def test_end_to_end_quality(self):
+        for seed in range(2):
+            pts = np.random.default_rng(seed).normal(size=(200, 2))
+            m = EuclideanMetric(pts)
+            cluster = MPCCluster(m, 4, seed=seed)
+            subset, val = mpc_remote_clique(cluster, 5)
+            assert subset.size == 5
+            # sanity: within a constant of the sequential local search
+            ref = remote_clique_value(
+                m, local_search_remote_clique(m, np.arange(200), 5)
+            )
+            assert val >= ref / 3.0
+
+    def test_two_round_structure(self, rng):
+        m = EuclideanMetric(rng.normal(size=(100, 2)))
+        cluster = MPCCluster(m, 4, seed=0)
+        mpc_remote_clique(cluster, 4)
+        assert cluster.stats.rounds <= 2
+
+    def test_exact_comparison_small(self, rng):
+        pts = rng.normal(size=(14, 2))
+        m = EuclideanMetric(pts)
+        _, opt = exact_remote_clique(m, 4)
+        cluster = MPCCluster(m, 2, seed=0)
+        _, val = mpc_remote_clique(cluster, 4)
+        assert val >= opt / 3.0 - 1e-9  # Indyk-style constant factor
+
+    def test_k_validation(self, rng):
+        m = EuclideanMetric(rng.normal(size=(20, 2)))
+        cluster = MPCCluster(m, 2, seed=0)
+        with pytest.raises(ValueError):
+            mpc_remote_clique(cluster, 1)

@@ -1,0 +1,100 @@
+"""Tests for the result records and their serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.io import write_json
+from repro.core.results import (
+    ClusteringResult,
+    DiversityResult,
+    MISResult,
+    SupplierResult,
+)
+
+
+@pytest.fixture
+def mis():
+    return MISResult(
+        ids=np.array([3, 7, 9]),
+        tau=0.5,
+        k=5,
+        maximal=True,
+        terminated_via="maximal",
+        rounds=12,
+        edge_trace=[10, 2, 0],
+    )
+
+
+class TestSize:
+    def test_mis_size(self, mis):
+        assert mis.size == 3
+
+    def test_clustering_size(self):
+        r = ClusteringResult(
+            centers=np.array([1, 2]),
+            radius=1.0,
+            k=2,
+            epsilon=0.1,
+            tau=1.0,
+            coreset_value=2.0,
+            rounds=3,
+        )
+        assert r.size == 2
+
+    def test_diversity_size(self):
+        r = DiversityResult(
+            ids=np.array([1]), diversity=0.0, k=1, epsilon=0.1,
+            coreset_value=0.0, rounds=1,
+        )
+        assert r.size == 1
+
+    def test_supplier_size(self):
+        r = SupplierResult(
+            suppliers=np.array([4, 5]), radius=1.0, k=3, epsilon=0.1,
+            coreset_value=2.0, pivots=np.array([0]), rounds=2,
+        )
+        assert r.size == 2
+
+
+class TestToDict:
+    def test_arrays_become_lists(self, mis):
+        d = mis.to_dict()
+        assert d["ids"] == [3, 7, 9]
+        assert d["size"] == 3
+        assert d["terminated_via"] == "maximal"
+
+    def test_json_serializable(self, mis):
+        json.dumps(mis.to_dict())  # must not raise
+
+    def test_write_json_roundtrip(self, mis, tmp_path):
+        p = write_json([mis.to_dict()], tmp_path / "r.json")
+        import json as _json
+
+        back = _json.loads(p.read_text())
+        assert back["rows"][0]["k"] == 5
+
+    def test_dominating_result_serializes(self):
+        from repro.core.dominating_set import DominatingSetResult
+
+        r = DominatingSetResult(
+            ids=np.array([1, 2]), tau=0.3, rounds=4, lower_bound=1
+        )
+        d = r.to_dict()
+        assert d["ids"] == [1, 2] and d["size"] == 2
+        json.dumps(d)
+
+    def test_numpy_scalars_converted(self):
+        r = ClusteringResult(
+            centers=np.array([1]),
+            radius=np.float64(1.5),
+            k=np.int64(1),
+            epsilon=0.1,
+            tau=1.0,
+            coreset_value=2.0,
+            rounds=1,
+        )
+        d = r.to_dict()
+        assert isinstance(d["radius"], float) and isinstance(d["k"], int)
+        json.dumps(d)

@@ -1,0 +1,68 @@
+"""Tests for the streaming doubling k-center baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import exact_kcenter
+from repro.baselines.streaming import streaming_kcenter
+from repro.metric.euclidean import EuclideanMetric
+
+
+class TestStreamingKCenter:
+    def test_factor_eight_vs_exact(self):
+        for seed in range(4):
+            pts = np.random.default_rng(seed).normal(size=(16, 2))
+            metric = EuclideanMetric(pts)
+            for k in (2, 3):
+                _, opt = exact_kcenter(metric, k)
+                centers, r = streaming_kcenter(metric, k)
+                assert centers.size <= k
+                assert r <= 8.0 * opt + 1e-9
+
+    def test_at_most_k_centers(self, medium_metric):
+        centers, _ = streaming_kcenter(medium_metric, 7)
+        assert 1 <= centers.size <= 7
+        assert np.unique(centers).size == centers.size
+
+    def test_radius_reported_truthfully(self, medium_metric):
+        centers, r = streaming_kcenter(medium_metric, 7)
+        ids = np.arange(medium_metric.n)
+        assert r == pytest.approx(float(medium_metric.dist_to_set(ids, centers).max()))
+
+    def test_order_sensitivity_bounded(self, rng):
+        """Different arrival orders change the result but stay within the
+        factor bound of each other (both are ≤ 8·opt ≥ opt)."""
+        pts = rng.normal(size=(200, 2))
+        metric = EuclideanMetric(pts)
+        _, r1 = streaming_kcenter(metric, 5)
+        _, r2 = streaming_kcenter(metric, 5, order=rng.permutation(200))
+        assert max(r1, r2) <= 8.0 * max(min(r1, r2), 1e-12)
+
+    def test_duplicates_in_head(self):
+        pts = np.concatenate([np.zeros((5, 2)), np.random.default_rng(0).normal(size=(30, 2))])
+        metric = EuclideanMetric(pts)
+        centers, r = streaming_kcenter(metric, 3)
+        assert centers.size <= 3 and np.isfinite(r)
+
+    def test_n_le_k(self, rng):
+        metric = EuclideanMetric(rng.normal(size=(4, 2)))
+        centers, r = streaming_kcenter(metric, 10)
+        assert r == pytest.approx(0.0) or centers.size <= 4
+
+    def test_invalid_order(self, medium_metric):
+        with pytest.raises(ValueError, match="permutation"):
+            streaming_kcenter(medium_metric, 3, order=np.zeros(5, dtype=int))
+
+    def test_invalid_k(self, medium_metric):
+        with pytest.raises(ValueError):
+            streaming_kcenter(medium_metric, 0)
+
+    def test_memory_is_bounded(self, rng):
+        """The whole point of streaming: never more than k centers kept
+        (checked indirectly — the returned set is <= k even on large n)."""
+        pts = rng.normal(size=(2000, 2))
+        metric = EuclideanMetric(pts)
+        centers, r = streaming_kcenter(metric, 6)
+        assert centers.size <= 6
+        _, opt_ish = streaming_kcenter(metric, 6)  # deterministic repeat
+        assert r == opt_ish

@@ -1,0 +1,100 @@
+"""Tests for ThresholdGraphView."""
+
+import numpy as np
+import pytest
+
+from repro.core.threshold_graph import ThresholdGraphView
+from repro.metric.euclidean import EuclideanMetric
+
+
+@pytest.fixture
+def line_metric():
+    # points at 0, 1, 2, ..., 9 on a line
+    return EuclideanMetric(np.arange(10, dtype=float).reshape(-1, 1))
+
+
+class TestDegrees:
+    def test_path_graph_degrees(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=1.0)
+        deg = view.degrees()
+        assert deg[0] == 1 and deg[9] == 1
+        assert np.all(deg[1:9] == 2)
+
+    def test_wider_threshold(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=2.0)
+        assert view.degrees([5])[0] == 4
+
+    def test_no_self_loop(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=0.0)
+        assert np.all(view.degrees() == 0)
+
+    def test_duplicates_are_neighbors(self):
+        m = EuclideanMetric([[0.0], [0.0], [5.0]])
+        view = ThresholdGraphView(m, [0, 1, 2], tau=0.0)
+        assert view.degrees([0])[0] == 1
+
+    def test_restricted_active_set(self, line_metric):
+        view = ThresholdGraphView(line_metric, [0, 2, 4], tau=1.0)
+        assert np.all(view.degrees() == 0)  # spacing 2 > tau
+
+    def test_query_outside_active(self, line_metric):
+        view = ThresholdGraphView(line_metric, [0, 1], tau=1.5)
+        # vertex 2 is not active but is within tau of 1
+        assert view.degrees([2])[0] == 1
+
+    def test_empty_query(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=1.0)
+        assert view.degrees([]).size == 0
+
+    def test_negative_tau_rejected(self, line_metric):
+        with pytest.raises(ValueError):
+            ThresholdGraphView(line_metric, [0], tau=-1.0)
+
+
+class TestNeighborsAndEdges:
+    def test_neighbors(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=1.0)
+        assert np.array_equal(np.sort(view.neighbors(5)), [4, 6])
+
+    def test_num_edges_path(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=1.0)
+        assert view.num_edges() == 9
+
+    def test_num_edges_complete(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=100.0)
+        assert view.num_edges() == 45
+
+    def test_num_edges_empty_graph(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=0.5)
+        assert view.num_edges() == 0
+
+    def test_adjacency_masks_same_id(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=1.0)
+        adj = view.adjacency([3, 4], [3, 4, 5])
+        assert not adj[0, 0]  # (3, 3) masked
+        assert adj[0, 1] and adj[1, 2]
+
+
+class TestIndependence:
+    def test_independent_set(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=1.0)
+        assert view.is_independent([0, 2, 4])
+        assert not view.is_independent([0, 1])
+
+    def test_singleton_and_empty_independent(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=1.0)
+        assert view.is_independent([3])
+        assert view.is_independent([])
+
+    def test_maximal_independent(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=1.0)
+        assert view.is_maximal_independent([0, 2, 4, 6, 8])
+        assert not view.is_maximal_independent([0, 4, 8])  # 2 and 6 addable
+
+    def test_maximal_rejects_dependent(self, line_metric):
+        view = ThresholdGraphView(line_metric, np.arange(10), tau=1.0)
+        assert not view.is_maximal_independent([0, 1, 3, 5, 7, 9])
+
+    def test_empty_universe_maximal(self, line_metric):
+        view = ThresholdGraphView(line_metric, [], tau=1.0)
+        assert view.is_maximal_independent([])

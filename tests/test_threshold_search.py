@@ -1,0 +1,75 @@
+"""Tests for the flip-pair binary search."""
+
+import pytest
+
+from repro.core.threshold_search import find_flip
+
+
+class TestFindFlip:
+    def test_monotone_predicate(self):
+        # good for i < 7
+        j, vj, vj1 = find_flip(lambda i: i, lambda v: v < 7, 0, 20)
+        assert j == 6 and vj == 6 and vj1 == 7
+
+    def test_flip_at_start(self):
+        j, _, _ = find_flip(lambda i: i, lambda v: v < 1, 0, 10)
+        assert j == 0
+
+    def test_flip_at_end(self):
+        j, _, _ = find_flip(lambda i: i, lambda v: v < 10, 0, 10)
+        assert j == 9
+
+    def test_non_monotone_still_finds_adjacent_flip(self):
+        # good: T T F F T T F  (indices 0..6) — any adjacent (T, F) works
+        pattern = [True, True, False, False, True, True, False]
+        j, _, _ = find_flip(lambda i: i, lambda v: pattern[v], 0, 6)
+        assert pattern[j] and not pattern[j + 1]
+
+    def test_probe_count_logarithmic(self):
+        calls = []
+
+        def probe(i):
+            calls.append(i)
+            return i
+
+        find_flip(probe, lambda v: v < 500, 0, 1024)
+        assert len(calls) <= 13  # log2(1024) + endpoints
+
+    def test_memoization_via_cache(self):
+        calls = []
+        cache = {}
+
+        def probe(i):
+            calls.append(i)
+            return i
+
+        find_flip(probe, lambda v: v < 3, 0, 8, cache)
+        assert len(calls) == len(set(calls))  # no repeated probes
+        assert 3 in cache
+
+    def test_prefilled_cache_used(self):
+        cache = {0: 0, 8: 8}
+        calls = []
+
+        def probe(i):
+            calls.append(i)
+            return i
+
+        find_flip(probe, lambda v: v < 5, 0, 8, cache)
+        assert 0 not in calls and 8 not in calls
+
+    def test_invariant_violation_lo(self):
+        with pytest.raises(ValueError, match="good\\(lo\\)"):
+            find_flip(lambda i: i, lambda v: False, 0, 5)
+
+    def test_invariant_violation_hi(self):
+        with pytest.raises(ValueError, match="good\\(hi\\)"):
+            find_flip(lambda i: i, lambda v: True, 0, 5)
+
+    def test_lo_ge_hi(self):
+        with pytest.raises(ValueError, match="lo < hi"):
+            find_flip(lambda i: i, lambda v: True, 5, 5)
+
+    def test_adjacent_range(self):
+        j, vj, vj1 = find_flip(lambda i: i, lambda v: v == 0, 0, 1)
+        assert j == 0 and vj1 == 1

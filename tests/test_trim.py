@@ -1,0 +1,125 @@
+"""Tests for the trim primitive of Algorithm 4."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.trim import trim
+from repro.metric.euclidean import EuclideanMetric
+
+
+@pytest.fixture
+def line_metric():
+    return EuclideanMetric(np.arange(8, dtype=float).reshape(-1, 1))
+
+
+def priorities(n, values=None, rng=None):
+    p = np.zeros(n) if values is None else np.asarray(values, dtype=float)
+    tie = (rng or np.random.default_rng(0)).random(n)
+    return p, tie
+
+
+class TestBasics:
+    def test_empty_and_singleton(self, line_metric):
+        p, tie = priorities(8)
+        assert trim(line_metric, [], 1.0, p, tie).size == 0
+        assert np.array_equal(trim(line_metric, [3], 1.0, p, tie), [3])
+
+    def test_keeps_local_maxima(self, line_metric):
+        # path graph 0-1-2; p = [1, 5, 2]: only 1 survives among {0,1,2}
+        p = np.array([1.0, 5.0, 2.0, 0, 0, 0, 0, 0])
+        tie = np.zeros(8)
+        out = trim(line_metric, [0, 1, 2], 1.0, p, tie, mode="id")
+        assert np.array_equal(out, [1])
+
+    def test_non_adjacent_all_survive(self, line_metric):
+        p, tie = priorities(8)
+        out = trim(line_metric, [0, 3, 6], 1.0, p, tie)
+        assert np.array_equal(np.sort(out), [0, 3, 6])
+
+    def test_output_always_independent(self, line_metric, rng):
+        p = rng.random(8) * 10
+        tie = rng.random(8)
+        for tau in (0.5, 1.0, 2.5, 7.0):
+            out = trim(line_metric, np.arange(8), tau, p, tie)
+            if out.size >= 2:
+                D = line_metric.pairwise(out, out)
+                np.fill_diagonal(D, np.inf)
+                assert D.min() > tau
+
+    def test_duplicate_input_ids_collapsed(self, line_metric):
+        p, tie = priorities(8)
+        out = trim(line_metric, [2, 2, 2], 1.0, p, tie)
+        assert np.array_equal(out, [2])
+
+
+class TestTieBreaking:
+    def test_paper_mode_stalls_on_ties(self, line_metric):
+        # all priorities equal on a connected sample: strict > never holds
+        p = np.ones(8)
+        out = trim(line_metric, np.arange(8), 1.0, p, mode="paper")
+        assert out.size == 0  # the documented livelock of the literal rule
+
+    def test_random_mode_progresses_on_ties(self, line_metric, rng):
+        p = np.ones(8)
+        tie = rng.random(8)
+        out = trim(line_metric, np.arange(8), 1.0, p, tie, mode="random")
+        assert out.size >= 1
+
+    def test_id_mode_deterministic(self, line_metric):
+        p = np.ones(8)
+        a = trim(line_metric, np.arange(8), 1.0, p, mode="id")
+        b = trim(line_metric, np.arange(8), 1.0, p, mode="id")
+        assert np.array_equal(a, b) and a.size >= 1
+
+    def test_random_mode_requires_tie(self, line_metric):
+        with pytest.raises(ValueError, match="tie"):
+            trim(line_metric, [0, 1], 1.0, np.ones(8), None, mode="random")
+
+    def test_unknown_mode(self, line_metric):
+        with pytest.raises(ValueError, match="unknown trim mode"):
+            trim(line_metric, [0, 1], 1.0, np.ones(8), np.ones(8), mode="bogus")
+
+    def test_paper_mode_works_with_distinct_priorities(self, line_metric):
+        p = np.arange(8, dtype=float)
+        out = trim(line_metric, np.arange(8), 1.0, p, mode="paper")
+        assert 7 in out  # the global max always survives
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pts=arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(2, 15), st.just(2)),
+        elements=st.floats(-10, 10, allow_nan=False),
+    ),
+    tau=st.floats(0.1, 5.0),
+    seed=st.integers(0, 100),
+)
+def test_trim_always_independent_property(pts, tau, seed):
+    """Hypothesis: trim output is an independent set for any priorities."""
+    m = EuclideanMetric(pts)
+    rng = np.random.default_rng(seed)
+    p = rng.random(m.n) * 20
+    tie = rng.random(m.n)
+    out = trim(m, np.arange(m.n), tau, p, tie)
+    if out.size >= 2:
+        D = m.pairwise(out, out)
+        np.fill_diagonal(D, np.inf)
+        assert D.min() > tau
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_trim_nonempty_on_nonempty_sample_property(seed):
+    """Hypothesis: with the random tie-break, a nonempty sample always
+    keeps at least its key-maximum vertex."""
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(12, 2))
+    m = EuclideanMetric(pts)
+    p = rng.random(12)
+    tie = rng.random(12)
+    out = trim(m, np.arange(12), float(rng.uniform(0.1, 3.0)), p, tie)
+    assert out.size >= 1

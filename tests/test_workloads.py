@@ -1,0 +1,174 @@
+"""Tests for the workload generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.metric.validation import check_metric_axioms
+from repro.workloads.adversarial import (
+    all_equal_points,
+    colinear_chain,
+    exponential_spread,
+    with_duplicates,
+)
+from repro.workloads.clustered import separated_clusters
+from repro.workloads.graphs import grid_graph_metric, random_geometric_graph_metric
+from repro.workloads.outliers import clustered_with_outliers
+from repro.workloads.registry import available_workloads, make_workload
+from repro.workloads.suppliers import supplier_instance
+from repro.workloads.synthetic import (
+    anisotropic_blobs,
+    gaussian_mixture,
+    uniform_ball,
+    uniform_cube,
+)
+
+
+class TestSynthetic:
+    def test_gaussian_mixture_shape(self, rng):
+        pts, labels = gaussian_mixture(200, dim=3, components=5, rng=rng)
+        assert pts.shape == (200, 3) and labels.shape == (200,)
+        assert labels.min() >= 0 and labels.max() < 5
+
+    def test_gaussian_mixture_deterministic(self):
+        a, _ = gaussian_mixture(50, rng=np.random.default_rng(1))
+        b, _ = gaussian_mixture(50, rng=np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_gaussian_mixture_validation(self, rng):
+        with pytest.raises(ValueError):
+            gaussian_mixture(0, rng=rng)
+
+    def test_uniform_cube_bounds(self, rng):
+        pts = uniform_cube(100, dim=2, side=5.0, rng=rng)
+        assert pts.min() >= 0.0 and pts.max() <= 5.0
+
+    def test_uniform_ball_radius(self, rng):
+        pts = uniform_ball(500, dim=3, radius=2.0, rng=rng)
+        assert np.all(np.linalg.norm(pts, axis=1) <= 2.0 + 1e-9)
+
+    def test_anisotropic_shape(self, rng):
+        pts, labels = anisotropic_blobs(100, dim=2, components=3, rng=rng)
+        assert pts.shape == (100, 2)
+
+
+class TestClustered:
+    def test_separation_honoured(self, rng):
+        inst = separated_clusters(100, clusters=4, separation=10.0, rng=rng)
+        C = inst.centers
+        D = np.sqrt(((C[:, None] - C[None]) ** 2).sum(-1))
+        np.fill_diagonal(D, np.inf)
+        assert D.min() >= 10.0
+
+    def test_points_within_cluster_radius(self, rng):
+        inst = separated_clusters(100, clusters=4, cluster_radius=1.5, rng=rng)
+        d = np.linalg.norm(inst.points - inst.centers[inst.labels], axis=1)
+        assert np.all(d <= 1.5 + 1e-9)
+
+    def test_kcenter_upper_bound(self, rng):
+        inst = separated_clusters(60, clusters=3, cluster_radius=0.5, rng=rng)
+        assert inst.kcenter_upper_bound == 0.5
+
+    def test_invalid_separation(self, rng):
+        with pytest.raises(ValueError, match="separation"):
+            separated_clusters(10, 2, cluster_radius=5.0, separation=5.0, rng=rng)
+
+
+class TestAdversarial:
+    def test_all_equal(self):
+        pts = all_equal_points(10, dim=3, value=2.0)
+        assert np.all(pts == 2.0) and pts.shape == (10, 3)
+
+    def test_duplicates_fraction(self, rng):
+        base = rng.normal(size=(100, 2))
+        out = with_duplicates(base, fraction=0.5, rng=rng)
+        assert out.shape[0] == 100
+        # at least 50 rows coincide with an earlier row
+        uniq = np.unique(out, axis=0).shape[0]
+        assert uniq <= 50
+
+    def test_duplicates_zero_fraction(self, rng):
+        base = rng.normal(size=(10, 2))
+        assert np.array_equal(with_duplicates(base, 0.0, rng), base)
+
+    def test_duplicates_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            with_duplicates(np.zeros((4, 2)), 1.0, rng)
+
+    def test_exponential_spread_growth(self):
+        pts = exponential_spread(5, base=2.0)
+        assert np.array_equal(pts[:, 0], [1, 2, 4, 8, 16])
+
+    def test_colinear_chain(self):
+        pts = colinear_chain(4, step=2.0)
+        assert np.array_equal(pts[:, 0], [0, 2, 4, 6])
+        assert np.all(pts[:, 1] == 0)
+
+
+class TestOutliers:
+    def test_labels_mark_outliers(self, rng):
+        pts, labels = clustered_with_outliers(200, clusters=4, outlier_fraction=0.1, rng=rng)
+        assert pts.shape[0] == 200
+        assert (labels == -1).sum() == 20
+
+    def test_zero_fraction(self, rng):
+        _, labels = clustered_with_outliers(100, clusters=4, outlier_fraction=0.0, rng=rng)
+        assert not np.any(labels == -1)
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            clustered_with_outliers(10, 2, outlier_fraction=1.0, rng=rng)
+
+
+class TestSuppliers:
+    @pytest.mark.parametrize("layout", ["uniform", "colocated", "perimeter"])
+    def test_layouts(self, rng, layout):
+        inst = supplier_instance(100, 40, supplier_layout=layout, rng=rng)
+        assert inst.points.shape[0] == 140
+        assert inst.customers.size == 100 and inst.suppliers.size == 40
+        assert np.intersect1d(inst.customers, inst.suppliers).size == 0
+
+    def test_unknown_layout(self, rng):
+        with pytest.raises(ValueError, match="layout"):
+            supplier_instance(10, 5, supplier_layout="bogus", rng=rng)
+
+
+class TestGraphWorkloads:
+    def test_grid_metric_distances(self):
+        m = grid_graph_metric(3, 3)
+        # corner to corner: manhattan distance 4
+        assert m.distance(0, 8) == pytest.approx(4.0)
+        check_metric_axioms(m, sample_size=9)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            grid_graph_metric(0, 3)
+
+    def test_random_geometric_connected(self, rng):
+        m = random_geometric_graph_metric(40, radius=0.3, rng=rng)
+        D = m.pairwise(np.arange(40), np.arange(40))
+        assert np.all(np.isfinite(D))
+        check_metric_axioms(m, sample_size=20)
+
+
+class TestRegistry:
+    def test_all_names_buildable(self):
+        for name in available_workloads():
+            wl = make_workload(name, 64, seed=1)
+            assert wl.n >= 2
+            assert wl.metric.n == wl.n
+
+    def test_deterministic(self):
+        a = make_workload("gaussian", 50, seed=3)
+        b = make_workload("gaussian", 50, seed=3)
+        assert np.allclose(
+            a.metric.pairwise([0], np.arange(50)),
+            b.metric.pairwise([0], np.arange(50)),
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("bogus", 10)
+
+    def test_clustered_notes(self):
+        wl = make_workload("clustered", 64, seed=0)
+        assert "kcenter_ub" in wl.notes
