@@ -33,7 +33,6 @@ def run_accuracy() -> list[dict]:
         assert res.kind == "degrees"
         truth = truth_view(tau).astype(float)
         est = res.p[active]
-        heavy = np.ones(N, dtype=bool)
         # light vertices are exact by construction; isolate the heavy ones
         exact = np.isclose(est, truth)
         heavy_err = np.abs(est[~exact] - truth[~exact]) / np.maximum(truth[~exact], 1.0)

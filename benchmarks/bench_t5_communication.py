@@ -14,7 +14,19 @@ from repro.analysis.reports import format_table
 from repro.analysis.theory import communication_bound_words, memory_bound_words
 from repro.core.kcenter import mpc_kcenter
 from repro.mpc.cluster import MPCCluster
+from repro.obs import Recorder
 from repro.workloads.registry import make_workload
+
+
+def phase_breakdown(n: int, m: int, k: int, seed: int = 0) -> list[dict]:
+    """Per-phase words/rounds for one representative pipeline run,
+    recorded through the observability layer (repro.obs)."""
+    wl = make_workload("gaussian", n, seed=seed)
+    cluster = MPCCluster(wl.metric, m, seed=seed)
+    rec = Recorder.attach(cluster, capture_messages=False)
+    mpc_kcenter(cluster, k, epsilon=0.1)
+    rec.detach()
+    return rec.log.phase_summary()
 
 
 def measure(n: int, m: int, k: int, seed: int = 0) -> dict:
@@ -69,3 +81,5 @@ def test_t5_communication_envelopes(benchmark, show):
     benchmark.extra_info["sweeps"] = {
         name: [r["comm ratio"] for r in rows] for name, rows in sweeps.items()
     }
+    # conftest lifts this into the artifact's meta block, next to git_sha
+    benchmark.extra_info["obs_phases"] = phase_breakdown(2048, 8, 8)

@@ -12,7 +12,6 @@ and checks quality stays inside the guarantee everywhere.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.reports import format_table
 from repro.core.kcenter import mpc_kcenter

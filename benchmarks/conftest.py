@@ -19,6 +19,8 @@ Conventions:
 
 from __future__ import annotations
 
+import subprocess
+from functools import lru_cache
 from pathlib import Path
 
 import pytest
@@ -28,6 +30,22 @@ SEEDS = (0, 1, 2)
 
 #: where per-test JSON artifacts land (one file per bench test)
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@lru_cache(maxsize=1)
+def repo_sha() -> str:
+    """The repo's HEAD commit, or ``"unknown"`` outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
 
 
 @pytest.fixture
@@ -55,4 +73,11 @@ def _save_artifact(request):
     safe = (
         request.node.name.replace("/", "_").replace("[", "_").replace("]", "")
     )
-    write_json([dict(extra)], RESULTS_DIR / f"{safe}.json", meta={"test": request.node.name})
+    rows = [dict(extra)]
+    # phase breakdowns recorded by the bench (repro.obs) travel in the
+    # meta block next to the provenance stamp, not in the data rows
+    meta = {"test": request.node.name, "git_sha": repo_sha()}
+    phases = rows[0].pop("obs_phases", None)
+    if phases is not None:
+        meta["phases"] = phases
+    write_json(rows, RESULTS_DIR / f"{safe}.json", meta=meta)

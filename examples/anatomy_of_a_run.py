@@ -82,7 +82,7 @@ def main() -> None:
 
     # ---- stage 4: the full pipeline with message tracing -------------------
     cluster = MPCCluster(metric, m, seed=1)
-    trace = MessageTrace.attach(cluster)
+    trace = cluster.obs.add(MessageTrace())
     result = mpc_kcenter(cluster, k, epsilon=eps, constants=constants)
     trace.detach()
     print(

@@ -21,6 +21,9 @@ Public surface:
   :class:`GraphShortestPathMetric`, wrappers :class:`CountingOracle`,
   :class:`CachedOracle`;
 * the simulator — :class:`MPCCluster`, :class:`Limits`, partitioners;
+* observability — :class:`Observer`, :class:`ObserverHub` (as
+  ``cluster.obs``), :class:`Recorder`, :class:`RunLog`, and the trace
+  exporters in :mod:`repro.obs`;
 * the paper's algorithms — :func:`mpc_kcenter`, :func:`mpc_diversity`,
   :func:`mpc_ksupplier`, :func:`mpc_k_bounded_mis`,
   :func:`mpc_degree_approximation`, :func:`gmm`, plus the two-round
@@ -83,6 +86,7 @@ from repro.mpc import (
     random_partition,
     skewed_partition,
 )
+from repro.obs import Observer, ObserverHub, Recorder, RunLog
 
 __version__ = "1.0.0"
 
@@ -109,6 +113,11 @@ __all__ = [
     # simulator
     "MPCCluster",
     "Limits",
+    # observability
+    "Observer",
+    "ObserverHub",
+    "Recorder",
+    "RunLog",
     "random_partition",
     "block_partition",
     "skewed_partition",

@@ -44,6 +44,11 @@ def _constants(args: argparse.Namespace) -> TheoryConstants:
 
 
 def _build_cluster(args: argparse.Namespace, metric) -> MPCCluster:
+    if getattr(args, "trace_out", None) or getattr(args, "report", None):
+        # transparent wrapper so phase spans pick up oracle-call counts
+        from repro.metric.oracle import CountingOracle
+
+        metric = CountingOracle(metric)
     partition = get_partitioner(args.partition)(
         metric.n, args.machines, np.random.default_rng(args.seed)
     )
@@ -76,25 +81,69 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         default=None,
         help="also write the result record (and MPC stats) as JSON",
     )
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record the run and write a trace file (see --trace-format)",
+    )
+    p.add_argument(
+        "--trace-format",
+        choices=["chrome", "jsonl"],
+        default="chrome",
+        help="trace file format: Chrome trace-event JSON "
+        "(chrome://tracing / Perfetto) or JSON Lines",
+    )
+    p.add_argument(
+        "--report",
+        choices=["phases"],
+        default=None,
+        help="print an extra report; 'phases' shows the per-phase "
+        "rounds/words/oracle-calls breakdown",
+    )
 
 
-def _maybe_json(args: argparse.Namespace, result, cluster: MPCCluster) -> None:
+def _setup_obs(args: argparse.Namespace, cluster: MPCCluster):
+    """Attach a recorder when any observability output was requested."""
+    if not (getattr(args, "trace_out", None) or getattr(args, "report", None)):
+        return None
+    from repro.obs import Recorder
+
+    return Recorder.attach(cluster)
+
+
+def _finish_obs(args: argparse.Namespace, recorder) -> None:
+    if recorder is None:
+        return
+    from repro.obs import export_run, phase_report
+
+    if getattr(args, "report", None) == "phases":
+        print()
+        print(phase_report(recorder.log))
+    if getattr(args, "trace_out", None):
+        path = export_run(recorder.log, args.trace_out, args.trace_format)
+        print(f"\nwrote {args.trace_format} trace to {path}")
+
+
+def _maybe_json(
+    args: argparse.Namespace, result, cluster: MPCCluster, recorder=None
+) -> None:
     path = getattr(args, "json_out", None)
     if not path:
         return
     from repro.analysis.io import write_json
 
-    write_json(
-        [result.to_dict()],
-        path,
-        meta={"command": args.command, "stats": cluster.stats.summary()},
-    )
+    meta = {"command": args.command, "stats": cluster.stats.summary()}
+    if recorder is not None:
+        meta["phases"] = recorder.log.phase_summary()
+    write_json([result.to_dict()], path, meta=meta)
     print(f"\nwrote JSON result to {path}")
 
 
 def _cmd_kcenter(args: argparse.Namespace) -> int:
     wl = make_workload(args.workload, args.n, seed=args.seed)
     cluster = _build_cluster(args, wl.metric)
+    recorder = _setup_obs(args, cluster)
     res = mpc_kcenter(cluster, args.k, args.epsilon, constants=_constants(args))
     print(
         format_table(
@@ -114,13 +163,15 @@ def _cmd_kcenter(args: argparse.Namespace) -> int:
         )
     )
     _print_stats(cluster)
-    _maybe_json(args, res, cluster)
+    _finish_obs(args, recorder)
+    _maybe_json(args, res, cluster, recorder)
     return 0
 
 
 def _cmd_diversity(args: argparse.Namespace) -> int:
     wl = make_workload(args.workload, args.n, seed=args.seed)
     cluster = _build_cluster(args, wl.metric)
+    recorder = _setup_obs(args, cluster)
     res = mpc_diversity(cluster, args.k, args.epsilon, constants=_constants(args))
     print(
         format_table(
@@ -139,7 +190,8 @@ def _cmd_diversity(args: argparse.Namespace) -> int:
         )
     )
     _print_stats(cluster)
-    _maybe_json(args, res, cluster)
+    _finish_obs(args, recorder)
+    _maybe_json(args, res, cluster, recorder)
     return 0
 
 
@@ -152,6 +204,7 @@ def _cmd_supplier(args: argparse.Namespace) -> int:
     )
     metric = EuclideanMetric(inst.points)
     cluster = _build_cluster(args, metric)
+    recorder = _setup_obs(args, cluster)
     res = mpc_ksupplier(
         cluster, inst.customers, inst.suppliers, args.k, args.epsilon,
         constants=_constants(args),
@@ -174,13 +227,15 @@ def _cmd_supplier(args: argparse.Namespace) -> int:
         )
     )
     _print_stats(cluster)
-    _maybe_json(args, res, cluster)
+    _finish_obs(args, recorder)
+    _maybe_json(args, res, cluster, recorder)
     return 0
 
 
 def _cmd_mis(args: argparse.Namespace) -> int:
     wl = make_workload(args.workload, args.n, seed=args.seed)
     cluster = _build_cluster(args, wl.metric)
+    recorder = _setup_obs(args, cluster)
     res = mpc_k_bounded_mis(cluster, args.tau, args.k, constants=_constants(args))
     print(
         format_table(
@@ -200,13 +255,15 @@ def _cmd_mis(args: argparse.Namespace) -> int:
         )
     )
     _print_stats(cluster)
-    _maybe_json(args, res, cluster)
+    _finish_obs(args, recorder)
+    _maybe_json(args, res, cluster, recorder)
     return 0
 
 
 def _cmd_dominating(args: argparse.Namespace) -> int:
     wl = make_workload(args.workload, args.n, seed=args.seed)
     cluster = _build_cluster(args, wl.metric)
+    recorder = _setup_obs(args, cluster)
     res = mpc_dominating_set(cluster, args.tau, constants=_constants(args))
     print(
         format_table(
@@ -225,7 +282,8 @@ def _cmd_dominating(args: argparse.Namespace) -> int:
         )
     )
     _print_stats(cluster)
-    _maybe_json(args, res, cluster)
+    _finish_obs(args, recorder)
+    _maybe_json(args, res, cluster, recorder)
     return 0
 
 
@@ -294,14 +352,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     wl = make_workload(args.workload, args.n, seed=args.seed)
     cluster = _build_cluster(args, wl.metric)
-    trace = MessageTrace.attach(cluster)
+    trace = cluster.obs.add(MessageTrace())
+    recorder = _setup_obs(args, cluster)
     if args.algorithm == "kcenter":
         mpc_kcenter(cluster, args.k, args.epsilon, constants=_constants(args))
     elif args.algorithm == "diversity":
         mpc_diversity(cluster, args.k, args.epsilon, constants=_constants(args))
     else:
         mpc_k_bounded_mis(cluster, args.tau, args.k, constants=_constants(args))
-    trace.detach()
+    cluster.obs.remove(trace)
 
     print(
         format_table(
@@ -325,6 +384,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
     )
     print(f"\ntotal: {trace.total_words()} words over {cluster.stats.rounds} rounds")
+    _finish_obs(args, recorder)
     return 0
 
 

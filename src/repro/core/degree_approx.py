@@ -87,17 +87,31 @@ def mpc_degree_approximation(
     -------
     DegreeApproxResult
     """
-    m = cluster.m
-    n_active_total = 0
     if active_by_machine is None:
         active_by_machine = [mach.local_ids for mach in cluster.machines]
     active_by_machine = [np.asarray(a, dtype=np.int64) for a in active_by_machine]
     n_active_total = int(sum(a.size for a in active_by_machine))
-    n = cluster.n  # thresholds use the global n, as in the paper
-    round0 = cluster.round_no
 
     if n_active_total == 0:
-        return DegreeApproxResult(kind="degrees", p=np.full(n, np.nan))
+        return DegreeApproxResult(kind="degrees", p=np.full(cluster.n, np.nan))
+
+    with cluster.obs.span("degree/estimate", tau=tau, k=k, active=n_active_total):
+        return _degree_approx_body(
+            cluster, tau, k, constants, active_by_machine, n_active_total
+        )
+
+
+def _degree_approx_body(
+    cluster: MPCCluster,
+    tau: float,
+    k: int,
+    constants: TheoryConstants,
+    active_by_machine: List[np.ndarray],
+    n_active_total: int,
+) -> DegreeApproxResult:
+    m = cluster.m
+    n = cluster.n  # thresholds use the global n, as in the paper
+    round0 = cluster.round_no
 
     # -- round 1: sample with probability 1/m, exchange all-to-all ------------
     prob = 1.0 / m

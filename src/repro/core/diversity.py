@@ -44,33 +44,34 @@ def mpc_diversity_coreset(cluster: MPCCluster, k: int) -> Tuple[np.ndarray, floa
     if k > cluster.n:
         raise InfeasibleInstanceError(f"k={k} exceeds the number of points n={cluster.n}")
 
-    def _local(mach):
-        T_i = gmm(mach, mach.local_ids, k)
-        r_i = mach.diversity(T_i) if T_i.size == k else 0.0
-        return T_i, float(r_i)
+    with cluster.obs.span("div/coreset", k=k):
+        def _local(mach):
+            T_i = gmm(mach, mach.local_ids, k)
+            r_i = mach.diversity(T_i) if T_i.size == k else 0.0
+            return T_i, float(r_i)
 
-    locals_T = cluster.map_machines(_local)
-    payloads = {
-        i: (PointBatch(T_i), r_i) for i, (T_i, r_i) in enumerate(locals_T)
-    }
-    inbox = cluster.gather_to_central(payloads, tag="div/coreset")
+        locals_T = cluster.map_machines(_local)
+        payloads = {
+            i: (PointBatch(T_i), r_i) for i, (T_i, r_i) in enumerate(locals_T)
+        }
+        inbox = cluster.gather_to_central(payloads, tag="div/coreset")
 
-    central = cluster.central
-    T_parts = []
-    best_local = (-1.0, None)
-    for msg in inbox:
-        batch, r_i = msg.payload
-        T_parts.append(batch.ids)
-        if r_i > best_local[0]:
-            best_local = (r_i, batch.ids)
-    T = np.unique(np.concatenate(T_parts))
+        central = cluster.central
+        T_parts = []
+        best_local = (-1.0, None)
+        for msg in inbox:
+            batch, r_i = msg.payload
+            T_parts.append(batch.ids)
+            if r_i > best_local[0]:
+                best_local = (r_i, batch.ids)
+        T = np.unique(np.concatenate(T_parts))
 
-    S = gmm(central, T, k)
-    r0 = central.diversity(S) if S.size == k else 0.0
+        S = gmm(central, T, k)
+        r0 = central.diversity(S) if S.size == k else 0.0
 
-    if r0 >= best_local[0]:
-        return S, float(r0)
-    return np.asarray(best_local[1], dtype=np.int64), float(best_local[0])
+        if r0 >= best_local[0]:
+            return S, float(r0)
+        return np.asarray(best_local[1], dtype=np.int64), float(best_local[0])
 
 
 def mpc_diversity(
@@ -106,46 +107,50 @@ def mpc_diversity(
     constants = constants or DEFAULT_CONSTANTS
     round0 = cluster.round_no
 
-    Q, r = mpc_diversity_coreset(cluster, k)
-    if r <= 0.0:
-        # optimum is 0 (≥ k duplicate points); any k-subset is optimal
-        return DiversityResult(
-            ids=Q,
-            diversity=float(cluster.metric.diversity(Q)) if Q.size >= 2 else 0.0,
-            k=k,
-            epsilon=epsilon,
-            coreset_value=r,
-            rounds=cluster.round_no - round0,
-            stats=cluster.stats.summary(),
+    with cluster.obs.span("div/run", k=k, epsilon=epsilon):
+        Q, r = mpc_diversity_coreset(cluster, k)
+        if r <= 0.0:
+            # optimum is 0 (≥ k duplicate points); any k-subset is optimal
+            return DiversityResult(
+                ids=Q,
+                diversity=float(cluster.metric.diversity(Q)) if Q.size >= 2 else 0.0,
+                k=k,
+                epsilon=epsilon,
+                coreset_value=r,
+                rounds=cluster.round_no - round0,
+                stats=cluster.stats.summary(),
+            )
+
+        t = int(math.ceil(math.log(4.0) / math.log1p(epsilon))) + 1
+        taus = [r * (1.0 + epsilon) ** i for i in range(t + 1)]
+
+        def probe(i: int) -> np.ndarray:
+            if i == 0:
+                return Q
+            with cluster.obs.span("div/probe", ladder_index=i, tau=taus[i]):
+                return mpc_k_bounded_mis(
+                    cluster, taus[i], k, constants, trim_mode=trim_mode
+                ).ids
+
+        def good(M: np.ndarray) -> bool:
+            return M.size == k
+
+        cache: dict[int, np.ndarray] = {}
+        if good(probe_t := probe(t)):
+            # theory forbids this (τ_t > 4r ≥ div_k(V)); a size-k independent
+            # set at τ_t would certify diversity > 4r, contradicting r's
+            # 4-approximation guarantee.
+            raise InvalidSolutionError(
+                "k-bounded MIS returned a size-k independent set above the "
+                "4-approximation ceiling — the MIS or the coreset stage is broken"
+            )
+        cache[t] = probe_t
+        cache[0] = Q
+        j, M_j, _ = find_flip(
+            probe, good, 0, t, cache, obs=cluster.obs, span="div/search"
         )
 
-    t = int(math.ceil(math.log(4.0) / math.log1p(epsilon))) + 1
-    taus = [r * (1.0 + epsilon) ** i for i in range(t + 1)]
-
-    def probe(i: int) -> np.ndarray:
-        if i == 0:
-            return Q
-        return mpc_k_bounded_mis(
-            cluster, taus[i], k, constants, trim_mode=trim_mode
-        ).ids
-
-    def good(M: np.ndarray) -> bool:
-        return M.size == k
-
-    cache: dict[int, np.ndarray] = {}
-    if good(probe_t := probe(t)):
-        # theory forbids this (τ_t > 4r ≥ div_k(V)); a size-k independent
-        # set at τ_t would certify diversity > 4r, contradicting r's
-        # 4-approximation guarantee.
-        raise InvalidSolutionError(
-            "k-bounded MIS returned a size-k independent set above the "
-            "4-approximation ceiling — the MIS or the coreset stage is broken"
-        )
-    cache[t] = probe_t
-    cache[0] = Q
-    j, M_j, _ = find_flip(probe, good, 0, t, cache)
-
-    div_val = float(cluster.metric.diversity(M_j))
+        div_val = float(cluster.metric.diversity(M_j))
     return DiversityResult(
         ids=M_j,
         diversity=div_val,

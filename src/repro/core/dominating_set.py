@@ -85,9 +85,10 @@ def mpc_dominating_set(
         neighborhood independence ρ the size is at most ρ·γ(G_τ).
     """
     round0 = cluster.round_no
-    res = mpc_k_bounded_mis(
-        cluster, tau, k=cluster.n + 1, constants=constants, trim_mode=trim_mode
-    )
+    with cluster.obs.span("domset/run", tau=tau):
+        res = mpc_k_bounded_mis(
+            cluster, tau, k=cluster.n + 1, constants=constants, trim_mode=trim_mode
+        )
     if not res.maximal:
         raise InvalidSolutionError(
             "k-bounded MIS with k > n must return a maximal set"

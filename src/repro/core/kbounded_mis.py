@@ -29,6 +29,12 @@ pruning step falls back to *committing the largest T_j to the MIS* when
 it unluckily comes up shorter than k (progress is preserved; w.h.p. the
 fallback never fires); sampling probabilities are clamped to 1 so
 isolated vertices (p_v = 0) are always sampled.
+
+Observability: the run opens a ``mis/run`` phase span; every outer
+round nests a ``mis/round`` span, with ``mis/prune`` / ``mis/luby``
+child spans around the two elimination paths (the inner Algorithm 3
+call contributes its own ``degree/estimate`` span).  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -110,6 +116,31 @@ def mpc_k_bounded_mis(
     """
     if k < 1:
         raise ValueError("k must be at least 1")
+    with cluster.obs.span("mis/run", tau=tau, k=k):
+        return _mis_body(
+            cluster,
+            tau,
+            k,
+            constants,
+            active_by_machine,
+            max_outer_rounds,
+            instrument,
+            trim_mode,
+            enable_pruning,
+        )
+
+
+def _mis_body(
+    cluster: MPCCluster,
+    tau: float,
+    k: int,
+    constants: TheoryConstants,
+    active_by_machine: Optional[List[np.ndarray]],
+    max_outer_rounds: int,
+    instrument: bool,
+    trim_mode: str,
+    enable_pruning: bool,
+) -> MISResult:
     m = cluster.m
     n = cluster.n
     round0 = cluster.round_no
@@ -121,7 +152,6 @@ def mpc_k_bounded_mis(
 
     mis = np.zeros(0, dtype=np.int64)
     edge_trace: list = []
-    ln_n = constants.ln_n(n)
 
     for outer in range(max_outer_rounds):
         total_active = int(sum(a.size for a in active))
@@ -135,51 +165,102 @@ def mpc_k_bounded_mis(
         if total_active == 0 or mis.size >= k:
             break
 
-        # -- line 3: degree approximation --------------------------------------
-        deg = mpc_degree_approximation(cluster, tau, k, constants, active)
-        if deg.kind == "independent_set":
-            out = _combine_k(mis, deg.independent_set, k)
-            return MISResult(
-                ids=out,
-                tau=tau,
-                k=k,
-                maximal=False,
-                terminated_via="size_k_light_path",
-                rounds=cluster.round_no - round0,
-                edge_trace=edge_trace,
+        with cluster.obs.span("mis/round", outer=outer, active=total_active):
+            result = _mis_outer_round(
+                cluster, tau, k, constants, active, mis,
+                trim_mode, enable_pruning, m, n,
+                round0, edge_trace,
             )
-        p = deg.p
+        if isinstance(result, MISResult):
+            return result
+        mis, active = result
 
-        # shared per-round random tie-break priorities: each machine draws for
-        # its own vertices; values travel with the samples (PointBatch columns)
-        tie = np.full(n, np.nan, dtype=np.float64)
-        for mach, act in zip(cluster.machines, active):
-            if act.size:
-                tie[act] = mach.rng.random(act.size)
+    if mis.size < k and sum(a.size for a in active) > 0:
+        raise ConvergenceError("mpc_k_bounded_mis", max_outer_rounds)
 
-        # -- line 5: every machine draws m samples (parallel local work) --------
-        def _draw(mach):
-            act = active[mach.id]
-            if act.size:
-                q = _sample_probability(p[act])
-                draws = mach.rng.random((act.size, m)) < q[:, None]
-                return float(q.sum()), [act[draws[:, j]] for j in range(m)]
-            return 0.0, [np.zeros(0, dtype=np.int64) for _ in range(m)]
-
-        drawn = cluster.map_machines(_draw)
-        local_expected = np.array([d[0] for d in drawn])
-        sample_sets: List[List[np.ndarray]] = [d[1] for d in drawn]
-
-        # -- line 6: global expected-size check (gather + broadcast) ------------
-        inbox = cluster.gather_to_central(
-            {i: float(local_expected[i]) for i in range(m)}, tag="mis/expected-size"
+    if mis.size >= k:
+        return MISResult(
+            ids=mis[:k],
+            tau=tau,
+            k=k,
+            maximal=False,
+            terminated_via="size_k_central",
+            rounds=cluster.round_no - round0,
+            edge_trace=edge_trace,
         )
-        expected_total = sum(float(msg.payload) for msg in inbox)
-        prune = enable_pruning and expected_total > constants.pruning_trigger(n, k)
-        cluster.broadcast(cluster.CENTRAL, bool(prune), tag="mis/prune-decision")
-        cluster.step()
+    return MISResult(
+        ids=mis,
+        tau=tau,
+        k=k,
+        maximal=True,
+        terminated_via="maximal",
+        rounds=cluster.round_no - round0,
+        edge_trace=edge_trace,
+    )
 
-        if prune:
+
+def _mis_outer_round(
+    cluster: MPCCluster,
+    tau: float,
+    k: int,
+    constants: TheoryConstants,
+    active: List[np.ndarray],
+    mis: np.ndarray,
+    trim_mode: str,
+    enable_pruning: bool,
+    m: int,
+    n: int,
+    round0: int,
+    edge_trace: list,
+):
+    """One outer round.  Returns a terminal :class:`MISResult`, or the
+    updated ``(mis, active)`` pair when the loop should continue."""
+    # -- line 3: degree approximation --------------------------------------
+    deg = mpc_degree_approximation(cluster, tau, k, constants, active)
+    if deg.kind == "independent_set":
+        out = _combine_k(mis, deg.independent_set, k)
+        return MISResult(
+            ids=out,
+            tau=tau,
+            k=k,
+            maximal=False,
+            terminated_via="size_k_light_path",
+            rounds=cluster.round_no - round0,
+            edge_trace=edge_trace,
+        )
+    p = deg.p
+
+    # shared per-round random tie-break priorities: each machine draws for
+    # its own vertices; values travel with the samples (PointBatch columns)
+    tie = np.full(n, np.nan, dtype=np.float64)
+    for mach, act in zip(cluster.machines, active):
+        if act.size:
+            tie[act] = mach.rng.random(act.size)
+
+    # -- line 5: every machine draws m samples (parallel local work) --------
+    def _draw(mach):
+        act = active[mach.id]
+        if act.size:
+            q = _sample_probability(p[act])
+            draws = mach.rng.random((act.size, m)) < q[:, None]
+            return float(q.sum()), [act[draws[:, j]] for j in range(m)]
+        return 0.0, [np.zeros(0, dtype=np.int64) for _ in range(m)]
+
+    drawn = cluster.map_machines(_draw)
+    local_expected = np.array([d[0] for d in drawn])
+    sample_sets: List[List[np.ndarray]] = [d[1] for d in drawn]
+
+    # -- line 6: global expected-size check (gather + broadcast) ------------
+    inbox = cluster.gather_to_central(
+        {i: float(local_expected[i]) for i in range(m)}, tag="mis/expected-size"
+    )
+    expected_total = sum(float(msg.payload) for msg in inbox)
+    prune = enable_pruning and expected_total > constants.pruning_trigger(n, k)
+    cluster.broadcast(cluster.CENTRAL, bool(prune), tag="mis/prune-decision")
+    cluster.step()
+
+    if prune:
+        with cluster.obs.span("mis/prune"):
             # -- lines 7–8: pruning step ----------------------------------------
             # local trims; an immediate k-sized trim short-circuits
             local_trims: List[List[np.ndarray]] = []
@@ -247,7 +328,8 @@ def mpc_k_bounded_mis(
                 )
             # w.h.p. unreachable: commit the largest T_j as ordinary progress
             new_mis = best_T
-        else:
+    else:
+        with cluster.obs.span("mis/luby"):
             # -- lines 10–16: ship samples to central, compress m Luby rounds ----
             for i in range(m):
                 for j in range(m):
@@ -305,34 +387,20 @@ def mpc_k_bounded_mis(
                 np.concatenate(additions) if additions else np.zeros(0, dtype=np.int64)
             )
 
-        # -- lines 17–18: broadcast additions, machines prune their actives -----
-        cluster.broadcast(cluster.CENTRAL, PointBatch(new_mis), tag="mis/additions")
-        cluster.step()
-        if new_mis.size:
-            mis = np.concatenate([mis, new_mis])
+    # -- lines 17–18: broadcast additions, machines prune their actives -----
+    cluster.broadcast(cluster.CENTRAL, PointBatch(new_mis), tag="mis/additions")
+    cluster.step()
+    if new_mis.size:
+        mis = np.concatenate([mis, new_mis])
 
-            def _prune(mach):
-                act = active[mach.id]
-                if act.size == 0:
-                    return act
-                near = mach.pairwise(act, new_mis).min(axis=1) <= tau
-                return act[~near & ~np.isin(act, new_mis)]
+        def _prune(mach):
+            act = active[mach.id]
+            if act.size == 0:
+                return act
+            near = mach.pairwise(act, new_mis).min(axis=1) <= tau
+            return act[~near & ~np.isin(act, new_mis)]
 
-            active = cluster.map_machines(_prune)
-
-        if mis.size >= k:
-            return MISResult(
-                ids=mis[:k],
-                tau=tau,
-                k=k,
-                maximal=False,
-                terminated_via="size_k_central",
-                rounds=cluster.round_no - round0,
-                edge_trace=edge_trace,
-            )
-
-    if mis.size < k and sum(a.size for a in active) > 0:
-        raise ConvergenceError("mpc_k_bounded_mis", max_outer_rounds)
+        active = cluster.map_machines(_prune)
 
     if mis.size >= k:
         return MISResult(
@@ -344,12 +412,4 @@ def mpc_k_bounded_mis(
             rounds=cluster.round_no - round0,
             edge_trace=edge_trace,
         )
-    return MISResult(
-        ids=mis,
-        tau=tau,
-        k=k,
-        maximal=True,
-        terminated_via="maximal",
-        rounds=cluster.round_no - round0,
-        edge_trace=edge_trace,
-    )
+    return mis, active

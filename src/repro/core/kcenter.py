@@ -35,16 +35,17 @@ from repro.mpc.message import PointBatch
 def _distributed_radius(cluster: MPCCluster, centers: np.ndarray) -> float:
     """``r(V, centers)`` in two MPC rounds: broadcast the centers, gather
     the per-machine maxima."""
-    cluster.broadcast_points_from_central(centers, tag="kcenter/centers")
-    local_r = cluster.map_machines(
-        lambda mach: float(mach.dist_to_set(mach.local_ids, centers).max())
-        if mach.local_ids.size
-        else 0.0
-    )
-    inbox = cluster.gather_to_central(
-        {i: local_r[i] for i in range(cluster.m)}, tag="kcenter/radius"
-    )
-    return max(float(msg.payload) for msg in inbox)
+    with cluster.obs.span("kcenter/radius", centers=int(centers.size)):
+        cluster.broadcast_points_from_central(centers, tag="kcenter/centers")
+        local_r = cluster.map_machines(
+            lambda mach: float(mach.dist_to_set(mach.local_ids, centers).max())
+            if mach.local_ids.size
+            else 0.0
+        )
+        inbox = cluster.gather_to_central(
+            {i: local_r[i] for i in range(cluster.m)}, tag="kcenter/radius"
+        )
+        return max(float(msg.payload) for msg in inbox)
 
 
 def mpc_kcenter_coreset(cluster: MPCCluster, k: int) -> Tuple[np.ndarray, float]:
@@ -57,12 +58,13 @@ def mpc_kcenter_coreset(cluster: MPCCluster, k: int) -> Tuple[np.ndarray, float]
     if k > cluster.n:
         raise InfeasibleInstanceError(f"k={k} exceeds the number of points n={cluster.n}")
 
-    local_T = cluster.map_machines(lambda mach: gmm(mach, mach.local_ids, k))
-    payloads = {i: PointBatch(local_T[i]) for i in range(cluster.m)}
-    inbox = cluster.gather_to_central(payloads, tag="kcenter/coreset")
-    T = np.unique(np.concatenate([msg.payload.ids for msg in inbox]))
-    Q = gmm(cluster.central, T, k)
-    r = _distributed_radius(cluster, Q)
+    with cluster.obs.span("kcenter/coreset", k=k):
+        local_T = cluster.map_machines(lambda mach: gmm(mach, mach.local_ids, k))
+        payloads = {i: PointBatch(local_T[i]) for i in range(cluster.m)}
+        inbox = cluster.gather_to_central(payloads, tag="kcenter/coreset")
+        T = np.unique(np.concatenate([msg.payload.ids for msg in inbox]))
+        Q = gmm(cluster.central, T, k)
+        r = _distributed_radius(cluster, Q)
     return Q, float(r)
 
 
@@ -97,48 +99,52 @@ def mpc_kcenter(
     constants = constants or DEFAULT_CONSTANTS
     round0 = cluster.round_no
 
-    Q, r = mpc_kcenter_coreset(cluster, k)
-    if r <= 0.0:
-        # Q already covers everything at radius 0: optimal.
-        return ClusteringResult(
-            centers=Q,
-            radius=0.0,
-            k=k,
-            epsilon=epsilon,
-            tau=0.0,
-            coreset_value=r,
-            rounds=cluster.round_no - round0,
-            stats=cluster.stats.summary(),
-        )
+    with cluster.obs.span("kcenter/run", k=k, epsilon=epsilon):
+        Q, r = mpc_kcenter_coreset(cluster, k)
+        if r <= 0.0:
+            # Q already covers everything at radius 0: optimal.
+            return ClusteringResult(
+                centers=Q,
+                radius=0.0,
+                k=k,
+                epsilon=epsilon,
+                tau=0.0,
+                coreset_value=r,
+                rounds=cluster.round_no - round0,
+                stats=cluster.stats.summary(),
+            )
 
-    t = int(math.ceil(math.log(4.0) / math.log1p(epsilon))) + 1
-    taus = [r / (1.0 + epsilon) ** i for i in range(t + 1)]
+        t = int(math.ceil(math.log(4.0) / math.log1p(epsilon))) + 1
+        taus = [r / (1.0 + epsilon) ** i for i in range(t + 1)]
 
-    def probe(i: int) -> np.ndarray:
-        if i == 0:
-            return Q
-        return mpc_k_bounded_mis(
-            cluster, taus[i], k + 1, constants, trim_mode=trim_mode
-        ).ids
+        def probe(i: int) -> np.ndarray:
+            if i == 0:
+                return Q
+            with cluster.obs.span("kcenter/probe", ladder_index=i, tau=taus[i]):
+                return mpc_k_bounded_mis(
+                    cluster, taus[i], k + 1, constants, trim_mode=trim_mode
+                ).ids
 
-    def good(M: np.ndarray) -> bool:
-        # a (k+1)-bounded MIS of size ≤ k is maximal, hence a k-center
-        # solution with radius τ_i; size k+1 certifies a lower bound.
-        return M.size <= k
+        def good(M: np.ndarray) -> bool:
+            # a (k+1)-bounded MIS of size ≤ k is maximal, hence a k-center
+            # solution with radius τ_i; size k+1 certifies a lower bound.
+            return M.size <= k
 
-    cache: dict[int, np.ndarray] = {0: Q}
-    M_t = probe(t)
-    cache[t] = M_t
-    if good(M_t):
-        # Theory forbids this (τ_t < r/4 ≤ r*), but if the MIS hands us a
-        # ≤k maximal set at an even smaller radius, it is simply a better
-        # solution — take it.
-        centers, tau_j = M_t, taus[t]
-    else:
-        j, M_j, _ = find_flip(probe, good, 0, t, cache)
-        centers, tau_j = M_j, taus[j]
+        cache: dict[int, np.ndarray] = {0: Q}
+        M_t = probe(t)
+        cache[t] = M_t
+        if good(M_t):
+            # Theory forbids this (τ_t < r/4 ≤ r*), but if the MIS hands us a
+            # ≤k maximal set at an even smaller radius, it is simply a better
+            # solution — take it.
+            centers, tau_j = M_t, taus[t]
+        else:
+            j, M_j, _ = find_flip(
+                probe, good, 0, t, cache, obs=cluster.obs, span="kcenter/search"
+            )
+            centers, tau_j = M_j, taus[j]
 
-    radius = _distributed_radius(cluster, centers)
+        radius = _distributed_radius(cluster, centers)
     return ClusteringResult(
         centers=centers,
         radius=float(radius),

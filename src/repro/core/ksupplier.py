@@ -151,27 +151,45 @@ def mpc_ksupplier(
         raise InfeasibleInstanceError("k-supplier needs k >= 1")
     round0 = cluster.round_no
 
+    with cluster.obs.span("supplier/run", k=k, epsilon=epsilon):
+        return _ksupplier_body(
+            cluster, customers, suppliers, k, epsilon, constants, trim_mode, round0
+        )
+
+
+def _ksupplier_body(
+    cluster: MPCCluster,
+    customers: np.ndarray,
+    suppliers: np.ndarray,
+    k: int,
+    epsilon: float,
+    constants: TheoryConstants,
+    trim_mode: str,
+    round0: int,
+) -> SupplierResult:
     # -- lines 1–2: GMM coreset over the customers ------------------------------
-    local_T = cluster.map_machines(
-        lambda mach: gmm(mach, _local_intersect(mach, customers), k)
-    )
-    payloads = {i: PointBatch(local_T[i]) for i in range(cluster.m)}
-    inbox = cluster.gather_to_central(payloads, tag="supplier/coreset")
-    T = np.unique(np.concatenate([msg.payload.ids for msg in inbox]))
-    Q = gmm(cluster.central, T, k)
+    with cluster.obs.span("supplier/coreset", k=k):
+        local_T = cluster.map_machines(
+            lambda mach: gmm(mach, _local_intersect(mach, customers), k)
+        )
+        payloads = {i: PointBatch(local_T[i]) for i in range(cluster.m)}
+        inbox = cluster.gather_to_central(payloads, tag="supplier/coreset")
+        T = np.unique(np.concatenate([msg.payload.ids for msg in inbox]))
+        Q = gmm(cluster.central, T, k)
 
     # -- line 3: r = r(C, Q) + r(Q, S) ------------------------------------------
-    cluster.broadcast_points_from_central(Q, tag="supplier/Q")
-    rq_payloads = {}
-    for mach in cluster.machines:
-        local_c = _local_intersect(mach, customers)
-        local_r = float(mach.dist_to_set(local_c, Q).max()) if local_c.size else 0.0
-        rq_payloads[mach.id] = local_r
-    inbox = cluster.gather_to_central(rq_payloads, tag="supplier/rCQ")
-    r_CQ = max(float(msg.payload) for msg in inbox)
-    dQS = _min_dist_to_suppliers(cluster, Q, suppliers)
-    r_QS = float(dQS.max())
-    r = r_CQ + r_QS
+    with cluster.obs.span("supplier/radius-estimate"):
+        cluster.broadcast_points_from_central(Q, tag="supplier/Q")
+        rq_payloads = {}
+        for mach in cluster.machines:
+            local_c = _local_intersect(mach, customers)
+            local_r = float(mach.dist_to_set(local_c, Q).max()) if local_c.size else 0.0
+            rq_payloads[mach.id] = local_r
+        inbox = cluster.gather_to_central(rq_payloads, tag="supplier/rCQ")
+        r_CQ = max(float(msg.payload) for msg in inbox)
+        dQS = _min_dist_to_suppliers(cluster, Q, suppliers)
+        r_QS = float(dQS.max())
+        r = r_CQ + r_QS
 
     if r <= 0.0:
         chosen = _nearest_suppliers(cluster, Q, suppliers)[:k]
@@ -201,14 +219,15 @@ def mpc_ksupplier(
             if i == t:
                 pivot_cache[i] = Q
             else:
-                pivot_cache[i] = mpc_k_bounded_mis(
-                    cluster,
-                    2.0 * taus[i],
-                    k + 1,
-                    constants,
-                    active_by_machine=customer_active,
-                    trim_mode=trim_mode,
-                ).ids
+                with cluster.obs.span("supplier/probe", ladder_index=i, tau=taus[i]):
+                    pivot_cache[i] = mpc_k_bounded_mis(
+                        cluster,
+                        2.0 * taus[i],
+                        k + 1,
+                        constants,
+                        active_by_machine=customer_active,
+                        trim_mode=trim_mode,
+                    ).ids
         return pivot_cache[i]
 
     ok_cache: dict[int, bool] = {}
@@ -219,7 +238,8 @@ def mpc_ksupplier(
             if M.size > k:
                 ok_cache[i] = False
             else:
-                dmin = _min_dist_to_suppliers(cluster, M, suppliers)
+                with cluster.obs.span("supplier/feasibility", ladder_index=i):
+                    dmin = _min_dist_to_suppliers(cluster, M, suppliers)
                 ok_cache[i] = bool(dmin.max() <= taus[i])
         return ok_cache[i]
 
@@ -234,22 +254,26 @@ def mpc_ksupplier(
         j = t
     else:
         # invariant search between a failing low end and a passing high end
-        jm1, _, _ = find_flip(lambda i: i, lambda i: not ok(i), 0, t)
+        jm1, _, _ = find_flip(
+            lambda i: i, lambda i: not ok(i), 0, t,
+            obs=cluster.obs, span="supplier/search",
+        )
         j = jm1 + 1
 
     pivots = pivots_at(j)
-    chosen = _nearest_suppliers(cluster, pivots, suppliers)
+    with cluster.obs.span("supplier/open", pivots=int(pivots.size)):
+        chosen = _nearest_suppliers(cluster, pivots, suppliers)
 
-    # actual service radius, for reporting
-    cluster.broadcast_points_from_central(chosen, tag="supplier/chosen")
-    rad_payloads = {}
-    for mach in cluster.machines:
-        local_c = _local_intersect(mach, customers)
-        rad_payloads[mach.id] = (
-            float(mach.dist_to_set(local_c, chosen).max()) if local_c.size else 0.0
-        )
-    inbox = cluster.gather_to_central(rad_payloads, tag="supplier/final-radius")
-    radius = max(float(msg.payload) for msg in inbox)
+        # actual service radius, for reporting
+        cluster.broadcast_points_from_central(chosen, tag="supplier/chosen")
+        rad_payloads = {}
+        for mach in cluster.machines:
+            local_c = _local_intersect(mach, customers)
+            rad_payloads[mach.id] = (
+                float(mach.dist_to_set(local_c, chosen).max()) if local_c.size else 0.0
+            )
+        inbox = cluster.gather_to_central(rad_payloads, tag="supplier/final-radius")
+        radius = max(float(msg.payload) for msg in inbox)
 
     return SupplierResult(
         suppliers=chosen,

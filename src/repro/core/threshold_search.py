@@ -29,12 +29,19 @@ def find_flip(
     lo: int,
     hi: int,
     cache: Dict[int, T] | None = None,
+    obs=None,
+    span: str = "search/flip",
 ) -> Tuple[int, T, T]:
     """Find ``j`` with ``good(probe(j))`` and ``not good(probe(j+1))``.
 
     Preconditions: ``lo < hi``, ``good(probe(lo))`` holds and
     ``good(probe(hi))`` fails (verified; violations raise
     ``ValueError``).  Returns ``(j, value_j, value_j1)``.
+
+    ``obs`` may be an :class:`~repro.obs.observer.ObserverHub` (e.g.
+    ``cluster.obs``); the whole search then runs inside one phase span
+    named ``span``, so the O(log t) probe cost of Theorems 3/17/18 is
+    attributed to the ladder search in trace exports.
     """
     if lo >= hi:
         raise ValueError("need lo < hi")
@@ -45,15 +52,22 @@ def find_flip(
             cache[i] = probe(i)
         return cache[i]
 
-    if not good(get(lo)):
-        raise ValueError("invariant violated: good(lo) must hold")
-    if good(get(hi)):
-        raise ValueError("invariant violated: good(hi) must fail")
+    def search() -> Tuple[int, T, T]:
+        nonlocal lo, hi
+        if not good(get(lo)):
+            raise ValueError("invariant violated: good(lo) must hold")
+        if good(get(hi)):
+            raise ValueError("invariant violated: good(hi) must fail")
 
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        if good(get(mid)):
-            lo = mid
-        else:
-            hi = mid
-    return lo, get(lo), get(hi)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if good(get(mid)):
+                lo = mid
+            else:
+                hi = mid
+        return lo, get(lo), get(hi)
+
+    if obs is None:
+        return search()
+    with obs.span(span, lo=lo, hi=hi):
+        return search()

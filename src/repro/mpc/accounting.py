@@ -64,6 +64,11 @@ class ClusterStats:
         return sum(r.total for r in self.rounds_log)
 
     @property
+    def total_messages(self) -> int:
+        """Total message envelopes delivered across the run."""
+        return sum(r.messages for r in self.rounds_log)
+
+    @property
     def max_machine_words(self) -> int:
         """Worst single-round sent+received load on any machine."""
         return max((r.max_load for r in self.rounds_log), default=0)

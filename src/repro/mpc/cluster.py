@@ -29,6 +29,8 @@ from repro.mpc.limits import Limits
 from repro.mpc.executor import SerialExecutor
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message, PointBatch
+from repro.mpc.partition import random_partition
+from repro.obs.observer import ObserverHub
 
 
 def _iter_point_batches(payload: Any):
@@ -41,7 +43,6 @@ def _iter_point_batches(payload: Any):
     elif isinstance(payload, (tuple, list)):
         for v in payload:
             yield from _iter_point_batches(v)
-from repro.mpc.partition import random_partition
 
 
 class MPCCluster:
@@ -104,6 +105,8 @@ class MPCCluster:
             for i in range(self.m)
         ]
         self.stats = ClusterStats(num_machines=self.m)
+        #: observability hub: event hooks + phase spans (see repro.obs)
+        self.obs = ObserverHub(self)
         self._outbox: List[Message] = []
         self.round_no = 0
         self._check_memory()
@@ -143,7 +146,9 @@ class MPCCluster:
         if self.strict:
             for batch in _iter_point_batches(payload):
                 self.machines[src].require_known(batch.ids)
-        self._outbox.append(Message(src=src, dst=dst, payload=payload, tag=tag))
+        msg = Message(src=src, dst=dst, payload=payload, tag=tag)
+        self._outbox.append(msg)
+        self.obs.emit_send(msg)
 
     def broadcast(self, src: int, payload: Any, tag: str = "", include_self: bool = False) -> None:
         """Queue the same payload from ``src`` to every (other) machine."""
@@ -161,6 +166,7 @@ class MPCCluster:
         receivers the points in PointBatch payloads.
         """
         self.round_no += 1
+        self.obs.emit_round_start(self.round_no)
         sent = np.zeros(self.m, dtype=np.int64)
         received = np.zeros(self.m, dtype=np.int64)
         inboxes: Dict[int, List[Message]] = {i: [] for i in range(self.m)}
@@ -173,21 +179,22 @@ class MPCCluster:
             inboxes[msg.dst].append(msg)
             for batch in _iter_point_batches(msg.payload):
                 self.machines[msg.dst].learn(batch.ids)
+            self.obs.emit_message(self.round_no, msg.src, msg.dst, msg.tag, w)
 
         if self.limits is not None:
             for i in range(self.m):
                 self.limits.check_comm(i, self.round_no, int(sent[i] + received[i]))
 
-        self.stats.record_round(
-            RoundStats(
-                round_no=self.round_no,
-                sent=sent,
-                received=received,
-                messages=len(self._outbox),
-            )
+        round_stats = RoundStats(
+            round_no=self.round_no,
+            sent=sent,
+            received=received,
+            messages=len(self._outbox),
         )
+        self.stats.record_round(round_stats)
         self._outbox = []
         self._check_memory()
+        self.obs.emit_round_end(round_stats)
         return inboxes
 
     def _check_memory(self) -> None:

@@ -1,80 +1,74 @@
 """Round-by-round message tracing for debugging distributed runs.
 
-Attach a :class:`MessageTrace` to a cluster and every delivered message
-is recorded as a :class:`TraceEvent` (round, src, dst, tag, words).
-Traces answer the questions that matter when an MPC algorithm
-misbehaves: *which step* moved the data, *who* talked to whom, and
-*where* the communication budget went — broken down by the message tags
-the algorithms already attach (``degree/sample``, ``mis/samples``, …).
+Add a :class:`MessageTrace` to a cluster's observer hub and every
+delivered message is recorded as a :class:`TraceEvent` (round, src, dst,
+tag, words).  Traces answer the questions that matter when an MPC
+algorithm misbehaves: *which step* moved the data, *who* talked to whom,
+and *where* the communication budget went — broken down by the message
+tags the algorithms already attach (``degree/sample``, ``mis/samples``,
+…).
+
+The trace is an ordinary :class:`~repro.obs.observer.Observer` riding
+the native event hooks of :class:`~repro.mpc.cluster.MPCCluster`::
+
+    trace = cluster.obs.add(MessageTrace())
+    mpc_kcenter(cluster, k=8)
+    print(trace.words_by_tag())
+    cluster.obs.remove(trace)          # or trace.detach()
+
+The historical ``MessageTrace.attach(cluster)`` classmethod — which used
+to monkey-patch ``cluster.step`` — survives as a thin deprecated shim
+over the hub API.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.mpc.cluster import MPCCluster
+from repro.obs.events import MessageEvent
+from repro.obs.observer import Observer
 
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One delivered message."""
-
-    round_no: int
-    src: int
-    dst: int
-    tag: str
-    words: int
+#: Backwards-compatible alias: trace events *are* the hub's message events.
+TraceEvent = MessageEvent
 
 
-class MessageTrace:
+class MessageTrace(Observer):
     """Records every message a cluster delivers.
 
     Usage::
 
-        trace = MessageTrace.attach(cluster)
+        trace = cluster.obs.add(MessageTrace())
         mpc_kcenter(cluster, k=8)
         print(trace.words_by_tag())
-
-    Attaching wraps ``cluster.step``; call :meth:`detach` to restore it.
     """
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
-        self._cluster: Optional[MPCCluster] = None
-        self._orig_step = None
+
+    # -- hook --------------------------------------------------------------------
+
+    def on_message(self, event: MessageEvent) -> None:
+        self.events.append(event)
+
+    # -- lifecycle ---------------------------------------------------------------
 
     @classmethod
-    def attach(cls, cluster: MPCCluster) -> "MessageTrace":
-        trace = cls()
-        trace._cluster = cluster
-        trace._orig_step = cluster.step
-        pw = cluster.metric.point_words()
+    def attach(cls, cluster) -> "MessageTrace":
+        """Deprecated shim: register a new trace on ``cluster.obs``.
 
-        def traced_step():
-            pending = list(cluster._outbox)
-            inboxes = trace._orig_step()
-            for msg in pending:
-                trace.events.append(
-                    TraceEvent(
-                        round_no=cluster.round_no,
-                        src=msg.src,
-                        dst=msg.dst,
-                        tag=msg.tag,
-                        words=msg.words(pw),
-                    )
-                )
-            return inboxes
-
-        cluster.step = traced_step
-        return trace
-
-    def detach(self) -> None:
-        """Restore the cluster's original ``step``."""
-        if self._cluster is not None and self._orig_step is not None:
-            self._cluster.step = self._orig_step
-            self._cluster = None
+        Prefer ``cluster.obs.add(MessageTrace())``.  Kept because the
+        pre-hub API attached traces this way (by monkey-patching
+        ``cluster.step``); semantics are unchanged.
+        """
+        warnings.warn(
+            "MessageTrace.attach() is deprecated; use "
+            "cluster.obs.add(MessageTrace()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cluster.obs.add(cls())
 
     # -- queries -----------------------------------------------------------------
 

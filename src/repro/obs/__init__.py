@@ -1,0 +1,62 @@
+"""First-class observability for the MPC simulator.
+
+The package has three layers, mirroring how a production tracing stack
+is built:
+
+* **events** (:mod:`repro.obs.events`) — the structured records the
+  simulator emits: one :class:`MessageEvent` per delivered message, one
+  :class:`RoundRecord` per round barrier, one :class:`SpanRecord` per
+  named algorithm phase (with round / word / wall-clock / oracle-call
+  deltas captured at entry and exit);
+* **hooks** (:mod:`repro.obs.observer`) — the :class:`Observer` API and
+  the :class:`ObserverHub` every :class:`~repro.mpc.cluster.MPCCluster`
+  owns as ``cluster.obs``.  ``step()`` and ``send()`` invoke the hub
+  natively (no monkey-patching), and algorithms open phase spans with
+  ``cluster.obs.span("kcenter/probe", ...)``;
+* **sinks** (:mod:`repro.obs.record`, :mod:`repro.obs.export`) — the
+  :class:`Recorder` observer collects everything into a :class:`RunLog`,
+  which exports to JSONL, to the Chrome trace-event format
+  (``chrome://tracing`` / Perfetto), or to an ASCII per-phase report.
+
+Quickstart::
+
+    from repro.obs import Recorder, phase_report, write_chrome_trace
+
+    cluster = MPCCluster(metric, num_machines=8, seed=0)
+    rec = Recorder.attach(cluster)
+    mpc_kcenter(cluster, k=8)
+    print(phase_report(rec.log))
+    write_chrome_trace(rec.log, "run.json")   # open in ui.perfetto.dev
+
+Span names follow the ``<algorithm>/<phase>`` convention of the message
+tags (``kcenter/probe``, ``mis/round``, ``degree/estimate``, …); see
+``docs/observability.md`` for the full catalogue.
+"""
+
+from repro.obs.events import MessageEvent, RoundRecord, SpanRecord
+from repro.obs.export import (
+    export_run,
+    phase_report,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.observer import Observer, ObserverHub
+from repro.obs.record import Recorder, RunLog
+
+__all__ = [
+    "MessageEvent",
+    "RoundRecord",
+    "SpanRecord",
+    "Observer",
+    "ObserverHub",
+    "Recorder",
+    "RunLog",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "phase_report",
+    "export_run",
+]

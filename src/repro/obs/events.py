@@ -1,0 +1,158 @@
+"""Structured event records emitted by the instrumentation layer.
+
+Three record types cover the three granularities the paper's theorems
+speak about:
+
+* :class:`MessageEvent` — one delivered message (*where the words go*);
+* :class:`RoundRecord` — one ``step()`` barrier (*where the rounds go*);
+* :class:`SpanRecord` — one named algorithm phase, with counter
+  snapshots taken at entry and exit so every round, word, message,
+  wall-clock second, and distance-oracle call is attributable to a
+  paper-level phase.
+
+All records are plain dataclasses with a ``to_dict`` for serialization;
+they carry no references back into the simulator, so a recorded run log
+stays valid after the cluster is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One delivered message (recorded at the round barrier)."""
+
+    round_no: int
+    src: int
+    dst: int
+    tag: str
+    words: int
+
+    def to_dict(self) -> dict:
+        return {
+            "round_no": self.round_no,
+            "src": self.src,
+            "dst": self.dst,
+            "tag": self.tag,
+            "words": self.words,
+        }
+
+
+@dataclass
+class RoundRecord:
+    """One completed ``step()``: totals plus the wall-clock interval."""
+
+    round_no: int
+    start_time: float
+    end_time: float
+    #: total words delivered this round (counted once, at senders)
+    words: int
+    messages: int
+    #: worst sent+received load on any single machine this round
+    max_load: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time - self.start_time
+
+    def to_dict(self) -> dict:
+        return {
+            "round_no": self.round_no,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "words": self.words,
+            "messages": self.messages,
+            "max_load": self.max_load,
+        }
+
+
+@dataclass
+class SpanRecord:
+    """One named algorithm phase with entry/exit counter snapshots.
+
+    ``start_*``/``end_*`` pairs are cumulative cluster counters captured
+    when the span opens and closes; the deltas (exposed as properties)
+    are the phase's own inclusive cost — nested child spans are counted
+    inside their parents, as in any tracing system.
+    """
+
+    name: str
+    uid: int
+    parent_uid: Optional[int]
+    depth: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    start_time: float = 0.0
+    end_time: float = 0.0
+    start_round: int = 0
+    end_round: int = 0
+    start_words: int = 0
+    end_words: int = 0
+    start_messages: int = 0
+    end_messages: int = 0
+    start_oracle_calls: int = 0
+    end_oracle_calls: int = 0
+    start_oracle_evaluations: int = 0
+    end_oracle_evaluations: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def rounds(self) -> int:
+        """MPC rounds executed while the span was open."""
+        return self.end_round - self.start_round
+
+    @property
+    def words(self) -> int:
+        """Words delivered while the span was open."""
+        return self.end_words - self.start_words
+
+    @property
+    def messages(self) -> int:
+        return self.end_messages - self.start_messages
+
+    @property
+    def oracle_calls(self) -> int:
+        """Distance-oracle kernel calls (0 unless the cluster's metric
+        is a :class:`~repro.metric.oracle.CountingOracle`)."""
+        return self.end_oracle_calls - self.start_oracle_calls
+
+    @property
+    def oracle_evaluations(self) -> int:
+        return self.end_oracle_evaluations - self.start_oracle_evaluations
+
+    def covers_round(self, round_no: int) -> bool:
+        """True iff round ``round_no`` completed while this span was open."""
+        return self.start_round < round_no <= self.end_round
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "uid": self.uid,
+            "parent_uid": self.parent_uid,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "start_round": self.start_round,
+            "end_round": self.end_round,
+            "start_words": self.start_words,
+            "end_words": self.end_words,
+            "start_messages": self.start_messages,
+            "end_messages": self.end_messages,
+            "start_oracle_calls": self.start_oracle_calls,
+            "end_oracle_calls": self.end_oracle_calls,
+            "start_oracle_evaluations": self.start_oracle_evaluations,
+            "end_oracle_evaluations": self.end_oracle_evaluations,
+            "rounds": self.rounds,
+            "words": self.words,
+            "messages": self.messages,
+            "oracle_calls": self.oracle_calls,
+            "oracle_evaluations": self.oracle_evaluations,
+            "duration_s": self.duration_s,
+        }

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.assignment import Assignment, assign_to_centers
+from repro.analysis.assignment import assign_to_centers
 from repro.metric.euclidean import EuclideanMetric
 
 

@@ -5,7 +5,6 @@ explore different randomness."""
 import numpy as np
 
 from repro.core import mpc_diversity, mpc_k_bounded_mis, mpc_kcenter
-from repro.metric.euclidean import EuclideanMetric
 from repro.mpc.cluster import MPCCluster
 
 

@@ -2,7 +2,6 @@
 and executor coverage of every application."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.validation import (
     verify_diversity_solution,

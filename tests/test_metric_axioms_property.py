@@ -1,7 +1,6 @@
 """Property-based tests: every metric implementation satisfies the
 metric axioms on random data (hypothesis)."""
 
-import math
 
 import numpy as np
 import pytest

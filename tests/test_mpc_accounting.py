@@ -1,7 +1,6 @@
 """Focused unit tests for the accounting structures."""
 
 import numpy as np
-import pytest
 
 from repro.mpc.accounting import ClusterStats, RoundStats
 

@@ -161,7 +161,7 @@ class TestAccounting:
 
     def test_self_message_counts_once_per_side(self, cluster):
         cluster.send(1, 1, 2.0)
-        r = cluster.step()
+        cluster.step()
         stats = cluster.stats.rounds_log[-1]
         assert stats.sent[1] == 1 and stats.received[1] == 1
 

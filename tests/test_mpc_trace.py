@@ -1,4 +1,4 @@
-"""Tests for the message-trace debugger."""
+"""Tests for the message-trace debugger (now an observer)."""
 
 import numpy as np
 import pytest
@@ -15,10 +15,15 @@ def metric(rng):
     return EuclideanMetric(rng.normal(size=(100, 2)))
 
 
+def _traced(metric, m, seed=0):
+    cluster = MPCCluster(metric, m, seed=seed)
+    trace = cluster.obs.add(MessageTrace())
+    return cluster, trace
+
+
 class TestTracing:
     def test_records_manual_messages(self, metric):
-        cluster = MPCCluster(metric, 3, seed=0)
-        trace = MessageTrace.attach(cluster)
+        cluster, trace = _traced(metric, 3)
         cluster.send(0, 1, 5.0, tag="hello")
         cluster.send(1, 2, np.zeros(4), tag="data")
         cluster.step()
@@ -28,14 +33,12 @@ class TestTracing:
         assert trace.total_words() == 5
 
     def test_words_match_cluster_stats(self, metric):
-        cluster = MPCCluster(metric, 4, seed=0)
-        trace = MessageTrace.attach(cluster)
+        cluster, trace = _traced(metric, 4)
         mpc_k_bounded_mis(cluster, 0.6, 8)
         assert trace.total_words() == cluster.stats.total_words
 
     def test_words_by_tag_covers_algorithm_phases(self, metric):
-        cluster = MPCCluster(metric, 4, seed=0)
-        trace = MessageTrace.attach(cluster)
+        cluster, trace = _traced(metric, 4)
         mpc_k_bounded_mis(cluster, 0.6, 8)
         by_tag = trace.words_by_tag()
         assert "degree/sample" in by_tag
@@ -44,14 +47,12 @@ class TestTracing:
         assert vals == sorted(vals, reverse=True)
 
     def test_words_by_round_sums_to_total(self, metric):
-        cluster = MPCCluster(metric, 3, seed=0)
-        trace = MessageTrace.attach(cluster)
+        cluster, trace = _traced(metric, 3)
         mpc_k_bounded_mis(cluster, 0.6, 5)
         assert sum(trace.words_by_round().values()) == trace.total_words()
 
     def test_messages_between(self, metric):
-        cluster = MPCCluster(metric, 3, seed=0)
-        trace = MessageTrace.attach(cluster)
+        cluster, trace = _traced(metric, 3)
         cluster.send(2, 0, 1.0, tag="a")
         cluster.send(0, 2, 2.0, tag="b")
         cluster.step()
@@ -59,8 +60,7 @@ class TestTracing:
         assert trace.messages_between(2, 0)[0].tag == "a"
 
     def test_heaviest_events(self, metric):
-        cluster = MPCCluster(metric, 3, seed=0)
-        trace = MessageTrace.attach(cluster)
+        cluster, trace = _traced(metric, 3)
         cluster.send(0, 1, np.zeros(100), tag="big")
         cluster.send(0, 1, 1.0, tag="small")
         cluster.step()
@@ -68,8 +68,7 @@ class TestTracing:
         assert top[0].tag == "big"
 
     def test_detach_restores(self, metric):
-        cluster = MPCCluster(metric, 3, seed=0)
-        trace = MessageTrace.attach(cluster)
+        cluster, trace = _traced(metric, 3)
         cluster.send(0, 1, 1.0)
         cluster.step()
         trace.detach()
@@ -78,9 +77,21 @@ class TestTracing:
         assert len(trace) == 1  # nothing recorded after detach
 
     def test_pointbatch_words_accounted(self, metric):
-        cluster = MPCCluster(metric, 3, seed=0)
-        trace = MessageTrace.attach(cluster)
+        cluster, trace = _traced(metric, 3)
         ids = cluster.machines[0].local_ids[:3]
         cluster.send(0, 1, PointBatch(ids), tag="pts")
         cluster.step()
         assert trace.events[0].words == 3 * (1 + metric.point_words())
+
+
+class TestDeprecatedAttach:
+    def test_attach_shim_warns_and_works(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        with pytest.deprecated_call():
+            trace = MessageTrace.attach(cluster)
+        assert trace in cluster.obs
+        cluster.send(0, 1, 2.0, tag="legacy")
+        cluster.step()
+        assert trace.total_words() == 1
+        trace.detach()
+        assert trace not in cluster.obs

@@ -1,0 +1,138 @@
+"""Tests for the cluster event-hook layer (`cluster.obs`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kcenter import mpc_kcenter
+from repro.metric.euclidean import EuclideanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.trace import MessageTrace
+from repro.obs import Observer
+
+
+@pytest.fixture
+def metric(rng):
+    return EuclideanMetric(rng.normal(size=(120, 2)))
+
+
+class _EventLogger(Observer):
+    """Records the hook call sequence as (kind, payload) tuples."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_round_start(self, round_no):
+        self.calls.append(("round_start", round_no))
+
+    def on_send(self, message):
+        self.calls.append(("send", message.tag))
+
+    def on_message(self, event):
+        self.calls.append(("message", event.tag))
+
+    def on_round_end(self, record):
+        self.calls.append(("round_end", record.round_no))
+
+
+class TestHookOrdering:
+    def test_round_start_messages_round_end(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        logger = cluster.obs.add(_EventLogger())
+        cluster.send(0, 1, 1.0, tag="a")
+        cluster.send(1, 2, 2.0, tag="b")
+        cluster.step()
+        kinds = [c[0] for c in logger.calls]
+        # sends happen at queue time, before the barrier
+        assert kinds == ["send", "send", "round_start", "message", "message", "round_end"]
+        assert logger.calls[2] == ("round_start", 1)
+        assert logger.calls[-1] == ("round_end", 1)
+        # delivery preserves outbox order
+        assert [c[1] for c in logger.calls[3:5]] == ["a", "b"]
+
+    def test_on_send_fires_at_queue_time(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        logger = cluster.obs.add(_EventLogger())
+        cluster.send(0, 1, 1.0, tag="queued")
+        assert logger.calls == [("send", "queued")]  # no step() yet
+
+    def test_round_numbers_increment(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        logger = cluster.obs.add(_EventLogger())
+        cluster.step()
+        cluster.step()
+        starts = [c[1] for c in logger.calls if c[0] == "round_start"]
+        ends = [c[1] for c in logger.calls if c[0] == "round_end"]
+        assert starts == [1, 2]
+        assert ends == [1, 2]
+
+
+class TestHubManagement:
+    def test_add_is_idempotent(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        ob = _EventLogger()
+        cluster.obs.add(ob)
+        cluster.obs.add(ob)
+        assert len(cluster.obs) == 1
+        cluster.step()
+        assert [c[0] for c in ob.calls] == ["round_start", "round_end"]
+
+    def test_remove_stops_delivery(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        ob = cluster.obs.add(_EventLogger())
+        cluster.step()
+        cluster.obs.remove(ob)
+        assert ob not in cluster.obs
+        cluster.step()
+        assert [c[1] for c in ob.calls if c[0] == "round_end"] == [1]
+
+    def test_remove_unknown_is_noop(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        cluster.obs.remove(_EventLogger())  # must not raise
+        assert len(cluster.obs) == 0
+
+    def test_multiple_observers_all_notified(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        a = cluster.obs.add(_EventLogger())
+        b = cluster.obs.add(_EventLogger())
+        cluster.send(0, 1, np.zeros(3), tag="x")
+        cluster.step()
+        assert a.calls == b.calls
+
+    def test_clear(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        cluster.obs.add(_EventLogger())
+        cluster.obs.add(_EventLogger())
+        cluster.obs.clear()
+        assert len(cluster.obs) == 0
+
+
+class TestLegacyEquivalence:
+    def test_hooked_trace_matches_monkeypatched_totals(self, metric):
+        """The hook-based MessageTrace must see exactly what a legacy
+        monkey-patch interception of ``step()`` sees on a real run."""
+        pw = metric.point_words()
+
+        # run 1: the supported hook API
+        cluster1 = MPCCluster(metric, 4, seed=7)
+        trace = cluster1.obs.add(MessageTrace())
+        res1 = mpc_kcenter(cluster1, k=5, epsilon=0.5)
+
+        # run 2: same seed, monkey-patch step() the way the old trace did
+        cluster2 = MPCCluster(metric, 4, seed=7)
+        legacy = []
+        original_step = cluster2.step
+
+        def patched_step():
+            pending = [(m.src, m.dst, m.tag, m.words(pw)) for m in cluster2._outbox]
+            inboxes = original_step()
+            rnd = cluster2.round_no
+            legacy.extend((rnd,) + p for p in pending)
+            return inboxes
+
+        cluster2.step = patched_step
+        res2 = mpc_kcenter(cluster2, k=5, epsilon=0.5)
+
+        assert np.array_equal(res1.centers, res2.centers)
+        hooked = [(e.round_no, e.src, e.dst, e.tag, e.words) for e in trace.events]
+        assert hooked == legacy
+        assert trace.total_words() == cluster1.stats.total_words

@@ -1,0 +1,134 @@
+"""Tests for phase spans: nesting, counter deltas, and reconciliation."""
+
+import numpy as np
+import pytest
+
+from repro.core.kcenter import mpc_kcenter
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.oracle import CountingOracle
+from repro.mpc.cluster import MPCCluster
+from repro.obs import Recorder
+
+
+@pytest.fixture
+def metric(rng):
+    return EuclideanMetric(rng.normal(size=(150, 2)))
+
+
+class TestSpanMechanics:
+    def test_nesting_parent_and_depth(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        rec = Recorder.attach(cluster)
+        with cluster.obs.span("outer") as outer:
+            assert cluster.obs.current_span is outer
+            assert cluster.obs.span_depth == 1
+            with cluster.obs.span("inner") as inner:
+                assert inner.parent_uid == outer.uid
+                assert inner.depth == 1
+        assert cluster.obs.current_span is None
+        # children close before parents
+        assert [s.name for s in rec.log.spans] == ["inner", "outer"]
+
+    def test_attrs_recorded(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        with cluster.obs.span("phase", tau=0.5, ladder_index=3) as s:
+            pass
+        assert s.attrs == {"tau": 0.5, "ladder_index": 3}
+
+    def test_counter_deltas(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        with cluster.obs.span("comm") as s:
+            cluster.send(0, 1, np.zeros(10), tag="x")
+            cluster.step()
+            cluster.step()
+        assert s.rounds == 2
+        assert s.words == 10
+        assert s.messages == 1
+        assert s.duration_s >= 0.0
+
+    def test_exception_closes_span(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        rec = Recorder.attach(cluster)
+        with pytest.raises(RuntimeError):
+            with cluster.obs.span("doomed"):
+                raise RuntimeError("boom")
+        assert cluster.obs.span_depth == 0
+        assert rec.log.spans[0].name == "doomed"
+        assert rec.log.spans[0].end_time is not None
+
+    def test_oracle_counters_wired(self, metric):
+        oracle = CountingOracle(metric)
+        cluster = MPCCluster(oracle, 3, seed=0)
+        with cluster.obs.span("probe") as s:
+            oracle.pairwise([0], np.arange(10))
+        assert s.oracle_calls == 1
+        assert s.oracle_evaluations == 10
+
+    def test_plain_metric_reports_zero_oracle_activity(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        with cluster.obs.span("probe") as s:
+            metric.pairwise([0], np.arange(10))
+        assert s.oracle_calls == 0
+        assert s.oracle_evaluations == 0
+
+    def test_covers_round_semantics(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        cluster.step()  # round 1, outside any span
+        with cluster.obs.span("s") as s:
+            cluster.step()  # round 2
+        assert not s.covers_round(1)
+        assert s.covers_round(2)
+        assert not s.covers_round(3)
+
+
+class TestReconciliation:
+    def test_kcenter_roots_reconcile_with_cluster_stats(self, metric):
+        oracle = CountingOracle(metric)
+        cluster = MPCCluster(oracle, 4, seed=3)
+        rec = Recorder.attach(cluster)
+        mpc_kcenter(cluster, k=6, epsilon=0.5)
+
+        totals = rec.log.root_totals()
+        summary = cluster.stats.summary()
+        assert totals["rounds"] == summary["rounds"]
+        assert totals["words"] == summary["total_words"]
+        assert totals["oracle_calls"] == oracle.calls
+        assert totals["oracle_evaluations"] == oracle.evaluations
+
+    def test_kcenter_round_coverage_meets_bar(self, metric):
+        cluster = MPCCluster(metric, 4, seed=3)
+        rec = Recorder.attach(cluster)
+        mpc_kcenter(cluster, k=6, epsilon=0.5)
+        assert rec.log.round_coverage() >= 0.95
+
+    def test_expected_phase_names_present(self, metric):
+        cluster = MPCCluster(metric, 4, seed=3)
+        rec = Recorder.attach(cluster)
+        mpc_kcenter(cluster, k=6, epsilon=0.5)
+        names = {row["phase"] for row in rec.log.phase_summary()}
+        assert {"kcenter/run", "kcenter/coreset", "kcenter/search", "mis/run"} <= names
+        # the run root is a single span at depth 0
+        run_row = next(r for r in rec.log.phase_summary() if r["phase"] == "kcenter/run")
+        assert run_row["count"] == 1
+        assert run_row["depth"] == 0
+
+    def test_phase_summary_is_inclusive(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        rec = Recorder.attach(cluster)
+        with cluster.obs.span("parent"):
+            with cluster.obs.span("child"):
+                cluster.send(0, 1, np.zeros(5), tag="x")
+                cluster.step()
+        rows = {r["phase"]: r for r in rec.log.phase_summary()}
+        assert rows["parent"]["words"] == 5  # child's traffic counted in parent
+        assert rows["child"]["words"] == 5
+
+    def test_detach_keeps_log_usable(self, metric):
+        cluster = MPCCluster(metric, 3, seed=0)
+        rec = Recorder.attach(cluster)
+        with cluster.obs.span("a"):
+            cluster.step()
+        rec.detach()
+        with cluster.obs.span("b"):
+            cluster.step()
+        assert [s.name for s in rec.log.spans] == ["a"]

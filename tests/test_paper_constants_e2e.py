@@ -2,7 +2,6 @@
 configurations: adversarial partitions, theory-scaled hard limits, and
 the full algorithm set.  These are the 'everything on' runs."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.validation import (

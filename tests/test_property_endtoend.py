@@ -2,7 +2,6 @@
 hold on arbitrary small instances, not just the fixtures we chose."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
