@@ -2,6 +2,11 @@
 k-center algorithm and compare against the sequential optimum-factor
 GMM baseline.
 
+The one-call facade (``solve_kcenter``) assembles the metric, the
+machine partition, and the execution backend internally; pass
+``backend="process"`` to fan the per-machine work out to forked
+workers (same results bit-for-bit, same seed).
+
 Run:  python examples/quickstart.py
 """
 
@@ -9,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import EuclideanMetric, MPCCluster, mpc_kcenter
+from repro import EuclideanMetric, solve_kcenter
 from repro.analysis.lower_bounds import kcenter_lower_bound
 from repro.analysis.reports import format_table
 from repro.baselines import gonzalez_kcenter
@@ -19,14 +24,13 @@ from repro.workloads import gaussian_mixture
 def main() -> None:
     rng = np.random.default_rng(42)
     points, _ = gaussian_mixture(n=2000, dim=2, components=10, rng=rng)
-    metric = EuclideanMetric(points)
     k = 10
 
     # --- the paper's algorithm on a simulated 8-machine MPC cluster -------
-    cluster = MPCCluster(metric, num_machines=8, seed=42)
-    result = mpc_kcenter(cluster, k=k, epsilon=0.1)
+    result = solve_kcenter(points, k=k, eps=0.1, machines=8, seed=42)
 
     # --- sequential reference (2-approximation, sees all data at once) ----
+    metric = EuclideanMetric(points)
     _, gmm_radius = gonzalez_kcenter(metric, k)
 
     lb = kcenter_lower_bound(metric, k)
@@ -36,7 +40,7 @@ def main() -> None:
             "radius": result.radius,
             "ratio vs LB (<= true ratio bound)": result.radius / lb,
             "rounds": result.rounds,
-            "max machine words": cluster.stats.max_machine_total,
+            "max machine words": result.stats["max_machine_total_words"],
         },
         {
             "algorithm": "sequential GMM (2-approx)",

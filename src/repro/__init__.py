@@ -5,22 +5,35 @@ Zarrabi-Zadeh, SPAA 2023).
 Quickstart::
 
     import numpy as np
-    from repro import EuclideanMetric, MPCCluster, mpc_kcenter
+    from repro import solve_kcenter
 
     rng = np.random.default_rng(0)
+    result = solve_kcenter(rng.normal(size=(1000, 2)), k=10,
+                           eps=0.1, backend="process", seed=0)
+    print(result.radius, result.stats["rounds"])
+
+The facade (:mod:`repro.api`) assembles metric, partition, and
+execution backend for you; for full control build the pieces by hand::
+
+    from repro import EuclideanMetric, MPCCluster, mpc_kcenter
+
     metric = EuclideanMetric(rng.normal(size=(1000, 2)))
     cluster = MPCCluster(metric, num_machines=8, seed=0)
     result = mpc_kcenter(cluster, k=10, epsilon=0.1)
-    print(result.radius, result.stats["rounds"])
 
 Public surface:
 
+* the facade — :func:`solve_kcenter`, :func:`solve_diversity`,
+  :func:`solve_ksupplier`, :func:`build_cluster`;
 * metrics — :class:`EuclideanMetric`, :class:`ManhattanMetric`,
   :class:`ChebyshevMetric`, :class:`MinkowskiMetric`,
   :class:`HammingMetric`, :class:`AngularMetric`, :class:`MatrixMetric`,
   :class:`GraphShortestPathMetric`, wrappers :class:`CountingOracle`,
   :class:`CachedOracle`;
-* the simulator — :class:`MPCCluster`, :class:`Limits`, partitioners;
+* the simulator — :class:`MPCCluster`, :class:`Limits`, partitioners,
+  and the execution backends (:class:`SerialExecutor`,
+  :class:`ThreadedExecutor`, :class:`ProcessExecutor`,
+  :func:`get_executor`);
 * observability — :class:`Observer`, :class:`ObserverHub` (as
   ``cluster.obs``), :class:`Recorder`, :class:`RunLog`, and the trace
   exporters in :mod:`repro.obs`;
@@ -31,9 +44,18 @@ Public surface:
 * constants — :class:`TheoryConstants`.
 """
 
+from repro.api import (
+    build_cluster,
+    make_executor,
+    make_metric,
+    solve_diversity,
+    solve_kcenter,
+    solve_ksupplier,
+)
 from repro.constants import DEFAULT_CONSTANTS, TheoryConstants
 from repro.core import (
     ClusteringResult,
+    CoresetResult,
     DiversityResult,
     DominatingSetResult,
     MISResult,
@@ -79,10 +101,16 @@ from repro.metric import (
     PointSet,
 )
 from repro.mpc import (
+    BACKENDS,
+    ExecutionBackend,
     Limits,
     MPCCluster,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
     adversarial_partition,
     block_partition,
+    get_executor,
     random_partition,
     skewed_partition,
 )
@@ -92,6 +120,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # facade
+    "solve_kcenter",
+    "solve_diversity",
+    "solve_ksupplier",
+    "build_cluster",
+    "make_metric",
+    "make_executor",
     # constants
     "TheoryConstants",
     "DEFAULT_CONSTANTS",
@@ -113,6 +148,13 @@ __all__ = [
     # simulator
     "MPCCluster",
     "Limits",
+    # execution backends
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ProcessExecutor",
+    "get_executor",
     # observability
     "Observer",
     "ObserverHub",
@@ -138,6 +180,7 @@ __all__ = [
     # results
     "DominatingSetResult",
     "MISResult",
+    "CoresetResult",
     "ClusteringResult",
     "DiversityResult",
     "SupplierResult",

@@ -1,0 +1,266 @@
+"""Unified solver facade — one call from raw points to a result.
+
+The paper's algorithms are driver programs over an
+:class:`~repro.mpc.cluster.MPCCluster`; assembling metric + partition +
+executor by hand is flexible but verbose.  This module is the
+one-stop entry point::
+
+    import numpy as np
+    from repro import solve_kcenter
+
+    points = np.random.default_rng(0).normal(size=(10_000, 2))
+    res = solve_kcenter(points, k=25, eps=0.1, backend="process")
+    res.centers, res.radius, res.rounds, res.stats
+
+Every solver accepts the same assembly keywords:
+
+``metric``
+    A metric name (``'euclidean'``, ``'manhattan'``, ``'chebyshev'``,
+    ``'angular'``/``'cosine'``, ``'hamming'``) applied to ``points``,
+    or a ready-made :class:`~repro.metric.base.Metric` instance (then
+    ``points`` must be ``None``).
+``machines``
+    Number of simulated MPC machines (default
+    :data:`DEFAULT_MACHINES`, capped at ``n``).
+``backend``
+    Local-compute backend: ``'serial'``, ``'thread'``, or
+    ``'process'`` — or any :class:`~repro.mpc.executor.ExecutionBackend`
+    instance (see :mod:`repro.mpc.executor`).
+``seed``
+    Master RNG seed; ``None`` means 0.  Same seed ⇒ bit-identical
+    results on every backend.
+``partition``
+    Partitioner name (``'random'``, ``'block'``, ``'skewed'``) or an
+    explicit list of id arrays.  The seeded-``random`` default matches
+    the CLI, so library calls and ``repro <cmd>`` runs coincide.
+
+The legacy entry points (:func:`repro.mpc_kcenter` and friends, driving
+an explicitly-built cluster) remain fully supported; the facade
+delegates to them, so the two can never drift.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.constants import TheoryConstants
+from repro.core.diversity import mpc_diversity
+from repro.core.kcenter import mpc_kcenter
+from repro.core.ksupplier import mpc_ksupplier
+from repro.core.results import ClusteringResult, DiversityResult, SupplierResult
+from repro.metric.base import Metric
+from repro.metric.cosine import AngularMetric
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.hamming import HammingMetric
+from repro.metric.lp import ChebyshevMetric, ManhattanMetric
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.executor import ExecutionBackend, get_executor
+from repro.mpc.limits import Limits
+from repro.mpc.partition import get_partitioner
+
+#: default machine count when ``machines=None`` (matches the CLI default)
+DEFAULT_MACHINES = 8
+
+_METRICS = {
+    "euclidean": EuclideanMetric,
+    "l2": EuclideanMetric,
+    "manhattan": ManhattanMetric,
+    "l1": ManhattanMetric,
+    "chebyshev": ChebyshevMetric,
+    "linf": ChebyshevMetric,
+    "angular": AngularMetric,
+    "cosine": AngularMetric,
+    "hamming": HammingMetric,
+}
+
+MetricSpec = Union[str, Metric]
+PartitionSpec = Union[str, List[np.ndarray], None]
+
+
+def make_metric(points, metric: MetricSpec = "euclidean") -> Metric:
+    """Resolve a metric spec: a name applied to ``points``, or a
+    pass-through :class:`Metric` instance (``points`` must then be
+    ``None``)."""
+    if isinstance(metric, Metric):
+        if points is not None:
+            raise ValueError(
+                "pass either raw points with a metric name, or a Metric "
+                "instance with points=None — not both"
+            )
+        return metric
+    try:
+        cls = _METRICS[str(metric).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of "
+            f"{', '.join(sorted(_METRICS))} or a Metric instance"
+        ) from None
+    if points is None:
+        raise ValueError(f"metric {metric!r} needs a points array")
+    return cls(points)
+
+
+def make_executor(backend: Union[str, ExecutionBackend] = "serial",
+                  max_workers: Optional[int] = None):
+    """Resolve a backend spec into an executor (see
+    :func:`repro.mpc.executor.get_executor`)."""
+    return get_executor(backend, max_workers=max_workers)
+
+
+def build_cluster(
+    points=None,
+    *,
+    metric: MetricSpec = "euclidean",
+    machines: Optional[int] = None,
+    seed: Optional[int] = None,
+    partition: PartitionSpec = "random",
+    backend: Union[str, ExecutionBackend] = "serial",
+    strict: bool = True,
+    limits: Optional[Limits] = None,
+    max_workers: Optional[int] = None,
+) -> MPCCluster:
+    """Assemble an :class:`MPCCluster` the way the solvers do.
+
+    Exposed so advanced callers (and the CLI) can interpose — wrap the
+    metric in a :class:`~repro.metric.oracle.CountingOracle`, attach
+    observers — and still hand the cluster back to a ``solve_*`` call
+    via its ``cluster=`` parameter.
+    """
+    resolved = make_metric(points, metric)
+    seed = 0 if seed is None else int(seed)
+    m = DEFAULT_MACHINES if machines is None else int(machines)
+    m = max(1, min(m, resolved.n))
+    if partition is None:
+        partition = "random"
+    if isinstance(partition, str):
+        parts = get_partitioner(partition)(resolved.n, m, np.random.default_rng(seed))
+    else:
+        parts = list(partition)
+    return MPCCluster(
+        resolved,
+        m,
+        partition=parts,
+        seed=seed,
+        strict=strict,
+        limits=limits,
+        executor=make_executor(backend, max_workers=max_workers),
+    )
+
+
+def solve_kcenter(
+    points=None,
+    k: int = 1,
+    *,
+    metric: MetricSpec = "euclidean",
+    machines: Optional[int] = None,
+    eps: float = 0.1,
+    backend: Union[str, ExecutionBackend] = "serial",
+    seed: Optional[int] = None,
+    partition: PartitionSpec = "random",
+    constants: Optional[TheoryConstants] = None,
+    trim_mode: str = "random",
+    limits: Optional[Limits] = None,
+    cluster: Optional[MPCCluster] = None,
+) -> ClusteringResult:
+    """(2+ε)-approximate MPC k-center over raw points (Algorithm 5).
+
+    Pass ``cluster=`` to solve on a pre-assembled deployment (every
+    other assembly keyword must then stay at its default).
+    """
+    cluster = _resolve_cluster(
+        cluster, points, metric, machines, seed, partition, backend, limits
+    )
+    return mpc_kcenter(cluster, k, epsilon=eps, constants=constants, trim_mode=trim_mode)
+
+
+def solve_diversity(
+    points=None,
+    k: int = 2,
+    *,
+    metric: MetricSpec = "euclidean",
+    machines: Optional[int] = None,
+    eps: float = 0.1,
+    backend: Union[str, ExecutionBackend] = "serial",
+    seed: Optional[int] = None,
+    partition: PartitionSpec = "random",
+    constants: Optional[TheoryConstants] = None,
+    trim_mode: str = "random",
+    limits: Optional[Limits] = None,
+    cluster: Optional[MPCCluster] = None,
+) -> DiversityResult:
+    """(2+ε)-approximate MPC k-diversity maximization (Algorithm 2)."""
+    cluster = _resolve_cluster(
+        cluster, points, metric, machines, seed, partition, backend, limits
+    )
+    return mpc_diversity(cluster, k, epsilon=eps, constants=constants, trim_mode=trim_mode)
+
+
+def solve_ksupplier(
+    points=None,
+    customers: Optional[Iterable[int]] = None,
+    suppliers: Optional[Iterable[int]] = None,
+    k: int = 1,
+    *,
+    metric: MetricSpec = "euclidean",
+    machines: Optional[int] = None,
+    eps: float = 0.1,
+    backend: Union[str, ExecutionBackend] = "serial",
+    seed: Optional[int] = None,
+    partition: PartitionSpec = "random",
+    constants: Optional[TheoryConstants] = None,
+    trim_mode: str = "random",
+    limits: Optional[Limits] = None,
+    cluster: Optional[MPCCluster] = None,
+) -> SupplierResult:
+    """(3+ε)-approximate MPC k-supplier (Algorithm 6).
+
+    ``customers`` and ``suppliers`` are disjoint id subsets of the
+    point set (row indices of ``points``).
+    """
+    if customers is None or suppliers is None:
+        raise ValueError("solve_ksupplier needs customer and supplier id sets")
+    cluster = _resolve_cluster(
+        cluster, points, metric, machines, seed, partition, backend, limits
+    )
+    return mpc_ksupplier(
+        cluster, customers, suppliers, k, epsilon=eps,
+        constants=constants, trim_mode=trim_mode,
+    )
+
+
+def _resolve_cluster(
+    cluster: Optional[MPCCluster],
+    points,
+    metric: MetricSpec,
+    machines: Optional[int],
+    seed: Optional[int],
+    partition: PartitionSpec,
+    backend: Union[str, ExecutionBackend],
+    limits: Optional[Limits],
+) -> MPCCluster:
+    if cluster is not None:
+        if points is not None or isinstance(metric, Metric):
+            raise ValueError("pass either cluster= or points/metric, not both")
+        return cluster
+    return build_cluster(
+        points,
+        metric=metric,
+        machines=machines,
+        seed=seed,
+        partition=partition,
+        backend=backend,
+        limits=limits,
+    )
+
+
+__all__: Sequence[str] = [
+    "DEFAULT_MACHINES",
+    "make_metric",
+    "make_executor",
+    "build_cluster",
+    "solve_kcenter",
+    "solve_diversity",
+    "solve_ksupplier",
+]

@@ -21,17 +21,12 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.analysis.reports import format_table
+from repro.api import build_cluster, solve_diversity, solve_kcenter, solve_ksupplier
 from repro.constants import TheoryConstants
-from repro.core import (
-    mpc_diversity,
-    mpc_dominating_set,
-    mpc_k_bounded_mis,
-    mpc_kcenter,
-    mpc_ksupplier,
-)
+from repro.core import mpc_dominating_set, mpc_k_bounded_mis
 from repro.metric.euclidean import EuclideanMetric
 from repro.mpc.cluster import MPCCluster
-from repro.mpc.partition import get_partitioner
+from repro.mpc.executor import BACKENDS
 from repro.workloads.registry import available_workloads, make_workload
 from repro.workloads.suppliers import supplier_instance
 
@@ -49,10 +44,13 @@ def _build_cluster(args: argparse.Namespace, metric) -> MPCCluster:
         from repro.metric.oracle import CountingOracle
 
         metric = CountingOracle(metric)
-    partition = get_partitioner(args.partition)(
-        metric.n, args.machines, np.random.default_rng(args.seed)
+    return build_cluster(
+        metric=metric,
+        machines=args.machines,
+        seed=args.seed,
+        partition=args.partition,
+        backend=getattr(args, "backend", "serial"),
     )
-    return MPCCluster(metric, args.machines, partition=partition, seed=args.seed)
 
 
 def _print_stats(cluster: MPCCluster) -> None:
@@ -63,6 +61,14 @@ def _print_stats(cluster: MPCCluster) -> None:
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--machines", type=int, default=8, help="number of MPC machines m")
     p.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    p.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="serial",
+        help="local-compute backend for the per-machine work; 'process' "
+        "keeps the point matrix in shared memory and is bit-identical "
+        "to 'serial' for any fixed seed",
+    )
     p.add_argument(
         "--partition",
         choices=["random", "block", "skewed"],
@@ -144,7 +150,9 @@ def _cmd_kcenter(args: argparse.Namespace) -> int:
     wl = make_workload(args.workload, args.n, seed=args.seed)
     cluster = _build_cluster(args, wl.metric)
     recorder = _setup_obs(args, cluster)
-    res = mpc_kcenter(cluster, args.k, args.epsilon, constants=_constants(args))
+    res = solve_kcenter(
+        k=args.k, eps=args.epsilon, constants=_constants(args), cluster=cluster
+    )
     print(
         format_table(
             [
@@ -172,7 +180,9 @@ def _cmd_diversity(args: argparse.Namespace) -> int:
     wl = make_workload(args.workload, args.n, seed=args.seed)
     cluster = _build_cluster(args, wl.metric)
     recorder = _setup_obs(args, cluster)
-    res = mpc_diversity(cluster, args.k, args.epsilon, constants=_constants(args))
+    res = solve_diversity(
+        k=args.k, eps=args.epsilon, constants=_constants(args), cluster=cluster
+    )
     print(
         format_table(
             [
@@ -205,9 +215,13 @@ def _cmd_supplier(args: argparse.Namespace) -> int:
     metric = EuclideanMetric(inst.points)
     cluster = _build_cluster(args, metric)
     recorder = _setup_obs(args, cluster)
-    res = mpc_ksupplier(
-        cluster, inst.customers, inst.suppliers, args.k, args.epsilon,
+    res = solve_ksupplier(
+        customers=inst.customers,
+        suppliers=inst.suppliers,
+        k=args.k,
+        eps=args.epsilon,
         constants=_constants(args),
+        cluster=cluster,
     )
     print(
         format_table(
@@ -302,7 +316,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
 
     cluster = _build_cluster(args, wl.metric)
-    res = mpc_kcenter(cluster, args.k, args.epsilon, constants=_constants(args))
+    res = solve_kcenter(
+        k=args.k, eps=args.epsilon, constants=_constants(args), cluster=cluster
+    )
     rows.append(
         {
             "algorithm": "MPC k-center (paper, 2+eps)",
@@ -355,9 +371,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     trace = cluster.obs.add(MessageTrace())
     recorder = _setup_obs(args, cluster)
     if args.algorithm == "kcenter":
-        mpc_kcenter(cluster, args.k, args.epsilon, constants=_constants(args))
+        solve_kcenter(k=args.k, eps=args.epsilon, constants=_constants(args), cluster=cluster)
     elif args.algorithm == "diversity":
-        mpc_diversity(cluster, args.k, args.epsilon, constants=_constants(args))
+        solve_diversity(k=args.k, eps=args.epsilon, constants=_constants(args), cluster=cluster)
     else:
         mpc_k_bounded_mis(cluster, args.tau, args.k, constants=_constants(args))
     cluster.obs.remove(trace)

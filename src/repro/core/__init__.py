@@ -26,6 +26,7 @@ from repro.core.kcenter import mpc_kcenter, mpc_kcenter_coreset
 from repro.core.ksupplier import mpc_ksupplier
 from repro.core.results import (
     ClusteringResult,
+    CoresetResult,
     DiversityResult,
     MISResult,
     SupplierResult,
@@ -52,6 +53,7 @@ __all__ = [
     "neighborhood_independence",
     "MISResult",
     "ClusteringResult",
+    "CoresetResult",
     "DiversityResult",
     "SupplierResult",
 ]

@@ -115,13 +115,16 @@ def _degree_approx_body(
 
     # -- round 1: sample with probability 1/m, exchange all-to-all ------------
     prob = 1.0 / m
-    samples: dict[int, np.ndarray] = {}
-    for mach, active in zip(cluster.machines, active_by_machine):
+
+    def _sample(mach):
+        active = active_by_machine[mach.id]
         if active.size:
             mask = mach.rng.random(active.size) < prob
-            samples[mach.id] = active[mask]
-        else:
-            samples[mach.id] = np.zeros(0, dtype=np.int64)
+            return active[mask]
+        return np.zeros(0, dtype=np.int64)
+
+    drawn = cluster.map_machines(_sample)
+    samples: dict[int, np.ndarray] = {i: drawn[i] for i in range(m)}
     cluster.all_to_all_points(samples, tag="degree/sample")
     S = np.concatenate(list(samples.values()))
 

@@ -19,30 +19,32 @@ Structure:
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.constants import DEFAULT_CONSTANTS, TheoryConstants
 from repro.core.gmm import gmm
 from repro.core.kbounded_mis import mpc_k_bounded_mis
-from repro.core.results import DiversityResult
+from repro.core.results import CoresetResult, DiversityResult
 from repro.core.threshold_search import find_flip
 from repro.exceptions import InfeasibleInstanceError, InvalidSolutionError
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.message import PointBatch
 
 
-def mpc_diversity_coreset(cluster: MPCCluster, k: int) -> Tuple[np.ndarray, float]:
+def mpc_diversity_coreset(cluster: MPCCluster, k: int) -> CoresetResult:
     """Lines 1–3 of Algorithm 2: the two-round 4-approximation.
 
-    Returns ``(Q, r)`` — a k-subset ``Q`` with ``div(Q) = r`` and the
-    guarantee ``r ≤ div_k(V) ≤ 4r`` (Theorem 3's first stage).
+    Returns a :class:`CoresetResult` — a k-subset ``ids`` with
+    ``div(ids) = value`` and the guarantee ``value ≤ div_k(V) ≤ 4·value``
+    (Theorem 3's first stage); unpacking as ``Q, r = ...`` keeps working.
     """
     if k < 2:
         raise InfeasibleInstanceError("diversity maximization needs k >= 2")
     if k > cluster.n:
         raise InfeasibleInstanceError(f"k={k} exceeds the number of points n={cluster.n}")
+    round0 = cluster.round_no
 
     with cluster.obs.span("div/coreset", k=k):
         def _local(mach):
@@ -70,8 +72,12 @@ def mpc_diversity_coreset(cluster: MPCCluster, k: int) -> Tuple[np.ndarray, floa
         r0 = central.diversity(S) if S.size == k else 0.0
 
         if r0 >= best_local[0]:
-            return S, float(r0)
-        return np.asarray(best_local[1], dtype=np.int64), float(best_local[0])
+            ids, value = S, float(r0)
+        else:
+            ids, value = np.asarray(best_local[1], dtype=np.int64), float(best_local[0])
+    return CoresetResult(
+        ids=ids, value=value, k=k, kind="diversity", rounds=cluster.round_no - round0
+    )
 
 
 def mpc_diversity(

@@ -232,10 +232,15 @@ def _mis_outer_round(
 
     # shared per-round random tie-break priorities: each machine draws for
     # its own vertices; values travel with the samples (PointBatch columns)
+    tie_draws = cluster.map_machines(
+        lambda mach: mach.rng.random(active[mach.id].size)
+        if active[mach.id].size
+        else np.zeros(0, dtype=np.float64)
+    )
     tie = np.full(n, np.nan, dtype=np.float64)
-    for mach, act in zip(cluster.machines, active):
+    for act, draws in zip(active, tie_draws):
         if act.size:
-            tie[act] = mach.rng.random(act.size)
+            tie[act] = draws
 
     # -- line 5: every machine draws m samples (parallel local work) --------
     def _draw(mach):
@@ -262,12 +267,19 @@ def _mis_outer_round(
     if prune:
         with cluster.obs.span("mis/prune"):
             # -- lines 7–8: pruning step ----------------------------------------
-            # local trims; an immediate k-sized trim short-circuits
-            local_trims: List[List[np.ndarray]] = []
-            for mach, act in zip(cluster.machines, active):
-                trims_i = []
-                for j in range(m):
-                    t = trim(mach, sample_sets[mach.id][j], tau, p, tie, mode=trim_mode)
+            # local trims, one parallel task per machine (trim is pure given
+            # p/tie, so computing all m trims per machine before scanning for
+            # a k-sized one returns the same set the serial scan would)
+            local_trims: List[List[np.ndarray]] = cluster.map_machines(
+                lambda mach: [
+                    trim(mach, sample_sets[mach.id][j], tau, p, tie, mode=trim_mode)
+                    for j in range(m)
+                ]
+            )
+            # an immediate k-sized trim short-circuits (first in machine-major
+            # order, matching the historical scan)
+            for trims_i in local_trims:
+                for t in trims_i:
                     if t.size >= k:
                         out = _combine_k(mis, t, k)
                         return MISResult(
@@ -279,8 +291,6 @@ def _mis_outer_round(
                             rounds=cluster.round_no - round0,
                             edge_trace=edge_trace,
                         )
-                    trims_i.append(t)
-                local_trims.append(trims_i)
 
             # machine i ships trim(S_i^j) to machine j (one round)
             for i in range(m):

@@ -18,14 +18,14 @@ Structure:
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.constants import DEFAULT_CONSTANTS, TheoryConstants
 from repro.core.gmm import gmm
 from repro.core.kbounded_mis import mpc_k_bounded_mis
-from repro.core.results import ClusteringResult
+from repro.core.results import ClusteringResult, CoresetResult
 from repro.core.threshold_search import find_flip
 from repro.exceptions import InfeasibleInstanceError
 from repro.mpc.cluster import MPCCluster
@@ -48,15 +48,18 @@ def _distributed_radius(cluster: MPCCluster, centers: np.ndarray) -> float:
         return max(float(msg.payload) for msg in inbox)
 
 
-def mpc_kcenter_coreset(cluster: MPCCluster, k: int) -> Tuple[np.ndarray, float]:
+def mpc_kcenter_coreset(cluster: MPCCluster, k: int) -> CoresetResult:
     """Lines 1–3 of Algorithm 5: the two-round 4-approximation.
 
-    Returns ``(Q, r)`` with ``|Q| = k`` and ``r*/1 ≤ r = r(V, Q) ≤ 4r*``.
+    Returns a :class:`CoresetResult` with ``|ids| = k`` and
+    ``r* ≤ value = r(V, ids) ≤ 4r*``; unpacking as ``Q, r = ...`` keeps
+    working.
     """
     if k < 1:
         raise InfeasibleInstanceError("k-center needs k >= 1")
     if k > cluster.n:
         raise InfeasibleInstanceError(f"k={k} exceeds the number of points n={cluster.n}")
+    round0 = cluster.round_no
 
     with cluster.obs.span("kcenter/coreset", k=k):
         local_T = cluster.map_machines(lambda mach: gmm(mach, mach.local_ids, k))
@@ -65,7 +68,9 @@ def mpc_kcenter_coreset(cluster: MPCCluster, k: int) -> Tuple[np.ndarray, float]
         T = np.unique(np.concatenate([msg.payload.ids for msg in inbox]))
         Q = gmm(cluster.central, T, k)
         r = _distributed_radius(cluster, Q)
-    return Q, float(r)
+    return CoresetResult(
+        ids=Q, value=float(r), k=k, kind="kcenter", rounds=cluster.round_no - round0
+    )
 
 
 def mpc_kcenter(

@@ -77,22 +77,24 @@ def _nearest_suppliers(
     distance; the central machine takes the global argmin.
     """
     cluster.broadcast_points_from_central(pivots, tag="supplier/pivots2")
-    payloads = {}
-    for mach in cluster.machines:
+
+    def _local_best(mach):
         local_sup = _local_intersect(mach, suppliers)
         if local_sup.size and pivots.size:
             D = mach.pairwise(pivots, local_sup)
             best = D.argmin(axis=1)
-            payloads[mach.id] = PointBatch(
-                local_sup[best],
-                {
-                    "dist": D[np.arange(pivots.size), best],
-                    "pivot": np.arange(pivots.size, dtype=np.float64),
-                },
-            )
-        else:
-            # no local suppliers: nothing to propose
-            payloads[mach.id] = PointBatch([], {"dist": [], "pivot": []})
+            return local_sup[best], D[np.arange(pivots.size), best]
+        # no local suppliers: nothing to propose
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+
+    proposals = cluster.map_machines(_local_best)
+    payloads = {
+        i: PointBatch(
+            ids,
+            {"dist": dist, "pivot": np.arange(ids.size, dtype=np.float64)},
+        )
+        for i, (ids, dist) in enumerate(proposals)
+    }
     inbox = cluster.gather_to_central(payloads, tag="supplier/nearest")
     best_dist = np.full(pivots.size, np.inf)
     best_id = np.full(pivots.size, -1, dtype=np.int64)
@@ -180,12 +182,15 @@ def _ksupplier_body(
     # -- line 3: r = r(C, Q) + r(Q, S) ------------------------------------------
     with cluster.obs.span("supplier/radius-estimate"):
         cluster.broadcast_points_from_central(Q, tag="supplier/Q")
-        rq_payloads = {}
-        for mach in cluster.machines:
+
+        def _local_rcq(mach):
             local_c = _local_intersect(mach, customers)
-            local_r = float(mach.dist_to_set(local_c, Q).max()) if local_c.size else 0.0
-            rq_payloads[mach.id] = local_r
-        inbox = cluster.gather_to_central(rq_payloads, tag="supplier/rCQ")
+            return float(mach.dist_to_set(local_c, Q).max()) if local_c.size else 0.0
+
+        local_rcq = cluster.map_machines(_local_rcq)
+        inbox = cluster.gather_to_central(
+            {i: local_rcq[i] for i in range(cluster.m)}, tag="supplier/rCQ"
+        )
         r_CQ = max(float(msg.payload) for msg in inbox)
         dQS = _min_dist_to_suppliers(cluster, Q, suppliers)
         r_QS = float(dQS.max())
@@ -208,9 +213,9 @@ def _ksupplier_body(
     t = int(math.ceil(math.log(9.0) / math.log1p(epsilon)))
     taus = [(r / 9.0) * (1.0 + epsilon) ** i for i in range(t + 1)]
 
-    customer_active = [
-        _local_intersect(mach, customers) for mach in cluster.machines
-    ]
+    customer_active = cluster.map_machines(
+        lambda mach: _local_intersect(mach, customers)
+    )
 
     pivot_cache: dict[int, np.ndarray] = {}
 
@@ -266,13 +271,15 @@ def _ksupplier_body(
 
         # actual service radius, for reporting
         cluster.broadcast_points_from_central(chosen, tag="supplier/chosen")
-        rad_payloads = {}
-        for mach in cluster.machines:
+
+        def _local_radius(mach):
             local_c = _local_intersect(mach, customers)
-            rad_payloads[mach.id] = (
-                float(mach.dist_to_set(local_c, chosen).max()) if local_c.size else 0.0
-            )
-        inbox = cluster.gather_to_central(rad_payloads, tag="supplier/final-radius")
+            return float(mach.dist_to_set(local_c, chosen).max()) if local_c.size else 0.0
+
+        local_radii = cluster.map_machines(_local_radius)
+        inbox = cluster.gather_to_central(
+            {i: local_radii[i] for i in range(cluster.m)}, tag="supplier/final-radius"
+        )
         radius = max(float(msg.payload) for msg in inbox)
 
     return SupplierResult(

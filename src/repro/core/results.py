@@ -32,6 +32,36 @@ class _SerializableResult:
 
 
 @dataclass
+class CoresetResult(_SerializableResult):
+    """Output of the two-round coreset stages (lines 1–3 of
+    Algorithms 2 and 5).
+
+    ``ids`` is the k-subset ``Q`` and ``value`` the certified
+    4-approximation ``r`` (a radius for k-center, a diversity for
+    diversity maximization — see :attr:`kind`).  Iterating yields
+    ``(ids, value)``, so the historical ``Q, r = mpc_*_coreset(...)``
+    tuple unpacking keeps working unchanged.
+    """
+
+    ids: np.ndarray
+    value: float
+    k: int
+    #: which problem the value certifies: 'kcenter' or 'diversity'
+    kind: str = "kcenter"
+    rounds: int = 0
+
+    def __iter__(self):
+        return iter((self.ids, self.value))
+
+    def __len__(self) -> int:
+        return 2
+
+    @property
+    def size(self) -> int:
+        return int(self.ids.size)
+
+
+@dataclass
 class MISResult(_SerializableResult):
     """Output of the k-bounded MIS (Algorithm 4).
 

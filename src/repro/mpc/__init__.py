@@ -16,7 +16,14 @@ has received in a message.
 
 from repro.mpc.accounting import ClusterStats, RoundStats
 from repro.mpc.cluster import MPCCluster
-from repro.mpc.executor import SerialExecutor, ThreadedExecutor
+from repro.mpc.executor import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    get_executor,
+)
 from repro.mpc.trace import MessageTrace, TraceEvent
 from repro.mpc.machine import Machine
 from repro.mpc.message import Ids, Message, PointBatch, payload_words
@@ -37,8 +44,12 @@ __all__ = [
     "Ids",
     "payload_words",
     "Limits",
+    "BACKENDS",
+    "ExecutionBackend",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
+    "get_executor",
     "MessageTrace",
     "TraceEvent",
     "ClusterStats",

@@ -89,6 +89,9 @@ class MPCCluster:
         self.limits = limits
         #: executes per-machine local work; see repro.mpc.executor
         self.executor = executor or SerialExecutor()
+        bind = getattr(self.executor, "bind", None)
+        if bind is not None:
+            bind(self)
 
         master = np.random.default_rng(seed)
         streams = master.spawn(self.m + 1)
@@ -130,7 +133,13 @@ class MPCCluster:
         """Evaluate ``fn(machine)`` for every machine, possibly in
         parallel (see the ``executor`` constructor argument).  Results
         come back ordered by machine id.  ``fn`` must touch only its
-        machine's state — exactly the MPC local-computation contract."""
+        machine's state — exactly the MPC local-computation contract.
+        Backends that need machine-aware dispatch (the process backend
+        synchronises RNG streams and oracle counters) provide
+        ``map_machines``; the others get the plain indexed form."""
+        mapper = getattr(self.executor, "map_machines", None)
+        if mapper is not None:
+            return mapper(fn, self.machines, metric=self.metric)
         return self.executor.map_indexed(lambda i: fn(self.machines[i]), self.m)
 
     # -- messaging ---------------------------------------------------------------

@@ -1,23 +1,66 @@
-"""Parallel execution of per-machine local computation.
+"""Execution backends for per-machine local computation.
 
 Within an MPC round, machines compute independently — the simulator can
-therefore fan the per-machine work out to a thread pool.  Threads (not
-processes) are the right tool here: the heavy kernels are numpy calls
-that release the GIL, and machine state stays shared-memory without
-pickling.
+therefore fan the per-machine work out to an execution backend.  Three
+are provided, all implementing the :class:`ExecutionBackend` protocol:
 
-Determinism is preserved by construction: each machine draws only from
-its *own* RNG stream inside its own task, so the schedule cannot change
-any stream's sequence.  `tests/test_mpc_executor.py` asserts serial and
-threaded runs produce bit-identical results.
+* :class:`SerialExecutor` — one task after another (the default);
+* :class:`ThreadedExecutor` — a shared thread pool; the heavy kernels
+  are numpy calls that release the GIL, so threads overlap them with
+  zero marshalling cost;
+* :class:`ProcessExecutor` — real OS processes, forked per batch, for
+  metrics whose kernels hold the GIL (edit distance, graph search,
+  python callables) or very large instances.  The point matrix is
+  migrated into :mod:`multiprocessing.shared_memory` (see
+  :mod:`repro.mpc.shm`) so workers read it without pickling a byte of
+  point data; only the small per-machine results travel back.
+
+Determinism is preserved by construction on every backend: each machine
+draws only from its *own* RNG stream inside its own task, so the
+schedule cannot change any stream's sequence.  For processes, the
+worker additionally returns the machine's post-task RNG state and the
+distance-oracle counter deltas, which the driver replays — serial,
+threaded, and process runs are bit-identical, including the
+:class:`~repro.metric.oracle.CountingOracle` ledger
+(``tests/test_mpc_executor.py`` asserts it).
+
+The process-backend task contract is the MPC local-computation contract
+sharpened one notch: a task may read anything, but the only *writes*
+that survive are its return value and its machine's RNG stream.  All
+callbacks in :mod:`repro.core` obey this (they communicate results via
+``cluster.send``, never via driver-side mutation).
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import sys
+import traceback
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, TypeVar
+from typing import Callable, List, Optional, Protocol, Sequence, TypeVar, runtime_checkable
+
+from repro.mpc.shm import SharedArray, share_metric_points
 
 T = TypeVar("T")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What :class:`~repro.mpc.cluster.MPCCluster` requires of a backend.
+
+    ``map_indexed(fn, count)`` evaluates ``fn(i)`` for ``i in
+    range(count)`` and returns the results in index order; exceptions
+    propagate to the caller.  ``shutdown()`` releases pools and shared
+    resources and must be idempotent.  Backends may optionally provide
+    ``bind(cluster)`` (called once from the cluster constructor) and
+    ``map_machines(fn, machines, metric=None)`` for machine-aware
+    dispatch with state synchronisation.
+    """
+
+    def map_indexed(self, fn: Callable[[int], T], count: int) -> List[T]: ...
+
+    def shutdown(self) -> None: ...
 
 
 class SerialExecutor:
@@ -66,3 +109,218 @@ class ThreadedExecutor:
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         self.shutdown()
+
+
+class _WorkerFailure(Exception):
+    """A forked worker died or produced an unreadable payload."""
+
+
+def _counting_layers(metric) -> list:
+    """Every CountingOracle in the metric's wrapper chain (outermost first)."""
+    layers = []
+    seen = set()
+    while metric is not None and id(metric) not in seen:
+        seen.add(id(metric))
+        if hasattr(metric, "evaluations") and hasattr(metric, "calls"):
+            layers.append(metric)
+        metric = getattr(metric, "inner", None)
+    return layers
+
+
+class ProcessExecutor:
+    """Fork real OS processes for per-machine local work.
+
+    Workers are forked per batch: each inherits a consistent snapshot of
+    the driver (machines, RNG streams, the round's driver-side arrays)
+    at zero marshalling cost, computes its strided share of the tasks,
+    and ships only the results back through a pipe.  The point matrix is
+    migrated into shared memory at :meth:`bind` time so even many rounds
+    of copy-on-write churn never duplicate it.
+
+    Falls back to serial execution — transparently, with the reason in
+    :attr:`fallback_reason` — when the platform cannot ``fork`` (the
+    mechanism that lets closures and callable-based metrics such as
+    :class:`~repro.metric.matrix_metric.MatrixMetric` wrappers reach the
+    workers without being pickled) or when a worker's results cannot be
+    brought back.  The fallback re-runs the batch in the driver, which
+    is always safe: worker state never leaks into the driver except
+    through the explicit result channel.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of forked workers per batch; defaults to the CPU count.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+        self.fallback_reason: Optional[str] = None
+        self._shared: List[SharedArray] = []
+        if not hasattr(os, "fork") or sys.platform in ("win32", "emscripten"):
+            self.fallback_reason = f"fork() unavailable on {sys.platform}"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def bind(self, cluster) -> None:
+        """Adopt a cluster: move its point matrix into shared memory."""
+        if self.fallback_reason is not None:
+            return
+        handle = share_metric_points(cluster.metric)
+        if handle is not None:
+            self._shared.append(handle)
+
+    def shutdown(self) -> None:
+        """Unlink shared segments (mappings stay valid; idempotent)."""
+        for handle in self._shared:
+            handle.release()
+        self._shared = []
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        self.shutdown()
+
+    # -- task execution -----------------------------------------------------
+
+    def _workers_for(self, count: int) -> int:
+        return max(1, min(self.max_workers or (os.cpu_count() or 1), count))
+
+    def map_indexed(self, fn: Callable[[int], T], count: int) -> List[T]:
+        """Evaluate ``fn(i)`` for ``i in range(count)`` across forked
+        workers, in index order; falls back to serial when parallelism
+        cannot help or cannot be trusted."""
+        if count <= 1 or self.fallback_reason is not None or self._workers_for(count) <= 1:
+            return [fn(i) for i in range(count)]
+        try:
+            return self._fork_map(fn, count)
+        except _WorkerFailure:
+            # Workers never mutate driver state, so a clean re-run in the
+            # driver reproduces the exact result — or the real exception,
+            # with a real traceback.
+            return [fn(i) for i in range(count)]
+
+    def map_machines(self, fn, machines: Sequence, metric=None) -> list:
+        """Machine-aware dispatch with state synchronisation.
+
+        Each worker returns ``(value, rng_state, oracle_deltas)`` for
+        its machines; the driver replays the RNG states and counter
+        deltas so a process run is bit-identical to a serial one — both
+        the algorithmic results and the CountingOracle ledger.
+        """
+        count = len(machines)
+        if count <= 1 or self.fallback_reason is not None or self._workers_for(count) <= 1:
+            return [fn(mach) for mach in machines]
+
+        counting = _counting_layers(metric)
+
+        def task(i: int):
+            mach = machines[i]
+            before = [(c.calls, c.evaluations) for c in counting]
+            value = fn(mach)
+            deltas = [
+                (c.calls - b_calls, c.evaluations - b_evals)
+                for c, (b_calls, b_evals) in zip(counting, before)
+            ]
+            return value, mach.rng.bit_generator.state, deltas
+
+        try:
+            packed = self._fork_map(task, count)
+        except _WorkerFailure:
+            return [fn(mach) for mach in machines]
+
+        values = []
+        for i, (value, rng_state, deltas) in enumerate(packed):
+            machines[i].rng.bit_generator.state = rng_state
+            for layer, (d_calls, d_evals) in zip(counting, deltas):
+                layer.calls += d_calls
+                layer.evaluations += d_evals
+            values.append(value)
+        return values
+
+    def _fork_map(self, task: Callable[[int], T], count: int) -> List[T]:
+        """Fork one worker per strided index chunk; gather over pipes."""
+        workers = self._workers_for(count)
+        chunks = [list(range(w, count, workers)) for w in range(workers)]
+        procs: list[tuple[int, int, list[int]]] = []
+        for chunk in chunks:
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:  # worker
+                os.close(read_fd)
+                status = 0
+                try:
+                    payload = pickle.dumps(
+                        [task(i) for i in chunk], protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                except BaseException:
+                    payload = pickle.dumps(traceback.format_exc())
+                    status = 1
+                try:
+                    with os.fdopen(write_fd, "wb") as pipe:
+                        pipe.write(bytes([status]))
+                        pipe.write(payload)
+                finally:
+                    # hard exit: never run driver atexit/teardown in a worker
+                    os._exit(0)
+            os.close(write_fd)
+            procs.append((pid, read_fd, chunk))
+
+        results: List[T] = [None] * count  # type: ignore[list-item]
+        failure: Optional[str] = None
+        for pid, read_fd, chunk in procs:
+            with os.fdopen(read_fd, "rb") as pipe:
+                blob = pipe.read()
+            os.waitpid(pid, 0)
+            if failure is not None:
+                continue
+            if not blob:
+                failure = f"worker {pid} died without reporting (chunk {chunk[:3]}…)"
+                continue
+            try:
+                data = pickle.loads(blob[1:])
+            except Exception:
+                failure = f"worker {pid} returned an undecodable payload"
+                continue
+            if blob[0] != 0:
+                failure = str(data)
+            else:
+                for i, value in zip(chunk, data):
+                    results[i] = value
+        if failure is not None:
+            raise _WorkerFailure(failure)
+        return results
+
+
+#: canonical backend names accepted by the CLI and the solver facade
+BACKENDS = ("serial", "thread", "process")
+
+_ALIASES = {
+    "serial": "serial",
+    "thread": "thread",
+    "threaded": "thread",
+    "threads": "thread",
+    "process": "process",
+    "processes": "process",
+    "fork": "process",
+}
+
+
+def get_executor(backend: str = "serial", max_workers: int | None = None):
+    """Build an execution backend from its name.
+
+    ``backend`` is one of ``'serial'``, ``'thread'``/``'threaded'``, or
+    ``'process'`` (alias ``'fork'``); an :class:`ExecutionBackend`
+    instance passes through unchanged.
+    """
+    if not isinstance(backend, str):
+        if isinstance(backend, ExecutionBackend):
+            return backend
+        raise TypeError(f"not an execution backend: {backend!r}")
+    name = _ALIASES.get(backend.lower())
+    if name == "serial":
+        return SerialExecutor()
+    if name == "thread":
+        return ThreadedExecutor(max_workers=max_workers)
+    if name == "process":
+        return ProcessExecutor(max_workers=max_workers)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {', '.join(sorted(set(_ALIASES)))}"
+    )

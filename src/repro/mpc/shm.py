@@ -1,0 +1,125 @@
+"""Shared-memory backing for point matrices.
+
+:class:`~repro.mpc.executor.ProcessExecutor` workers are forked from
+the driver, so they inherit the point matrix by copy-on-write already —
+but CPython's refcount writes and numpy temporaries can silently
+duplicate pages over a long run.  Migrating the coordinate array into a
+:mod:`multiprocessing.shared_memory` segment pins the one physical copy
+for the driver and every worker, and is the piece that would let a
+spawn-based pool (platforms without ``fork``) read the points without
+pickling them.
+
+Lifecycle: :func:`share_metric_points` rebinds the metric's
+:class:`~repro.metric.points.PointSet` buffer to a shared segment and
+returns a :class:`SharedArray` handle.  ``release()`` unlinks the
+segment name but keeps the local mapping alive, so the metric stays
+usable after the executor shuts down; the final ``close`` happens at
+interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+from typing import List, Optional
+
+import numpy as np
+
+try:  # pragma: no cover - always present on CPython >= 3.8
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+#: arrays smaller than this stay private — sharing overhead isn't worth it
+MIN_SHARED_BYTES = 1 << 20
+
+_live: List["SharedArray"] = []
+#: released handles, kept referenced forever: SharedMemory.__del__ would
+#: close() the mapping on GC and pull the buffer out from under any
+#: numpy view still pointing at it (one handle per executor bind, so
+#: this stays tiny)
+_retired: List["SharedArray"] = []
+
+
+class SharedArray:
+    """A numpy array whose buffer lives in a shared-memory segment."""
+
+    def __init__(self, source: np.ndarray) -> None:
+        self.shm = shared_memory.SharedMemory(create=True, size=source.nbytes)
+        view = np.ndarray(source.shape, dtype=source.dtype, buffer=self.shm.buf)
+        view[:] = source
+        view.setflags(write=False)
+        self.array = view
+        self._unlinked = False
+        _live.append(self)
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def release(self) -> None:
+        """Unlink the segment name (idempotent).
+
+        The local mapping stays valid — views handed out earlier keep
+        working — but no new process can attach, and the memory is
+        returned to the OS once the last mapping closes.
+        """
+        if not self._unlinked:
+            self._unlinked = True
+            try:
+                self.shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+            if self in _live:
+                _live.remove(self)
+            _retired.append(self)
+
+    def _close(self) -> None:
+        """Drop the mapping too — only safe when no view is in use."""
+        self.release()
+        try:
+            self.shm.close()
+        except (BufferError, OSError):  # pragma: no cover - views still alive
+            return
+        if self in _retired:
+            _retired.remove(self)
+
+
+@atexit.register
+def _cleanup_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    for handle in list(_live):
+        handle.release()
+
+
+def _unwrap(metric):
+    """Walk oracle wrappers (``.inner``) down to the base metric."""
+    seen = set()
+    while metric is not None and id(metric) not in seen:
+        seen.add(id(metric))
+        yield metric
+        metric = getattr(metric, "inner", None)
+
+
+def share_metric_points(metric, min_bytes: int = MIN_SHARED_BYTES) -> Optional[SharedArray]:
+    """Move the metric's coordinate matrix into shared memory.
+
+    Returns the :class:`SharedArray` handle, or ``None`` when the metric
+    carries no rebindable point matrix (matrix/graph/callable oracles),
+    the array is too small to bother, or shared memory is unavailable.
+    The rebinding is transparent: the ``PointSet`` keeps its identity
+    and read-only contract, only its buffer moves.
+    """
+    if shared_memory is None:  # pragma: no cover
+        return None
+    for layer in _unwrap(metric):
+        points = getattr(layer, "points", None)
+        data = getattr(points, "_data", None)
+        if isinstance(data, np.ndarray):
+            if data.nbytes < min_bytes:
+                return None
+            try:
+                handle = SharedArray(data)
+            except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+                return None
+            points._data = handle.array
+            return handle
+    return None

@@ -27,6 +27,14 @@ class TestParser:
         args = build_parser().parse_args(["kcenter", "--constants", "paper"])
         assert args.constants == "paper"
 
+    def test_backend_default_and_choices(self):
+        args = build_parser().parse_args(["kcenter"])
+        assert args.backend == "serial"
+        args = build_parser().parse_args(["diversity", "--backend", "process"])
+        assert args.backend == "process"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["kcenter", "--backend", "gpu"])
+
 
 class TestCommands:
     def test_workloads_lists_names(self, capsys):
@@ -217,3 +225,21 @@ class TestCommands:
             ]
         )
         assert rc == 0
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backend_output_identical(self, capsys, backend):
+        """The printed solution table must not depend on the backend."""
+        argv = [
+            "kcenter",
+            "--workload", "uniform",
+            "--n", "120",
+            "--k", "4",
+            "--machines", "3",
+            "--epsilon", "0.3",
+            "--backend", backend,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        baseline = main(argv[:-2])  # default serial
+        assert baseline == 0
+        assert capsys.readouterr().out == out

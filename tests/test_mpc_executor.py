@@ -1,13 +1,22 @@
-"""Tests for the local-work executors: threaded execution must be a
-bit-for-bit drop-in for serial."""
+"""Tests for the local-work executors: threaded and process execution
+must be bit-for-bit drop-ins for serial — results, communication
+ledger, and oracle counters alike."""
 
 import numpy as np
 import pytest
 
 from repro.core import mpc_diversity, mpc_k_bounded_mis, mpc_kcenter
 from repro.metric.euclidean import EuclideanMetric
+from repro.metric.oracle import CountingOracle
 from repro.mpc.cluster import MPCCluster
-from repro.mpc.executor import SerialExecutor, ThreadedExecutor
+from repro.mpc.executor import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    get_executor,
+)
 
 
 class TestExecutorsDirect:
@@ -87,3 +96,140 @@ class TestBitIdenticalResults:
         for a, b in zip(c1.stats.rounds_log, c2.stats.rounds_log):
             assert np.array_equal(a.sent, b.sent)
             assert np.array_equal(a.received, b.received)
+
+
+class TestProcessExecutorDirect:
+    """max_workers is pinned > 1 so the fork path runs even on 1-core CI."""
+
+    def test_order_preserved(self):
+        ex = ProcessExecutor(max_workers=4)
+        if ex.fallback_reason:
+            pytest.skip(ex.fallback_reason)
+        assert ex.map_indexed(lambda i: i * i, 16) == [i * i for i in range(16)]
+        ex.shutdown()
+
+    def test_closure_capture(self):
+        # closures can't be pickled — fork-based workers must still see them
+        offset = 1000
+        ex = ProcessExecutor(max_workers=2)
+        if ex.fallback_reason:
+            pytest.skip(ex.fallback_reason)
+        assert ex.map_indexed(lambda i: i + offset, 6) == [1000 + i for i in range(6)]
+        ex.shutdown()
+
+    def test_single_task_stays_in_driver(self):
+        calls = []
+        ex = ProcessExecutor(max_workers=4)
+        # a driver-side mutation survives only if the task ran in-process
+        assert ex.map_indexed(lambda i: calls.append(i) or i, 1) == [0]
+        assert calls == [0]
+
+    def test_exception_reraised_with_context(self):
+        ex = ProcessExecutor(max_workers=2)
+        if ex.fallback_reason:
+            pytest.skip(ex.fallback_reason)
+
+        def boom(i):
+            if i == 3:
+                raise RuntimeError("task 3 failed")
+            return i
+
+        # worker failure falls back to a serial re-run, which raises the
+        # original exception with a real traceback
+        with pytest.raises(RuntimeError, match="task 3"):
+            ex.map_indexed(boom, 8)
+        ex.shutdown()
+
+    def test_unpicklable_result_falls_back(self):
+        ex = ProcessExecutor(max_workers=2)
+        if ex.fallback_reason:
+            pytest.skip(ex.fallback_reason)
+        out = ex.map_indexed(lambda i: lambda: i, 4)  # lambdas don't pickle
+        assert [f() for f in out] == [0, 1, 2, 3]
+        ex.shutdown()
+
+    def test_fallback_reason_forces_serial(self):
+        ex = ProcessExecutor(max_workers=4)
+        ex.fallback_reason = "simulated platform without fork"
+        assert ex.map_indexed(lambda i: i * 2, 8) == [i * 2 for i in range(8)]
+
+    def test_shutdown_idempotent(self):
+        ex = ProcessExecutor(max_workers=2)
+        ex.shutdown()
+        ex.shutdown()
+
+
+class TestBackendProtocolAndFactory:
+    def test_all_executors_satisfy_protocol(self):
+        for ex in (SerialExecutor(), ThreadedExecutor(), ProcessExecutor()):
+            assert isinstance(ex, ExecutionBackend)
+
+    def test_factory_names_and_aliases(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread"), ThreadedExecutor)
+        assert isinstance(get_executor("threaded"), ThreadedExecutor)
+        assert isinstance(get_executor("process"), ProcessExecutor)
+        assert isinstance(get_executor("fork"), ProcessExecutor)
+        assert set(BACKENDS) == {"serial", "thread", "process"}
+
+    def test_factory_passthrough_and_errors(self):
+        ex = ThreadedExecutor()
+        assert get_executor(ex) is ex
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_executor("gpu")
+        with pytest.raises(TypeError):
+            get_executor(42)
+
+    def test_factory_forwards_max_workers(self):
+        assert get_executor("thread", max_workers=3).max_workers == 3
+        assert get_executor("process", max_workers=3).max_workers == 3
+
+
+class TestProcessBitIdentical:
+    """Same seed + forked workers == same seed + serial, down to the
+    CountingOracle ledger."""
+
+    @pytest.fixture
+    def pts(self, rng):
+        return rng.normal(scale=3.0, size=(300, 2))
+
+    def run_both(self, pts, fn):
+        out = []
+        for executor in (SerialExecutor(), ProcessExecutor(max_workers=4)):
+            oracle = CountingOracle(EuclideanMetric(pts))
+            cluster = MPCCluster(oracle, 4, seed=7, executor=executor)
+            out.append((fn(cluster), cluster, oracle))
+            executor.shutdown()
+        return out
+
+    def test_kcenter_identical(self, pts):
+        (r1, c1, o1), (r2, c2, o2) = self.run_both(
+            pts, lambda c: mpc_kcenter(c, 6, epsilon=0.2)
+        )
+        assert r1.radius == r2.radius
+        assert np.array_equal(np.sort(r1.centers), np.sort(r2.centers))
+        assert c1.stats.rounds == c2.stats.rounds
+
+    def test_mis_identical(self, pts):
+        (r1, c1, _), (r2, c2, _) = self.run_both(
+            pts, lambda c: mpc_k_bounded_mis(c, 0.7, 10)
+        )
+        assert np.array_equal(np.sort(r1.ids), np.sort(r2.ids))
+        assert c1.stats.total_words == c2.stats.total_words
+
+    def test_oracle_ledger_identical(self, pts):
+        (_, _, o1), (_, _, o2) = self.run_both(
+            pts, lambda c: mpc_kcenter(c, 6, epsilon=0.2)
+        )
+        assert o1.calls == o2.calls
+        assert o1.evaluations == o2.evaluations
+
+    def test_rng_streams_advance_identically(self, pts):
+        """After a run, the driver-side machine RNGs must be in the same
+        state on both backends — the next algorithm on the same cluster
+        then also agrees."""
+        (_, c1, _), (_, c2, _) = self.run_both(
+            pts, lambda c: mpc_k_bounded_mis(c, 0.7, 10)
+        )
+        for m1, m2 in zip(c1.machines, c2.machines):
+            assert m1.rng.random() == m2.rng.random()

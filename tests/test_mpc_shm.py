@@ -1,0 +1,87 @@
+"""Shared-memory point-matrix backing (:mod:`repro.mpc.shm`)."""
+
+import numpy as np
+import pytest
+
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.matrix_metric import MatrixMetric
+from repro.metric.oracle import CountingOracle
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.executor import ProcessExecutor
+from repro.mpc.shm import SharedArray, share_metric_points
+
+try:
+    from multiprocessing import shared_memory  # noqa: F401
+except ImportError:  # pragma: no cover
+    pytest.skip("shared memory unavailable", allow_module_level=True)
+
+
+class TestSharedArray:
+    def test_roundtrip_and_readonly(self):
+        src = np.arange(12.0).reshape(4, 3)
+        handle = SharedArray(src)
+        try:
+            assert np.array_equal(handle.array, src)
+            assert handle.array.dtype == src.dtype
+            with pytest.raises(ValueError):
+                handle.array[0, 0] = 99.0
+        finally:
+            handle._close()
+
+    def test_release_keeps_mapping_alive(self):
+        handle = SharedArray(np.ones((8, 2)))
+        view = handle.array
+        handle.release()
+        handle.release()  # idempotent
+        assert view.sum() == 16.0  # the view outlives the unlink
+
+
+class TestShareMetricPoints:
+    def test_small_arrays_stay_private(self):
+        metric = EuclideanMetric(np.random.default_rng(0).normal(size=(50, 2)))
+        assert share_metric_points(metric) is None  # below MIN_SHARED_BYTES
+
+    def test_rebinds_buffer_transparently(self):
+        rng = np.random.default_rng(0)
+        metric = EuclideanMetric(rng.normal(size=(200, 2)))
+        before = metric.pairwise(np.arange(10), np.arange(10, 20)).copy()
+        handle = share_metric_points(metric, min_bytes=0)
+        try:
+            assert handle is not None
+            assert np.array_equal(
+                metric.pairwise(np.arange(10), np.arange(10, 20)), before
+            )
+            assert metric.points.data.base is not None  # buffer moved
+        finally:
+            handle.release()
+
+    def test_unwraps_oracle_chain(self):
+        metric = CountingOracle(
+            EuclideanMetric(np.random.default_rng(1).normal(size=(100, 2)))
+        )
+        handle = share_metric_points(metric, min_bytes=0)
+        try:
+            assert handle is not None
+        finally:
+            handle.release()
+
+    def test_matrix_metric_has_no_point_buffer(self):
+        D = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert share_metric_points(MatrixMetric(D), min_bytes=0) is None
+
+
+class TestExecutorIntegration:
+    def test_bind_on_large_metric_and_shutdown(self):
+        rng = np.random.default_rng(2)
+        # 70k × 2 float64 ≈ 1.1 MB > MIN_SHARED_BYTES → shared
+        metric = EuclideanMetric(rng.normal(size=(70_000, 2)))
+        ex = ProcessExecutor(max_workers=2)
+        if ex.fallback_reason:
+            pytest.skip(ex.fallback_reason)
+        MPCCluster(metric, 4, seed=0, executor=ex)
+        assert len(ex._shared) == 1
+        assert metric.points.data.base is not None
+        d = metric.distance(0, 1)
+        ex.shutdown()
+        assert ex._shared == []
+        assert metric.distance(0, 1) == d  # mapping still usable

@@ -1,0 +1,133 @@
+"""The batched ``pairwise(I, J)`` kernel must agree entry-by-entry with
+the scalar ``distance`` oracle on every metric, and the
+:class:`CountingOracle` must charge exactly |I|·|J| evaluations per
+kernel call."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metric.cosine import AngularMetric
+from repro.metric.edit_distance import EditDistanceMetric
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.graph_metric import GraphShortestPathMetric
+from repro.metric.hamming import HammingMetric
+from repro.metric.haversine import HaversineMetric
+from repro.metric.lp import ChebyshevMetric, ManhattanMetric, MinkowskiMetric
+from repro.metric.matrix_metric import MatrixMetric
+from repro.metric.oracle import CountingOracle
+
+N = 24
+
+
+def _points(rng):
+    return rng.normal(scale=2.0, size=(N, 3))
+
+
+def _make_matrix(rng):
+    pts = _points(rng)
+    D = np.sqrt(((pts[:, None, :] - pts[None, :, :]) ** 2).sum(-1))
+    return MatrixMetric(D)
+
+
+def _make_graph(rng):
+    edges = [(i, i + 1, float(rng.uniform(0.5, 2.0))) for i in range(N - 1)]
+    edges += [
+        (int(rng.integers(N)), int(rng.integers(N)), float(rng.uniform(0.5, 3.0)))
+        for _ in range(2 * N)
+    ]
+    edges = [(u, v, w) for u, v, w in edges if u != v]
+    return GraphShortestPathMetric(N, edges)
+
+
+METRIC_FACTORIES = {
+    "euclidean": lambda rng: EuclideanMetric(_points(rng)),
+    "manhattan": lambda rng: ManhattanMetric(_points(rng)),
+    "chebyshev": lambda rng: ChebyshevMetric(_points(rng)),
+    "minkowski3": lambda rng: MinkowskiMetric(_points(rng), p=3.0),
+    "angular": lambda rng: AngularMetric(_points(rng) + 5.0),
+    "hamming": lambda rng: HammingMetric(rng.integers(0, 2, size=(N, 16))),
+    "haversine": lambda rng: HaversineMetric(
+        np.column_stack([rng.uniform(-80, 80, N), rng.uniform(-170, 170, N)])
+    ),
+    "edit": lambda rng: EditDistanceMetric(
+        ["".join(rng.choice(list("abcd"), size=rng.integers(1, 9))) for _ in range(N)]
+    ),
+    "matrix": _make_matrix,
+    "graph": _make_graph,
+}
+
+
+@pytest.fixture(params=sorted(METRIC_FACTORIES))
+def metric(request):
+    rng = np.random.default_rng(hash(request.param) % (2**32))
+    return METRIC_FACTORIES[request.param](rng)
+
+
+class TestPairwiseMatchesDistance:
+    def test_full_cross_product(self, metric):
+        I = np.arange(0, N, 2, dtype=np.int64)
+        J = np.arange(1, N, 3, dtype=np.int64)
+        D = metric.pairwise(I, J)
+        assert D.shape == (I.size, J.size)
+        for a, i in enumerate(I):
+            for b, j in enumerate(J):
+                assert D[a, b] == pytest.approx(
+                    metric.distance(int(i), int(j)), rel=1e-12, abs=1e-12
+                )
+
+    def test_overlapping_and_repeated_ids(self, metric):
+        I = np.array([0, 5, 5, 2], dtype=np.int64)
+        D = metric.pairwise(I, I)
+        # repeated id → (numerically) zero distance, symmetric both ways
+        assert np.allclose(np.diag(D)[[1, 2]], 0.0, atol=1e-6)
+        assert D[1, 2] == pytest.approx(0.0, abs=1e-6)
+        assert D[2, 1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_empty_sides(self, metric):
+        empty = np.zeros(0, dtype=np.int64)
+        assert metric.pairwise(empty, np.arange(4)).shape == (0, 4)
+        assert metric.pairwise(np.arange(4), empty).shape == (4, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(sorted(METRIC_FACTORIES)),
+    idx=st.lists(st.integers(0, N - 1), min_size=1, max_size=8),
+    jdx=st.lists(st.integers(0, N - 1), min_size=1, max_size=8),
+)
+def test_pairwise_property(name, idx, jdx):
+    rng = np.random.default_rng(hash(name) % (2**32))
+    metric = METRIC_FACTORIES[name](rng)
+    I = np.asarray(idx, dtype=np.int64)
+    J = np.asarray(jdx, dtype=np.int64)
+    D = metric.pairwise(I, J)
+    for a in range(I.size):
+        for b in range(J.size):
+            assert D[a, b] == pytest.approx(
+                metric.distance(int(I[a]), int(J[b])), rel=1e-12, abs=1e-12
+            )
+
+
+class TestCountingOracleCharging:
+    def test_pairwise_charges_cells(self):
+        rng = np.random.default_rng(0)
+        oracle = CountingOracle(EuclideanMetric(_points(rng)))
+        I, J = np.arange(6), np.arange(6, 15)
+        oracle.pairwise(I, J)
+        assert oracle.calls == 1
+        assert oracle.evaluations == 6 * 9
+
+    def test_dist_to_set_uses_same_accounting(self):
+        rng = np.random.default_rng(1)
+        oracle = CountingOracle(EuclideanMetric(_points(rng)))
+        oracle.dist_to_set(np.arange(10), np.arange(10, 14))
+        assert oracle.evaluations == 10 * 4
+
+    def test_batched_equals_scalar_results(self):
+        rng = np.random.default_rng(2)
+        base = EuclideanMetric(_points(rng))
+        oracle = CountingOracle(base)
+        I, J = np.arange(5), np.arange(5, 12)
+        assert np.array_equal(oracle.pairwise(I, J), base.pairwise(I, J))
