@@ -65,6 +65,11 @@ def run_backend(points, backend: str, *, k: int, machines: int, seed: int,
     row = {
         "backend": backend,
         "wall_s": wall,
+        # the *effective* parallelism: caps, cpu count, batch size, and
+        # any serial fallback applied — so a cpu_count=1 run is visible
+        # in the artifact instead of silently posing as a parallel one
+        "requested_workers": workers,
+        "effective_workers": executor.effective_workers(machines),
         "radius": float(res.radius),
         "centers": sorted(int(c) for c in res.centers),
         "rounds": int(res.rounds),
@@ -87,7 +92,8 @@ def main(argv=None) -> int:
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument(
         "--workers", type=int, default=None,
-        help="worker cap for thread/process backends (default: cpu count)",
+        help="worker cap for thread/process backends "
+        "(default: REPRO_WORKERS env var, else cpu count)",
     )
     ap.add_argument(
         "--backends", nargs="+", choices=list(BACKENDS), default=list(BACKENDS)
@@ -130,6 +136,7 @@ def main(argv=None) -> int:
             [
                 {
                     "backend": r["backend"],
+                    "workers": r["effective_workers"],
                     "wall-clock (s)": r["wall_s"],
                     "speedup": r["speedup_vs_serial"],
                     "radius": r["radius"],
@@ -161,6 +168,7 @@ def main(argv=None) -> int:
             "epsilon": args.epsilon,
             "seed": args.seed,
             "cpu_count": os.cpu_count(),
+            "workers_env": os.environ.get("REPRO_WORKERS") or None,
             "platform": sys.platform,
             "python": sys.version.split()[0],
             "git_sha": _git_sha(),

@@ -9,6 +9,7 @@ reports the wall-clock effect.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -38,6 +39,8 @@ def run_comparison() -> list[dict]:
         rows.append(
             {
                 "executor": name,
+                "workers": executor.effective_workers(M),
+                "cpu_count": os.cpu_count(),
                 "wall-clock (s)": dt,
                 "radius": res.radius,
                 "rounds": res.rounds,

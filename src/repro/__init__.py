@@ -37,6 +37,9 @@ Public surface:
 * observability — :class:`Observer`, :class:`ObserverHub` (as
   ``cluster.obs``), :class:`Recorder`, :class:`RunLog`, and the trace
   exporters in :mod:`repro.obs`;
+* the job service — :mod:`repro.service` (import it explicitly):
+  ``JobManager``, ``DatasetRegistry``, ``ResultCache``,
+  ``ServiceClient``, and the ``repro serve`` HTTP/JSON API;
 * the paper's algorithms — :func:`mpc_kcenter`, :func:`mpc_diversity`,
   :func:`mpc_ksupplier`, :func:`mpc_k_bounded_mis`,
   :func:`mpc_degree_approximation`, :func:`gmm`, plus the two-round
@@ -44,10 +47,13 @@ Public surface:
 * constants — :class:`TheoryConstants`.
 """
 
+from repro._version import __version__
 from repro.api import (
+    SOLVERS,
     build_cluster,
     make_executor,
     make_metric,
+    solve,
     solve_diversity,
     solve_kcenter,
     solve_ksupplier,
@@ -116,11 +122,11 @@ from repro.mpc import (
 )
 from repro.obs import Observer, ObserverHub, Recorder, RunLog
 
-__version__ = "1.0.0"
-
 __all__ = [
     "__version__",
     # facade
+    "solve",
+    "SOLVERS",
     "solve_kcenter",
     "solve_diversity",
     "solve_ksupplier",

@@ -1,0 +1,49 @@
+"""Single-sourced package version.
+
+``pyproject.toml`` is the source of truth.  In a source checkout
+(``PYTHONPATH=src``) the file sits two directories above this module and
+is parsed directly; in an installed distribution it is gone, so the
+version is read from the installed metadata instead.  Both paths yield
+the same string because the metadata *is* built from ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+_FALLBACK = "0.0.0+unknown"
+
+
+def _from_pyproject() -> str | None:
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        text = pyproject.read_text()
+    except OSError:
+        return None
+    try:
+        import tomllib
+
+        return tomllib.loads(text)["project"]["version"]
+    except Exception:
+        # tomllib is 3.11+; the project-table version line is regular
+        # enough for a regex on 3.10
+        match = re.search(r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE)
+        return match.group(1) if match else None
+
+
+def _from_metadata() -> str | None:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return None
+
+
+def get_version() -> str:
+    """Resolve the package version (checkout first, then metadata)."""
+    return _from_pyproject() or _from_metadata() or _FALLBACK
+
+
+__version__ = get_version()

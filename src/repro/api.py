@@ -255,11 +255,39 @@ def _resolve_cluster(
     )
 
 
+#: solver dispatch table: algorithm name → facade entry point.  The
+#: service layer (:mod:`repro.service`) schedules jobs against these
+#: names; adding a solver here makes it servable with no other change.
+SOLVERS = {
+    "kcenter": solve_kcenter,
+    "diversity": solve_diversity,
+    "ksupplier": solve_ksupplier,
+}
+
+
+def solve(algorithm: str, points=None, **kwargs):
+    """Dispatch to a facade solver by name (see :data:`SOLVERS`).
+
+    ``solve('kcenter', pts, k=8)`` ≡ ``solve_kcenter(pts, k=8)``; the
+    keyword surface is the named solver's own.
+    """
+    try:
+        fn = SOLVERS[str(algorithm).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{', '.join(sorted(SOLVERS))}"
+        ) from None
+    return fn(points, **kwargs)
+
+
 __all__: Sequence[str] = [
     "DEFAULT_MACHINES",
+    "SOLVERS",
     "make_metric",
     "make_executor",
     "build_cluster",
+    "solve",
     "solve_kcenter",
     "solve_diversity",
     "solve_ksupplier",

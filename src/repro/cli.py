@@ -6,6 +6,7 @@ Usage examples::
     repro diversity --workload clustered --n 500 --k 8 --epsilon 0.2
     repro supplier  --customers 600 --suppliers 200 --k 8
     repro mis       --workload uniform --n 400 --tau 0.8 --k 20
+    repro serve     --port 8000 --workers 4 --backend process
     repro workloads
 
 Every command prints the solution quality, the MPC round count, and the
@@ -20,6 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro._version import __version__
 from repro.analysis.reports import format_table
 from repro.api import build_cluster, solve_diversity, solve_kcenter, solve_ksupplier
 from repro.constants import TheoryConstants
@@ -410,6 +412,28 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the clustering job service (see docs/service.md)."""
+    from repro.service.http import serve, serve_forever
+
+    server = serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        queue_limit=args.queue_limit,
+        default_timeout_s=args.job_timeout,
+        cache_entries=args.cache_entries,
+    )
+    print(
+        f"repro service v{__version__} listening on {server.url} "
+        f"(workers={args.workers}, backend={args.backend}, "
+        f"queue-limit={args.queue_limit})"
+    )
+    serve_forever(server)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -418,6 +442,9 @@ def build_parser() -> argparse.ArgumentParser:
             "MPC k-center clustering and diversity maximization "
             "(reproduction of Haqi & Zarrabi-Zadeh, SPAA 2023)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -488,6 +515,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tau", type=float, default=1.0, help="threshold (mis only)")
     _add_common(p)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "serve", help="run the clustering job service (HTTP/JSON API)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8000, help="bind port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2, help="job worker threads")
+    p.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="serial",
+        help="execution backend each job's solver run uses",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max queued jobs before submissions get HTTP 429",
+    )
+    p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job wall-clock budget (jobs may override)",
+    )
+    p.add_argument(
+        "--cache-entries", type=int, default=1024, help="result cache capacity"
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("workloads", help="list available workload names")
     p.set_defaults(func=_cmd_workloads)

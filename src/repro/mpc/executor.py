@@ -63,12 +63,41 @@ class ExecutionBackend(Protocol):
     def shutdown(self) -> None: ...
 
 
+#: environment variable consulted when a worker count is not given explicitly
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def workers_from_env() -> Optional[int]:
+    """Worker count from :data:`WORKERS_ENV_VAR`, or ``None`` if unset.
+
+    An unset or empty variable means "use the default"; anything else
+    must be a positive integer (misconfiguration fails loudly rather
+    than silently running at the wrong parallelism).
+    """
+    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV_VAR}={raw!r} is not an integer worker count"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{WORKERS_ENV_VAR} must be >= 1, got {value}")
+    return value
+
+
 class SerialExecutor:
     """Run per-machine tasks one after another (the default)."""
 
     def map_indexed(self, fn: Callable[[int], T], count: int) -> List[T]:
         """Evaluate ``fn(i)`` for ``i in range(count)``, in order."""
         return [fn(i) for i in range(count)]
+
+    def effective_workers(self, count: int | None = None) -> int:
+        """Degree of parallelism actually used (always 1)."""
+        return 1
 
     def shutdown(self) -> None:  # pragma: no cover - nothing to release
         pass
@@ -101,6 +130,10 @@ class ThreadedExecutor:
             return [fn(i) for i in range(count)]
         pool = self._ensure(count)
         return list(pool.map(fn, range(count)))
+
+    def effective_workers(self, count: int | None = None) -> int:
+        """Pool size a ``count``-task batch would run on."""
+        return self.max_workers or min(32, max(1, count or 1))
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -149,15 +182,20 @@ class ProcessExecutor:
     Parameters
     ----------
     max_workers:
-        Number of forked workers per batch; defaults to the CPU count.
+        Number of forked workers per batch; defaults to the
+        :data:`WORKERS_ENV_VAR` (``REPRO_WORKERS``) environment
+        variable when set, else the CPU count.
     """
 
     def __init__(self, max_workers: int | None = None) -> None:
+        # attributes first: __del__ must survive a failed env lookup below
         self.max_workers = max_workers
         self.fallback_reason: Optional[str] = None
         self._shared: List[SharedArray] = []
         if not hasattr(os, "fork") or sys.platform in ("win32", "emscripten"):
             self.fallback_reason = f"fork() unavailable on {sys.platform}"
+        if max_workers is None:
+            self.max_workers = workers_from_env()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -182,6 +220,19 @@ class ProcessExecutor:
 
     def _workers_for(self, count: int) -> int:
         return max(1, min(self.max_workers or (os.cpu_count() or 1), count))
+
+    def effective_workers(self, count: int | None = None) -> int:
+        """Workers a ``count``-task batch would actually fork.
+
+        Accounts for the configured cap, the CPU count, the batch size,
+        and the serial fallback — this is the number a bench artifact
+        should record, not the requested one.
+        """
+        if self.fallback_reason is not None:
+            return 1
+        if count is None:
+            return max(1, self.max_workers or (os.cpu_count() or 1))
+        return self._workers_for(count)
 
     def map_indexed(self, fn: Callable[[int], T], count: int) -> List[T]:
         """Evaluate ``fn(i)`` for ``i in range(count)`` across forked
@@ -321,6 +372,9 @@ def get_executor(backend: str = "serial", max_workers: int | None = None):
         return ThreadedExecutor(max_workers=max_workers)
     if name == "process":
         return ProcessExecutor(max_workers=max_workers)
+    aliases = sorted(set(_ALIASES) - set(BACKENDS))
     raise ValueError(
-        f"unknown backend {backend!r}; expected one of {', '.join(sorted(set(_ALIASES)))}"
+        f"unknown backend {backend!r}; valid backends: "
+        f"{', '.join(repr(b) for b in BACKENDS)} "
+        f"(aliases: {', '.join(repr(a) for a in aliases)})"
     )

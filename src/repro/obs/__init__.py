@@ -39,6 +39,7 @@ from repro.obs.export import (
     phase_report,
     read_jsonl,
     to_chrome_trace,
+    trace_payload,
     write_chrome_trace,
     write_jsonl,
 )
@@ -59,4 +60,5 @@ __all__ = [
     "write_chrome_trace",
     "phase_report",
     "export_run",
+    "trace_payload",
 ]

@@ -203,3 +203,22 @@ def export_run(log: RunLog, path: PathLike, fmt: str = "chrome") -> Path:
     if fmt == "jsonl":
         return write_jsonl(log, path)
     raise ValueError(f"unknown trace format {fmt!r} (expected 'chrome' or 'jsonl')")
+
+
+def trace_payload(log: RunLog, fmt: str = "chrome") -> tuple[str, str]:
+    """Serialize a run log for wire transfer: ``(content_type, body)``.
+
+    The in-memory counterpart of :func:`export_run`, used by the job
+    service to serve ``GET /jobs/<id>/trace`` without touching disk.
+    Bodies round-trip through the corresponding readers (the ``jsonl``
+    form via :func:`read_jsonl`).
+    """
+    if fmt == "chrome":
+        return "application/json", json.dumps(to_chrome_trace(log)) + "\n"
+    if fmt == "jsonl":
+        lines = [json.dumps({"type": "meta", **log.meta})]
+        lines += [json.dumps({"type": "span", **s.to_dict()}) for s in log.spans]
+        lines += [json.dumps({"type": "round", **r.to_dict()}) for r in log.rounds]
+        lines += [json.dumps({"type": "message", **m.to_dict()}) for m in log.messages]
+        return "application/x-ndjson", "\n".join(lines) + "\n"
+    raise ValueError(f"unknown trace format {fmt!r} (expected 'chrome' or 'jsonl')")

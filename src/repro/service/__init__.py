@@ -1,0 +1,79 @@
+"""repro.service — the clustering job service.
+
+Turns the one-shot solver facade (:mod:`repro.api`) into a long-running
+service: datasets are registered once and content-fingerprinted, jobs
+are queued and executed by a worker pool, results are cached so repeat
+submissions are O(1) lookups, and everything is reachable over a
+stdlib-only HTTP/JSON API.  The shape follows the classic
+frontend → queue → workers → result-store pipeline of production
+clustering services.
+
+Layers (each its own module):
+
+* :mod:`repro.service.datasets` — :class:`DatasetRegistry`; a dataset
+  is a named workload or uploaded points, identified by the SHA-256 of
+  its canonical point bytes;
+* :mod:`repro.service.spec` — :class:`JobSpec`, the validated,
+  hashable description of one solver run (its :meth:`~JobSpec.cache_key`
+  deliberately excludes the execution backend: PR-2's determinism
+  guarantee makes results backend-invariant);
+* :mod:`repro.service.cache` — :class:`ResultCache`, fingerprint-keyed
+  with hit/miss counters;
+* :mod:`repro.service.runner` — executes one job through
+  :func:`repro.api.solve` with a per-job :class:`~repro.obs.Recorder`
+  and round-granular cancellation/timeout;
+* :mod:`repro.service.jobs` — :class:`JobManager`: bounded FIFO queue,
+  worker pool, job lifecycle ``queued → running → done|failed|cancelled``;
+* :mod:`repro.service.http` — the HTTP/JSON API
+  (``POST /datasets``, ``POST /jobs``, ``GET /jobs/<id>``,
+  ``DELETE /jobs/<id>``, ``GET /jobs/<id>/trace``, ``GET /healthz``,
+  ``GET /stats``) on a threading :mod:`http.server`;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the in-process
+  Python client the CLI smoke tests and notebooks use.
+
+Quickstart (in-process)::
+
+    from repro.service import JobManager, DatasetRegistry, JobSpec
+
+    registry = DatasetRegistry()
+    ds = registry.register_points(points)
+    manager = JobManager(registry, workers=2)
+    manager.start()
+    job = manager.submit(JobSpec(algorithm="kcenter", dataset=ds.id, k=8))
+    manager.wait(job.id)
+    job.result["record"]["radius"]
+
+Over HTTP: ``repro serve --port 8000`` then
+:class:`~repro.service.client.ServiceClient`\\ ``("http://localhost:8000")``.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.datasets import Dataset, DatasetRegistry
+from repro.service.http import serve
+from repro.service.jobs import (
+    Job,
+    JobManager,
+    JobState,
+    QueueFullError,
+    UnknownJobError,
+)
+from repro.service.spec import JobSpec
+from repro.service.runner import JobCancelled, JobTimeout
+
+__all__ = [
+    "Dataset",
+    "DatasetRegistry",
+    "Job",
+    "JobCancelled",
+    "JobManager",
+    "JobSpec",
+    "JobState",
+    "JobTimeout",
+    "QueueFullError",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "UnknownJobError",
+    "serve",
+]

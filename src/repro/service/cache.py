@@ -1,0 +1,77 @@
+"""Fingerprint-keyed result cache with hit/miss accounting.
+
+Keys come from :meth:`repro.service.spec.JobSpec.cache_key` — the
+dataset's content fingerprint plus every result-relevant parameter.
+Because solver runs are deterministic and backend-invariant (the PR-2
+guarantee), a cached entry is *the* answer for its key, not a stale
+approximation: repeat submissions are O(1) lookups returning
+bit-identical payloads.
+
+Entries hold the JSON-safe result payload and the recorded
+:class:`~repro.obs.record.RunLog` of the run that produced them, so
+``GET /jobs/<id>/trace`` works for cache-served jobs too.  Eviction is
+FIFO beyond ``max_entries``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+
+class ResultCache:
+    """Thread-safe bounded mapping ``cache_key → (payload, run_log)``."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[dict, object]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[Tuple[dict, object]]:
+        """``(payload, run_log)`` for ``key``, counting a hit or miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry
+
+    def put(self, key: Hashable, payload: dict, run_log=None) -> None:
+        """Store a completed run (idempotent; first writer wins —
+        determinism makes later payloads identical anyway)."""
+        with self._lock:
+            if key in self._entries:
+                return
+            self._entries[key] = (payload, run_log)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counters for ``GET /stats``."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

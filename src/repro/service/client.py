@@ -1,0 +1,158 @@
+"""In-process Python client for the clustering job service.
+
+Stdlib-only (``urllib``), mirroring the HTTP surface one method per
+route plus a blocking :meth:`ServiceClient.solve` convenience that
+registers, submits, and waits::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://localhost:8000")
+    ds = client.register_workload("gaussian", n=2000, seed=0)
+    job = client.submit(algorithm="kcenter", dataset=ds["id"], k=10)
+    done = client.wait(job["id"])
+    done["result"]["record"]["radius"]
+
+HTTP error responses raise :class:`ServiceError` carrying the status
+code and the server's parsed ``{"error": ...}`` message — a full queue
+surfaces as ``ServiceError`` with ``status == 429``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+import numpy as np
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Thin JSON client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None):
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                raw = resp.read().decode()
+                ctype = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode()
+            try:
+                message = json.loads(raw).get("error", raw)
+            except (json.JSONDecodeError, AttributeError):
+                message = raw or exc.reason
+            raise ServiceError(exc.code, message) from None
+        if ctype.split(";")[0].strip() == "application/json":
+            return json.loads(raw)
+        return raw
+
+    # -- service-level ------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    # -- datasets -----------------------------------------------------------
+
+    def register_points(self, points, metric: str = "euclidean") -> dict:
+        pts = np.asarray(points, dtype=np.float64).tolist()
+        return self._request(
+            "POST", "/datasets", {"points": pts, "metric": metric}
+        )
+
+    def register_workload(self, workload: str, n: int, seed: int = 0) -> dict:
+        return self._request(
+            "POST", "/datasets", {"workload": workload, "n": int(n), "seed": int(seed)}
+        )
+
+    def datasets(self) -> list:
+        return self._request("GET", "/datasets")["datasets"]
+
+    def dataset(self, ds_id: str) -> dict:
+        return self._request("GET", f"/datasets/{ds_id}")
+
+    # -- jobs ---------------------------------------------------------------
+
+    def submit(self, **spec) -> dict:
+        """Submit a job spec (the ``POST /jobs`` body, as keywords)."""
+        return self._request("POST", "/jobs", spec)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self, state: Optional[str] = None) -> list:
+        path = "/jobs" if state is None else f"/jobs?state={state}"
+        return self._request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def trace(self, job_id: str, fmt: str = "chrome"):
+        """The job's obs trace: a parsed Chrome-trace dict, or raw JSONL
+        text when ``fmt='jsonl'``."""
+        return self._request("GET", f"/jobs/{job_id}/trace?format={fmt}")
+
+    def wait(self, job_id: str, timeout: float = 120.0, poll_s: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s"
+                )
+            time.sleep(poll_s)
+
+    # -- convenience --------------------------------------------------------
+
+    def solve(self, points=None, *, workload: Optional[str] = None,
+              n: Optional[int] = None, dataset_seed: int = 0,
+              metric: str = "euclidean", timeout: float = 120.0,
+              **spec) -> dict:
+        """Register (points or workload) + submit + wait, in one call.
+
+        Returns the terminal job record; raises :class:`ServiceError`
+        for rejections and ``RuntimeError`` if the job failed.
+        """
+        if (points is None) == (workload is None):
+            raise ValueError("pass exactly one of points= or workload=")
+        if points is not None:
+            ds = self.register_points(points, metric=metric)
+        else:
+            if n is None:
+                raise ValueError("workload datasets need n=")
+            ds = self.register_workload(workload, n, seed=dataset_seed)
+        job = self.submit(dataset=ds["id"], **spec)
+        done = self.wait(job["id"], timeout=timeout)
+        if done["state"] != "done":
+            raise RuntimeError(
+                f"job {job['id']} ended {done['state']}: {done.get('error', '')}"
+            )
+        return done

@@ -1,0 +1,150 @@
+"""Dataset registry: register once, fingerprint, reuse across jobs.
+
+A dataset is either a *named workload* (built deterministically from the
+:mod:`repro.workloads.registry` with a seed) or *uploaded points* (raw
+coordinates plus a metric name).  Registration materializes the metric
+once and computes the content fingerprint — the SHA-256 of the
+canonical point bytes (see
+:func:`repro.workloads.registry.canonical_point_bytes`) — so two
+registrations of bit-identical data collapse to the same dataset id and
+the result cache can treat "same fingerprint" as "same input".
+
+Metrics are immutable (point arrays are read-only and kernels are
+pure), so one registered dataset is safely shared by concurrent jobs;
+per-job mutable state (RNG streams, counting wrappers) lives on the
+cluster each job builds for itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.api import make_metric
+from repro.metric.base import Metric
+from repro.workloads.registry import (
+    available_workloads,
+    fingerprint_metric,
+    make_workload,
+)
+
+
+class UnknownDatasetError(KeyError):
+    """No dataset with the requested id (or fingerprint) is registered."""
+
+
+@dataclass
+class Dataset:
+    """One registered, fingerprinted clustering input."""
+
+    id: str
+    fingerprint: str
+    metric: Metric
+    #: ``'workload'`` or ``'points'``
+    kind: str
+    #: registration parameters (workload name/n/seed, or metric name)
+    params: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.metric.n
+
+    def describe(self) -> dict:
+        """JSON-safe summary (no point data)."""
+        return {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "n": self.n,
+            "metric": type(self.metric).__name__,
+            "params": dict(self.params),
+        }
+
+
+class DatasetRegistry:
+    """Thread-safe, in-memory dataset store keyed by content.
+
+    Ids are derived from the fingerprint (``ds-<first 12 hex>``), so
+    registration is idempotent: submitting the same bytes twice returns
+    the same :class:`Dataset` object.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_id: Dict[str, Dataset] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register_points(self, points, metric: str = "euclidean") -> Dataset:
+        """Register uploaded coordinates under a named metric."""
+        arr = np.asarray(points, dtype=np.float64)
+        resolved = make_metric(arr, metric)
+        return self._admit(
+            resolved, kind="points", params={"metric": str(metric).lower()}
+        )
+
+    def register_workload(self, name: str, n: int, seed: int = 0) -> Dataset:
+        """Register a named workload instance (built deterministically)."""
+        if name not in available_workloads():
+            raise ValueError(
+                f"unknown workload {name!r}; available: {available_workloads()}"
+            )
+        inst = make_workload(name, int(n), seed=int(seed))
+        return self._admit(
+            inst.metric,
+            kind="workload",
+            params={"workload": name, "n": int(n), "seed": int(seed)},
+        )
+
+    def _admit(self, metric: Metric, *, kind: str, params: dict) -> Dataset:
+        fp = fingerprint_metric(metric)
+        if fp is None:
+            # oracle-only metric: no canonical bytes — key by the
+            # registration parameters instead (still deterministic)
+            import hashlib
+            import json
+
+            fp = hashlib.sha256(
+                json.dumps({"kind": kind, **params}, sort_keys=True).encode()
+            ).hexdigest()
+        ds_id = f"ds-{fp[:12]}"
+        with self._lock:
+            existing = self._by_id.get(ds_id)
+            if existing is not None:
+                return existing
+            ds = Dataset(id=ds_id, fingerprint=fp, metric=metric, kind=kind, params=params)
+            self._by_id[ds_id] = ds
+            return ds
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, ds_id: str) -> Dataset:
+        """Dataset by id; raises :class:`UnknownDatasetError`."""
+        with self._lock:
+            try:
+                return self._by_id[ds_id]
+            except KeyError:
+                raise UnknownDatasetError(ds_id) from None
+
+    def __contains__(self, ds_id: object) -> bool:
+        with self._lock:
+            return ds_id in self._by_id
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_id)
+
+    def list(self) -> List[dict]:
+        """JSON-safe summaries, in registration order."""
+        with self._lock:
+            return [ds.describe() for ds in self._by_id.values()]
+
+    def find_fingerprint(self, fingerprint: str) -> Optional[Dataset]:
+        with self._lock:
+            for ds in self._by_id.values():
+                if ds.fingerprint == fingerprint:
+                    return ds
+        return None

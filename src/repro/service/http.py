@@ -1,0 +1,344 @@
+"""Stdlib-only HTTP/JSON API over the job manager.
+
+No framework, no new runtime dependency: a
+:class:`http.server.ThreadingHTTPServer` whose handler parses JSON
+bodies and dispatches on ``(method, path)``.  Routes:
+
+========  =========================  =============================================
+method    path                       meaning
+========  =========================  =============================================
+POST      ``/datasets``              register a workload or uploaded points
+GET       ``/datasets``              list registered datasets
+GET       ``/datasets/<id>``         one dataset's summary
+POST      ``/jobs``                  submit a job (``429`` when the queue is full)
+GET       ``/jobs``                  list jobs (``?state=`` filter)
+GET       ``/jobs/<id>``             job status + result when done
+DELETE    ``/jobs/<id>``             cancel (queued: immediate; running: next round)
+GET       ``/jobs/<id>/trace``       the run's obs trace (``?format=chrome|jsonl``)
+GET       ``/healthz``               liveness + version
+GET       ``/stats``                 queue depth, cache hit rate, per-algo counts
+========  =========================  =============================================
+
+Errors are JSON too: ``{"error": "<message>"}`` with the matching status
+code (400 invalid input, 404 unknown id, 409 wrong state, 429 queue
+full).  Build and start one with :func:`serve`; tests pass ``port=0``
+for an ephemeral port and drive :class:`~repro.service.client.ServiceClient`
+against ``server.url``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro._version import __version__
+from repro.obs.export import trace_payload
+from repro.service.cache import ResultCache
+from repro.service.datasets import DatasetRegistry, UnknownDatasetError
+from repro.service.jobs import JobManager, JobState, QueueFullError, UnknownJobError
+from repro.service.spec import JobSpec
+
+#: request body cap (64 MiB ≈ 4M points × 2 dims as JSON) — a service
+#: guard, not a scaling claim; bulk ingestion is a later PR's shard API
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ApiError(Exception):
+    """HTTP-visible failure: ``(status, message)``."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ClusteringServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns the service state."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler, manager: JobManager) -> None:
+        super().__init__(address, handler)
+        self.manager = manager
+        self.started_at = time.time()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def shutdown_service(self, wait: bool = True) -> None:
+        """Stop accepting requests, then stop the worker pool."""
+        self.shutdown()
+        self.server_close()
+        self.manager.stop(wait=wait)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ClusteringServiceServer
+    server_version = f"repro-service/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # quiet by default; ops wire their own access log
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, content_type: str, text: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ApiError(400, "a JSON request body is required")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ApiError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ApiError(400, "the JSON body must be an object")
+        return payload
+
+    def _route(self) -> Tuple[str, list, dict]:
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        return parsed.path, parts, query
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            _, parts, query = self._route()
+            handler = self._resolve(method, parts)
+            handler(parts, query)
+        except ApiError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+        except UnknownDatasetError as exc:
+            self._send_json(404, {"error": f"unknown dataset: {exc.args[0]}"})
+        except UnknownJobError as exc:
+            self._send_json(404, {"error": f"unknown job: {exc.args[0]}"})
+        except QueueFullError as exc:
+            self._send_json(429, {"error": str(exc)})
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_json(500, {"error": f"internal error: {exc!r}"})
+
+    def _resolve(self, method: str, parts: list):
+        if method == "GET":
+            if parts == ["healthz"]:
+                return self._get_healthz
+            if parts == ["stats"]:
+                return self._get_stats
+            if parts == ["datasets"]:
+                return self._get_datasets
+            if len(parts) == 2 and parts[0] == "datasets":
+                return self._get_dataset
+            if parts == ["jobs"]:
+                return self._get_jobs
+            if len(parts) == 2 and parts[0] == "jobs":
+                return self._get_job
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+                return self._get_trace
+        elif method == "POST":
+            if parts == ["datasets"]:
+                return self._post_datasets
+            if parts == ["jobs"]:
+                return self._post_jobs
+        elif method == "DELETE":
+            if len(parts) == 2 and parts[0] == "jobs":
+                return self._delete_job
+        raise ApiError(404, f"no route for {method} /{'/'.join(parts)}")
+
+    # -- HTTP verbs ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server convention
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    # -- routes -------------------------------------------------------------
+
+    def _get_healthz(self, parts, query) -> None:
+        manager = self.server.manager
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "version": __version__,
+                "uptime_s": time.time() - self.server.started_at,
+                "workers": manager.workers,
+                "backend": manager.backend,
+                "queue_limit": manager.queue_limit,
+            },
+        )
+
+    def _get_stats(self, parts, query) -> None:
+        stats = self.server.manager.stats()
+        stats["datasets"] = len(self.server.manager.datasets)
+        stats["uptime_s"] = time.time() - self.server.started_at
+        self._send_json(200, stats)
+
+    def _post_datasets(self, parts, query) -> None:
+        body = self._read_json()
+        registry = self.server.manager.datasets
+        if "workload" in body:
+            extra = set(body) - {"workload", "n", "seed"}
+            if extra:
+                raise ApiError(400, f"unknown dataset field(s): {sorted(extra)}")
+            if "n" not in body:
+                raise ApiError(400, "workload datasets need 'n'")
+            ds = registry.register_workload(
+                body["workload"], body["n"], seed=body.get("seed", 0)
+            )
+        elif "points" in body:
+            extra = set(body) - {"points", "metric"}
+            if extra:
+                raise ApiError(400, f"unknown dataset field(s): {sorted(extra)}")
+            ds = registry.register_points(
+                body["points"], metric=body.get("metric", "euclidean")
+            )
+        else:
+            raise ApiError(
+                400,
+                "a dataset body needs either 'workload' (+ 'n', optional "
+                "'seed') or 'points' (+ optional 'metric')",
+            )
+        self._send_json(201, ds.describe())
+
+    def _get_datasets(self, parts, query) -> None:
+        self._send_json(200, {"datasets": self.server.manager.datasets.list()})
+
+    def _get_dataset(self, parts, query) -> None:
+        self._send_json(200, self.server.manager.datasets.get(parts[1]).describe())
+
+    def _post_jobs(self, parts, query) -> None:
+        body = self._read_json()
+        spec = JobSpec.from_dict(body)
+        job = self.server.manager.submit(spec)
+        self._send_json(202, job.describe(include_result=job.cached))
+
+    def _get_jobs(self, parts, query) -> None:
+        state: Optional[JobState] = None
+        if "state" in query:
+            try:
+                state = JobState(query["state"])
+            except ValueError:
+                raise ApiError(
+                    400,
+                    f"unknown state {query['state']!r}; expected one of "
+                    f"{', '.join(s.value for s in JobState)}",
+                ) from None
+        jobs = self.server.manager.list_jobs(state)
+        self._send_json(
+            200, {"jobs": [j.describe(include_result=False) for j in jobs]}
+        )
+
+    def _get_job(self, parts, query) -> None:
+        job = self.server.manager.get(parts[1])
+        self._send_json(200, job.describe())
+
+    def _delete_job(self, parts, query) -> None:
+        job = self.server.manager.get(parts[1])
+        if job.state.terminal and not job.cancel_event.is_set():
+            raise ApiError(409, f"job {job.id} already {job.state.value}")
+        job = self.server.manager.cancel(job.id)
+        self._send_json(200, job.describe(include_result=False))
+
+    def _get_trace(self, parts, query) -> None:
+        job = self.server.manager.get(parts[1])
+        if job.run_log is None:
+            raise ApiError(
+                409,
+                f"job {job.id} has no trace (state: {job.state.value}); "
+                "traces appear when a job completes",
+            )
+        fmt = query.get("format", "chrome")
+        try:
+            content_type, body = trace_payload(job.run_log, fmt)
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from None
+        self._send_text(200, content_type, body)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    workers: int = 2,
+    backend: str = "serial",
+    queue_limit: int = 64,
+    default_timeout_s: Optional[float] = None,
+    cache_entries: int = 1024,
+    manager: Optional[JobManager] = None,
+    start: bool = True,
+) -> ClusteringServiceServer:
+    """Build (and by default start) the clustering job service.
+
+    Returns the server; the caller owns the accept loop::
+
+        server = serve(port=0)           # ephemeral port
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        ...
+        server.shutdown_service()
+
+    Pass a prebuilt ``manager`` to share registries across servers, or
+    ``start=False`` to wire the worker pool up manually.
+    """
+    if manager is None:
+        manager = JobManager(
+            DatasetRegistry(),
+            ResultCache(max_entries=cache_entries),
+            workers=workers,
+            backend=backend,
+            queue_limit=queue_limit,
+            default_timeout_s=default_timeout_s,
+        )
+    server = ClusteringServiceServer((host, port), _Handler, manager)
+    if start:
+        manager.start()
+    return server
+
+
+def serve_forever(server: ClusteringServiceServer) -> None:
+    """Run the accept loop until interrupted; then shut down cleanly."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.shutdown_service()
+
+
+def run_in_thread(server: ClusteringServiceServer) -> threading.Thread:
+    """Start the accept loop on a daemon thread (tests, notebooks)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return thread

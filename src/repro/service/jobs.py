@@ -1,0 +1,350 @@
+"""Async job manager: bounded FIFO queue + worker pool + lifecycle.
+
+The :class:`JobManager` is the service's scheduling core and is fully
+usable without HTTP (the API layer in :mod:`repro.service.http` is a
+thin JSON shim over it):
+
+* **admission** — :meth:`submit` validates the spec against the dataset
+  registry, consults the result cache (a hit completes the job
+  instantly, without touching the queue), and otherwise enqueues it.
+  When the bounded queue is full it raises :class:`QueueFullError` —
+  callers apply back-pressure (HTTP maps it to ``429``) instead of
+  buffering unboundedly;
+* **execution** — a fixed pool of worker threads pops jobs FIFO and
+  runs them through :func:`repro.service.runner.execute_job`.  Worker
+  threads are cheap here because the heavy lifting is numpy (GIL
+  released) or delegated to the process execution backend;
+* **lifecycle** — ``queued → running → done | failed | cancelled``.
+  Cancelling a queued job marks it immediately; cancelling a running
+  job sets its cancel event, which the runner's round-barrier observer
+  turns into an unwind.  Timeouts travel the same path and land in
+  ``failed`` with a timeout error message.
+
+Every transition is recorded with a monotonic-free wall timestamp so
+``GET /jobs/<id>`` can report queue latency and run time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.obs.record import RunLog
+from repro.service.cache import ResultCache
+from repro.service.datasets import DatasetRegistry
+from repro.service.runner import JobCancelled, JobTimeout, execute_job
+from repro.service.spec import JobSpec
+
+
+class QueueFullError(RuntimeError):
+    """The bounded job queue is at capacity; resubmit later."""
+
+
+class UnknownJobError(KeyError):
+    """No job with the requested id."""
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and everything it produced."""
+
+    id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: JSON-safe result payload (set when state == DONE)
+    result: Optional[dict] = None
+    #: error message / traceback (set when state == FAILED)
+    error: Optional[str] = None
+    #: True when the result came from the cache, not a solver run
+    cached: bool = False
+    #: the recorded run log (also set for cache hits: the producing run's)
+    run_log: Optional[RunLog] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    def describe(self, include_result: bool = True) -> dict:
+        """JSON-safe status record for the API."""
+        out = {
+            "id": self.id,
+            "state": self.state.value,
+            "spec": self.spec.to_dict(),
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cached": self.cached,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if include_result and self.result is not None:
+            out["result"] = self.result
+        return out
+
+
+class JobManager:
+    """Bounded FIFO queue in front of a worker pool.
+
+    Parameters
+    ----------
+    datasets:
+        The registry job specs resolve their ``dataset`` ids against.
+    cache:
+        Result cache; a fresh unbounded-ish default when omitted, or
+        ``None``-like behaviour can be had by passing a 1-entry cache.
+    workers:
+        Worker thread count.
+    backend:
+        Execution backend name handed to every solver run
+        (``serial``/``thread``/``process``).
+    queue_limit:
+        Maximum number of *queued* (not yet running) jobs; submissions
+        beyond it raise :class:`QueueFullError`.
+    default_timeout_s:
+        Per-job wall-clock budget applied when the spec carries none.
+    """
+
+    def __init__(
+        self,
+        datasets: DatasetRegistry,
+        cache: Optional[ResultCache] = None,
+        *,
+        workers: int = 2,
+        backend: str = "serial",
+        queue_limit: int = 64,
+        default_timeout_s: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.datasets = datasets
+        self.cache = cache if cache is not None else ResultCache()
+        self.backend = backend
+        self.queue_limit = queue_limit
+        self.workers = workers
+        self.default_timeout_s = default_timeout_s
+
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=queue_limit)
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._resume = threading.Event()
+        self._resume.set()
+        self._started = False
+        # counters (under _lock)
+        self._submitted = 0
+        self._rejected = 0
+        self._by_algorithm: Dict[str, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "JobManager":
+        """Spawn the worker pool (idempotent); returns ``self``."""
+        if self._started:
+            return self
+        self._started = True
+        self._stop.clear()
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"repro-job-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop the pool.  Queued jobs stay queued (drained on restart);
+        the running job, if any, finishes first."""
+        self._stop.set()
+        self._resume.set()
+        if wait:
+            for t in self._threads:
+                t.join(timeout=30)
+        self._threads = []
+        self._started = False
+
+    def pause(self) -> None:
+        """Stop popping new jobs (running jobs finish).  For drains,
+        admission-control tests, and maintenance windows."""
+        self._resume.clear()
+
+    def resume(self) -> None:
+        self._resume.set()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit a job: cache hit → instantly ``done``; else enqueue.
+
+        Raises :class:`UnknownDatasetError` for an unregistered dataset,
+        :class:`ValueError` for invalid parameters, and
+        :class:`QueueFullError` when the queue is at capacity.
+        """
+        dataset = self.datasets.get(spec.dataset)
+        if spec.k > dataset.n:
+            raise ValueError(
+                f"k={spec.k} exceeds dataset size n={dataset.n} ({dataset.id})"
+            )
+        if spec.timeout_s is None and self.default_timeout_s is not None:
+            spec.timeout_s = float(self.default_timeout_s)
+
+        with self._lock:
+            job = Job(id=f"job-{next(self._ids):06d}", spec=spec)
+            self._jobs[job.id] = job
+            self._submitted += 1
+            self._by_algorithm[spec.algorithm] = (
+                self._by_algorithm.get(spec.algorithm, 0) + 1
+            )
+
+        hit = self.cache.get(spec.cache_key(dataset.fingerprint))
+        if hit is not None:
+            payload, run_log = hit
+            job.result, job.run_log = payload, run_log
+            job.cached = True
+            job.state = JobState.DONE
+            job.finished_at = time.time()
+            job.done_event.set()
+            return job
+
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                self._rejected += 1
+                del self._jobs[job.id]
+            raise QueueFullError(
+                f"job queue full ({self.queue_limit} queued); retry later"
+            ) from None
+        return job
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(job_id) from None
+
+    def list_jobs(self, state: Optional[JobState] = None) -> List[Job]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        if state is not None:
+            jobs = [j for j in jobs if j.state is state]
+        return jobs
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job reaches a terminal state."""
+        job = self.get(job_id)
+        if not job.done_event.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.state.value} after {timeout}s")
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; returns the job.
+
+        Queued jobs flip to ``cancelled`` right away (the worker skips
+        them); running jobs are unwound at their next round barrier.
+        Terminal jobs are returned unchanged.
+        """
+        job = self.get(job_id)
+        job.cancel_event.set()
+        if job.state is JobState.QUEUED:
+            # the worker re-checks the event before running; mark now so
+            # callers see the final state immediately
+            job.state = JobState.CANCELLED
+            job.finished_at = time.time()
+            job.done_event.set()
+        return job
+
+    def stats(self) -> dict:
+        """Operational counters for ``GET /stats``."""
+        with self._lock:
+            by_state: Dict[str, int] = {s.value: 0 for s in JobState}
+            for job in self._jobs.values():
+                by_state[job.state.value] += 1
+            return {
+                "queue_depth": self._queue.qsize(),
+                "queue_limit": self.queue_limit,
+                "workers": self.workers,
+                "backend": self.backend,
+                "paused": not self._resume.is_set(),
+                "submitted": self._submitted,
+                "rejected": self._rejected,
+                "jobs_by_state": by_state,
+                "jobs_by_algorithm": dict(self._by_algorithm),
+                "cache": self.cache.stats(),
+            }
+
+    # -- worker pool --------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            self._resume.wait(timeout=0.1)
+            if not self._resume.is_set():
+                continue
+            try:
+                job = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            try:
+                self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job: Job) -> None:
+        if job.cancel_event.is_set():
+            if not job.state.terminal:
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                job.done_event.set()
+            return
+        job.state = JobState.RUNNING
+        job.started_at = time.time()
+        spec = job.spec
+        try:
+            dataset = self.datasets.get(spec.dataset)
+            payload, run_log = execute_job(
+                spec,
+                dataset,
+                backend=self.backend,
+                cancel_event=job.cancel_event,
+                job_id=job.id,
+            )
+        except JobCancelled:
+            job.state = JobState.CANCELLED
+        except JobTimeout:
+            job.state = JobState.FAILED
+            job.error = f"timed out after {spec.timeout_s}s (round-barrier check)"
+        except Exception:
+            job.state = JobState.FAILED
+            job.error = traceback.format_exc()
+        else:
+            job.result, job.run_log = payload, run_log
+            job.state = JobState.DONE
+            self.cache.put(spec.cache_key(dataset.fingerprint), payload, run_log)
+        finally:
+            job.finished_at = time.time()
+            job.done_event.set()

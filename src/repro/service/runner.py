@@ -1,0 +1,136 @@
+"""Execute one job spec through the solver facade.
+
+The runner is the bridge between the queueing layer and
+:mod:`repro.api`: it assembles the cluster exactly the way a direct
+``solve_*`` call would (same seed, partition, and machine count — so a
+service result is bit-identical to the equivalent library call), wraps
+the metric in a :class:`~repro.metric.oracle.CountingOracle`, attaches a
+per-job :class:`~repro.obs.Recorder`, and dispatches by algorithm name.
+
+Cancellation and timeouts piggyback on the observability layer: a
+:class:`_JobControl` observer checks the cancel event and the deadline
+at every MPC round barrier and raises :class:`JobCancelled` /
+:class:`JobTimeout` to unwind the solver.  Granularity is one round —
+a job is interruptible wherever the simulated cluster synchronizes,
+which for these algorithms is every few hundred milliseconds of local
+work at most.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+import threading
+
+from repro.api import SOLVERS, build_cluster
+from repro.constants import TheoryConstants
+from repro.metric.oracle import CountingOracle
+from repro.obs import Observer, Recorder, RunLog
+from repro.service.datasets import Dataset
+from repro.service.spec import JobSpec
+
+
+class JobCancelled(Exception):
+    """The job's cancel event was set while it was running."""
+
+
+class JobTimeout(Exception):
+    """The job exceeded its wall-clock budget."""
+
+
+class _JobControl(Observer):
+    """Observer that aborts a run at round barriers."""
+
+    def __init__(self, cancel_event: Optional[threading.Event],
+                 deadline: Optional[float]) -> None:
+        self.cancel_event = cancel_event
+        self.deadline = deadline
+
+    def _check(self) -> None:
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            raise JobCancelled()
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise JobTimeout()
+
+    def on_round_start(self, round_no: int) -> None:
+        self._check()
+
+    def on_round_end(self, record) -> None:
+        self._check()
+
+
+def execute_job(
+    spec: JobSpec,
+    dataset: Dataset,
+    *,
+    backend: str = "serial",
+    cancel_event: Optional[threading.Event] = None,
+    job_id: Optional[str] = None,
+) -> Tuple[dict, RunLog]:
+    """Run one job; returns ``(payload, run_log)``.
+
+    The payload is JSON-safe: the solver's result record
+    (:meth:`to_dict`), the cluster's MPC accounting summary, and the
+    per-phase breakdown from the recorded run log.
+    """
+    oracle = CountingOracle(dataset.metric)
+    cluster = build_cluster(
+        metric=oracle,
+        machines=spec.machines,
+        seed=spec.seed,
+        partition=spec.partition,
+        backend=backend,
+    )
+    recorder = Recorder.attach(cluster, capture_messages=False)
+    recorder.log.meta.update(
+        {
+            "job": job_id,
+            "algorithm": spec.algorithm,
+            "dataset": dataset.id,
+            "fingerprint": dataset.fingerprint,
+            "k": spec.k,
+            "eps": spec.eps,
+            "seed": spec.seed,
+            "backend": backend,
+        }
+    )
+    deadline = (
+        time.monotonic() + spec.timeout_s if spec.timeout_s is not None else None
+    )
+    control = cluster.obs.add(_JobControl(cancel_event, deadline))
+
+    constants = (
+        TheoryConstants.paper() if spec.constants == "paper"
+        else TheoryConstants.practical()
+    )
+    kwargs = dict(
+        k=spec.k,
+        eps=spec.eps,
+        constants=constants,
+        trim_mode=spec.trim_mode,
+        cluster=cluster,
+    )
+    if spec.algorithm == "ksupplier":
+        kwargs["customers"] = list(spec.customers)
+        kwargs["suppliers"] = list(spec.suppliers)
+
+    try:
+        result = SOLVERS[spec.algorithm](**kwargs)
+    finally:
+        cluster.obs.remove(control)
+        cluster.executor.shutdown()
+
+    payload = {
+        "algorithm": spec.algorithm,
+        "dataset": dataset.id,
+        "fingerprint": dataset.fingerprint,
+        "record": result.to_dict(),
+        "mpc_stats": cluster.stats.summary(),
+        "oracle": {
+            "calls": int(oracle.calls),
+            "evaluations": int(oracle.evaluations),
+        },
+        "phases": recorder.log.phase_summary(),
+    }
+    return payload, recorder.log

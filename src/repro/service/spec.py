@@ -1,0 +1,146 @@
+"""Job specification: the validated description of one solver run.
+
+A :class:`JobSpec` is what travels in a ``POST /jobs`` body and what the
+worker pool executes.  Its :meth:`~JobSpec.cache_key` is the result
+cache's identity — ``(dataset fingerprint, algorithm, and every
+result-relevant parameter)``.  The execution backend and the timeout are
+deliberately *excluded*: the PR-2 determinism guarantee makes results
+bit-identical across ``serial``/``thread``/``process``, so a result
+computed on any backend serves submissions targeting every backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.api import SOLVERS
+
+#: partition strategies accepted by the facade
+PARTITIONS = ("random", "block", "skewed")
+
+#: analysis-constant presets understood by the runner
+CONSTANT_PRESETS = ("practical", "paper")
+
+
+@dataclass
+class JobSpec:
+    """Parameters of one clustering job.
+
+    ``dataset`` is a registry id (``ds-…``).  ``customers`` and
+    ``suppliers`` are only meaningful (and then required) for
+    ``algorithm='ksupplier'``.
+    """
+
+    algorithm: str
+    dataset: str
+    k: int = 1
+    eps: float = 0.1
+    machines: Optional[int] = None
+    seed: int = 0
+    partition: str = "random"
+    trim_mode: str = "random"
+    constants: str = "practical"
+    customers: Optional[Sequence[int]] = None
+    suppliers: Optional[Sequence[int]] = None
+    #: wall-clock budget; checked at MPC round granularity
+    timeout_s: Optional[float] = None
+    #: free-form caller annotations, echoed back in job summaries
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.algorithm = str(self.algorithm).lower()
+        if self.algorithm not in SOLVERS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of "
+                f"{', '.join(sorted(SOLVERS))}"
+            )
+        self.k = int(self.k)
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        self.eps = float(self.eps)
+        if self.eps <= 0:
+            raise ValueError(f"eps must be > 0, got {self.eps}")
+        if self.machines is not None:
+            self.machines = int(self.machines)
+            if self.machines < 1:
+                raise ValueError(f"machines must be >= 1, got {self.machines}")
+        self.seed = int(self.seed)
+        if self.partition not in PARTITIONS:
+            raise ValueError(
+                f"unknown partition {self.partition!r}; expected one of "
+                f"{', '.join(PARTITIONS)}"
+            )
+        if self.constants not in CONSTANT_PRESETS:
+            raise ValueError(
+                f"unknown constants preset {self.constants!r}; expected one of "
+                f"{', '.join(CONSTANT_PRESETS)}"
+            )
+        if self.timeout_s is not None:
+            self.timeout_s = float(self.timeout_s)
+            if self.timeout_s <= 0:
+                raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.algorithm == "ksupplier":
+            if self.customers is None or self.suppliers is None:
+                raise ValueError("ksupplier jobs need customer and supplier id lists")
+            self.customers = tuple(int(i) for i in self.customers)
+            self.suppliers = tuple(int(i) for i in self.suppliers)
+        elif self.customers is not None or self.suppliers is not None:
+            raise ValueError(
+                f"customers/suppliers only apply to ksupplier jobs, not {self.algorithm!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        """Build from a JSON body, rejecting unknown fields loudly."""
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown job field(s): {', '.join(unknown)}; "
+                f"accepted: {', '.join(sorted(known))}"
+            )
+        if "algorithm" not in payload or "dataset" not in payload:
+            raise ValueError("a job needs at least 'algorithm' and 'dataset'")
+        return cls(**payload)
+
+    def to_dict(self) -> dict:
+        """JSON-safe echo of the spec."""
+        out = {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "k": self.k,
+            "eps": self.eps,
+            "machines": self.machines,
+            "seed": self.seed,
+            "partition": self.partition,
+            "trim_mode": self.trim_mode,
+            "constants": self.constants,
+            "timeout_s": self.timeout_s,
+        }
+        if self.customers is not None:
+            out["customers"] = list(self.customers)
+            out["suppliers"] = list(self.suppliers)
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        return out
+
+    def cache_key(self, fingerprint: str) -> Tuple:
+        """Result-cache identity for this spec on the given dataset.
+
+        Backend-irrelevant by construction: neither the execution
+        backend nor the timeout/tags participate.
+        """
+        return (
+            fingerprint,
+            self.algorithm,
+            self.k,
+            self.eps,
+            self.machines,
+            self.seed,
+            self.partition,
+            self.trim_mode,
+            self.constants,
+            self.customers,
+            self.suppliers,
+        )

@@ -9,6 +9,7 @@ harness run (seeded).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -43,6 +44,54 @@ class WorkloadInstance:
     @property
     def n(self) -> int:
         return self.metric.n
+
+    def fingerprint(self) -> Optional[str]:
+        """Content fingerprint of the instance's points (see
+        :func:`fingerprint_metric`); ``None`` for oracle-only metrics."""
+        return fingerprint_metric(self.metric)
+
+
+def canonical_point_bytes(metric) -> Optional[bytes]:
+    """Canonical byte encoding of a metric's point matrix.
+
+    Walks the metric's wrapper chain (``CountingOracle`` etc. expose
+    ``inner``) to the first layer with a ``points`` container and
+    serializes its ``(n, d)`` float64 array C-contiguously, prefixed
+    with a shape/dtype header so e.g. ``(2, 3)`` and ``(3, 2)`` data
+    with the same bytes cannot collide.  Returns ``None`` for metrics
+    that carry no coordinates (explicit matrix, graph) — callers must
+    fall back to identity-based keys for those.
+    """
+    seen: set = set()
+    while metric is not None and id(metric) not in seen:
+        seen.add(id(metric))
+        points = getattr(metric, "points", None)
+        if points is not None and hasattr(points, "data"):
+            arr = np.ascontiguousarray(np.asarray(points.data, dtype=np.float64))
+            header = f"points:{arr.shape[0]}x{arr.shape[1]}:float64:".encode()
+            return header + arr.tobytes()
+        metric = getattr(metric, "inner", None)
+    return None
+
+
+def fingerprint_points(points) -> str:
+    """SHA-256 hex digest of a raw point array's canonical bytes."""
+    arr = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    header = f"points:{arr.shape[0]}x{arr.shape[1]}:float64:".encode()
+    return hashlib.sha256(header + arr.tobytes()).hexdigest()
+
+
+def fingerprint_metric(metric) -> Optional[str]:
+    """SHA-256 content fingerprint of the metric's points, or ``None``.
+
+    Two metrics over bit-identical point matrices get the same
+    fingerprint regardless of how the data was produced — the property
+    the service's result cache relies on.
+    """
+    blob = canonical_point_bytes(metric)
+    return None if blob is None else hashlib.sha256(blob).hexdigest()
 
 
 def _gaussian(n: int, rng: np.random.Generator) -> WorkloadInstance:

@@ -1,0 +1,101 @@
+"""Concurrent facade use: no shared RNG or oracle-counter state.
+
+The job service runs solver calls on a worker-thread pool, so the
+facade must be reentrant: two threads solving the same points with
+different seeds have to produce exactly the results each would produce
+alone, and per-run CountingOracle ledgers must not bleed into each
+other.  Each ``solve_*``/``build_cluster`` call builds its own cluster,
+machines, and RNG streams, so the only shared object is the read-only
+point data — these tests pin that property.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api import build_cluster, solve_diversity, solve_kcenter
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.oracle import CountingOracle
+
+
+@pytest.fixture
+def points():
+    return np.random.default_rng(42).normal(scale=3.0, size=(250, 2))
+
+
+def _solo_run(points, seed):
+    """Reference: one solver call alone in the main thread."""
+    oracle = CountingOracle(EuclideanMetric(points))
+    cluster = build_cluster(metric=oracle, machines=4, seed=seed)
+    res = solve_kcenter(k=6, eps=0.2, cluster=cluster)
+    return res, oracle
+
+
+class TestConcurrentFacade:
+    def test_two_threads_different_seeds_match_solo_runs(self, points):
+        seeds = [3, 17]
+        expected = {s: _solo_run(points, s) for s in seeds}
+
+        def worker(seed):
+            return seed, _solo_run(points, seed)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            concurrent = dict(pool.map(worker, seeds))
+
+        for seed in seeds:
+            exp_res, exp_oracle = expected[seed]
+            got_res, got_oracle = concurrent[seed]
+            # results: bit-identical to the single-threaded reference
+            assert got_res.radius == exp_res.radius
+            assert np.array_equal(got_res.centers, exp_res.centers)
+            assert got_res.rounds == exp_res.rounds
+            # oracle ledger: each run counted only its own work
+            assert got_oracle.calls == exp_oracle.calls
+            assert got_oracle.evaluations == exp_oracle.evaluations
+
+    def test_many_threads_same_seed_agree(self, points):
+        """Same spec on 4 threads at once: four bit-identical answers."""
+
+        def worker(_):
+            return solve_kcenter(points, k=5, eps=0.25, seed=7, machines=4)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(worker, range(4)))
+        base = results[0]
+        for res in results[1:]:
+            assert res.radius == base.radius
+            assert np.array_equal(res.centers, base.centers)
+
+    def test_shared_base_metric_concurrent_solvers(self, points):
+        """The service pattern: one registered dataset metric, two jobs
+        with their own CountingOracle wrappers running concurrently —
+        the wrappers stay independent."""
+        base = EuclideanMetric(points)
+
+        def worker(seed):
+            oracle = CountingOracle(base)
+            cluster = build_cluster(metric=oracle, machines=4, seed=seed)
+            res = solve_kcenter(k=6, eps=0.2, cluster=cluster)
+            return res, oracle
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            (res_a, oracle_a), (res_b, oracle_b) = list(pool.map(worker, [3, 17]))
+
+        exp_a, exp_oracle_a = _solo_run(points, 3)
+        exp_b, exp_oracle_b = _solo_run(points, 17)
+        assert res_a.radius == exp_a.radius
+        assert res_b.radius == exp_b.radius
+        assert oracle_a.evaluations == exp_oracle_a.evaluations
+        assert oracle_b.evaluations == exp_oracle_b.evaluations
+
+    def test_concurrent_diversity_and_kcenter(self, points):
+        """Different algorithms interleaved on the same data."""
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            fut_kc = pool.submit(solve_kcenter, points, k=6, eps=0.2, seed=5)
+            fut_div = pool.submit(solve_diversity, points, k=6, eps=0.2, seed=5)
+            kc, div = fut_kc.result(), fut_div.result()
+        assert kc.radius == solve_kcenter(points, k=6, eps=0.2, seed=5).radius
+        assert div.diversity == solve_diversity(points, k=6, eps=0.2, seed=5).diversity

@@ -35,6 +35,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["kcenter", "--backend", "gpu"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8000
+        assert args.workers == 2 and args.backend == "serial"
+        assert args.queue_limit == 64 and args.job_timeout is None
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4", "--backend", "process",
+             "--queue-limit", "8", "--job-timeout", "30"]
+        )
+        assert args.port == 0 and args.workers == 4
+        assert args.backend == "process"
+        assert args.queue_limit == 8 and args.job_timeout == 30.0
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
 
 class TestCommands:
     def test_workloads_lists_names(self, capsys):

@@ -184,6 +184,56 @@ class TestBackendProtocolAndFactory:
         assert get_executor("thread", max_workers=3).max_workers == 3
         assert get_executor("process", max_workers=3).max_workers == 3
 
+    def test_unknown_backend_error_lists_valid_names(self):
+        """The error must name every valid backend, so a typo'd config
+        is self-documenting."""
+        with pytest.raises(ValueError) as exc:
+            get_executor("gpu")
+        message = str(exc.value)
+        for name in BACKENDS:
+            assert repr(name) in message
+        assert "'fork'" in message  # aliases listed too
+
+
+class TestWorkerCountConfiguration:
+    def test_explicit_arg_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert ProcessExecutor(max_workers=2).max_workers == 2
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        ex = ProcessExecutor()
+        assert ex.max_workers == 3
+        assert ex.effective_workers(8) <= 3
+
+    def test_env_var_unset_means_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        ex = ProcessExecutor()
+        assert ex.max_workers is None
+        assert ex.effective_workers() == max(1, os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", ["zero-ish", "0", "-2", "1.5"])
+    def test_invalid_env_var_fails_loudly(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            ProcessExecutor()
+
+    def test_effective_workers_capped_by_batch(self):
+        ex = ProcessExecutor(max_workers=8)
+        assert ex.effective_workers(3) == min(3, ex.effective_workers())
+
+    def test_effective_workers_serial_and_thread(self):
+        assert SerialExecutor().effective_workers(16) == 1
+        assert ThreadedExecutor(max_workers=5).effective_workers(16) == 5
+        assert ThreadedExecutor().effective_workers(4) == 4
+
+    def test_fallback_reports_one_worker(self):
+        ex = ProcessExecutor(max_workers=8)
+        ex.fallback_reason = "forced for the test"
+        assert ex.effective_workers(16) == 1
+
 
 class TestProcessBitIdentical:
     """Same seed + forked workers == same seed + serial, down to the

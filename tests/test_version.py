@@ -1,0 +1,30 @@
+"""``repro.__version__`` is single-sourced from pyproject.toml."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro
+from repro._version import get_version
+
+
+def _pyproject_version() -> str:
+    text = (Path(__file__).resolve().parents[1] / "pyproject.toml").read_text()
+    return re.search(r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE).group(1)
+
+
+def test_version_matches_pyproject():
+    assert repro.__version__ == _pyproject_version()
+
+
+def test_get_version_is_stable():
+    assert get_version() == repro.__version__
+
+
+def test_version_is_pep440_ish():
+    assert re.fullmatch(r"\d+\.\d+\.\d+([.+-].*)?", repro.__version__)
+
+
+def test_version_in_dunder_all():
+    assert "__version__" in repro.__all__
