@@ -424,6 +424,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         default_timeout_s=args.job_timeout,
         cache_entries=args.cache_entries,
+        max_history=args.max_history,
     )
     print(
         f"repro service v{__version__} listening on {server.url} "
@@ -543,6 +544,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--cache-entries", type=int, default=1024, help="result cache capacity"
+    )
+    p.add_argument(
+        "--max-history",
+        type=int,
+        default=1024,
+        help="terminal jobs retained for GET /jobs (oldest evicted beyond this)",
     )
     p.set_defaults(func=_cmd_serve)
 

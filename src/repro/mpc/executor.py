@@ -132,8 +132,24 @@ class ThreadedExecutor:
         return list(pool.map(fn, range(count)))
 
     def effective_workers(self, count: int | None = None) -> int:
-        """Pool size a ``count``-task batch would run on."""
-        return self.max_workers or min(32, max(1, count or 1))
+        """Pool size a ``count``-task batch would actually run on.
+
+        Mirrors :meth:`_ensure`: an already-created pool keeps its
+        size, an explicit ``max_workers`` wins otherwise, and with
+        neither the pool is sized from the batch — so ``count`` is
+        required in that case rather than silently reported as 1.
+        """
+        if self._pool is not None:
+            return self._pool._max_workers
+        if self.max_workers:
+            return self.max_workers
+        if count is None:
+            raise ValueError(
+                "ThreadedExecutor sizes its pool from the first batch; "
+                "pass count (or construct with max_workers) to compute "
+                "effective_workers"
+            )
+        return min(32, max(1, count))
 
     def shutdown(self) -> None:
         if self._pool is not None:

@@ -3,11 +3,13 @@
 A dataset is either a *named workload* (built deterministically from the
 :mod:`repro.workloads.registry` with a seed) or *uploaded points* (raw
 coordinates plus a metric name).  Registration materializes the metric
-once and computes the content fingerprint — the SHA-256 of the
-canonical point bytes (see
-:func:`repro.workloads.registry.canonical_point_bytes`) — so two
-registrations of bit-identical data collapse to the same dataset id and
-the result cache can treat "same fingerprint" as "same input".
+once and computes the content fingerprint — the SHA-256 of the metric's
+distance-function identity plus the canonical point bytes (see
+:func:`repro.workloads.registry.fingerprint_metric`) — so two
+registrations of bit-identical data under the same metric collapse to
+the same dataset id, while the same points under *different* metrics
+(euclidean vs manhattan) stay distinct, and the result cache can treat
+"same fingerprint" as "same input".
 
 Metrics are immutable (point arrays are read-only and kernels are
 pure), so one registered dataset is safely shared by concurrent jobs;

@@ -295,6 +295,7 @@ def serve(
     queue_limit: int = 64,
     default_timeout_s: Optional[float] = None,
     cache_entries: int = 1024,
+    max_history: int = 1024,
     manager: Optional[JobManager] = None,
     start: bool = True,
 ) -> ClusteringServiceServer:
@@ -318,6 +319,7 @@ def serve(
             backend=backend,
             queue_limit=queue_limit,
             default_timeout_s=default_timeout_s,
+            max_history=max_history,
         )
     server = ClusteringServiceServer((host, port), _Handler, manager)
     if start:

@@ -121,6 +121,12 @@ class JobManager:
         beyond it raise :class:`QueueFullError`.
     default_timeout_s:
         Per-job wall-clock budget applied when the spec carries none.
+    max_history:
+        Maximum number of *terminal* jobs retained for ``GET /jobs``;
+        beyond it the oldest terminal jobs (and their result payloads
+        and run logs) are evicted, so a long-running service holds a
+        bounded amount of history instead of every job ever submitted.
+        Queued and running jobs are never evicted.
     """
 
     def __init__(
@@ -132,17 +138,21 @@ class JobManager:
         backend: str = "serial",
         queue_limit: int = 64,
         default_timeout_s: Optional[float] = None,
+        max_history: int = 1024,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if max_history < 1:
+            raise ValueError(f"max_history must be >= 1, got {max_history}")
         self.datasets = datasets
         self.cache = cache if cache is not None else ResultCache()
         self.backend = backend
         self.queue_limit = queue_limit
         self.workers = workers
         self.default_timeout_s = default_timeout_s
+        self.max_history = max_history
 
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=queue_limit)
         self._jobs: Dict[str, Job] = {}
@@ -221,10 +231,13 @@ class JobManager:
         hit = self.cache.get(spec.cache_key(dataset.fingerprint))
         if hit is not None:
             payload, run_log = hit
-            job.result, job.run_log = payload, run_log
-            job.cached = True
-            job.state = JobState.DONE
-            job.finished_at = time.time()
+            with self._lock:
+                if job.state is JobState.QUEUED:  # vs a racing cancel()
+                    job.result, job.run_log = payload, run_log
+                    job.cached = True
+                    job.state = JobState.DONE
+                    job.finished_at = time.time()
+                self._prune_history_locked()
             job.done_event.set()
             return job
 
@@ -270,12 +283,18 @@ class JobManager:
         Terminal jobs are returned unchanged.
         """
         job = self.get(job_id)
-        job.cancel_event.set()
-        if job.state is JobState.QUEUED:
-            # the worker re-checks the event before running; mark now so
-            # callers see the final state immediately
-            job.state = JobState.CANCELLED
-            job.finished_at = time.time()
+        # compare-and-set under the lock: either we mark the job
+        # cancelled here, or the worker has already claimed it (flipped
+        # it to RUNNING under the same lock) and will honour the event
+        # at its next round barrier — never both.
+        with self._lock:
+            job.cancel_event.set()
+            flipped = job.state is JobState.QUEUED
+            if flipped:
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                self._prune_history_locked()
+        if flipped:
             job.done_event.set()
         return job
 
@@ -288,6 +307,7 @@ class JobManager:
             return {
                 "queue_depth": self._queue.qsize(),
                 "queue_limit": self.queue_limit,
+                "max_history": self.max_history,
                 "workers": self.workers,
                 "backend": self.backend,
                 "paused": not self._resume.is_set(),
@@ -314,15 +334,37 @@ class JobManager:
             finally:
                 self._queue.task_done()
 
+    def _prune_history_locked(self) -> None:
+        """Evict the oldest terminal jobs beyond ``max_history``.
+
+        Caller holds ``_lock``.  ``_jobs`` preserves insertion (i.e.
+        submission) order, so the slice below is oldest-first; queued
+        and running jobs are never touched.
+        """
+        terminal = [jid for jid, j in self._jobs.items() if j.state.terminal]
+        excess = len(terminal) - self.max_history
+        if excess > 0:
+            for jid in terminal[:excess]:
+                del self._jobs[jid]
+
     def _run_job(self, job: Job) -> None:
-        if job.cancel_event.is_set():
-            if not job.state.terminal:
-                job.state = JobState.CANCELLED
-                job.finished_at = time.time()
-                job.done_event.set()
+        # claim the job with a compare-and-set paired with cancel():
+        # exactly one of {QUEUED->RUNNING here, QUEUED->CANCELLED there}
+        # wins, so waiters never observe a "terminal then running" job.
+        with self._lock:
+            if job.cancel_event.is_set() or job.state.terminal:
+                if not job.state.terminal:
+                    job.state = JobState.CANCELLED
+                    job.finished_at = time.time()
+                    self._prune_history_locked()
+                claimed = False
+            else:
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+                claimed = True
+        if not claimed:
+            job.done_event.set()
             return
-        job.state = JobState.RUNNING
-        job.started_at = time.time()
         spec = job.spec
         try:
             dataset = self.datasets.get(spec.dataset)
@@ -334,17 +376,21 @@ class JobManager:
                 job_id=job.id,
             )
         except JobCancelled:
-            job.state = JobState.CANCELLED
+            state, error, produced = JobState.CANCELLED, None, None
         except JobTimeout:
-            job.state = JobState.FAILED
-            job.error = f"timed out after {spec.timeout_s}s (round-barrier check)"
+            state = JobState.FAILED
+            error = f"timed out after {spec.timeout_s}s (round-barrier check)"
+            produced = None
         except Exception:
-            job.state = JobState.FAILED
-            job.error = traceback.format_exc()
+            state, error, produced = JobState.FAILED, traceback.format_exc(), None
         else:
-            job.result, job.run_log = payload, run_log
-            job.state = JobState.DONE
+            state, error, produced = JobState.DONE, None, (payload, run_log)
             self.cache.put(spec.cache_key(dataset.fingerprint), payload, run_log)
-        finally:
+        with self._lock:
+            if produced is not None:
+                job.result, job.run_log = produced
+            job.error = error
+            job.state = state
             job.finished_at = time.time()
-            job.done_event.set()
+            self._prune_history_locked()
+        job.done_event.set()

@@ -22,6 +22,9 @@ PARTITIONS = ("random", "block", "skewed")
 #: analysis-constant presets understood by the runner
 CONSTANT_PRESETS = ("practical", "paper")
 
+#: tie-breaking modes accepted by the trim primitive (repro.core.trim)
+TRIM_MODES = ("random", "id", "paper")
+
 
 @dataclass
 class JobSpec:
@@ -70,6 +73,11 @@ class JobSpec:
             raise ValueError(
                 f"unknown partition {self.partition!r}; expected one of "
                 f"{', '.join(PARTITIONS)}"
+            )
+        if self.trim_mode not in TRIM_MODES:
+            raise ValueError(
+                f"unknown trim_mode {self.trim_mode!r}; expected one of "
+                f"{', '.join(TRIM_MODES)}"
             )
         if self.constants not in CONSTANT_PRESETS:
             raise ValueError(

@@ -83,15 +83,44 @@ def fingerprint_points(points) -> str:
     return hashlib.sha256(header + arr.tobytes()).hexdigest()
 
 
-def fingerprint_metric(metric) -> Optional[str]:
-    """SHA-256 content fingerprint of the metric's points, or ``None``.
+def metric_identity(metric) -> str:
+    """Stable identity string of a metric's *distance function*.
 
-    Two metrics over bit-identical point matrices get the same
-    fingerprint regardless of how the data was produced — the property
-    the service's result cache relies on.
+    Unwraps pass-through layers (``CountingOracle`` etc. expose
+    ``inner``) to the concrete metric and names it together with any
+    distance-shaping parameter (currently the Minkowski exponent
+    ``p``).  Wrapping a metric never changes its identity; changing the
+    distance function always does.
+    """
+    seen: set = set()
+    inner = metric
+    while inner is not None and id(inner) not in seen:
+        seen.add(id(inner))
+        nxt = getattr(inner, "inner", None)
+        if nxt is None:
+            break
+        inner = nxt
+    name = type(inner).__name__
+    p = getattr(inner, "p", None)
+    return f"{name}(p={float(p)!r})" if p is not None else name
+
+
+def fingerprint_metric(metric) -> Optional[str]:
+    """SHA-256 content fingerprint of the metric, or ``None``.
+
+    Covers both the point matrix (via :func:`canonical_point_bytes`)
+    and the distance function (via :func:`metric_identity`): two
+    metrics over bit-identical points get the same fingerprint exactly
+    when they also compute the same distances — the property the
+    service's dataset registry and result cache rely on.  The same
+    points under e.g. euclidean and manhattan metrics therefore get
+    *different* fingerprints and can never cross-serve cached results.
     """
     blob = canonical_point_bytes(metric)
-    return None if blob is None else hashlib.sha256(blob).hexdigest()
+    if blob is None:
+        return None
+    tagged = metric_identity(metric).encode() + b"\x00" + blob
+    return hashlib.sha256(tagged).hexdigest()
 
 
 def _gaussian(n: int, rng: np.random.Generator) -> WorkloadInstance:

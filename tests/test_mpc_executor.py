@@ -229,6 +229,24 @@ class TestWorkerCountConfiguration:
         assert ThreadedExecutor(max_workers=5).effective_workers(16) == 5
         assert ThreadedExecutor().effective_workers(4) == 4
 
+    def test_thread_effective_workers_requires_count_when_unsized(self):
+        # without max_workers the pool is sized from the batch — the
+        # old code answered 1 here, understating the real parallelism
+        with pytest.raises(ValueError, match="pass count"):
+            ThreadedExecutor().effective_workers()
+        assert ThreadedExecutor(max_workers=3).effective_workers() == 3
+
+    def test_thread_effective_workers_reports_live_pool_size(self):
+        ex = ThreadedExecutor()
+        try:
+            assert ex.map_indexed(lambda i: i * i, 4) == [0, 1, 4, 9]
+            # the pool was sized by the first batch and is reused, so
+            # that size is the honest answer for any later batch
+            assert ex.effective_workers() == 4
+            assert ex.effective_workers(16) == 4
+        finally:
+            ex.shutdown()
+
     def test_fallback_reports_one_worker(self):
         ex = ProcessExecutor(max_workers=8)
         ex.fallback_reason = "forced for the test"

@@ -56,17 +56,34 @@ class TestFingerprinting:
         b = np.arange(6.0).reshape(3, 2)
         assert fingerprint_points(a) != fingerprint_points(b)
 
-    def test_metric_fingerprint_matches_raw_points(self, points):
+    def test_metric_fingerprint_deterministic(self, points):
         from repro.metric.euclidean import EuclideanMetric
 
-        assert fingerprint_metric(EuclideanMetric(points)) == fingerprint_points(points)
+        a = fingerprint_metric(EuclideanMetric(points))
+        b = fingerprint_metric(EuclideanMetric(points.copy()))
+        assert a == b
+
+    def test_metric_fingerprint_covers_distance_function(self, points):
+        # same points, different metric => different fingerprint — the
+        # cache must never serve a euclidean result to a manhattan job
+        from repro.metric.euclidean import EuclideanMetric
+        from repro.metric.lp import ChebyshevMetric, ManhattanMetric
+
+        fps = {
+            fingerprint_metric(EuclideanMetric(points)),
+            fingerprint_metric(ManhattanMetric(points)),
+            fingerprint_metric(ChebyshevMetric(points)),
+        }
+        assert len(fps) == 3
 
     def test_fingerprint_pierces_wrapper_chain(self, points):
         from repro.metric.euclidean import EuclideanMetric
         from repro.metric.oracle import CountingOracle
 
         wrapped = CountingOracle(EuclideanMetric(points))
-        assert fingerprint_metric(wrapped) == fingerprint_points(points)
+        assert fingerprint_metric(wrapped) == fingerprint_metric(
+            EuclideanMetric(points)
+        )
 
     def test_workload_fingerprint_deterministic(self):
         a = make_workload("gaussian", 200, seed=5)
@@ -81,12 +98,24 @@ class TestDatasetRegistry:
         ds = reg.register_points(points)
         assert ds.n == 120 and ds.kind == "points"
         assert reg.get(ds.id) is ds
-        assert ds.fingerprint == fingerprint_points(points)
+        from repro.metric.euclidean import EuclideanMetric
+
+        assert ds.fingerprint == fingerprint_metric(EuclideanMetric(points))
 
     def test_registration_idempotent(self, points):
         reg = DatasetRegistry()
         assert reg.register_points(points) is reg.register_points(points.copy())
         assert len(reg) == 1
+
+    def test_same_points_different_metric_distinct_datasets(self, points):
+        # regression: euclidean-then-manhattan registration must not
+        # return the euclidean dataset (and its cached results)
+        reg = DatasetRegistry()
+        eu = reg.register_points(points, metric="euclidean")
+        man = reg.register_points(points, metric="manhattan")
+        assert eu.id != man.id and eu.fingerprint != man.fingerprint
+        assert len(reg) == 2
+        assert type(man.metric).__name__ == "ManhattanMetric"
 
     def test_register_workload(self):
         reg = DatasetRegistry()
@@ -123,6 +152,7 @@ class TestJobSpec:
             {"algorithm": "kcenter", "dataset": "d", "k": 1, "machines": 0},
             {"algorithm": "kcenter", "dataset": "d", "k": 1, "partition": "zigzag"},
             {"algorithm": "kcenter", "dataset": "d", "k": 1, "constants": "magic"},
+            {"algorithm": "kcenter", "dataset": "d", "k": 1, "trim_mode": "zigzag"},
             {"algorithm": "kcenter", "dataset": "d", "k": 1, "timeout_s": -1},
             {"algorithm": "ksupplier", "dataset": "d", "k": 1},
             {"algorithm": "kcenter", "dataset": "d", "k": 1, "customers": [1]},
@@ -285,6 +315,65 @@ class TestJobManager:
         assert stats["queue_depth"] == 0
         assert set(stats["jobs_by_state"]) == {s.value for s in JobState}
         assert "hit_rate" in stats["cache"]
+
+    def test_cancel_then_worker_claim_is_atomic(self, registry):
+        # cancel a queued job while workers are paused; once resumed the
+        # worker must observe the terminal state and never flip it back
+        # to running (the reviewed QUEUED->CANCELLED vs QUEUED->RUNNING
+        # race)
+        manager = make_manager(registry, queue_limit=8)
+        manager.pause()
+        manager.start()
+        try:
+            ds_id = registry.list()[0]["id"]
+            job = manager.submit(JobSpec(algorithm="kcenter", dataset=ds_id, k=3))
+            cancelled = manager.cancel(job.id)
+            assert cancelled.state is JobState.CANCELLED
+            finished_at = cancelled.finished_at
+            manager.resume()
+            time.sleep(0.3)
+            after = manager.get(job.id)
+            assert after.state is JobState.CANCELLED
+            assert after.started_at is None and after.result is None
+            assert after.finished_at == finished_at  # not overwritten
+        finally:
+            manager.stop()
+
+    def test_terminal_history_is_bounded(self, registry):
+        manager = make_manager(registry, max_history=3).start()
+        try:
+            ds_id = registry.list()[0]["id"]
+            ids = []
+            for seed in range(5):
+                job = manager.submit(
+                    JobSpec(algorithm="kcenter", dataset=ds_id, k=3, seed=seed)
+                )
+                manager.wait(job.id, timeout=60)
+                ids.append(job.id)
+            retained = {j.id for j in manager.list_jobs()}
+            assert retained == set(ids[-3:])  # oldest terminal jobs evicted
+            with pytest.raises(UnknownJobError):
+                manager.get(ids[0])
+            # counters still reflect every submission
+            assert manager.stats()["submitted"] == 5
+        finally:
+            manager.stop()
+
+    def test_max_history_never_evicts_live_jobs(self, registry):
+        manager = make_manager(registry, queue_limit=8, max_history=1)  # not started
+        ds_id = registry.list()[0]["id"]
+        queued = [
+            manager.submit(JobSpec(algorithm="kcenter", dataset=ds_id, k=3, seed=s))
+            for s in range(3)
+        ]
+        # three live (queued) jobs coexist despite max_history=1 ...
+        assert len(manager.list_jobs()) == 3
+        manager.cancel(queued[0].id)
+        manager.cancel(queued[1].id)
+        # ... and only terminal ones count against the cap
+        states = {j.id: j.state for j in manager.list_jobs()}
+        assert states[queued[2].id] is JobState.QUEUED
+        assert sum(s.terminal for s in states.values()) == 1
 
     def test_diversity_and_ksupplier_jobs(self, registry, points):
         manager = make_manager(registry).start()

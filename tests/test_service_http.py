@@ -88,6 +88,16 @@ class TestDatasets:
                 client._request("POST", "/datasets", body)
             assert exc.value.status == status
 
+    def test_same_points_different_metric_distinct_over_http(self, client, points):
+        # regression: the fingerprint must cover the metric, or the
+        # second registration silently reuses the first dataset and
+        # every manhattan job runs (and cache-serves) euclidean
+        eu = client.register_points(points, metric="euclidean")
+        man = client.register_points(points, metric="manhattan")
+        assert eu["id"] != man["id"]
+        assert eu["fingerprint"] != man["fingerprint"]
+        assert client.dataset(man["id"])["metric"] == "ManhattanMetric"
+
     def test_unknown_dataset_404(self, client):
         with pytest.raises(ServiceError) as exc:
             client.dataset("ds-missing")
