@@ -37,6 +37,9 @@ Public surface:
 * observability — :class:`Observer`, :class:`ObserverHub` (as
   ``cluster.obs``), :class:`Recorder`, :class:`RunLog`, and the trace
   exporters in :mod:`repro.obs`;
+* fault injection — :class:`FaultPlan` (deterministic, seeded chaos
+  across executor, machine, and service layers; see
+  :mod:`repro.faults` and ``docs/fault_tolerance.md``);
 * the job service — :mod:`repro.service` (import it explicitly):
   ``JobManager``, ``DatasetRegistry``, ``ResultCache``,
   ``ServiceClient``, and the ``repro serve`` HTTP/JSON API;
@@ -82,14 +85,17 @@ from repro.core import (
 from repro.exceptions import (
     CommunicationLimitExceeded,
     ConvergenceError,
+    FaultError,
     InfeasibleInstanceError,
     InvalidSolutionError,
+    MachineFault,
     MemoryLimitExceeded,
     MPCError,
     ReproError,
     SolutionError,
     UnknownPointError,
 )
+from repro.faults import FaultPlan
 from repro.metric import (
     AngularMetric,
     CachedOracle,
@@ -190,6 +196,10 @@ __all__ = [
     "ClusteringResult",
     "DiversityResult",
     "SupplierResult",
+    # fault injection
+    "FaultPlan",
+    "FaultError",
+    "MachineFault",
     # errors
     "ReproError",
     "MPCError",

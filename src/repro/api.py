@@ -33,6 +33,11 @@ Every solver accepts the same assembly keywords:
     Partitioner name (``'random'``, ``'block'``, ``'skewed'``) or an
     explicit list of id arrays.  The seeded-``random`` default matches
     the CLI, so library calls and ``repro <cmd>`` runs coincide.
+``faults``
+    Optional :class:`~repro.faults.FaultPlan` (or any spec its
+    :meth:`~repro.faults.FaultPlan.from_spec` accepts) for
+    deterministic fault injection; recovery keeps results bit-identical
+    to the fault-free run (see ``docs/fault_tolerance.md``).
 
 The legacy entry points (:func:`repro.mpc_kcenter` and friends, driving
 an explicitly-built cluster) remain fully supported; the facade
@@ -120,6 +125,7 @@ def build_cluster(
     strict: bool = True,
     limits: Optional[Limits] = None,
     max_workers: Optional[int] = None,
+    faults=None,
 ) -> MPCCluster:
     """Assemble an :class:`MPCCluster` the way the solvers do.
 
@@ -146,6 +152,7 @@ def build_cluster(
         strict=strict,
         limits=limits,
         executor=make_executor(backend, max_workers=max_workers),
+        faults=faults,
     )
 
 
@@ -163,6 +170,7 @@ def solve_kcenter(
     trim_mode: str = "random",
     limits: Optional[Limits] = None,
     cluster: Optional[MPCCluster] = None,
+    faults=None,
 ) -> ClusteringResult:
     """(2+ε)-approximate MPC k-center over raw points (Algorithm 5).
 
@@ -170,7 +178,7 @@ def solve_kcenter(
     other assembly keyword must then stay at its default).
     """
     cluster = _resolve_cluster(
-        cluster, points, metric, machines, seed, partition, backend, limits
+        cluster, points, metric, machines, seed, partition, backend, limits, faults
     )
     return mpc_kcenter(cluster, k, epsilon=eps, constants=constants, trim_mode=trim_mode)
 
@@ -189,10 +197,11 @@ def solve_diversity(
     trim_mode: str = "random",
     limits: Optional[Limits] = None,
     cluster: Optional[MPCCluster] = None,
+    faults=None,
 ) -> DiversityResult:
     """(2+ε)-approximate MPC k-diversity maximization (Algorithm 2)."""
     cluster = _resolve_cluster(
-        cluster, points, metric, machines, seed, partition, backend, limits
+        cluster, points, metric, machines, seed, partition, backend, limits, faults
     )
     return mpc_diversity(cluster, k, epsilon=eps, constants=constants, trim_mode=trim_mode)
 
@@ -213,6 +222,7 @@ def solve_ksupplier(
     trim_mode: str = "random",
     limits: Optional[Limits] = None,
     cluster: Optional[MPCCluster] = None,
+    faults=None,
 ) -> SupplierResult:
     """(3+ε)-approximate MPC k-supplier (Algorithm 6).
 
@@ -222,7 +232,7 @@ def solve_ksupplier(
     if customers is None or suppliers is None:
         raise ValueError("solve_ksupplier needs customer and supplier id sets")
     cluster = _resolve_cluster(
-        cluster, points, metric, machines, seed, partition, backend, limits
+        cluster, points, metric, machines, seed, partition, backend, limits, faults
     )
     return mpc_ksupplier(
         cluster, customers, suppliers, k, epsilon=eps,
@@ -239,10 +249,16 @@ def _resolve_cluster(
     partition: PartitionSpec,
     backend: Union[str, ExecutionBackend],
     limits: Optional[Limits],
+    faults=None,
 ) -> MPCCluster:
     if cluster is not None:
         if points is not None or isinstance(metric, Metric):
             raise ValueError("pass either cluster= or points/metric, not both")
+        if faults is not None:
+            raise ValueError(
+                "pass either cluster= or faults=, not both — give the plan "
+                "to build_cluster(faults=...) when pre-assembling"
+            )
         return cluster
     return build_cluster(
         points,
@@ -252,6 +268,7 @@ def _resolve_cluster(
         partition=partition,
         backend=backend,
         limits=limits,
+        faults=faults,
     )
 
 

@@ -52,12 +52,23 @@ def _build_cluster(args: argparse.Namespace, metric) -> MPCCluster:
         seed=args.seed,
         partition=args.partition,
         backend=getattr(args, "backend", "serial"),
+        faults=getattr(args, "faults", None),
     )
 
 
 def _print_stats(cluster: MPCCluster) -> None:
     print()
     print(format_table([cluster.stats.summary()], title="MPC statistics"))
+    if cluster.faults is not None:
+        print(f"\nfault injection: {cluster.faults.describe()}")
+        stats_fn = getattr(cluster.executor, "recovery_stats", None)
+        if stats_fn is not None:
+            rec = stats_fn()
+            print(
+                f"executor recovery: {rec['faults_injected']} injected, "
+                f"{rec['chunk_retries']} chunk retries, "
+                f"{rec['serial_fallbacks']} serial fallbacks"
+            )
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -108,6 +119,14 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         default=None,
         help="print an extra report; 'phases' shows the per-phase "
         "rounds/words/oracle-calls breakdown",
+    )
+    p.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection plan: 'key=value,...' or a "
+        "JSON object (e.g. 'seed=7,worker_kill=0.5,machine_fault=0.1'); "
+        "recovery keeps results bit-identical — see docs/fault_tolerance.md",
     )
 
 
@@ -425,12 +444,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout_s=args.job_timeout,
         cache_entries=args.cache_entries,
         max_history=args.max_history,
+        max_retries=args.max_retries,
+        faults=args.faults,
     )
     print(
         f"repro service v{__version__} listening on {server.url} "
         f"(workers={args.workers}, backend={args.backend}, "
         f"queue-limit={args.queue_limit})"
     )
+    if server.faults is not None:
+        print(f"fault injection active: {server.faults.describe()}")
     serve_forever(server)
     return 0
 
@@ -550,6 +573,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="terminal jobs retained for GET /jobs (oldest evicted beyond this)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="default retry budget for crashed jobs (specs may override)",
+    )
+    p.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection plan applied to the HTTP layer "
+        "(service_error/service_drop/error_burst) and every solver run "
+        "(worker_*/machine_fault); 'key=value,...' or a JSON object",
     )
     p.set_defaults(func=_cmd_serve)
 

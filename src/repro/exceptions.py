@@ -82,6 +82,30 @@ class InfeasibleInstanceError(SolutionError):
     the number of distinct points for diversity maximization)."""
 
 
+class FaultError(ReproError):
+    """Base class for injected-fault errors (see :mod:`repro.faults`)."""
+
+
+class MachineFault(FaultError):
+    """A transient per-machine fault injected at task entry.
+
+    Raised *before* the machine's local computation touches any state,
+    so a retry of the same task reproduces the undisturbed run exactly.
+    The cluster retries these up to
+    :data:`repro.faults.MACHINE_FAULT_RETRIES` times; one that
+    out-persists the retry budget propagates to the caller.
+    """
+
+    def __init__(self, machine_id: int, round_no: int, attempt: int) -> None:
+        self.machine_id = machine_id
+        self.round_no = round_no
+        self.attempt = attempt
+        super().__init__(
+            f"injected transient fault on machine {machine_id} "
+            f"(round {round_no}, attempt {attempt})"
+        )
+
+
 class ConvergenceError(ReproError):
     """A randomized routine failed to terminate within its round budget."""
 

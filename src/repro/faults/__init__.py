@@ -1,0 +1,39 @@
+"""repro.faults — deterministic fault injection for chaos testing.
+
+The MPC model the paper analyses assumes machines that compute and
+communicate in lockstep; any real fleet straggles, crashes, and gets
+OOM-killed.  This package is the *injection* half of the stack's
+fault-tolerance story (the recovery half lives where the faults land:
+chunk retry and serial fallback in
+:class:`~repro.mpc.executor.ProcessExecutor`, transient-fault retry in
+:meth:`~repro.mpc.cluster.MPCCluster.map_machines`, job retry with
+backoff in :class:`~repro.service.jobs.JobManager`, and transport retry
+in :class:`~repro.service.client.ServiceClient`).
+
+Everything is driven by a :class:`FaultPlan` — a seeded, serializable
+config whose fault decisions are pure functions of ``(seed, fault
+coordinates)``, so an injected chaos run is exactly reproducible and
+its results can be asserted bit-identical to an undisturbed run::
+
+    from repro import solve_kcenter
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(seed=7, worker_kill=1.0, machine_fault=0.2)
+    res = solve_kcenter(points, k=8, backend="process", faults=plan)
+    # res is bit-identical to the same call without faults
+
+Over the service: ``repro serve --faults "seed=7,error_burst=8"``.
+
+See ``docs/fault_tolerance.md`` for the fault model and the recovery
+ladder.
+"""
+
+from repro.exceptions import FaultError, MachineFault
+from repro.faults.plan import MACHINE_FAULT_RETRIES, FaultPlan
+
+__all__ = [
+    "FaultPlan",
+    "FaultError",
+    "MachineFault",
+    "MACHINE_FAULT_RETRIES",
+]

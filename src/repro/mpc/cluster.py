@@ -23,6 +23,8 @@ from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.exceptions import MachineFault
+from repro.faults import MACHINE_FAULT_RETRIES, FaultPlan
 from repro.metric.base import Metric
 from repro.mpc.accounting import ClusterStats, RoundStats
 from repro.mpc.limits import Limits
@@ -30,6 +32,7 @@ from repro.mpc.executor import SerialExecutor
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message, PointBatch
 from repro.mpc.partition import random_partition
+from repro.obs.events import FaultEvent
 from repro.obs.observer import ObserverHub
 
 
@@ -65,6 +68,14 @@ class MPCCluster:
         Enforce the known-point discipline (default on).
     limits:
         Optional hard memory/communication caps.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or spec accepted by
+        :meth:`~repro.faults.FaultPlan.from_spec`).  Its machine layer
+        injects transient :class:`~repro.exceptions.MachineFault`\\ s
+        into ``map_machines`` tasks, retried up to
+        :data:`~repro.faults.MACHINE_FAULT_RETRIES` times; its executor
+        layer is forwarded to the executor (when it supports
+        ``set_fault_plan``).
     """
 
     #: Index of the central machine used by the paper's algorithms.
@@ -79,6 +90,7 @@ class MPCCluster:
         strict: bool = True,
         limits: Optional[Limits] = None,
         executor=None,
+        faults=None,
     ) -> None:
         if num_machines < 1:
             raise ValueError("need at least one machine")
@@ -87,11 +99,19 @@ class MPCCluster:
         self.seed = int(seed)
         self.strict = strict
         self.limits = limits
+        #: resolved fault plan (None = no injection); see repro.faults
+        self.faults: Optional[FaultPlan] = FaultPlan.from_spec(faults)
+        #: map_machines dispatch counter (machine-fault coordinate)
+        self._dispatch_no = 0
         #: executes per-machine local work; see repro.mpc.executor
         self.executor = executor or SerialExecutor()
         bind = getattr(self.executor, "bind", None)
         if bind is not None:
             bind(self)
+        if self.faults is not None:
+            set_plan = getattr(self.executor, "set_fault_plan", None)
+            if set_plan is not None:
+                set_plan(self.faults)
 
         master = np.random.default_rng(seed)
         streams = master.spawn(self.m + 1)
@@ -136,11 +156,68 @@ class MPCCluster:
         machine's state — exactly the MPC local-computation contract.
         Backends that need machine-aware dispatch (the process backend
         synchronises RNG streams and oracle counters) provide
-        ``map_machines``; the others get the plain indexed form."""
+        ``map_machines``; the others get the plain indexed form.
+
+        When a fault plan with an active machine layer is installed,
+        tasks selected by the plan raise a transient
+        :class:`~repro.exceptions.MachineFault` *at entry* — before the
+        machine touches its RNG stream or the oracle — and are retried
+        in place up to :data:`~repro.faults.MACHINE_FAULT_RETRIES`
+        times, so recovered runs stay bit-identical to undisturbed
+        ones.  A fault that outlives the budget propagates."""
+        task = fn
+        if self.faults is not None and self.faults.machine_active:
+            self._dispatch_no += 1
+            task = self._fault_wrapped(fn, self.round_no, self._dispatch_no)
         mapper = getattr(self.executor, "map_machines", None)
         if mapper is not None:
-            return mapper(fn, self.machines, metric=self.metric)
-        return self.executor.map_indexed(lambda i: fn(self.machines[i]), self.m)
+            return mapper(task, self.machines, metric=self.metric)
+        return self.executor.map_indexed(lambda i: task(self.machines[i]), self.m)
+
+    def _fault_wrapped(self, fn, round_no: int, dispatch_no: int):
+        """Wrap a map_machines task with machine-fault injection + retry.
+
+        The plan is a pure function, so the driver can emit the full
+        injection/recovery record here — even when the task itself runs
+        inside a forked worker the driver never hears from again — and
+        the retry loop can live *inside* the task, where it works on
+        every backend.
+        """
+        plan = self.faults
+        for mach in self.machines:
+            n_faults = plan.machine_faults(round_no, dispatch_no, mach.id)
+            if n_faults == 0:
+                continue
+            for attempt in range(min(n_faults, MACHINE_FAULT_RETRIES + 1)):
+                self.obs.emit_fault(FaultEvent(
+                    layer="machine", kind="machine_fault", injected=True,
+                    round_no=round_no, target=f"machine {mach.id}",
+                    attempt=attempt, detail=f"dispatch {dispatch_no}",
+                ))
+            if n_faults <= MACHINE_FAULT_RETRIES:
+                self.obs.emit_fault(FaultEvent(
+                    layer="machine", kind="machine_retry", injected=False,
+                    round_no=round_no, target=f"machine {mach.id}",
+                    attempt=n_faults,
+                    detail=f"recovered after {n_faults} retr"
+                           f"{'y' if n_faults == 1 else 'ies'}",
+                ))
+
+        def task(mach):
+            n_faults = plan.machine_faults(round_no, dispatch_no, mach.id)
+            for attempt in range(MACHINE_FAULT_RETRIES + 1):
+                try:
+                    if attempt < n_faults:
+                        # injected at entry: no machine state touched yet,
+                        # so the retry below is trivially bit-identical
+                        raise MachineFault(mach.id, round_no, attempt)
+                    return fn(mach)
+                except MachineFault:
+                    if attempt >= MACHINE_FAULT_RETRIES:
+                        raise
+            raise AssertionError("unreachable")  # pragma: no cover
+
+        return task
 
     # -- messaging ---------------------------------------------------------------
 

@@ -36,11 +36,14 @@ from __future__ import annotations
 import os
 import pickle
 import sys
+import time
 import traceback
+import weakref
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Protocol, Sequence, TypeVar, runtime_checkable
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple, TypeVar, runtime_checkable
 
 from repro.mpc.shm import SharedArray, share_metric_points
+from repro.obs.events import FaultEvent
 
 T = TypeVar("T")
 
@@ -161,7 +164,9 @@ class ThreadedExecutor:
 
 
 class _WorkerFailure(Exception):
-    """A forked worker died or produced an unreadable payload."""
+    """Forked workers failed beyond repair: a task raised a real
+    exception, or dead/undecodable chunks outlived the retry budget.
+    The message aggregates *every* failed chunk's reason."""
 
 
 def _counting_layers(metric) -> list:
@@ -186,14 +191,24 @@ class ProcessExecutor:
     migrated into shared memory at :meth:`bind` time so even many rounds
     of copy-on-write churn never duplicate it.
 
-    Falls back to serial execution — transparently, with the reason in
-    :attr:`fallback_reason` — when the platform cannot ``fork`` (the
-    mechanism that lets closures and callable-based metrics such as
-    :class:`~repro.metric.matrix_metric.MatrixMetric` wrappers reach the
-    workers without being pickled) or when a worker's results cannot be
-    brought back.  The fallback re-runs the batch in the driver, which
-    is always safe: worker state never leaks into the driver except
-    through the explicit result channel.
+    Fault tolerance is layered (see ``docs/fault_tolerance.md``):
+
+    1. a chunk whose worker dies without reporting, or ships an
+       undecodable payload, is **re-executed alone** — healthy chunks'
+       results are kept — up to :attr:`chunk_retries` times;
+    2. beyond that (or when a task raises a real exception, which is
+       deterministic and not worth retrying) the whole batch **falls
+       back to a serial re-run in the driver**, with the reason
+       appended to :attr:`degradations`.
+
+    Both rungs preserve bit-identity: workers never mutate driver
+    state, so re-executing a chunk (in a fresh fork or in the driver)
+    reproduces exactly what the lost worker would have returned, and
+    ``map_machines``'s RNG-state/oracle-delta replay then applies the
+    same synchronisation it always does.  :attr:`fallback_reason` keeps
+    its original meaning — a *permanent* platform degradation (no
+    ``fork()``), distinct from the per-batch entries in
+    :attr:`degradations`.
 
     Parameters
     ----------
@@ -201,13 +216,39 @@ class ProcessExecutor:
         Number of forked workers per batch; defaults to the
         :data:`WORKERS_ENV_VAR` (``REPRO_WORKERS``) environment
         variable when set, else the CPU count.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`; its executor layer
+        (worker kill / payload corrupt / delay) is injected into forked
+        workers.  Usually wired through
+        :class:`~repro.mpc.cluster.MPCCluster`'s ``faults`` argument.
+    chunk_retries:
+        Times a dead/undecodable chunk is re-executed before the batch
+        degrades to a serial re-run.
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        faults=None,
+        chunk_retries: int = 2,
+    ) -> None:
         # attributes first: __del__ must survive a failed env lookup below
         self.max_workers = max_workers
         self.fallback_reason: Optional[str] = None
         self._shared: List[SharedArray] = []
+        if chunk_retries < 0:
+            raise ValueError(f"chunk_retries must be >= 0, got {chunk_retries}")
+        self.faults = faults
+        self.chunk_retries = chunk_retries
+        #: per-batch degradation reasons (serial re-runs taken and why)
+        self.degradations: List[str] = []
+        # recovery / injection counters (see recovery_stats())
+        self.faults_injected = 0
+        self.chunk_retries_used = 0
+        self.serial_fallbacks = 0
+        self._batch_no = 0
+        self._cluster_ref: Optional[weakref.ref] = None
         if not hasattr(os, "fork") or sys.platform in ("win32", "emscripten"):
             self.fallback_reason = f"fork() unavailable on {sys.platform}"
         if max_workers is None:
@@ -216,12 +257,42 @@ class ProcessExecutor:
     # -- lifecycle ----------------------------------------------------------
 
     def bind(self, cluster) -> None:
-        """Adopt a cluster: move its point matrix into shared memory."""
+        """Adopt a cluster: move its point matrix into shared memory and
+        keep a (weak) back-reference for fault/recovery observability."""
+        self._cluster_ref = weakref.ref(cluster)
         if self.fallback_reason is not None:
             return
         handle = share_metric_points(cluster.metric)
         if handle is not None:
             self._shared.append(handle)
+
+    def set_fault_plan(self, faults) -> None:
+        """Install (or clear, with ``None``) the executor-layer fault plan."""
+        self.faults = faults
+
+    def recovery_stats(self) -> dict:
+        """Injection/recovery counters, for bench artifacts and the
+        service's job payloads."""
+        return {
+            "faults_injected": self.faults_injected,
+            "chunk_retries": self.chunk_retries_used,
+            "serial_fallbacks": self.serial_fallbacks,
+            "degradations": list(self.degradations),
+        }
+
+    def _emit_fault(self, kind: str, injected: bool, target: str = "",
+                    attempt: int = 0, detail: str = "") -> None:
+        """Report a fault/recovery to the bound cluster's observers."""
+        cluster = self._cluster_ref() if self._cluster_ref is not None else None
+        if cluster is None:
+            return
+        cluster.obs.emit_fault(
+            FaultEvent(
+                layer="executor", kind=kind, injected=injected,
+                round_no=cluster.round_no, target=target,
+                attempt=attempt, detail=detail,
+            )
+        )
 
     def shutdown(self) -> None:
         """Unlink shared segments (mappings stay valid; idempotent)."""
@@ -258,10 +329,11 @@ class ProcessExecutor:
             return [fn(i) for i in range(count)]
         try:
             return self._fork_map(fn, count)
-        except _WorkerFailure:
+        except _WorkerFailure as exc:
             # Workers never mutate driver state, so a clean re-run in the
             # driver reproduces the exact result — or the real exception,
             # with a real traceback.
+            self._record_serial_fallback(str(exc))
             return [fn(i) for i in range(count)]
 
     def map_machines(self, fn, machines: Sequence, metric=None) -> list:
@@ -290,7 +362,8 @@ class ProcessExecutor:
 
         try:
             packed = self._fork_map(task, count)
-        except _WorkerFailure:
+        except _WorkerFailure as exc:
+            self._record_serial_fallback(str(exc))
             return [fn(mach) for mach in machines]
 
         values = []
@@ -302,16 +375,105 @@ class ProcessExecutor:
             values.append(value)
         return values
 
+    def _record_serial_fallback(self, reason: str) -> None:
+        """A batch degraded to a serial driver re-run; remember why."""
+        self.serial_fallbacks += 1
+        self.degradations.append(reason)
+        self._emit_fault("serial_fallback", injected=False, detail=reason)
+
     def _fork_map(self, task: Callable[[int], T], count: int) -> List[T]:
-        """Fork one worker per strided index chunk; gather over pipes."""
+        """Fork one worker per strided index chunk; gather over pipes.
+
+        Chunks whose worker dies without reporting or ships garbage are
+        re-forked alone — healthy chunks' results are kept — up to
+        :attr:`chunk_retries` times.  A task that raises a real
+        exception aborts immediately: it is deterministic, and the
+        serial fallback will reproduce it with a full traceback.
+        :class:`_WorkerFailure` messages carry *every* failed chunk's
+        reason, not just the first.
+        """
         workers = self._workers_for(count)
+        self._batch_no += 1
+        batch_no = self._batch_no
         chunks = [list(range(w, count, workers)) for w in range(workers)]
+        pending = [(w, chunk) for w, chunk in enumerate(chunks) if chunk]
+        results: List[T] = [None] * count  # type: ignore[list-item]
+        earlier_reasons: list[str] = []
+        attempt = 0
+        while True:
+            outcomes = self._run_chunks(task, pending, batch_no, attempt)
+            fatal: list[str] = []
+            retryable: list[tuple[int, list[int]]] = []
+            reasons: list[str] = []
+            for (widx, chunk), (status, payload) in zip(pending, outcomes):
+                if status == "ok":
+                    for i, value in zip(chunk, payload):
+                        results[i] = value
+                elif status == "fatal":
+                    fatal.append(str(payload))
+                else:  # "lost": died without reporting / undecodable payload
+                    reasons.append(str(payload))
+                    retryable.append((widx, chunk))
+            if fatal:
+                raise _WorkerFailure("; ".join(fatal + reasons))
+            if not retryable:
+                return results
+            if attempt >= self.chunk_retries:
+                raise _WorkerFailure(
+                    "; ".join(earlier_reasons + reasons)
+                    + f" (chunk retry budget {self.chunk_retries} exhausted)"
+                )
+            earlier_reasons.extend(reasons)
+            self.chunk_retries_used += len(retryable)
+            for (widx, chunk), reason in zip(retryable, reasons):
+                self._emit_fault(
+                    "chunk_retry", injected=False,
+                    target=f"worker {widx} chunk {chunk[:3]}",
+                    attempt=attempt + 1, detail=reason,
+                )
+            pending = retryable
+            attempt += 1
+
+    def _run_chunks(
+        self,
+        task: Callable[[int], T],
+        pending: Sequence[Tuple[int, List[int]]],
+        batch_no: int,
+        attempt: int,
+    ) -> List[Tuple[str, object]]:
+        """Fork one worker per pending ``(worker_index, chunk)``; gather.
+
+        Returns one ``(status, payload)`` per chunk, in order:
+        ``("ok", values)``, ``("fatal", traceback_text)`` for a task
+        exception, or ``("lost", reason)`` for a worker that died
+        without reporting or shipped an undecodable payload.  When a
+        fault plan is installed, its executor-layer faults are injected
+        here — decided in the driver (so observers see them) but enacted
+        inside the forked child.
+        """
+        plan = self.faults
         procs: list[tuple[int, int, list[int]]] = []
-        for chunk in chunks:
+        for widx, chunk in pending:
+            action = plan.worker_fault(batch_no, widx, attempt) if plan else None
+            if action is not None:
+                self.faults_injected += 1
+                kind = {"kill": "worker_kill", "corrupt": "payload_corrupt",
+                        "delay": "worker_delay"}[action]
+                self._emit_fault(
+                    kind, injected=True,
+                    target=f"worker {widx} chunk {chunk[:3]}",
+                    attempt=attempt, detail=f"batch {batch_no}",
+                )
             read_fd, write_fd = os.pipe()
             pid = os.fork()
             if pid == 0:  # worker
                 os.close(read_fd)
+                if action == "kill":
+                    # injected crash: exit before reporting a byte, like
+                    # an OOM-killed or segfaulted worker
+                    os._exit(1)
+                if action == "delay":
+                    time.sleep(plan.worker_delay_s)
                 status = 0
                 try:
                     payload = pickle.dumps(
@@ -320,6 +482,9 @@ class ProcessExecutor:
                 except BaseException:
                     payload = pickle.dumps(traceback.format_exc())
                     status = 1
+                if action == "corrupt":
+                    # injected bit-rot: ship bytes that cannot unpickle
+                    payload = b"\xde\xad\xbe\xef" + payload[:8]
                 try:
                     with os.fdopen(write_fd, "wb") as pipe:
                         pipe.write(bytes([status]))
@@ -330,30 +495,29 @@ class ProcessExecutor:
             os.close(write_fd)
             procs.append((pid, read_fd, chunk))
 
-        results: List[T] = [None] * count  # type: ignore[list-item]
-        failure: Optional[str] = None
+        outcomes: List[Tuple[str, object]] = []
         for pid, read_fd, chunk in procs:
             with os.fdopen(read_fd, "rb") as pipe:
                 blob = pipe.read()
             os.waitpid(pid, 0)
-            if failure is not None:
-                continue
             if not blob:
-                failure = f"worker {pid} died without reporting (chunk {chunk[:3]}…)"
+                outcomes.append(
+                    ("lost", f"worker {pid} died without reporting (chunk {chunk[:3]}…)")
+                )
                 continue
             try:
                 data = pickle.loads(blob[1:])
             except Exception:
-                failure = f"worker {pid} returned an undecodable payload"
+                outcomes.append(
+                    ("lost",
+                     f"worker {pid} returned an undecodable payload (chunk {chunk[:3]}…)")
+                )
                 continue
             if blob[0] != 0:
-                failure = str(data)
+                outcomes.append(("fatal", str(data)))
             else:
-                for i, value in zip(chunk, data):
-                    results[i] = value
-        if failure is not None:
-            raise _WorkerFailure(failure)
-        return results
+                outcomes.append(("ok", data))
+        return outcomes
 
 
 #: canonical backend names accepted by the CLI and the solver facade

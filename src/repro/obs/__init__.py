@@ -33,7 +33,7 @@ tags (``kcenter/probe``, ``mis/round``, ``degree/estimate``, …); see
 ``docs/observability.md`` for the full catalogue.
 """
 
-from repro.obs.events import MessageEvent, RoundRecord, SpanRecord
+from repro.obs.events import FaultEvent, MessageEvent, RoundRecord, SpanRecord
 from repro.obs.export import (
     export_run,
     phase_report,
@@ -47,6 +47,7 @@ from repro.obs.observer import Observer, ObserverHub
 from repro.obs.record import Recorder, RunLog
 
 __all__ = [
+    "FaultEvent",
     "MessageEvent",
     "RoundRecord",
     "SpanRecord",

@@ -1,14 +1,16 @@
 """Structured event records emitted by the instrumentation layer.
 
-Three record types cover the three granularities the paper's theorems
-speak about:
+Four record types cover the granularities the paper's theorems (and a
+production deployment's failure modes) speak about:
 
 * :class:`MessageEvent` — one delivered message (*where the words go*);
 * :class:`RoundRecord` — one ``step()`` barrier (*where the rounds go*);
 * :class:`SpanRecord` — one named algorithm phase, with counter
   snapshots taken at entry and exit so every round, word, message,
   wall-clock second, and distance-oracle call is attributable to a
-  paper-level phase.
+  paper-level phase;
+* :class:`FaultEvent` — one injected fault or one recovery action
+  (*what went wrong and what fixed it*; see :mod:`repro.faults`).
 
 All records are plain dataclasses with a ``to_dict`` for serialization;
 they carry no references back into the simulator, so a recorded run log
@@ -66,6 +68,49 @@ class RoundRecord:
             "words": self.words,
             "messages": self.messages,
             "max_load": self.max_load,
+        }
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, or one recovery action taken for a fault.
+
+    ``injected=True`` records a fault going in (a worker kill, a
+    transient machine fault, a synthetic 429); ``injected=False``
+    records the system reacting (a chunk retry, a serial fallback, a
+    machine-task retry succeeding, a job retry).  A healthy chaos run
+    pairs every injection with a recovery; an exhausted one ends with
+    an unpaired injection and a propagated error.
+    """
+
+    #: which layer: "executor", "machine", or "service"
+    layer: str
+    #: e.g. "worker_kill", "payload_corrupt", "machine_fault",
+    #: "chunk_retry", "serial_fallback", "machine_retry", "job_retry"
+    kind: str
+    #: True = fault injection, False = recovery action
+    injected: bool
+    #: MPC round the fault belongs to (-1 when not round-scoped)
+    round_no: int = -1
+    #: what was hit / recovered: "machine 3", "chunk [1, 5]", a job id…
+    target: str = ""
+    #: retry attempt number, where meaningful
+    attempt: int = 0
+    #: free-form context (failure reason, backoff delay, …)
+    detail: str = ""
+    #: wall-clock stamp (``time.perf_counter`` domain, matching spans)
+    time: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "kind": self.kind,
+            "injected": self.injected,
+            "round_no": self.round_no,
+            "target": self.target,
+            "attempt": self.attempt,
+            "detail": self.detail,
+            "time": self.time,
         }
 
 

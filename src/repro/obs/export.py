@@ -23,7 +23,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-from repro.obs.events import MessageEvent, RoundRecord, SpanRecord
+from repro.obs.events import FaultEvent, MessageEvent, RoundRecord, SpanRecord
 from repro.obs.record import RunLog
 
 PathLike = Union[str, Path]
@@ -43,6 +43,8 @@ def write_jsonl(log: RunLog, path: PathLike) -> Path:
             fh.write(json.dumps({"type": "round", **r.to_dict()}) + "\n")
         for m in log.messages:
             fh.write(json.dumps({"type": "message", **m.to_dict()}) + "\n")
+        for f in log.faults:
+            fh.write(json.dumps({"type": "fault", **f.to_dict()}) + "\n")
     return path
 
 
@@ -58,6 +60,8 @@ def read_jsonl(path: PathLike) -> RunLog:
     }
     round_fields = {"round_no", "start_time", "end_time", "words", "messages", "max_load"}
     message_fields = {"round_no", "src", "dst", "tag", "words"}
+    fault_fields = {"layer", "kind", "injected", "round_no", "target", "attempt",
+                    "detail", "time"}
     for line in Path(path).read_text().splitlines():
         if not line.strip():
             continue
@@ -77,19 +81,25 @@ def read_jsonl(path: PathLike) -> RunLog:
             log.messages.append(
                 MessageEvent(**{k: v for k, v in obj.items() if k in message_fields})
             )
+        elif kind == "fault":
+            log.faults.append(
+                FaultEvent(**{k: v for k, v in obj.items() if k in fault_fields})
+            )
     return log
 
 
 # -- Chrome trace-event format ----------------------------------------------------
 
-#: synthetic thread ids of the two tracks in the Chrome export
+#: synthetic thread ids of the tracks in the Chrome export
 SPAN_TID = 0
 ROUND_TID = 1
+FAULT_TID = 2
 
 
 def to_chrome_trace(log: RunLog) -> Dict:
     """Build a Chrome trace-event document (JSON Object Format)."""
     starts = [s.start_time for s in log.spans] + [r.start_time for r in log.rounds]
+    starts += [f.time for f in log.faults if f.time > 0.0]
     t0 = min(starts) if starts else 0.0
 
     def us(t: float) -> float:
@@ -103,6 +113,24 @@ def to_chrome_trace(log: RunLog) -> Dict:
         {"name": "thread_name", "ph": "M", "pid": 0, "tid": ROUND_TID,
          "args": {"name": "MPC rounds"}},
     ]
+    if log.faults:
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": FAULT_TID,
+             "args": {"name": "faults & recovery"}}
+        )
+        for f in log.faults:
+            events.append(
+                {
+                    "name": f"{'⚡' if f.injected else '✓'} {f.kind}",
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": FAULT_TID,
+                    "ts": us(f.time) if f.time > 0.0 else 0.0,
+                    "args": f.to_dict(),
+                }
+            )
     for s in sorted(log.spans, key=lambda s: (s.start_time, s.uid)):
         events.append(
             {
@@ -220,5 +248,6 @@ def trace_payload(log: RunLog, fmt: str = "chrome") -> tuple[str, str]:
         lines += [json.dumps({"type": "span", **s.to_dict()}) for s in log.spans]
         lines += [json.dumps({"type": "round", **r.to_dict()}) for r in log.rounds]
         lines += [json.dumps({"type": "message", **m.to_dict()}) for m in log.messages]
+        lines += [json.dumps({"type": "fault", **f.to_dict()}) for f in log.faults]
         return "application/x-ndjson", "\n".join(lines) + "\n"
     raise ValueError(f"unknown trace format {fmt!r} (expected 'chrome' or 'jsonl')")

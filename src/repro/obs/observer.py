@@ -26,7 +26,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional
 
-from repro.obs.events import MessageEvent, RoundRecord, SpanRecord
+from repro.obs.events import FaultEvent, MessageEvent, RoundRecord, SpanRecord
 
 
 class Observer:
@@ -65,6 +65,10 @@ class Observer:
 
     def on_span_end(self, span: SpanRecord) -> None:
         """A named phase span closed (all snapshots are filled in)."""
+
+    def on_fault(self, event: FaultEvent) -> None:
+        """A fault was injected, or a recovery action was taken (see
+        :mod:`repro.faults` and :class:`FaultEvent`)."""
 
 
 class ObserverHub:
@@ -205,6 +209,21 @@ class ObserverHub:
         event = MessageEvent(round_no=round_no, src=src, dst=dst, tag=tag, words=words)
         for ob in self._observers:
             ob.on_message(event)
+
+    def emit_fault(self, event: FaultEvent) -> None:
+        """Fan a fault/recovery event out to the observers.
+
+        Events arrive pre-stamped or are stamped here with the span
+        clock (``time.perf_counter``) so exporters can place them on
+        the same timeline as spans and rounds.
+        """
+        if not self._observers:
+            return
+        if event.time == 0.0:
+            # frozen dataclass: rebuild with the stamp filled in
+            event = FaultEvent(**{**event.to_dict(), "time": time.perf_counter()})
+        for ob in self._observers:
+            ob.on_fault(event)
 
     def emit_round_end(self, round_stats) -> None:
         if not self._observers:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.obs.events import MessageEvent, RoundRecord, SpanRecord
+from repro.obs.events import FaultEvent, MessageEvent, RoundRecord, SpanRecord
 from repro.obs.observer import Observer
 
 
@@ -23,6 +23,7 @@ class RunLog:
     spans: List[SpanRecord] = field(default_factory=list)
     rounds: List[RoundRecord] = field(default_factory=list)
     messages: List[MessageEvent] = field(default_factory=list)
+    faults: List[FaultEvent] = field(default_factory=list)
 
     # -- aggregation -------------------------------------------------------------
 
@@ -93,6 +94,24 @@ class RunLog:
                 covered += 1
         return covered / len(self.rounds)
 
+    def fault_summary(self) -> dict:
+        """Injected-vs-recovered counts, grouped by ``layer/kind``.
+
+        The chaos suite's acceptance view: a run that survived its
+        fault plan shows every injection kind matched by recovery
+        actions, and ``{"injected": 0, "recovered": 0}`` means the run
+        was undisturbed.
+        """
+        by_kind: Dict[str, int] = {}
+        injected = recovered = 0
+        for ev in self.faults:
+            by_kind[f"{ev.layer}/{ev.kind}"] = by_kind.get(f"{ev.layer}/{ev.kind}", 0) + 1
+            if ev.injected:
+                injected += 1
+            else:
+                recovered += 1
+        return {"injected": injected, "recovered": recovered, "by_kind": by_kind}
+
     def span_tree(self) -> List[tuple]:
         """``(depth, span)`` pairs in start order, for indented rendering."""
         return [
@@ -140,3 +159,6 @@ class Recorder(Observer):
 
     def on_span_end(self, span: SpanRecord) -> None:
         self.log.spans.append(span)
+
+    def on_fault(self, event: FaultEvent) -> None:
+        self.log.faults.append(event)

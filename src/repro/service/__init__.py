@@ -23,7 +23,9 @@ Layers (each its own module):
   :func:`repro.api.solve` with a per-job :class:`~repro.obs.Recorder`
   and round-granular cancellation/timeout;
 * :mod:`repro.service.jobs` — :class:`JobManager`: bounded FIFO queue,
-  worker pool, job lifecycle ``queued → running → done|failed|cancelled``;
+  worker pool, job lifecycle ``queued → running → done|failed|cancelled``,
+  and a :class:`RetryPolicy` that re-enqueues crashed jobs with
+  exponential backoff (see ``docs/fault_tolerance.md``);
 * :mod:`repro.service.http` — the HTTP/JSON API
   (``POST /datasets``, ``POST /jobs``, ``GET /jobs/<id>``,
   ``DELETE /jobs/<id>``, ``GET /jobs/<id>/trace``, ``GET /healthz``,
@@ -56,6 +58,7 @@ from repro.service.jobs import (
     JobManager,
     JobState,
     QueueFullError,
+    RetryPolicy,
     UnknownJobError,
 )
 from repro.service.spec import JobSpec
@@ -72,6 +75,7 @@ __all__ = [
     "JobTimeout",
     "QueueFullError",
     "ResultCache",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "UnknownJobError",

@@ -15,10 +15,20 @@ registers, submits, and waits::
 HTTP error responses raise :class:`ServiceError` carrying the status
 code and the server's parsed ``{"error": ...}`` message — a full queue
 surfaces as ``ServiceError`` with ``status == 429``.
+
+The transport is fault-tolerant: transient failures — dropped or
+refused connections, and ``429``/``503`` responses — are retried with
+capped exponential backoff, honouring the server's ``Retry-After``
+header when present.  Other HTTP errors (400, 404, 409, …) raise
+immediately: they are answers, not faults.  :meth:`ServiceClient.wait`
+additionally survives a server restart mid-poll, as long as the new
+server comes back (with the same job state, e.g. a shared manager)
+before the wait deadline.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -27,26 +37,62 @@ from typing import Optional
 
 import numpy as np
 
+#: statuses the transport treats as transient and retries
+RETRYABLE_STATUSES = (429, 503)
+
 
 class ServiceError(RuntimeError):
     """An HTTP error response from the service."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        #: parsed Retry-After header (seconds), when the server sent one
+        self.retry_after = retry_after
 
 
 class ServiceClient:
-    """Thin JSON client bound to one service base URL."""
+    """Thin JSON client bound to one service base URL.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running service.
+    timeout:
+        Per-request socket timeout, seconds.
+    retries:
+        Transient-failure retries per request (so a request is attempted
+        at most ``retries + 1`` times).  Set 0 to fail fast.
+    backoff_s / max_backoff_s:
+        Initial and maximum backoff between attempts; doubles per
+        retry, and the server's ``Retry-After`` overrides the computed
+        delay when present.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        *,
+        retries: int = 4,
+        backoff_s: float = 0.1,
+        max_backoff_s: float = 2.0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        #: transient failures retried over this client's lifetime
+        self.transport_retries = 0
 
     # -- transport ----------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: Optional[dict] = None):
+    def _request_once(self, method: str, path: str, body: Optional[dict] = None):
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -64,10 +110,47 @@ class ServiceClient:
                 message = json.loads(raw).get("error", raw)
             except (json.JSONDecodeError, AttributeError):
                 message = raw or exc.reason
-            raise ServiceError(exc.code, message) from None
+            retry_after = None
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            raise ServiceError(exc.code, message, retry_after=retry_after) from None
         if ctype.split(";")[0].strip() == "application/json":
             return json.loads(raw)
         return raw
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None):
+        """One logical request, with transient-failure retries.
+
+        Retried failures: connection errors (refused, reset, dropped
+        mid-response — a restarting or fault-injected server) and
+        ``429``/``503`` responses.  The service's handlers make these
+        safe to repeat: injected faults fire *before* any state
+        mutation, and a dropped response at worst re-submits an
+        idempotent registration or creates a duplicate job record.
+        """
+        delay = self.backoff_s
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, body)
+            except ServiceError as exc:
+                if exc.status not in RETRYABLE_STATUSES or attempt >= self.retries:
+                    raise
+                wait = exc.retry_after if exc.retry_after is not None else delay
+            except (urllib.error.URLError, ConnectionError, TimeoutError,
+                    http.client.HTTPException) as exc:
+                if attempt >= self.retries:
+                    raise ServiceError(
+                        0, f"transport failure after {attempt + 1} attempt(s): {exc}"
+                    ) from exc
+                wait = delay
+            self.transport_retries += 1
+            time.sleep(min(wait, self.max_backoff_s))
+            delay = min(delay * 2, self.max_backoff_s)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- service-level ------------------------------------------------------
 
@@ -117,18 +200,43 @@ class ServiceClient:
         text when ``fmt='jsonl'``."""
         return self._request("GET", f"/jobs/{job_id}/trace?format={fmt}")
 
-    def wait(self, job_id: str, timeout: float = 120.0, poll_s: float = 0.05) -> dict:
-        """Poll until the job reaches a terminal state; returns it."""
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_s: float = 0.05,
+        max_poll_s: float = 1.0,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns it.
+
+        The poll interval starts at ``poll_s`` and backs off ×1.5 per
+        poll up to ``max_poll_s``, so long waits don't hammer the
+        service.  Transient transport failures (beyond what
+        :meth:`_request` already retried — e.g. a server restarting
+        mid-wait) do not abort the wait: polling continues until the
+        deadline.  Non-transient HTTP errors (404 for a job the server
+        genuinely does not know, …) still raise immediately.
+        """
         deadline = time.monotonic() + timeout
+        delay = poll_s
+        last_state = "unknown"
         while True:
-            job = self.job(job_id)
-            if job["state"] in ("done", "failed", "cancelled"):
-                return job
+            try:
+                job = self.job(job_id)
+            except ServiceError as exc:
+                if exc.status not in RETRYABLE_STATUSES and exc.status != 0:
+                    raise
+                job = None  # server unreachable/overloaded; keep polling
+            if job is not None:
+                last_state = job["state"]
+                if last_state in ("done", "failed", "cancelled"):
+                    return job
             if time.monotonic() > deadline:
                 raise TimeoutError(
-                    f"job {job_id} still {job['state']} after {timeout}s"
+                    f"job {job_id} still {last_state} after {timeout}s"
                 )
-            time.sleep(poll_s)
+            time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+            delay = min(delay * 1.5, max_poll_s)
 
     # -- convenience --------------------------------------------------------
 

@@ -28,6 +28,7 @@ against ``server.url``.
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
 import time
@@ -36,10 +37,11 @@ from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro._version import __version__
+from repro.faults import FaultPlan
 from repro.obs.export import trace_payload
 from repro.service.cache import ResultCache
 from repro.service.datasets import DatasetRegistry, UnknownDatasetError
-from repro.service.jobs import JobManager, JobState, QueueFullError, UnknownJobError
+from repro.service.jobs import JobManager, JobState, QueueFullError, RetryPolicy, UnknownJobError
 from repro.service.spec import JobSpec
 
 #: request body cap (64 MiB ≈ 4M points × 2 dims as JSON) — a service
@@ -57,14 +59,40 @@ class ApiError(Exception):
 
 
 class ClusteringServiceServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that owns the service state."""
+    """ThreadingHTTPServer that owns the service state.
+
+    When a fault plan with an active service layer is installed, the
+    server injects synthetic ``429``/``503`` responses (with
+    ``Retry-After``) and dropped connections, deterministically per
+    request number — ``/healthz`` is exempt so liveness probes stay
+    honest.  Injections are counted for ``/stats`` and the
+    ``degraded`` health status.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address, handler, manager: JobManager) -> None:
+    def __init__(self, address, handler, manager: JobManager, faults=None) -> None:
         super().__init__(address, handler)
         self.manager = manager
         self.started_at = time.time()
+        self.faults: Optional[FaultPlan] = FaultPlan.from_spec(faults)
+        self._request_counter = itertools.count()
+        self._fault_lock = threading.Lock()
+        self.faults_injected = 0
+        self.last_fault_at: Optional[float] = None
+
+    def next_request_no(self) -> int:
+        return next(self._request_counter)
+
+    def record_injection(self) -> None:
+        with self._fault_lock:
+            self.faults_injected += 1
+            self.last_fault_at = time.time()
+
+    def recent_fault_activity(self, window_s: float = 60.0) -> bool:
+        with self._fault_lock:
+            last = self.last_fault_at
+        return last is not None and (time.time() - last) <= window_s
 
     @property
     def url(self) -> str:
@@ -125,9 +153,36 @@ class _Handler(BaseHTTPRequestHandler):
         query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
         return parsed.path, parts, query
 
+    def _inject_fault(self, parts: list) -> bool:
+        """Consult the service fault plan; returns True when this
+        request was consumed by an injected fault."""
+        plan = self.server.faults
+        if plan is None or not plan.service_active or parts == ["healthz"]:
+            return False
+        fault = plan.service_fault(self.server.next_request_no())
+        if fault is None:
+            return False
+        kind, status = fault
+        self.server.record_injection()
+        if kind == "drop":
+            # vanish mid-flight: close without writing a byte, like a
+            # crashed proxy — the client sees a torn connection
+            self.close_connection = True
+            return True
+        body = (json.dumps({"error": f"injected fault: synthetic {status}"}) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Retry-After", f"{plan.retry_after_s:g}")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return True
+
     def _dispatch(self, method: str) -> None:
         try:
             _, parts, query = self._route()
+            if self._inject_fault(parts):
+                return
             handler = self._resolve(method, parts)
             handler(parts, query)
         except ApiError as exc:
@@ -186,22 +241,39 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_healthz(self, parts, query) -> None:
         manager = self.server.manager
-        self._send_json(
-            200,
-            {
-                "status": "ok",
-                "version": __version__,
-                "uptime_s": time.time() - self.server.started_at,
-                "workers": manager.workers,
-                "backend": manager.backend,
-                "queue_limit": manager.queue_limit,
-            },
-        )
+        mstats = manager.stats()
+        degraded_because = []
+        if manager.recent_retry_activity():
+            degraded_because.append("job retries in the last 60s")
+        if self.server.recent_fault_activity():
+            degraded_because.append("injected service faults in the last 60s")
+        stuck = mstats.get("stuck_workers", [])
+        if stuck:
+            degraded_because.append(f"stuck worker(s): {', '.join(stuck)}")
+        payload = {
+            "status": "degraded" if degraded_because else "ok",
+            "version": __version__,
+            "uptime_s": time.time() - self.server.started_at,
+            "workers": manager.workers,
+            "backend": manager.backend,
+            "queue_limit": manager.queue_limit,
+            "faults_injected": self.server.faults_injected,
+            "retries": mstats["retry"]["retries"],
+        }
+        if degraded_because:
+            payload["degraded_because"] = degraded_because
+        self._send_json(200, payload)
 
     def _get_stats(self, parts, query) -> None:
-        stats = self.server.manager.stats()
-        stats["datasets"] = len(self.server.manager.datasets)
-        stats["uptime_s"] = time.time() - self.server.started_at
+        server = self.server
+        stats = server.manager.stats()
+        stats["datasets"] = len(server.manager.datasets)
+        stats["uptime_s"] = time.time() - server.started_at
+        stats["service_faults"] = {
+            "injected": server.faults_injected,
+            "last_fault_at": server.last_fault_at,
+            "plan": server.faults.describe() if server.faults is not None else None,
+        }
         self._send_json(200, stats)
 
     def _post_datasets(self, parts, query) -> None:
@@ -296,6 +368,8 @@ def serve(
     default_timeout_s: Optional[float] = None,
     cache_entries: int = 1024,
     max_history: int = 1024,
+    max_retries: int = 0,
+    faults=None,
     manager: Optional[JobManager] = None,
     start: bool = True,
 ) -> ClusteringServiceServer:
@@ -309,8 +383,13 @@ def serve(
         server.shutdown_service()
 
     Pass a prebuilt ``manager`` to share registries across servers, or
-    ``start=False`` to wire the worker pool up manually.
+    ``start=False`` to wire the worker pool up manually.  One ``faults``
+    plan drives every layer: its service rates are injected by the HTTP
+    front-end, its executor/machine rates ride into each solver run via
+    the manager.  ``max_retries`` sets the default
+    :class:`~repro.service.jobs.RetryPolicy` budget for crashed jobs.
     """
+    plan = FaultPlan.from_spec(faults)
     if manager is None:
         manager = JobManager(
             DatasetRegistry(),
@@ -320,8 +399,10 @@ def serve(
             queue_limit=queue_limit,
             default_timeout_s=default_timeout_s,
             max_history=max_history,
+            retry_policy=RetryPolicy(max_retries=max_retries),
+            faults=plan,
         )
-    server = ClusteringServiceServer((host, port), _Handler, manager)
+    server = ClusteringServiceServer((host, port), _Handler, manager, faults=plan)
     if start:
         manager.start()
     return server

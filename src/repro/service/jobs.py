@@ -18,7 +18,14 @@ thin JSON shim over it):
   Cancelling a queued job marks it immediately; cancelling a running
   job sets its cancel event, which the runner's round-barrier observer
   turns into an unwind.  Timeouts travel the same path and land in
-  ``failed`` with a timeout error message.
+  ``failed`` with a timeout error message;
+* **retry** — a :class:`RetryPolicy` (manager default, overridable per
+  job via ``spec.max_retries``) re-enqueues crashed jobs with
+  exponential backoff and deterministic jitter.  Cancellations and
+  timeouts are *not* retried — they are decisions, not faults — and a
+  job goes terminal ``failed`` only after the budget is exhausted.
+  Every attempt is recorded in :attr:`Job.attempts` and surfaced by
+  :meth:`Job.describe`.
 
 Every transition is recorded with a monotonic-free wall timestamp so
 ``GET /jobs/<id>`` can report queue latency and run time.
@@ -26,15 +33,18 @@ Every transition is recorded with a monotonic-free wall timestamp so
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import queue
 import threading
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional
 
+from repro.faults import FaultPlan
 from repro.obs.record import RunLog
 from repro.service.cache import ResultCache
 from repro.service.datasets import DatasetRegistry
@@ -44,6 +54,56 @@ from repro.service.spec import JobSpec
 
 class QueueFullError(RuntimeError):
     """The bounded job queue is at capacity; resubmit later."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the manager retries crashed jobs.
+
+    The default budget is 0 — retry is opt-in, because a
+    deterministically-failing job would just fail slower.  Backoff is
+    exponential with a small *deterministic* jitter (hashed from the
+    job id and attempt number, so reruns of a chaos suite sleep the
+    same amounts).
+    """
+
+    #: re-runs after the first failed attempt (0 = fail immediately)
+    max_retries: int = 0
+    #: initial backoff before the first retry, seconds
+    backoff_s: float = 0.25
+    #: multiplier applied per subsequent retry
+    factor: float = 2.0
+    #: backoff ceiling, seconds
+    max_backoff_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based), seconds.
+
+        Jitter is ±25%, derived from ``(key, attempt)`` with BLAKE2b —
+        a pure function, so a replayed run backs off identically.
+        """
+        base = min(self.backoff_s * self.factor ** (attempt - 1), self.max_backoff_s)
+        digest = hashlib.blake2b(
+            repr((key, attempt)).encode(), digest_size=8
+        ).digest()
+        jitter = 0.75 + 0.5 * (int.from_bytes(digest, "big") / 2**64)
+        return min(base * jitter, self.max_backoff_s)
+
+    def to_dict(self) -> dict:
+        return {
+            "max_retries": self.max_retries,
+            "backoff_s": self.backoff_s,
+            "factor": self.factor,
+            "max_backoff_s": self.max_backoff_s,
+        }
 
 
 class UnknownJobError(KeyError):
@@ -80,6 +140,11 @@ class Job:
     cached: bool = False
     #: the recorded run log (also set for cache hits: the producing run's)
     run_log: Optional[RunLog] = None
+    #: 0-based index of the current/last execution attempt
+    attempt: int = 0
+    #: one record per *failed* attempt that was retried:
+    #: ``{"attempt", "error", "failed_at", "backoff_s"}``
+    attempts: List[dict] = field(default_factory=list)
     cancel_event: threading.Event = field(default_factory=threading.Event)
     done_event: threading.Event = field(default_factory=threading.Event)
 
@@ -93,7 +158,10 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "cached": self.cached,
+            "attempt": self.attempt,
         }
+        if self.attempts:
+            out["attempts"] = [dict(a) for a in self.attempts]
         if self.error is not None:
             out["error"] = self.error
         if include_result and self.result is not None:
@@ -127,6 +195,17 @@ class JobManager:
         and run logs) are evicted, so a long-running service holds a
         bounded amount of history instead of every job ever submitted.
         Queued and running jobs are never evicted.
+    retry_policy:
+        Default :class:`RetryPolicy` for crashed jobs; a job spec's
+        ``max_retries`` overrides the budget (backoff shape stays the
+        policy's).  Defaults to no retries.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or spec) applied to
+        every solver run — the chaos path for the executor and machine
+        layers.  Service-layer faults live in the HTTP front-end.
+    stop_timeout_s:
+        Per-thread join budget in :meth:`stop`; workers that miss it
+        are reported as stuck instead of silently discarded.
     """
 
     def __init__(
@@ -139,6 +218,9 @@ class JobManager:
         queue_limit: int = 64,
         default_timeout_s: Optional[float] = None,
         max_history: int = 1024,
+        retry_policy: Optional[RetryPolicy] = None,
+        faults=None,
+        stop_timeout_s: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -146,6 +228,8 @@ class JobManager:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         if max_history < 1:
             raise ValueError(f"max_history must be >= 1, got {max_history}")
+        if stop_timeout_s <= 0:
+            raise ValueError(f"stop_timeout_s must be > 0, got {stop_timeout_s}")
         self.datasets = datasets
         self.cache = cache if cache is not None else ResultCache()
         self.backend = backend
@@ -153,12 +237,17 @@ class JobManager:
         self.workers = workers
         self.default_timeout_s = default_timeout_s
         self.max_history = max_history
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.faults = FaultPlan.from_spec(faults)
+        self.stop_timeout_s = float(stop_timeout_s)
 
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=queue_limit)
         self._jobs: Dict[str, Job] = {}
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._threads: List[threading.Thread] = []
+        self._stuck_threads: List[threading.Thread] = []
+        self._retry_timers: List[threading.Timer] = []
         self._stop = threading.Event()
         self._resume = threading.Event()
         self._resume.set()
@@ -167,6 +256,10 @@ class JobManager:
         self._submitted = 0
         self._rejected = 0
         self._by_algorithm: Dict[str, int] = {}
+        self._retries = 0
+        self._jobs_recovered = 0
+        self._jobs_exhausted = 0
+        self._last_retry_at: Optional[float] = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -186,12 +279,43 @@ class JobManager:
 
     def stop(self, wait: bool = True) -> None:
         """Stop the pool.  Queued jobs stay queued (drained on restart);
-        the running job, if any, finishes first."""
+        the running job, if any, finishes first.
+
+        With ``wait=True``, each worker gets :attr:`stop_timeout_s` to
+        join.  Workers that miss the deadline are *not* silently
+        discarded: a :class:`RuntimeWarning` names them and they stay
+        visible as ``stuck_workers`` in :meth:`stats` until they
+        actually exit.  Pending retry timers are cancelled; their jobs
+        stay queued in-memory state and re-enter on restart via the
+        normal queue.
+        """
         self._stop.set()
         self._resume.set()
+        with self._lock:
+            timers, self._retry_timers = self._retry_timers, []
+        for timer in timers:
+            timer.cancel()
+        stuck: List[threading.Thread] = []
         if wait:
             for t in self._threads:
-                t.join(timeout=30)
+                t.join(timeout=self.stop_timeout_s)
+                if t.is_alive():
+                    stuck.append(t)
+            if stuck:
+                warnings.warn(
+                    f"JobManager.stop(): {len(stuck)} worker(s) still alive "
+                    f"after {self.stop_timeout_s}s: "
+                    f"{', '.join(t.name for t in stuck)} — the running job "
+                    "is not round-barrier-interruptible; it will finish (or "
+                    "leak) in the background",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        with self._lock:
+            # forget clean exits; remember the stragglers for stats()
+            self._stuck_threads = [
+                t for t in self._stuck_threads + stuck if t.is_alive()
+            ]
         self._threads = []
         self._started = False
 
@@ -304,7 +428,8 @@ class JobManager:
             by_state: Dict[str, int] = {s.value: 0 for s in JobState}
             for job in self._jobs.values():
                 by_state[job.state.value] += 1
-            return {
+            self._stuck_threads = [t for t in self._stuck_threads if t.is_alive()]
+            out = {
                 "queue_depth": self._queue.qsize(),
                 "queue_limit": self.queue_limit,
                 "max_history": self.max_history,
@@ -316,7 +441,25 @@ class JobManager:
                 "jobs_by_state": by_state,
                 "jobs_by_algorithm": dict(self._by_algorithm),
                 "cache": self.cache.stats(),
+                "stuck_workers": [t.name for t in self._stuck_threads],
+                "retry": {
+                    "policy": self.retry_policy.to_dict(),
+                    "retries": self._retries,
+                    "jobs_recovered": self._jobs_recovered,
+                    "jobs_exhausted": self._jobs_exhausted,
+                    "last_retry_at": self._last_retry_at,
+                },
             }
+            if self.faults is not None:
+                out["faults"] = self.faults.describe()
+            return out
+
+    def recent_retry_activity(self, window_s: float = 60.0) -> bool:
+        """True when a retry fired within the last ``window_s`` seconds
+        (the health endpoint's "degraded" signal)."""
+        with self._lock:
+            last = self._last_retry_at
+        return last is not None and (time.time() - last) <= window_s
 
     # -- worker pool --------------------------------------------------------
 
@@ -374,6 +517,7 @@ class JobManager:
                 backend=self.backend,
                 cancel_event=job.cancel_event,
                 job_id=job.id,
+                faults=self.faults,
             )
         except JobCancelled:
             state, error, produced = JobState.CANCELLED, None, None
@@ -382,15 +526,88 @@ class JobManager:
             error = f"timed out after {spec.timeout_s}s (round-barrier check)"
             produced = None
         except Exception:
-            state, error, produced = JobState.FAILED, traceback.format_exc(), None
+            # crashes (unlike cancellations and timeouts, which are
+            # decisions) are retryable: re-enqueue with backoff while
+            # the budget lasts, terminal FAILED only after exhaustion
+            error = traceback.format_exc()
+            if self._schedule_retry(job, error):
+                return
+            state, produced = JobState.FAILED, None
         else:
             state, error, produced = JobState.DONE, None, (payload, run_log)
             self.cache.put(spec.cache_key(dataset.fingerprint), payload, run_log)
         with self._lock:
             if produced is not None:
                 job.result, job.run_log = produced
+                if job.attempt > 0:
+                    self._jobs_recovered += 1
             job.error = error
             job.state = state
             job.finished_at = time.time()
             self._prune_history_locked()
         job.done_event.set()
+
+    # -- retry --------------------------------------------------------------
+
+    def _retry_budget(self, job: Job) -> int:
+        """Effective retry budget: the spec's override, else the policy's."""
+        if job.spec.max_retries is not None:
+            return job.spec.max_retries
+        return self.retry_policy.max_retries
+
+    def _schedule_retry(self, job: Job, error: str) -> bool:
+        """Re-enqueue a crashed job after backoff if its budget allows.
+
+        Returns True when a retry was scheduled (the job goes back to
+        ``queued``; the caller must NOT mark it terminal).
+        """
+        if job.cancel_event.is_set() or self._stop.is_set():
+            return False
+        budget = self._retry_budget(job)
+        if job.attempt >= budget:
+            if budget > 0:
+                with self._lock:
+                    self._jobs_exhausted += 1
+            return False
+        delay = self.retry_policy.delay(job.attempt + 1, key=job.id)
+        summary = error.strip().splitlines()[-1] if error.strip() else "unknown error"
+        with self._lock:
+            job.attempts.append(
+                {
+                    "attempt": job.attempt,
+                    "error": summary,
+                    "failed_at": time.time(),
+                    "backoff_s": round(delay, 4),
+                }
+            )
+            job.attempt += 1
+            job.state = JobState.QUEUED
+            job.started_at = None
+            self._retries += 1
+            self._last_retry_at = time.time()
+            timer = threading.Timer(delay, self._requeue, args=(job,))
+            timer.daemon = True
+            self._retry_timers.append(timer)
+        timer.start()
+        return True
+
+    def _requeue(self, job: Job) -> None:
+        """Timer callback: put a retried job back on the queue."""
+        with self._lock:
+            self._retry_timers = [
+                t for t in self._retry_timers if t.is_alive()
+            ]
+            if job.state is not JobState.QUEUED or job.cancel_event.is_set():
+                return  # cancelled (or manager reset) while backing off
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            last = job.attempts[-1]["error"] if job.attempts else "unknown error"
+            with self._lock:
+                if job.state is not JobState.QUEUED:
+                    return
+                job.state = JobState.FAILED
+                job.error = f"retry abandoned (queue full) after: {last}"
+                job.finished_at = time.time()
+                self._prune_history_locked()
+            job.done_event.set()

@@ -67,12 +67,15 @@ def execute_job(
     backend: str = "serial",
     cancel_event: Optional[threading.Event] = None,
     job_id: Optional[str] = None,
+    faults=None,
 ) -> Tuple[dict, RunLog]:
     """Run one job; returns ``(payload, run_log)``.
 
     The payload is JSON-safe: the solver's result record
-    (:meth:`to_dict`), the cluster's MPC accounting summary, and the
-    per-phase breakdown from the recorded run log.
+    (:meth:`to_dict`), the cluster's MPC accounting summary, the
+    per-phase breakdown from the recorded run log, and — when a fault
+    plan was active — a ``recovery`` section with the injection and
+    recovery counts.
     """
     oracle = CountingOracle(dataset.metric)
     cluster = build_cluster(
@@ -81,6 +84,7 @@ def execute_job(
         seed=spec.seed,
         partition=spec.partition,
         backend=backend,
+        faults=faults,
     )
     recorder = Recorder.attach(cluster, capture_messages=False)
     recorder.log.meta.update(
@@ -95,6 +99,8 @@ def execute_job(
             "backend": backend,
         }
     )
+    if cluster.faults is not None:
+        recorder.log.meta["faults"] = cluster.faults.describe()
     deadline = (
         time.monotonic() + spec.timeout_s if spec.timeout_s is not None else None
     )
@@ -133,4 +139,10 @@ def execute_job(
         },
         "phases": recorder.log.phase_summary(),
     }
+    if cluster.faults is not None or recorder.log.faults:
+        recovery = {"fault_summary": recorder.log.fault_summary()}
+        stats_fn = getattr(cluster.executor, "recovery_stats", None)
+        if stats_fn is not None:
+            recovery["executor"] = stats_fn()
+        payload["recovery"] = recovery
     return payload, recorder.log

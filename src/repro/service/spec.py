@@ -48,6 +48,8 @@ class JobSpec:
     suppliers: Optional[Sequence[int]] = None
     #: wall-clock budget; checked at MPC round granularity
     timeout_s: Optional[float] = None
+    #: per-job retry budget; ``None`` defers to the manager's policy
+    max_retries: Optional[int] = None
     #: free-form caller annotations, echoed back in job summaries
     tags: dict = field(default_factory=dict)
 
@@ -88,6 +90,10 @@ class JobSpec:
             self.timeout_s = float(self.timeout_s)
             if self.timeout_s <= 0:
                 raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.max_retries is not None:
+            self.max_retries = int(self.max_retries)
+            if self.max_retries < 0:
+                raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.algorithm == "ksupplier":
             if self.customers is None or self.suppliers is None:
                 raise ValueError("ksupplier jobs need customer and supplier id lists")
@@ -125,6 +131,7 @@ class JobSpec:
             "trim_mode": self.trim_mode,
             "constants": self.constants,
             "timeout_s": self.timeout_s,
+            "max_retries": self.max_retries,
         }
         if self.customers is not None:
             out["customers"] = list(self.customers)
@@ -137,7 +144,9 @@ class JobSpec:
         """Result-cache identity for this spec on the given dataset.
 
         Backend-irrelevant by construction: neither the execution
-        backend nor the timeout/tags participate.
+        backend nor the timeout/retry-budget/tags participate —
+        recovered runs are bit-identical to undisturbed ones, so the
+        retry knobs cannot change the result.
         """
         return (
             fingerprint,
