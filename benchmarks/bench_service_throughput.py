@@ -1,0 +1,231 @@
+"""Service throughput bench — concurrent jobs through the HTTP stack.
+
+Not a paper claim: this measures the job service end to end — HTTP
+parsing, queueing, the worker pool, the solver, and the result cache —
+under a concurrent :class:`~repro.service.client.ServiceClient` load.
+Two phases over the same workload dataset:
+
+* **cold** — every job has a distinct seed, so each one runs the
+  solver; this is queue + solver throughput.
+* **hot** — the cold specs are resubmitted verbatim, so every job is a
+  cache hit served at submission time; this is the HTTP + cache floor.
+
+Per phase it reports p50/p95 client-observed job latency and jobs/sec.
+The committed artifact (``benchmarks/results/BENCH_service.json``) is
+the perf baseline CI compares against: rerun with ``--baseline`` to
+fail (exit 1) when cold-phase throughput regresses by more than
+``--tolerance`` (default 30%).
+
+Run standalone (CI runs it at toy scale)::
+
+    python benchmarks/bench_service_throughput.py                  # full
+    python benchmarks/bench_service_throughput.py --jobs 8 --n 400 \
+        --baseline benchmarks/results/BENCH_service.json
+
+Regenerate the committed baseline (see docs/performance.md)::
+
+    python benchmarks/bench_service_throughput.py \
+        --out benchmarks/results/BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.reports import format_table  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.http import run_in_thread, serve  # noqa: E402
+
+
+def _git_sha() -> str:
+    import subprocess
+
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _percentile(sorted_values: list, q: float) -> float:
+    """Nearest-rank percentile over an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return float(sorted_values[idx])
+
+
+def run_phase(client: ServiceClient, specs: list, concurrency: int,
+              timeout: float) -> dict:
+    """Submit every spec through ``concurrency`` client threads.
+
+    Latency is client-observed: submit → terminal state (a cache hit is
+    terminal at submission, so the hot phase measures one round trip).
+    """
+
+    def one(spec: dict) -> float:
+        t0 = time.perf_counter()
+        job = client.submit(**spec)
+        if job["state"] not in ("done", "failed", "cancelled"):
+            job = client.wait(job["id"], timeout=timeout)
+        latency = time.perf_counter() - t0
+        if job["state"] != "done":
+            raise RuntimeError(f"job ended {job['state']}: {job.get('error')}")
+        return latency
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        latencies = sorted(pool.map(one, specs))
+    wall = time.perf_counter() - t0
+    return {
+        "jobs": len(specs),
+        "wall_s": wall,
+        "jobs_per_s": len(specs) / wall if wall > 0 else 0.0,
+        "latency_p50_s": _percentile(latencies, 0.50),
+        "latency_p95_s": _percentile(latencies, 0.95),
+    }
+
+
+def compare_to_baseline(artifact: dict, baseline_path: Path,
+                        tolerance: float) -> int:
+    """0 if cold throughput is within ``tolerance`` of the baseline."""
+    baseline = json.loads(baseline_path.read_text())
+    base_rate = baseline["phases"]["cold"]["jobs_per_s"]
+    new_rate = artifact["phases"]["cold"]["jobs_per_s"]
+    floor = base_rate * (1.0 - tolerance)
+    verdict = "OK" if new_rate >= floor else "REGRESSION"
+    print(
+        f"perf check vs {baseline_path.name} "
+        f"(baseline sha {baseline['meta'].get('git_sha', '?')[:12]}): "
+        f"cold {new_rate:.2f} jobs/s vs baseline {base_rate:.2f} "
+        f"(floor {floor:.2f} at tolerance {tolerance:.0%}) -> {verdict}"
+    )
+    return 0 if verdict == "OK" else 1
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=2000, help="dataset size")
+    ap.add_argument("--k", type=int, default=8)
+    ap.add_argument("--epsilon", type=float, default=0.2)
+    ap.add_argument("--machines", type=int, default=4)
+    ap.add_argument("--jobs", type=int, default=24,
+                    help="jobs per phase (distinct seeds in the cold phase)")
+    ap.add_argument("--concurrency", type=int, default=8,
+                    help="concurrent client threads")
+    ap.add_argument("--workers", type=int, default=2,
+                    help="service worker pool size")
+    ap.add_argument("--timeout", type=float, default=300.0)
+    ap.add_argument(
+        "--out", default=None,
+        help="JSON artifact path (default: benchmarks/results/BENCH_service.json)",
+    )
+    ap.add_argument(
+        "--baseline", default=None,
+        help="committed artifact to compare against; exits 1 on regression",
+    )
+    ap.add_argument("--tolerance", type=float, default=0.3,
+                    help="allowed cold-throughput drop vs the baseline")
+    args = ap.parse_args(argv)
+
+    server = serve(port=0, workers=args.workers, backend="serial",
+                   queue_limit=max(64, 2 * args.jobs),
+                   max_history=max(1024, 4 * args.jobs))
+    run_in_thread(server)
+    try:
+        client = ServiceClient(server.url, timeout=30.0)
+        ds = client.register_workload("gaussian", args.n, seed=0)
+        specs = [
+            dict(algorithm="kcenter", dataset=ds["id"], k=args.k,
+                 eps=args.epsilon, machines=args.machines, seed=seed)
+            for seed in range(args.jobs)
+        ]
+        cold = run_phase(client, specs, args.concurrency, args.timeout)
+        hot = run_phase(client, specs, args.concurrency, args.timeout)
+        stats = client.stats()
+    finally:
+        server.shutdown_service()
+
+    cache = stats["cache"]
+    assert cache["hits_total"] >= args.jobs, (
+        f"hot phase should be cache-served, saw {cache['hits_total']} hits"
+    )
+
+    rows = [dict(phase=name, **phase) for name, phase in
+            (("cold", cold), ("hot", hot))]
+    print(
+        format_table(
+            [
+                {
+                    "phase": r["phase"],
+                    "jobs": r["jobs"],
+                    "wall-clock (s)": r["wall_s"],
+                    "jobs/s": r["jobs_per_s"],
+                    "p50 latency (s)": r["latency_p50_s"],
+                    "p95 latency (s)": r["latency_p95_s"],
+                }
+                for r in rows
+            ],
+            title=(
+                f"service throughput — n={args.n}, k={args.k}, "
+                f"jobs={args.jobs}, concurrency={args.concurrency}, "
+                f"workers={args.workers}, cpus={os.cpu_count()}"
+            ),
+            precision=3,
+        )
+    )
+    print(f"\ncache after both phases: {cache['hits_total']} hits / "
+          f"{cache['misses_total']} misses "
+          f"(hit ratio {cache['hit_ratio']:.2f})")
+
+    artifact = {
+        "meta": {
+            "bench": "bench_service_throughput",
+            "n": args.n,
+            "k": args.k,
+            "epsilon": args.epsilon,
+            "machines": args.machines,
+            "jobs": args.jobs,
+            "concurrency": args.concurrency,
+            "workers": args.workers,
+            # the pool size the service actually ran with (worker threads
+            # are the unit of job parallelism, not cpu cores)
+            "effective_workers": stats["workers"],
+            "cpu_count": os.cpu_count(),
+            "workers_env": os.environ.get("REPRO_WORKERS") or None,
+            "platform": sys.platform,
+            "python": sys.version.split()[0],
+            "git_sha": _git_sha(),
+        },
+        "phases": {"cold": cold, "hot": hot},
+        "cache": cache,
+    }
+    out = Path(
+        args.out
+        or Path(__file__).resolve().parent / "results" / "BENCH_service.json"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.baseline:
+        return compare_to_baseline(artifact, Path(args.baseline), args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,8 @@ from repro.api import (
     build_cluster,
     make_executor,
     make_metric,
+    metrics_reset,
+    metrics_snapshot,
     solve,
     solve_diversity,
     solve_kcenter,
@@ -126,7 +128,14 @@ from repro.mpc import (
     random_partition,
     skewed_partition,
 )
-from repro.obs import Observer, ObserverHub, Recorder, RunLog
+from repro.obs import (
+    MetricsObserver,
+    MetricsRegistry,
+    Observer,
+    ObserverHub,
+    Recorder,
+    RunLog,
+)
 
 __all__ = [
     "__version__",
@@ -139,6 +148,8 @@ __all__ = [
     "build_cluster",
     "make_metric",
     "make_executor",
+    "metrics_snapshot",
+    "metrics_reset",
     # constants
     "TheoryConstants",
     "DEFAULT_CONSTANTS",
@@ -172,6 +183,8 @@ __all__ = [
     "ObserverHub",
     "Recorder",
     "RunLog",
+    "MetricsObserver",
+    "MetricsRegistry",
     "random_partition",
     "block_partition",
     "skewed_partition",

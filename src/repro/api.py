@@ -46,7 +46,8 @@ delegates to them, so the two can never drift.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+import time
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -64,6 +65,7 @@ from repro.mpc.cluster import MPCCluster
 from repro.mpc.executor import ExecutionBackend, get_executor
 from repro.mpc.limits import Limits
 from repro.mpc.partition import get_partitioner
+from repro.obs.metrics import MetricsObserver, MetricsRegistry, default_registry
 
 #: default machine count when ``machines=None`` (matches the CLI default)
 DEFAULT_MACHINES = 8
@@ -156,6 +158,52 @@ def build_cluster(
     )
 
 
+def metrics_snapshot() -> dict:
+    """JSON-safe snapshot of the process-global metrics registry.
+
+    Every facade ``solve_*`` call feeds the registry natively (MPC
+    rounds/words, per-phase durations, oracle-call deltas, fault
+    injections/recoveries, per-solver run counts and latency); this is
+    the programmatic scrape.  Counter values are bit-reproducible for a
+    fixed seed; duration histograms are wall-clock.  See
+    ``docs/metrics.md`` for the metric catalogue.
+    """
+    return default_registry().snapshot()
+
+
+def metrics_reset() -> None:
+    """Zero every value in the process-global metrics registry (metric
+    registrations — names, labels, bucket bounds — are kept)."""
+    default_registry().reset()
+
+
+def _observed_solve(algorithm: str, cluster: MPCCluster, call: Callable,
+                    registry: Optional[MetricsRegistry] = None):
+    """Run one solver call with a metrics observer attached.
+
+    The observer is attached for exactly the duration of the call, so
+    pre-assembled clusters (``cluster=``) are instrumented identically
+    to facade-assembled ones and repeated solves never stack observers.
+    """
+    registry = registry if registry is not None else default_registry()
+    observer = MetricsObserver(registry)
+    registry.counter(
+        "repro_solver_runs_total", "facade solver calls started",
+        labels=("algorithm",),
+    ).labels(algorithm).inc()
+    cluster.obs.add(observer)
+    t0 = time.perf_counter()
+    try:
+        result = call()
+    finally:
+        cluster.obs.remove(observer)
+    registry.histogram(
+        "repro_solver_latency_seconds",
+        "wall-clock per completed facade solver call", labels=("algorithm",),
+    ).labels(algorithm).observe(time.perf_counter() - t0)
+    return result
+
+
 def solve_kcenter(
     points=None,
     k: int = 1,
@@ -180,7 +228,11 @@ def solve_kcenter(
     cluster = _resolve_cluster(
         cluster, points, metric, machines, seed, partition, backend, limits, faults
     )
-    return mpc_kcenter(cluster, k, epsilon=eps, constants=constants, trim_mode=trim_mode)
+    return _observed_solve(
+        "kcenter", cluster,
+        lambda: mpc_kcenter(cluster, k, epsilon=eps, constants=constants,
+                            trim_mode=trim_mode),
+    )
 
 
 def solve_diversity(
@@ -203,7 +255,11 @@ def solve_diversity(
     cluster = _resolve_cluster(
         cluster, points, metric, machines, seed, partition, backend, limits, faults
     )
-    return mpc_diversity(cluster, k, epsilon=eps, constants=constants, trim_mode=trim_mode)
+    return _observed_solve(
+        "diversity", cluster,
+        lambda: mpc_diversity(cluster, k, epsilon=eps, constants=constants,
+                              trim_mode=trim_mode),
+    )
 
 
 def solve_ksupplier(
@@ -234,9 +290,10 @@ def solve_ksupplier(
     cluster = _resolve_cluster(
         cluster, points, metric, machines, seed, partition, backend, limits, faults
     )
-    return mpc_ksupplier(
-        cluster, customers, suppliers, k, epsilon=eps,
-        constants=constants, trim_mode=trim_mode,
+    return _observed_solve(
+        "ksupplier", cluster,
+        lambda: mpc_ksupplier(cluster, customers, suppliers, k, epsilon=eps,
+                              constants=constants, trim_mode=trim_mode),
     )
 
 
@@ -304,6 +361,8 @@ __all__: Sequence[str] = [
     "make_metric",
     "make_executor",
     "build_cluster",
+    "metrics_snapshot",
+    "metrics_reset",
     "solve",
     "solve_kcenter",
     "solve_diversity",

@@ -41,8 +41,13 @@ def _constants(args: argparse.Namespace) -> TheoryConstants:
 
 
 def _build_cluster(args: argparse.Namespace, metric) -> MPCCluster:
-    if getattr(args, "trace_out", None) or getattr(args, "report", None):
-        # transparent wrapper so phase spans pick up oracle-call counts
+    if (
+        getattr(args, "trace_out", None)
+        or getattr(args, "report", None)
+        or getattr(args, "metrics_out", None)
+    ):
+        # transparent wrapper so phase spans (and the oracle-call
+        # metric counters) pick up oracle-call counts
         from repro.metric.oracle import CountingOracle
 
         metric = CountingOracle(metric)
@@ -107,6 +112,16 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         help="record the run and write a trace file (see --trace-format)",
     )
     p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics-registry snapshot (counters/gauges/"
+        "histograms) as JSON after the run; the registry is reset at "
+        "command start, so the dump covers exactly this invocation and "
+        "its counter values are bit-reproducible for a fixed seed "
+        "(see docs/metrics.md)",
+    )
+    p.add_argument(
         "--trace-format",
         choices=["chrome", "jsonl"],
         default="chrome",
@@ -130,6 +145,17 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _setup_metrics(args: argparse.Namespace, cluster: MPCCluster) -> None:
+    """Feed the global metrics registry for commands that drive the
+    algorithms directly (the facade ``solve_*`` calls attach their own
+    observer; ``mis``/``dominating`` bypass the facade)."""
+    if not getattr(args, "metrics_out", None):
+        return
+    from repro.obs.metrics import MetricsObserver
+
+    cluster.obs.add(MetricsObserver())
+
+
 def _setup_obs(args: argparse.Namespace, cluster: MPCCluster):
     """Attach a recorder when any observability output was requested."""
     if not (getattr(args, "trace_out", None) or getattr(args, "report", None)):
@@ -150,6 +176,17 @@ def _finish_obs(args: argparse.Namespace, recorder) -> None:
     if getattr(args, "trace_out", None):
         path = export_run(recorder.log, args.trace_out, args.trace_format)
         print(f"\nwrote {args.trace_format} trace to {path}")
+
+
+def _maybe_metrics(args: argparse.Namespace) -> None:
+    """Dump the global metrics registry when ``--metrics-out`` was given."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    from repro.obs.metrics import default_registry
+
+    default_registry().write_json(path)
+    print(f"\nwrote metrics snapshot to {path}")
 
 
 def _maybe_json(
@@ -194,6 +231,7 @@ def _cmd_kcenter(args: argparse.Namespace) -> int:
     _print_stats(cluster)
     _finish_obs(args, recorder)
     _maybe_json(args, res, cluster, recorder)
+    _maybe_metrics(args)
     return 0
 
 
@@ -223,6 +261,7 @@ def _cmd_diversity(args: argparse.Namespace) -> int:
     _print_stats(cluster)
     _finish_obs(args, recorder)
     _maybe_json(args, res, cluster, recorder)
+    _maybe_metrics(args)
     return 0
 
 
@@ -264,6 +303,7 @@ def _cmd_supplier(args: argparse.Namespace) -> int:
     _print_stats(cluster)
     _finish_obs(args, recorder)
     _maybe_json(args, res, cluster, recorder)
+    _maybe_metrics(args)
     return 0
 
 
@@ -271,6 +311,7 @@ def _cmd_mis(args: argparse.Namespace) -> int:
     wl = make_workload(args.workload, args.n, seed=args.seed)
     cluster = _build_cluster(args, wl.metric)
     recorder = _setup_obs(args, cluster)
+    _setup_metrics(args, cluster)
     res = mpc_k_bounded_mis(cluster, args.tau, args.k, constants=_constants(args))
     print(
         format_table(
@@ -292,6 +333,7 @@ def _cmd_mis(args: argparse.Namespace) -> int:
     _print_stats(cluster)
     _finish_obs(args, recorder)
     _maybe_json(args, res, cluster, recorder)
+    _maybe_metrics(args)
     return 0
 
 
@@ -299,6 +341,7 @@ def _cmd_dominating(args: argparse.Namespace) -> int:
     wl = make_workload(args.workload, args.n, seed=args.seed)
     cluster = _build_cluster(args, wl.metric)
     recorder = _setup_obs(args, cluster)
+    _setup_metrics(args, cluster)
     res = mpc_dominating_set(cluster, args.tau, constants=_constants(args))
     print(
         format_table(
@@ -319,6 +362,7 @@ def _cmd_dominating(args: argparse.Namespace) -> int:
     _print_stats(cluster)
     _finish_obs(args, recorder)
     _maybe_json(args, res, cluster, recorder)
+    _maybe_metrics(args)
     return 0
 
 
@@ -379,6 +423,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
     )
     print(f"\ncertified optimum lower bound: {lb:.6g}")
+    _maybe_metrics(args)
     return 0
 
 
@@ -396,6 +441,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     elif args.algorithm == "diversity":
         solve_diversity(k=args.k, eps=args.epsilon, constants=_constants(args), cluster=cluster)
     else:
+        _setup_metrics(args, cluster)
         mpc_k_bounded_mis(cluster, args.tau, args.k, constants=_constants(args))
     cluster.obs.remove(trace)
 
@@ -422,6 +468,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     print(f"\ntotal: {trace.total_words()} words over {cluster.stats.rounds} rounds")
     _finish_obs(args, recorder)
+    _maybe_metrics(args)
     return 0
 
 
@@ -599,6 +646,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point (``repro`` console script)."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "metrics_out", None):
+        # scope the dump to this invocation: same seed ⇒ identical
+        # counter values, even when main() is called twice in-process
+        from repro.api import metrics_reset
+
+        metrics_reset()
     return args.func(args)
 
 

@@ -18,6 +18,12 @@ is built:
   which exports to JSONL, to the Chrome trace-event format
   (``chrome://tracing`` / Perfetto), or to an ASCII per-phase report.
 
+A fourth layer, **metrics** (:mod:`repro.obs.metrics`), aggregates the
+same events into a low-overhead :class:`MetricsRegistry` — counters,
+gauges, and fixed-bucket histograms — fed by the always-attachable
+:class:`MetricsObserver` and exposed as Prometheus text by the job
+service's ``GET /metrics`` (see ``docs/metrics.md``).
+
 Quickstart::
 
     from repro.obs import Recorder, phase_report, write_chrome_trace
@@ -43,6 +49,13 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsObserver,
+    MetricsRegistry,
+    default_registry,
+)
 from repro.obs.observer import Observer, ObserverHub
 from repro.obs.record import Recorder, RunLog
 
@@ -55,6 +68,11 @@ __all__ = [
     "ObserverHub",
     "Recorder",
     "RunLog",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "default_registry",
+    "DEFAULT_TIME_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
     "write_jsonl",
     "read_jsonl",
     "to_chrome_trace",

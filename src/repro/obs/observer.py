@@ -41,6 +41,13 @@ class Observer:
     #: :meth:`ObserverHub.remove`
     _hub: Optional["ObserverHub"] = None
 
+    #: set False on subclasses that never override :meth:`on_message` /
+    #: :meth:`on_send` — when *no* attached observer wants messages, the
+    #: hub skips per-message event construction entirely, so an
+    #: always-attached aggregator (e.g. the metrics observer) costs
+    #: nothing on the message path
+    wants_messages: bool = True
+
     def detach(self) -> None:
         """Remove this observer from its hub (no-op when unattached)."""
         if self._hub is not None:
@@ -87,6 +94,10 @@ class ObserverHub:
         self._stack: List[SpanRecord] = []
         self._next_uid = 0
         self._round_t0: Optional[float] = None
+        #: attached observers with ``wants_messages`` — the message fast
+        #: path stays active while this is 0 even when aggregate-only
+        #: observers (metrics) are attached
+        self._message_listeners = 0
 
     # -- observer management -----------------------------------------------------
 
@@ -95,6 +106,8 @@ class ObserverHub:
         if observer not in self._observers:
             self._observers.append(observer)
             observer._hub = self
+            if observer.wants_messages:
+                self._message_listeners += 1
         return observer
 
     def remove(self, observer: Observer) -> None:
@@ -102,6 +115,8 @@ class ObserverHub:
         try:
             self._observers.remove(observer)
             observer._hub = None
+            if observer.wants_messages:
+                self._message_listeners -= 1
         except ValueError:
             pass
 
@@ -109,6 +124,7 @@ class ObserverHub:
         for ob in self._observers:
             ob._hub = None
         self._observers.clear()
+        self._message_listeners = 0
 
     def __len__(self) -> int:
         return len(self._observers)
@@ -198,13 +214,13 @@ class ObserverHub:
             ob.on_round_start(round_no)
 
     def emit_send(self, message) -> None:
-        if not self._observers:
+        if not self._message_listeners:
             return
         for ob in self._observers:
             ob.on_send(message)
 
     def emit_message(self, round_no: int, src: int, dst: int, tag: str, words: int) -> None:
-        if not self._observers:
+        if not self._message_listeners:
             return
         event = MessageEvent(round_no=round_no, src=src, dst=dst, tag=tag, words=words)
         for ob in self._observers:

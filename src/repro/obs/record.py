@@ -133,6 +133,9 @@ class Recorder(Observer):
     def __init__(self, capture_messages: bool = True) -> None:
         self.log = RunLog()
         self.capture_messages = capture_messages
+        # keep the hub's per-message fast path active when this
+        # recorder would drop the events anyway
+        self.wants_messages = capture_messages
 
     @classmethod
     def attach(cls, cluster, capture_messages: bool = True) -> "Recorder":

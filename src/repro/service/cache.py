@@ -65,13 +65,20 @@ class ResultCache:
             self._entries.clear()
 
     def stats(self) -> dict:
-        """Counters for ``GET /stats``."""
+        """Counters for ``GET /stats``.
+
+        Key names follow the service metric naming scheme — the
+        ``*_total`` keys are the values behind ``repro_cache_hits_total``
+        / ``repro_cache_misses_total`` on ``GET /metrics``, and
+        ``hit_ratio`` backs the ``repro_cache_hit_ratio`` gauge (see
+        ``docs/metrics.md``).
+        """
         with self._lock:
             total = self.hits + self.misses
             return {
                 "entries": len(self._entries),
                 "max_entries": self.max_entries,
-                "hits": self.hits,
-                "misses": self.misses,
-                "hit_rate": (self.hits / total) if total else 0.0,
+                "hits_total": self.hits,
+                "misses_total": self.misses,
+                "hit_ratio": (self.hits / total) if total else 0.0,
             }

@@ -160,6 +160,10 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 
+    def metrics(self) -> str:
+        """Raw Prometheus text exposition from ``GET /metrics``."""
+        return self._request("GET", "/metrics")
+
     # -- datasets -----------------------------------------------------------
 
     def register_points(self, points, metric: str = "euclidean") -> dict:

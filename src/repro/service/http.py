@@ -16,7 +16,8 @@ GET       ``/jobs/<id>``             job status + result when done
 DELETE    ``/jobs/<id>``             cancel (queued: immediate; running: next round)
 GET       ``/jobs/<id>/trace``       the run's obs trace (``?format=chrome|jsonl``)
 GET       ``/healthz``               liveness + version
-GET       ``/stats``                 queue depth, cache hit rate, per-algo counts
+GET       ``/stats``                 queue depth, cache hit ratio, per-algo counts
+GET       ``/metrics``               Prometheus text exposition (see docs/metrics.md)
 ========  =========================  =============================================
 
 Errors are JSON too: ``{"error": "<message>"}`` with the matching status
@@ -39,6 +40,7 @@ from urllib.parse import parse_qs, urlparse
 from repro._version import __version__
 from repro.faults import FaultPlan
 from repro.obs.export import trace_payload
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 from repro.service.cache import ResultCache
 from repro.service.datasets import DatasetRegistry, UnknownDatasetError
 from repro.service.jobs import JobManager, JobState, QueueFullError, RetryPolicy, UnknownJobError
@@ -93,6 +95,17 @@ class ClusteringServiceServer(ThreadingHTTPServer):
         with self._fault_lock:
             last = self.last_fault_at
         return last is not None and (time.time() - last) <= window_s
+
+    def sync_metrics(self) -> MetricsRegistry:
+        """Mirror manager + HTTP-layer tallies into the metrics registry
+        (called right before every scrape; see
+        :meth:`~repro.service.jobs.JobManager.sync_metrics`)."""
+        registry = self.manager.sync_metrics()
+        registry.counter(
+            "repro_service_faults_injected_total",
+            "synthetic HTTP faults injected by the active plan",
+        ).set_total(self.faults_injected)
+        return registry
 
     @property
     def url(self) -> str:
@@ -157,7 +170,9 @@ class _Handler(BaseHTTPRequestHandler):
         """Consult the service fault plan; returns True when this
         request was consumed by an injected fault."""
         plan = self.server.faults
-        if plan is None or not plan.service_active or parts == ["healthz"]:
+        # /healthz and /metrics are exempt: liveness probes and scrapes
+        # must stay honest even mid-storm
+        if plan is None or not plan.service_active or parts in (["healthz"], ["metrics"]):
             return False
         fault = plan.service_fault(self.server.next_request_no())
         if fault is None:
@@ -206,6 +221,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._get_healthz
             if parts == ["stats"]:
                 return self._get_stats
+            if parts == ["metrics"]:
+                return self._get_metrics
             if parts == ["datasets"]:
                 return self._get_datasets
             if len(parts) == 2 and parts[0] == "datasets":
@@ -258,7 +275,7 @@ class _Handler(BaseHTTPRequestHandler):
             "backend": manager.backend,
             "queue_limit": manager.queue_limit,
             "faults_injected": self.server.faults_injected,
-            "retries": mstats["retry"]["retries"],
+            "retries": mstats["retry"]["retries_total"],
         }
         if degraded_because:
             payload["degraded_because"] = degraded_because
@@ -270,11 +287,17 @@ class _Handler(BaseHTTPRequestHandler):
         stats["datasets"] = len(server.manager.datasets)
         stats["uptime_s"] = time.time() - server.started_at
         stats["service_faults"] = {
-            "injected": server.faults_injected,
+            "injected_total": server.faults_injected,
             "last_fault_at": server.last_fault_at,
             "plan": server.faults.describe() if server.faults is not None else None,
         }
+        stats["metrics"] = server.sync_metrics().snapshot()
         self._send_json(200, stats)
+
+    def _get_metrics(self, parts, query) -> None:
+        """Prometheus text exposition of the manager's metrics registry."""
+        registry = self.server.sync_metrics()
+        self._send_text(200, PROMETHEUS_CONTENT_TYPE, registry.render_prometheus())
 
     def _post_datasets(self, parts, query) -> None:
         body = self._read_json()

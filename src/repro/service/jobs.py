@@ -45,6 +45,7 @@ from enum import Enum
 from typing import Dict, List, Optional
 
 from repro.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.record import RunLog
 from repro.service.cache import ResultCache
 from repro.service.datasets import DatasetRegistry
@@ -206,6 +207,14 @@ class JobManager:
     stop_timeout_s:
         Per-thread join budget in :meth:`stop`; workers that miss it
         are reported as stuck instead of silently discarded.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` this manager
+        feeds (a fresh one per manager when omitted, so two servers in
+        one process never mix counters).  Solver-level metrics stream
+        in live via a per-job observer; the manager's own tallies are
+        mirrored in at every :meth:`sync_metrics` call — which the
+        HTTP layer makes before serving ``GET /metrics`` or the
+        ``metrics`` block of ``GET /stats``.
     """
 
     def __init__(
@@ -221,6 +230,7 @@ class JobManager:
         retry_policy: Optional[RetryPolicy] = None,
         faults=None,
         stop_timeout_s: float = 30.0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -240,6 +250,12 @@ class JobManager:
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.faults = FaultPlan.from_spec(faults)
         self.stop_timeout_s = float(stop_timeout_s)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._job_latency = self.metrics.histogram(
+            "repro_job_latency_seconds",
+            "started-to-terminal wall-clock per executed (non-cached) job",
+            labels=("algorithm",),
+        )
 
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=queue_limit)
         self._jobs: Dict[str, Job] = {}
@@ -423,7 +439,14 @@ class JobManager:
         return job
 
     def stats(self) -> dict:
-        """Operational counters for ``GET /stats``."""
+        """Operational counters for ``GET /stats``.
+
+        The ``*_total`` keys share names with their ``repro_*``
+        Prometheus counterparts on ``GET /metrics`` (one naming scheme,
+        two surfaces — see ``docs/metrics.md``), and
+        :meth:`sync_metrics` mirrors exactly these values into the
+        registry, so the two endpoints can never disagree.
+        """
         with self._lock:
             by_state: Dict[str, int] = {s.value: 0 for s in JobState}
             for job in self._jobs.values():
@@ -436,23 +459,68 @@ class JobManager:
                 "workers": self.workers,
                 "backend": self.backend,
                 "paused": not self._resume.is_set(),
-                "submitted": self._submitted,
-                "rejected": self._rejected,
+                "jobs_submitted_total": self._submitted,
+                "jobs_rejected_total": self._rejected,
                 "jobs_by_state": by_state,
                 "jobs_by_algorithm": dict(self._by_algorithm),
                 "cache": self.cache.stats(),
                 "stuck_workers": [t.name for t in self._stuck_threads],
                 "retry": {
                     "policy": self.retry_policy.to_dict(),
-                    "retries": self._retries,
-                    "jobs_recovered": self._jobs_recovered,
-                    "jobs_exhausted": self._jobs_exhausted,
+                    "retries_total": self._retries,
+                    "jobs_recovered_total": self._jobs_recovered,
+                    "jobs_exhausted_total": self._jobs_exhausted,
                     "last_retry_at": self._last_retry_at,
                 },
             }
             if self.faults is not None:
                 out["faults"] = self.faults.describe()
             return out
+
+    def sync_metrics(self) -> MetricsRegistry:
+        """Mirror the manager's authoritative tallies into the registry.
+
+        The queue/cache/retry counters live as plain ints under the
+        manager's lock (they are consulted on admission paths where a
+        registry lookup would be waste); this projects them into the
+        metric families right before a scrape, guaranteeing ``/stats``
+        and ``/metrics`` agree.  Returns the registry for chaining.
+        """
+        stats = self.stats()
+        m = self.metrics
+        m.counter(
+            "repro_jobs_submitted_total", "jobs admitted (cache hits included)"
+        ).set_total(stats["jobs_submitted_total"])
+        m.counter(
+            "repro_jobs_rejected_total", "submissions refused by the bounded queue"
+        ).set_total(stats["jobs_rejected_total"])
+        retry = stats["retry"]
+        m.counter(
+            "repro_job_retries_total", "crashed-job retries scheduled"
+        ).set_total(retry["retries_total"])
+        m.counter(
+            "repro_jobs_recovered_total", "jobs that succeeded after >=1 retry"
+        ).set_total(retry["jobs_recovered_total"])
+        m.counter(
+            "repro_jobs_exhausted_total", "jobs that failed with their retry budget spent"
+        ).set_total(retry["jobs_exhausted_total"])
+        cache = stats["cache"]
+        m.counter("repro_cache_hits_total", "result-cache hits").set_total(
+            cache["hits_total"]
+        )
+        m.counter("repro_cache_misses_total", "result-cache misses").set_total(
+            cache["misses_total"]
+        )
+        m.gauge("repro_cache_hit_ratio", "hits / (hits + misses)").set(
+            cache["hit_ratio"]
+        )
+        m.gauge("repro_cache_entries", "live result-cache entries").set(
+            cache["entries"]
+        )
+        m.gauge("repro_queue_depth", "jobs waiting in the bounded queue").set(
+            stats["queue_depth"]
+        )
+        return m
 
     def recent_retry_activity(self, window_s: float = 60.0) -> bool:
         """True when a retry fired within the last ``window_s`` seconds
@@ -518,6 +586,7 @@ class JobManager:
                 cancel_event=job.cancel_event,
                 job_id=job.id,
                 faults=self.faults,
+                metrics=self.metrics,
             )
         except JobCancelled:
             state, error, produced = JobState.CANCELLED, None, None
@@ -545,6 +614,10 @@ class JobManager:
             job.state = state
             job.finished_at = time.time()
             self._prune_history_locked()
+        if job.started_at is not None:
+            self._job_latency.labels(spec.algorithm).observe(
+                job.finished_at - job.started_at
+            )
         job.done_event.set()
 
     # -- retry --------------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.api import SOLVERS, build_cluster
 from repro.constants import TheoryConstants
 from repro.metric.oracle import CountingOracle
 from repro.obs import Observer, Recorder, RunLog
+from repro.obs.metrics import MetricsObserver, MetricsRegistry
 from repro.service.datasets import Dataset
 from repro.service.spec import JobSpec
 
@@ -41,6 +42,8 @@ class JobTimeout(Exception):
 
 class _JobControl(Observer):
     """Observer that aborts a run at round barriers."""
+
+    wants_messages = False  # keep the hub's per-message fast path active
 
     def __init__(self, cancel_event: Optional[threading.Event],
                  deadline: Optional[float]) -> None:
@@ -68,6 +71,7 @@ def execute_job(
     cancel_event: Optional[threading.Event] = None,
     job_id: Optional[str] = None,
     faults=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[dict, RunLog]:
     """Run one job; returns ``(payload, run_log)``.
 
@@ -76,6 +80,11 @@ def execute_job(
     per-phase breakdown from the recorded run log, and — when a fault
     plan was active — a ``recovery`` section with the injection and
     recovery counts.
+
+    When ``metrics`` is given (the manager passes its own registry), a
+    :class:`~repro.obs.metrics.MetricsObserver` streams the run's
+    rounds, span durations, oracle deltas, and fault events into it —
+    this is what ``GET /metrics`` aggregates across jobs.
     """
     oracle = CountingOracle(dataset.metric)
     cluster = build_cluster(
@@ -105,6 +114,14 @@ def execute_job(
         time.monotonic() + spec.timeout_s if spec.timeout_s is not None else None
     )
     control = cluster.obs.add(_JobControl(cancel_event, deadline))
+    if metrics is not None:
+        cluster.obs.add(MetricsObserver(metrics))
+        # same family names and help as repro.api._observed_solve, so the
+        # service registry renders identically to the process-global one
+        metrics.counter(
+            "repro_solver_runs_total", "facade solver calls started",
+            labels=("algorithm",),
+        ).labels(spec.algorithm).inc()
 
     constants = (
         TheoryConstants.paper() if spec.constants == "paper"
@@ -121,11 +138,17 @@ def execute_job(
         kwargs["customers"] = list(spec.customers)
         kwargs["suppliers"] = list(spec.suppliers)
 
+    t0 = time.perf_counter()
     try:
         result = SOLVERS[spec.algorithm](**kwargs)
     finally:
         cluster.obs.remove(control)
         cluster.executor.shutdown()
+    if metrics is not None:
+        metrics.histogram(
+            "repro_solver_latency_seconds",
+            "wall-clock per completed facade solver call", labels=("algorithm",),
+        ).labels(spec.algorithm).observe(time.perf_counter() - t0)
 
     payload = {
         "algorithm": spec.algorithm,

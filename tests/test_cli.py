@@ -266,3 +266,79 @@ class TestCommands:
         baseline = main(argv[:-2])  # default serial
         assert baseline == 0
         assert capsys.readouterr().out == out
+
+
+class TestMetricsOut:
+    ARGV = [
+        "kcenter",
+        "--workload", "uniform",
+        "--n", "120",
+        "--k", "4",
+        "--machines", "3",
+        "--epsilon", "0.3",
+        "--seed", "7",
+    ]
+
+    def test_metrics_out_writes_snapshot(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(self.ARGV + ["--metrics-out", str(path)]) == 0
+        assert f"wrote metrics snapshot to {path}" in capsys.readouterr().out
+        snap = json.loads(path.read_text())
+        counters = snap["counters"]
+        assert counters["repro_mpc_rounds_total"][""] > 0
+        assert counters["repro_mpc_words_total"][""] > 0
+        assert counters["repro_solver_runs_total"]['algorithm="kcenter"'] == 1
+        assert 'algorithm="kcenter"' in snap["histograms"]["repro_solver_latency_seconds"]
+        assert any(k.startswith('phase="kcenter/') for k in
+                   counters["repro_phase_rounds_total"])
+
+    def test_metrics_out_deterministic(self, capsys, tmp_path):
+        """Acceptance: two seeded executions dump identical counters.
+
+        Only the counters section is compared — histogram duration
+        observations are wall-clock and legitimately differ.
+        """
+        import json
+
+        snaps = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            assert main(self.ARGV + ["--metrics-out", str(path)]) == 0
+            capsys.readouterr()
+            snaps.append(json.loads(path.read_text()))
+        assert snaps[0]["counters"] == snaps[1]["counters"]
+
+    def test_metrics_out_scopes_to_one_invocation(self, capsys, tmp_path):
+        """The registry resets at command start: counts don't accumulate
+        across invocations within one process."""
+        import json
+
+        first, second = tmp_path / "1.json", tmp_path / "2.json"
+        assert main(self.ARGV + ["--metrics-out", str(first)]) == 0
+        assert main(self.ARGV + ["--metrics-out", str(second)]) == 0
+        capsys.readouterr()
+        a = json.loads(first.read_text())["counters"]
+        b = json.loads(second.read_text())["counters"]
+        assert a["repro_solver_runs_total"]['algorithm="kcenter"'] == 1
+        assert b["repro_solver_runs_total"]['algorithm="kcenter"'] == 1
+
+    def test_metrics_out_on_mis_command(self, capsys, tmp_path):
+        """Commands that bypass the facade attach the observer themselves."""
+        import json
+
+        path = tmp_path / "mis.json"
+        rc = main([
+            "mis",
+            "--workload", "uniform",
+            "--n", "100",
+            "--tau", "0.8",
+            "--k", "10",
+            "--machines", "3",
+            "--metrics-out", str(path),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        counters = json.loads(path.read_text())["counters"]
+        assert counters["repro_mpc_rounds_total"][""] > 0

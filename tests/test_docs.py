@@ -1,0 +1,123 @@
+"""The documentation is tested: snippets run, links resolve.
+
+Two gates over the repo's markdown:
+
+* every fenced ``python`` block in ``docs/*.md`` is executed (blocks
+  within one page share a namespace, so later blocks may build on
+  earlier ones). A block that is deliberately not runnable — a
+  fragment, or something that needs a live server — opts out with an
+  HTML comment on the line(s) before the fence::
+
+      <!-- docs-test: skip -->
+      ```python
+      client = ServiceClient("http://localhost:8000")  # no server here
+      ```
+
+* every relative markdown link in every tracked ``*.md`` (docs and
+  top level) must point at a file that exists — dead links fail CI,
+  not readers.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = ROOT / "docs"
+
+SKIP_MARKER = "docs-test: skip"
+
+#: markdown pages whose relative links are checked (tracked sources
+#: only — virtualenvs or vendored trees under the repo are not ours)
+LINKED_PAGES = sorted(
+    p for p in list(ROOT.glob("*.md")) + list(DOCS.glob("*.md"))
+)
+
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+# [text](target) — excluding images; tolerate titles after the target
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def _python_blocks(path: Path):
+    """``(start_line, source, skipped)`` per fenced python block."""
+    lines = path.read_text().splitlines()
+    blocks = []
+    in_block = False
+    lang = ""
+    start = 0
+    buf: list = []
+    skip_armed = False
+    for i, line in enumerate(lines, start=1):
+        fence = _FENCE_RE.match(line.strip())
+        if fence and not in_block:
+            in_block, lang, start, buf = True, fence.group(1), i, []
+            continue
+        if in_block and line.strip() == "```":
+            if lang == "python":
+                blocks.append((start, "\n".join(buf), skip_armed))
+            in_block = False
+            skip_armed = False
+            continue
+        if in_block:
+            buf.append(line)
+        elif SKIP_MARKER in line:
+            skip_armed = True
+        elif line.strip():
+            skip_armed = False
+    return blocks
+
+
+def _doc_pages_with_snippets():
+    return sorted(p for p in DOCS.glob("*.md") if _python_blocks(p))
+
+
+@pytest.mark.parametrize(
+    "page", _doc_pages_with_snippets(), ids=lambda p: p.name
+)
+def test_docs_python_snippets_run(page, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # snippets that write files stay sandboxed
+    namespace: dict = {"__name__": f"docs_snippet_{page.stem}"}
+    ran = 0
+    for start, source, skipped in _python_blocks(page):
+        if skipped:
+            continue
+        code = compile(source, f"{page.name}:{start}", "exec")
+        try:
+            exec(code, namespace)  # noqa: S102 - that's the point
+        except Exception as exc:
+            pytest.fail(
+                f"{page.name} snippet at line {start} raised "
+                f"{type(exc).__name__}: {exc}"
+            )
+        ran += 1
+    assert ran or any(s for _, _, s in _python_blocks(page)), (
+        f"{page.name}: no runnable or explicitly-skipped snippets found"
+    )
+
+
+@pytest.mark.parametrize("page", LINKED_PAGES, ids=lambda p: p.name)
+def test_no_dead_relative_links(page):
+    dead = []
+    for target in _LINK_RE.findall(page.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (page.parent / rel).resolve()
+        if not resolved.exists():
+            dead.append(target)
+    assert not dead, f"{page.name} has dead relative links: {dead}"
+
+
+def test_docs_index_covers_every_page():
+    """docs/README.md must link every sibling docs page."""
+    index = (DOCS / "README.md").read_text()
+    missing = [
+        p.name for p in DOCS.glob("*.md")
+        if p.name != "README.md" and f"({p.name})" not in index
+    ]
+    assert not missing, f"docs/README.md does not link: {missing}"

@@ -187,8 +187,8 @@ class TestResultCache:
         cache.put("k", {"v": 1})
         assert cache.get("k")[0] == {"v": 1}
         stats = cache.stats()
-        assert stats["hits"] == 1 and stats["misses"] == 1
-        assert stats["hit_rate"] == 0.5
+        assert stats["hits_total"] == 1 and stats["misses_total"] == 1
+        assert stats["hit_ratio"] == 0.5
 
     def test_first_writer_wins(self):
         cache = ResultCache()
@@ -230,7 +230,7 @@ class TestJobManager:
             second = manager.submit(JobSpec(**spec))
             assert second.cached and second.state is JobState.DONE
             assert second.result == first.result
-            assert manager.cache.stats()["hits"] == 1
+            assert manager.cache.stats()["hits_total"] == 1
         finally:
             manager.stop()
 
@@ -244,7 +244,7 @@ class TestJobManager:
         accepted = [manager.submit(specs[0]), manager.submit(specs[1])]
         with pytest.raises(QueueFullError):
             manager.submit(specs[2])
-        assert manager.stats()["rejected"] == 1
+        assert manager.stats()["jobs_rejected_total"] == 1
         assert len(manager.list_jobs()) == 2
         # draining works once workers start
         manager.start()
@@ -314,7 +314,7 @@ class TestJobManager:
         stats = manager.stats()
         assert stats["queue_depth"] == 0
         assert set(stats["jobs_by_state"]) == {s.value for s in JobState}
-        assert "hit_rate" in stats["cache"]
+        assert "hit_ratio" in stats["cache"]
 
     def test_cancel_then_worker_claim_is_atomic(self, registry):
         # cancel a queued job while workers are paused; once resumed the
@@ -355,7 +355,7 @@ class TestJobManager:
             with pytest.raises(UnknownJobError):
                 manager.get(ids[0])
             # counters still reflect every submission
-            assert manager.stats()["submitted"] == 5
+            assert manager.stats()["jobs_submitted_total"] == 5
         finally:
             manager.stop()
 

@@ -57,7 +57,7 @@ class TestHealthAndStats:
     def test_stats_shape(self, client):
         stats = client.stats()
         assert stats["queue_depth"] == 0
-        assert stats["cache"]["hits"] == 0
+        assert stats["cache"]["hits_total"] == 0
         assert "jobs_by_algorithm" in stats
 
     def test_unknown_route_404(self, client):
@@ -125,13 +125,13 @@ class TestJobsEndToEnd:
         ds = client.register_points(points)
         spec = dict(algorithm="kcenter", dataset=ds["id"], k=5, eps=0.2, seed=1)
         first = client.wait(client.submit(**spec)["id"])
-        hits_before = client.stats()["cache"]["hits"]
+        hits_before = client.stats()["cache"]["hits_total"]
 
         second = client.submit(**spec)
         # a cache hit completes at submission time — no queue, no solver
         assert second["state"] == "done" and second["cached"] is True
         assert second["result"] == first["result"]
-        assert client.stats()["cache"]["hits"] == hits_before + 1
+        assert client.stats()["cache"]["hits_total"] == hits_before + 1
 
     def test_concurrent_burst_respects_queue_limit(self, server, client, points):
         """Acceptance (c): 8 concurrent submissions, queue_limit=4 —

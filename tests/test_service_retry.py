@@ -108,8 +108,9 @@ class TestJobRetry:
                 assert f"synthetic infra crash #{i + 1}" in record["error"]
                 assert record["backoff_s"] > 0
             stats = manager.stats()["retry"]
-            assert stats["retries"] == 2
-            assert stats["jobs_recovered"] == 1 and stats["jobs_exhausted"] == 0
+            assert stats["retries_total"] == 2
+            assert stats["jobs_recovered_total"] == 1
+            assert stats["jobs_exhausted_total"] == 0
             assert manager.recent_retry_activity()
             # the attempt history rides the public job record
             desc = job.describe()
@@ -130,7 +131,8 @@ class TestJobRetry:
             assert "synthetic infra crash #3" in job.error
             assert job.attempt == 2 and len(job.attempts) == 2
             stats = manager.stats()["retry"]
-            assert stats["jobs_exhausted"] == 1 and stats["jobs_recovered"] == 0
+            assert stats["jobs_exhausted_total"] == 1
+            assert stats["jobs_recovered_total"] == 0
         finally:
             manager.stop()
 
@@ -157,7 +159,7 @@ class TestJobRetry:
             job = manager.submit(JobSpec(algorithm="kcenter", dataset=ds.id, k=3))
             manager.wait(job.id, timeout=10)
             assert job.state is JobState.FAILED
-            assert manager.stats()["retry"]["jobs_exhausted"] == 0  # budget was 0
+            assert manager.stats()["retry"]["jobs_exhausted_total"] == 0  # budget was 0
         finally:
             manager.stop()
 
@@ -275,7 +277,7 @@ class TestClientTransportRetry:
             assert "injected service faults in the last 60s" in health["degraded_because"]
             assert health["faults_injected"] == 2
             stats = client.stats()
-            assert stats["service_faults"]["injected"] == 2
+            assert stats["service_faults"]["injected_total"] == 2
             assert "burst=2" in stats["service_faults"]["plan"]
         finally:
             srv.shutdown_service()
