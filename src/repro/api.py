@@ -66,6 +66,7 @@ from repro.mpc.executor import ExecutionBackend, get_executor
 from repro.mpc.limits import Limits
 from repro.mpc.partition import get_partitioner
 from repro.obs.metrics import MetricsObserver, MetricsRegistry, default_registry
+from repro.obs.tracing import TraceContext, current_trace
 
 #: default machine count when ``machines=None`` (matches the CLI default)
 DEFAULT_MACHINES = 8
@@ -128,6 +129,7 @@ def build_cluster(
     limits: Optional[Limits] = None,
     max_workers: Optional[int] = None,
     faults=None,
+    trace: Optional[TraceContext] = None,
 ) -> MPCCluster:
     """Assemble an :class:`MPCCluster` the way the solvers do.
 
@@ -135,6 +137,14 @@ def build_cluster(
     metric in a :class:`~repro.metric.oracle.CountingOracle`, attach
     observers — and still hand the cluster back to a ``solve_*`` call
     via its ``cluster=`` parameter.
+
+    ``trace`` installs a :class:`~repro.obs.tracing.TraceContext` on
+    the cluster's observer hub: phase spans (and, on the process
+    backend, forked chunk spans) get deterministic trace/span ids under
+    it.  Defaults to the ambient context
+    (:func:`~repro.obs.tracing.current_trace`), so a cluster built
+    inside ``with use_trace(ctx):`` joins that request's trace without
+    any explicit plumbing.
     """
     resolved = make_metric(points, metric)
     seed = 0 if seed is None else int(seed)
@@ -146,7 +156,7 @@ def build_cluster(
         parts = get_partitioner(partition)(resolved.n, m, np.random.default_rng(seed))
     else:
         parts = list(partition)
-    return MPCCluster(
+    cluster = MPCCluster(
         resolved,
         m,
         partition=parts,
@@ -156,6 +166,10 @@ def build_cluster(
         executor=make_executor(backend, max_workers=max_workers),
         faults=faults,
     )
+    resolved_trace = trace if trace is not None else current_trace()
+    if resolved_trace is not None:
+        cluster.obs.set_trace(resolved_trace)
+    return cluster
 
 
 def metrics_snapshot() -> dict:

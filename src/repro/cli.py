@@ -51,6 +51,10 @@ def _build_cluster(args: argparse.Namespace, metric) -> MPCCluster:
         from repro.metric.oracle import CountingOracle
 
         metric = CountingOracle(metric)
+    # seed-derived trace root: --trace-out output (including executor
+    # child spans) carries deterministic trace/span ids for a fixed seed
+    from repro.obs.tracing import TraceContext
+
     return build_cluster(
         metric=metric,
         machines=args.machines,
@@ -58,6 +62,7 @@ def _build_cluster(args: argparse.Namespace, metric) -> MPCCluster:
         partition=args.partition,
         backend=getattr(args, "backend", "serial"),
         faults=getattr(args, "faults", None),
+        trace=TraceContext.from_seed(args.seed, name="cli"),
     )
 
 
@@ -480,8 +485,10 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the clustering job service (see docs/service.md)."""
+    from repro.obs.logging import configure as configure_logging
     from repro.service.http import serve, serve_forever
 
+    configure_logging(fmt=args.log_format)
     server = serve(
         host=args.host,
         port=args.port,
@@ -634,6 +641,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault injection plan applied to the HTTP layer "
         "(service_error/service_drop/error_burst) and every solver run "
         "(worker_*/machine_fault); 'key=value,...' or a JSON object",
+    )
+    p.add_argument(
+        "--log-format",
+        choices=["json", "text"],
+        default="text",
+        help="structured-log format on stderr: one JSON object per line "
+        "(with trace_id/span_id/job_id fields) or human-readable text",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -33,7 +33,10 @@ from repro.mpc.machine import Machine
 from repro.mpc.message import Message, PointBatch
 from repro.mpc.partition import random_partition
 from repro.obs.events import FaultEvent
+from repro.obs.logging import get_logger
 from repro.obs.observer import ObserverHub
+
+_log = get_logger("repro.mpc.cluster")
 
 
 def _iter_point_batches(payload: Any):
@@ -188,6 +191,12 @@ class MPCCluster:
             n_faults = plan.machine_faults(round_no, dispatch_no, mach.id)
             if n_faults == 0:
                 continue
+            _log.info(
+                "machine fault injected",
+                extra={"machine": mach.id, "round_no": round_no,
+                       "faults": n_faults,
+                       "recovered": n_faults <= MACHINE_FAULT_RETRIES},
+            )
             for attempt in range(min(n_faults, MACHINE_FAULT_RETRIES + 1)):
                 self.obs.emit_fault(FaultEvent(
                     layer="machine", kind="machine_fault", injected=True,

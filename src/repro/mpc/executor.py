@@ -43,9 +43,12 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Protocol, Sequence, Tuple, TypeVar, runtime_checkable
 
 from repro.mpc.shm import SharedArray, share_metric_points
-from repro.obs.events import FaultEvent
+from repro.obs.events import ExecSpanRecord, FaultEvent
+from repro.obs.logging import get_logger
 
 T = TypeVar("T")
+
+_log = get_logger("repro.mpc.executor")
 
 
 @runtime_checkable
@@ -380,6 +383,10 @@ class ProcessExecutor:
         self.serial_fallbacks += 1
         self.degradations.append(reason)
         self._emit_fault("serial_fallback", injected=False, detail=reason)
+        _log.warning(
+            "executor batch degraded to serial re-run",
+            extra={"reason": reason, "serial_fallbacks": self.serial_fallbacks},
+        )
 
     def _fork_map(self, task: Callable[[int], T], count: int) -> List[T]:
         """Fork one worker per strided index chunk; gather over pipes.
@@ -431,6 +438,11 @@ class ProcessExecutor:
                     target=f"worker {widx} chunk {chunk[:3]}",
                     attempt=attempt + 1, detail=reason,
                 )
+                _log.warning(
+                    "executor chunk lost; re-forking",
+                    extra={"worker": widx, "batch": batch_no,
+                           "attempt": attempt + 1, "reason": reason},
+                )
             pending = retryable
             attempt += 1
 
@@ -450,10 +462,22 @@ class ProcessExecutor:
         fault plan is installed, its executor-layer faults are injected
         here — decided in the driver (so observers see them) but enacted
         inside the forked child.
+
+        Each chunk's trace context is derived in the driver *before*
+        forking (so the id tree is deterministic), shipped into the
+        child by fork inheritance, and the child returns a timed span
+        record alongside its values — the driver merges it into the
+        bound cluster's observers as an
+        :class:`~repro.obs.events.ExecSpanRecord`.
         """
         plan = self.faults
+        cluster = self._cluster_ref() if self._cluster_ref is not None else None
+        parent_ctx = cluster.obs.trace_parent() if cluster is not None else None
         procs: list[tuple[int, int, list[int]]] = []
         for widx, chunk in pending:
+            chunk_ctx = (
+                parent_ctx.child("exec/chunk") if parent_ctx is not None else None
+            )
             action = plan.worker_fault(batch_no, widx, attempt) if plan else None
             if action is not None:
                 self.faults_injected += 1
@@ -463,6 +487,11 @@ class ProcessExecutor:
                     kind, injected=True,
                     target=f"worker {widx} chunk {chunk[:3]}",
                     attempt=attempt, detail=f"batch {batch_no}",
+                )
+                _log.info(
+                    "executor fault injected",
+                    extra={"kind": kind, "worker": widx,
+                           "batch": batch_no, "attempt": attempt},
                 )
             read_fd, write_fd = os.pipe()
             pid = os.fork()
@@ -476,8 +505,25 @@ class ProcessExecutor:
                     time.sleep(plan.worker_delay_s)
                 status = 0
                 try:
+                    t_start = time.perf_counter()
+                    values = [task(i) for i in chunk]
+                    span = {
+                        "name": "exec/chunk",
+                        "worker": widx,
+                        "batch": batch_no,
+                        "attempt": attempt,
+                        "chunk_size": len(chunk),
+                        "first_index": chunk[0],
+                        "os_pid": os.getpid(),
+                        "start_time": t_start,
+                        "end_time": time.perf_counter(),
+                    }
+                    if chunk_ctx is not None:
+                        span["trace_id"] = chunk_ctx.trace_id
+                        span["span_id"] = chunk_ctx.span_id
+                        span["parent_span_id"] = chunk_ctx.parent_id
                     payload = pickle.dumps(
-                        [task(i) for i in chunk], protocol=pickle.HIGHEST_PROTOCOL
+                        (values, span), protocol=pickle.HIGHEST_PROTOCOL
                     )
                 except BaseException:
                     payload = pickle.dumps(traceback.format_exc())
@@ -516,7 +562,10 @@ class ProcessExecutor:
             if blob[0] != 0:
                 outcomes.append(("fatal", str(data)))
             else:
-                outcomes.append(("ok", data))
+                values, span = data
+                if cluster is not None:
+                    cluster.obs.emit_exec_span(ExecSpanRecord(**span))
+                outcomes.append(("ok", values))
         return outcomes
 
 

@@ -24,6 +24,10 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.mpc.shm")
+
 try:  # pragma: no cover - always present on CPython >= 3.8
     from multiprocessing import shared_memory
 except ImportError:  # pragma: no cover
@@ -115,11 +119,23 @@ def share_metric_points(metric, min_bytes: int = MIN_SHARED_BYTES) -> Optional[S
         data = getattr(points, "_data", None)
         if isinstance(data, np.ndarray):
             if data.nbytes < min_bytes:
+                _log.debug(
+                    "point matrix stays private",
+                    extra={"nbytes": int(data.nbytes), "min_bytes": min_bytes},
+                )
                 return None
             try:
                 handle = SharedArray(data)
             except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+                _log.warning(
+                    "shared memory unavailable; point matrix stays private",
+                    extra={"nbytes": int(data.nbytes)},
+                )
                 return None
             points._data = handle.array
+            _log.debug(
+                "point matrix migrated to shared memory",
+                extra={"segment": handle.name, "nbytes": int(data.nbytes)},
+            )
             return handle
     return None

@@ -39,8 +39,15 @@ tags (``kcenter/probe``, ``mis/round``, ``degree/estimate``, …); see
 ``docs/observability.md`` for the full catalogue.
 """
 
-from repro.obs.events import FaultEvent, MessageEvent, RoundRecord, SpanRecord
+from repro.obs.events import (
+    ExecSpanRecord,
+    FaultEvent,
+    MessageEvent,
+    RoundRecord,
+    SpanRecord,
+)
 from repro.obs.export import (
+    canonical_chrome_trace,
     export_run,
     phase_report,
     read_jsonl,
@@ -49,6 +56,8 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.logging import configure as configure_logging
+from repro.obs.logging import get_logger
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     PROMETHEUS_CONTENT_TYPE,
@@ -58,12 +67,19 @@ from repro.obs.metrics import (
 )
 from repro.obs.observer import Observer, ObserverHub
 from repro.obs.record import Recorder, RunLog
+from repro.obs.tracing import TraceContext, current_trace, use_trace
 
 __all__ = [
+    "ExecSpanRecord",
     "FaultEvent",
     "MessageEvent",
     "RoundRecord",
     "SpanRecord",
+    "TraceContext",
+    "current_trace",
+    "use_trace",
+    "configure_logging",
+    "get_logger",
     "Observer",
     "ObserverHub",
     "Recorder",
@@ -75,6 +91,7 @@ __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
     "write_jsonl",
     "read_jsonl",
+    "canonical_chrome_trace",
     "to_chrome_trace",
     "write_chrome_trace",
     "phase_report",

@@ -10,7 +10,10 @@ production deployment's failure modes) speak about:
   wall-clock second, and distance-oracle call is attributable to a
   paper-level phase;
 * :class:`FaultEvent` — one injected fault or one recovery action
-  (*what went wrong and what fixed it*; see :mod:`repro.faults`).
+  (*what went wrong and what fixed it*; see :mod:`repro.faults`);
+* :class:`ExecSpanRecord` — one executor chunk executed in a forked
+  worker process, timed inside the child and shipped back with its
+  results (*where the fork-level parallelism goes*).
 
 All records are plain dataclasses with a ``to_dict`` for serialization;
 they carry no references back into the simulator, so a recorded run log
@@ -130,6 +133,12 @@ class SpanRecord:
     depth: int
     attrs: Dict[str, Any] = field(default_factory=dict)
 
+    #: distributed-trace identity (W3C shape; see :mod:`repro.obs.tracing`)
+    #: — ``None`` when the run had no trace context installed
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
+
     start_time: float = 0.0
     end_time: float = 0.0
     start_round: int = 0
@@ -182,6 +191,9 @@ class SpanRecord:
             "parent_uid": self.parent_uid,
             "depth": self.depth,
             "attrs": dict(self.attrs),
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
             "start_time": self.start_time,
             "end_time": self.end_time,
             "start_round": self.start_round,
@@ -199,5 +211,61 @@ class SpanRecord:
             "messages": self.messages,
             "oracle_calls": self.oracle_calls,
             "oracle_evaluations": self.oracle_evaluations,
+            "duration_s": self.duration_s,
+        }
+
+
+@dataclass
+class ExecSpanRecord:
+    """One executor chunk, timed inside the forked worker process.
+
+    The driver derives the chunk's trace context *before* forking; the
+    child stamps ``start_time``/``end_time`` (``time.perf_counter``,
+    which is system-wide on Linux and therefore comparable across
+    ``fork()``) and ships the record back over the result pipe.  Merged
+    into :attr:`~repro.obs.record.RunLog.exec_spans`, these are the
+    "child spans under distinct pids" of the Chrome export — kept apart
+    from the algorithm-phase :class:`SpanRecord` list so serial and
+    process runs produce identical *phase* span sets.
+    """
+
+    #: span name, e.g. ``"exec/chunk"``
+    name: str
+    #: worker slot within the batch (also the synthetic Chrome pid - 1)
+    worker: int
+    #: executor batch number (monotonic per executor)
+    batch: int
+    #: chunk-retry attempt this execution belonged to (0 = first try)
+    attempt: int
+    #: number of tasks in the chunk
+    chunk_size: int
+    #: first task index of the strided chunk (-1 when unknown)
+    first_index: int = -1
+    #: the forked child's OS pid (diagnostic only — not deterministic)
+    os_pid: int = 0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time - self.start_time
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "worker": self.worker,
+            "batch": self.batch,
+            "attempt": self.attempt,
+            "chunk_size": self.chunk_size,
+            "first_index": self.first_index,
+            "os_pid": self.os_pid,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
             "duration_s": self.duration_s,
         }

@@ -21,9 +21,15 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
-from repro.obs.events import FaultEvent, MessageEvent, RoundRecord, SpanRecord
+from repro.obs.events import (
+    ExecSpanRecord,
+    FaultEvent,
+    MessageEvent,
+    RoundRecord,
+    SpanRecord,
+)
 from repro.obs.record import RunLog
 
 PathLike = Union[str, Path]
@@ -45,6 +51,8 @@ def write_jsonl(log: RunLog, path: PathLike) -> Path:
             fh.write(json.dumps({"type": "message", **m.to_dict()}) + "\n")
         for f in log.faults:
             fh.write(json.dumps({"type": "fault", **f.to_dict()}) + "\n")
+        for e in log.exec_spans:
+            fh.write(json.dumps({"type": "exec_span", **e.to_dict()}) + "\n")
     return path
 
 
@@ -53,6 +61,7 @@ def read_jsonl(path: PathLike) -> RunLog:
     log = RunLog()
     span_fields = {
         "name", "uid", "parent_uid", "depth", "attrs",
+        "trace_id", "span_id", "parent_span_id",
         "start_time", "end_time", "start_round", "end_round",
         "start_words", "end_words", "start_messages", "end_messages",
         "start_oracle_calls", "end_oracle_calls",
@@ -62,6 +71,9 @@ def read_jsonl(path: PathLike) -> RunLog:
     message_fields = {"round_no", "src", "dst", "tag", "words"}
     fault_fields = {"layer", "kind", "injected", "round_no", "target", "attempt",
                     "detail", "time"}
+    exec_fields = {"name", "worker", "batch", "attempt", "chunk_size", "first_index",
+                   "os_pid", "start_time", "end_time",
+                   "trace_id", "span_id", "parent_span_id"}
     for line in Path(path).read_text().splitlines():
         if not line.strip():
             continue
@@ -85,6 +97,10 @@ def read_jsonl(path: PathLike) -> RunLog:
             log.faults.append(
                 FaultEvent(**{k: v for k, v in obj.items() if k in fault_fields})
             )
+        elif kind == "exec_span":
+            log.exec_spans.append(
+                ExecSpanRecord(**{k: v for k, v in obj.items() if k in exec_fields})
+            )
     return log
 
 
@@ -97,9 +113,17 @@ FAULT_TID = 2
 
 
 def to_chrome_trace(log: RunLog) -> Dict:
-    """Build a Chrome trace-event document (JSON Object Format)."""
+    """Build a Chrome trace-event document (JSON Object Format).
+
+    Driver-side tracks (phases, rounds, faults) render under pid 0;
+    executor chunk spans merged from forked workers render under
+    synthetic pid ``1 + worker`` so Perfetto shows one process lane per
+    worker slot (the real OS pid — which is not deterministic — stays
+    in the event args).
+    """
     starts = [s.start_time for s in log.spans] + [r.start_time for r in log.rounds]
     starts += [f.time for f in log.faults if f.time > 0.0]
+    starts += [e.start_time for e in log.exec_spans]
     t0 = min(starts) if starts else 0.0
 
     def us(t: float) -> float:
@@ -132,6 +156,20 @@ def to_chrome_trace(log: RunLog) -> Dict:
                 }
             )
     for s in sorted(log.spans, key=lambda s: (s.start_time, s.uid)):
+        args = {
+            "rounds": s.rounds,
+            "words": s.words,
+            "messages": s.messages,
+            "oracle_calls": s.oracle_calls,
+            "oracle_evaluations": s.oracle_evaluations,
+            "start_round": s.start_round,
+            "end_round": s.end_round,
+            **s.attrs,
+        }
+        if s.trace_id is not None:
+            args["trace_id"] = s.trace_id
+            args["span_id"] = s.span_id
+            args["parent_span_id"] = s.parent_span_id
         events.append(
             {
                 "name": s.name,
@@ -141,16 +179,26 @@ def to_chrome_trace(log: RunLog) -> Dict:
                 "tid": SPAN_TID,
                 "ts": us(s.start_time),
                 "dur": max(round(s.duration_s * 1e6, 3), 0.001),
-                "args": {
-                    "rounds": s.rounds,
-                    "words": s.words,
-                    "messages": s.messages,
-                    "oracle_calls": s.oracle_calls,
-                    "oracle_evaluations": s.oracle_evaluations,
-                    "start_round": s.start_round,
-                    "end_round": s.end_round,
-                    **s.attrs,
-                },
+                "args": args,
+            }
+        )
+    for pid in sorted({1 + e.worker for e in log.exec_spans}):
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": f"executor worker {pid - 1}"}}
+        )
+    for e in sorted(log.exec_spans,
+                    key=lambda e: (e.batch, e.attempt, e.worker)):
+        events.append(
+            {
+                "name": e.name,
+                "cat": "exec",
+                "ph": "X",
+                "pid": 1 + e.worker,
+                "tid": 0,
+                "ts": us(e.start_time),
+                "dur": max(round(e.duration_s * 1e6, 3), 0.001),
+                "args": e.to_dict(),
             }
         )
     for r in log.rounds:
@@ -233,21 +281,83 @@ def export_run(log: RunLog, path: PathLike, fmt: str = "chrome") -> Path:
     raise ValueError(f"unknown trace format {fmt!r} (expected 'chrome' or 'jsonl')")
 
 
-def trace_payload(log: RunLog, fmt: str = "chrome") -> tuple[str, str]:
+def trace_payload(log: RunLog, fmt: str = "chrome",
+                  annotations: Optional[List[dict]] = None) -> tuple[str, str]:
     """Serialize a run log for wire transfer: ``(content_type, body)``.
 
     The in-memory counterpart of :func:`export_run`, used by the job
     service to serve ``GET /jobs/<id>/trace`` without touching disk.
     Bodies round-trip through the corresponding readers (the ``jsonl``
     form via :func:`read_jsonl`).
+
+    ``annotations`` lets the caller attach service-level trace events
+    the run log itself cannot know about — e.g. "this response was a
+    cache hit" — as ``{"name": ..., "args": {...}}`` dicts: instant
+    events on the fault track in the Chrome form, ``annotation`` lines
+    in the JSONL form.
     """
     if fmt == "chrome":
-        return "application/json", json.dumps(to_chrome_trace(log)) + "\n"
+        doc = to_chrome_trace(log)
+        for ann in annotations or []:
+            doc["traceEvents"].append(
+                {
+                    "name": ann["name"],
+                    "cat": "annotation",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": 0,
+                    "tid": FAULT_TID,
+                    "ts": 0.0,
+                    "args": dict(ann.get("args", {})),
+                }
+            )
+        return "application/json", json.dumps(doc) + "\n"
     if fmt == "jsonl":
         lines = [json.dumps({"type": "meta", **log.meta})]
         lines += [json.dumps({"type": "span", **s.to_dict()}) for s in log.spans]
         lines += [json.dumps({"type": "round", **r.to_dict()}) for r in log.rounds]
         lines += [json.dumps({"type": "message", **m.to_dict()}) for m in log.messages]
         lines += [json.dumps({"type": "fault", **f.to_dict()}) for f in log.faults]
+        lines += [json.dumps({"type": "exec_span", **e.to_dict()})
+                  for e in log.exec_spans]
+        lines += [json.dumps({"type": "annotation", **ann})
+                  for ann in annotations or []]
         return "application/x-ndjson", "\n".join(lines) + "\n"
     raise ValueError(f"unknown trace format {fmt!r} (expected 'chrome' or 'jsonl')")
+
+
+#: event/args keys that carry wall-clock or OS-assigned values — the
+#: non-deterministic residue :func:`canonical_chrome_trace` strips
+_VOLATILE_KEYS = frozenset(
+    {"ts", "dur"}
+)
+_VOLATILE_ARG_KEYS = frozenset(
+    {"time", "os_pid", "start_time", "end_time", "duration_s", "wall_s"}
+)
+
+
+def canonical_chrome_trace(doc: Dict) -> Dict:
+    """A Chrome trace document minus its non-deterministic residue.
+
+    Timestamps, durations, and OS pids vary run to run even for a fully
+    seeded execution; everything else — event names, categories, track
+    layout, counters, trace/span ids — is deterministic.  Two seeded
+    runs of the same spec must produce *identical* canonical documents
+    (the test suite asserts it), which is what makes a recorded trace a
+    replayable artifact rather than a one-off.
+    """
+    events = []
+    for ev in doc.get("traceEvents", []):
+        ev = {k: v for k, v in ev.items() if k not in _VOLATILE_KEYS}
+        args = ev.get("args")
+        if isinstance(args, dict):
+            ev["args"] = {
+                k: v for k, v in args.items() if k not in _VOLATILE_ARG_KEYS
+            }
+        events.append(ev)
+    other = {
+        k: v
+        for k, v in doc.get("otherData", {}).items()
+        if k not in _VOLATILE_ARG_KEYS
+    }
+    return {"traceEvents": events, "otherData": other}

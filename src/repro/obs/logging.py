@@ -1,0 +1,150 @@
+"""Structured logging: one JSON line per event, trace ids attached.
+
+The repo's runtime layers (service, job manager, executor, cluster)
+log through here instead of writing to stderr ad hoc.  Built on the
+stdlib :mod:`logging` module:
+
+* :func:`get_logger` returns a namespaced logger (``repro.service.jobs``
+  etc.) — call sites pass event fields via ``extra=``::
+
+      log = get_logger("repro.service.jobs")
+      log.info("job done", extra={"job_id": job.id, "state": "done"})
+
+* :func:`configure` installs a handler on the ``repro`` root logger
+  that renders each record as **one JSON object per line** (or an
+  aligned ``key=value`` text line with ``fmt="text"``).  Unconfigured,
+  records propagate to the stdlib root logger and are dropped at the
+  default WARNING threshold — importing this module costs nothing.
+
+Every emitted line carries the ambient trace context: a logging filter
+reads :func:`repro.obs.tracing.current_trace` at emit time (in the
+emitting thread, so worker threads stamp their own job's ids) and adds
+``trace_id``/``span_id`` unless the call site already supplied them.
+
+JSON schema: ``{"ts", "level", "logger", "event", ...extra fields,
+"trace_id"?, "span_id"?, "exc"?}`` — ``event`` is the log message, and
+every ``extra=`` key is a top-level field, so ``grep <trace_id>`` over
+a server log finds every line of one request.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional, Union
+
+from repro.obs.tracing import current_trace
+
+#: the root of the repo's logger namespace
+ROOT_LOGGER = "repro"
+
+#: LogRecord attributes that are logging-internal plumbing, not event
+#: fields (computed once from a throwaway record, plus the documented
+#: late additions)
+_RESERVED = set(
+    vars(logging.LogRecord("", 0, "", 0, "", (), None))
+) | {"message", "asctime", "taskName"}
+
+
+class _TraceInjector(logging.Filter):
+    """Stamp the ambient trace context onto each record at emit time."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        ctx = current_trace()
+        if ctx is not None:
+            if not hasattr(record, "trace_id"):
+                record.trace_id = ctx.trace_id
+            if not hasattr(record, "span_id"):
+                record.span_id = ctx.span_id
+        return True
+
+
+def _event_fields(record: logging.LogRecord) -> dict:
+    return {
+        k: v
+        for k, v in record.__dict__.items()
+        if k not in _RESERVED and not k.startswith("_")
+    }
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per line; ``extra=`` keys become top-level fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        out = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        out.update(_event_fields(record))
+        if record.exc_info:
+            out["exc"] = self.formatException(record.exc_info)
+        return json.dumps(out, default=str)
+
+
+class TextLineFormatter(logging.Formatter):
+    """Human-oriented ``key=value`` rendering of the same fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            f"{record.levelname.lower():7s}",
+            record.name,
+            record.getMessage(),
+        ]
+        parts += [f"{k}={v}" for k, v in sorted(_event_fields(record).items())]
+        line = " ".join(str(p) for p in parts)
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def configure(
+    fmt: str = "json",
+    level: Union[int, str] = logging.INFO,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install (or replace) the structured handler on the ``repro``
+    logger; returns the logger.  Idempotent: reconfiguring swaps the
+    handler rather than stacking a second one.
+
+    ``fmt``
+        ``"json"`` (one JSON object per line, the machine surface) or
+        ``"text"`` (aligned ``key=value`` lines).
+    ``level``
+        Threshold for the ``repro`` namespace (name or number).
+    ``stream``
+        Destination; defaults to ``sys.stderr``.
+    """
+    if fmt not in ("json", "text"):
+        raise ValueError(f"unknown log format {fmt!r} (expected 'json' or 'text')")
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level.upper() if isinstance(level, str) else level)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLineFormatter() if fmt == "json" else TextLineFormatter())
+    handler.addFilter(_TraceInjector())
+    handler._repro_structured = True  # type: ignore[attr-defined]
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_structured", False):
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def unconfigure() -> None:
+    """Remove any handler :func:`configure` installed (tests, embeds)."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_structured", False):
+            logger.removeHandler(existing)
+    logger.setLevel(logging.NOTSET)
+    logger.propagate = True
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """A logger under the ``repro`` namespace (prefix added if absent)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)

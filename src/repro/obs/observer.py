@@ -26,7 +26,14 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional
 
-from repro.obs.events import FaultEvent, MessageEvent, RoundRecord, SpanRecord
+from repro.obs.events import (
+    ExecSpanRecord,
+    FaultEvent,
+    MessageEvent,
+    RoundRecord,
+    SpanRecord,
+)
+from repro.obs.tracing import TraceContext
 
 
 class Observer:
@@ -77,6 +84,10 @@ class Observer:
         """A fault was injected, or a recovery action was taken (see
         :mod:`repro.faults` and :class:`FaultEvent`)."""
 
+    def on_exec_span(self, record: ExecSpanRecord) -> None:
+        """A forked executor chunk completed and shipped its span back
+        (process backend only; see :class:`ExecSpanRecord`)."""
+
 
 class ObserverHub:
     """Fan-out point between one cluster and its observers.
@@ -98,6 +109,8 @@ class ObserverHub:
         #: path stays active while this is 0 even when aggregate-only
         #: observers (metrics) are attached
         self._message_listeners = 0
+        #: the run's root trace context (see :meth:`set_trace`)
+        self._trace: Optional[TraceContext] = None
 
     # -- observer management -----------------------------------------------------
 
@@ -131,6 +144,34 @@ class ObserverHub:
 
     def __contains__(self, observer: object) -> bool:
         return observer in self._observers
+
+    # -- trace context -------------------------------------------------------------
+
+    def set_trace(self, ctx: Optional[TraceContext]) -> None:
+        """Install the run's root :class:`TraceContext` (or clear it).
+
+        Once set, every span opened through :meth:`span` derives a
+        deterministic child context — ids land on the records, nested
+        spans parent correctly, and :meth:`trace_parent` exposes the
+        innermost active context for the executor to ship to forked
+        chunk workers.
+        """
+        self._trace = ctx
+
+    @property
+    def trace(self) -> Optional[TraceContext]:
+        """The installed root trace context, if any."""
+        return self._trace
+
+    def trace_parent(self) -> Optional[TraceContext]:
+        """The context new work should parent under: the innermost open
+        span's, else the root; ``None`` when tracing is off."""
+        span = self.current_span
+        if span is not None:
+            ctx = getattr(span, "_trace_ctx", None)
+            if ctx is not None:
+                return ctx
+        return self._trace
 
     # -- span management -----------------------------------------------------------
 
@@ -167,6 +208,13 @@ class ObserverHub:
             attrs=dict(attrs),
         )
         self._next_uid += 1
+        parent_ctx = self.trace_parent()
+        if parent_ctx is not None:
+            ctx = parent_ctx.child(name)
+            span.trace_id = ctx.trace_id
+            span.span_id = ctx.span_id
+            span.parent_span_id = ctx.parent_id
+            span._trace_ctx = ctx  # transient, for nested derivation
         self._snapshot(span, entry=True)
         self._stack.append(span)
         for ob in self._observers:
@@ -240,6 +288,11 @@ class ObserverHub:
             event = FaultEvent(**{**event.to_dict(), "time": time.perf_counter()})
         for ob in self._observers:
             ob.on_fault(event)
+
+    def emit_exec_span(self, record: ExecSpanRecord) -> None:
+        """Fan a merged executor chunk span out to the observers."""
+        for ob in self._observers:
+            ob.on_exec_span(record)
 
     def emit_round_end(self, round_stats) -> None:
         if not self._observers:

@@ -11,7 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.obs.events import FaultEvent, MessageEvent, RoundRecord, SpanRecord
+from repro.obs.events import (
+    ExecSpanRecord,
+    FaultEvent,
+    MessageEvent,
+    RoundRecord,
+    SpanRecord,
+)
 from repro.obs.observer import Observer
 
 
@@ -24,6 +30,10 @@ class RunLog:
     rounds: List[RoundRecord] = field(default_factory=list)
     messages: List[MessageEvent] = field(default_factory=list)
     faults: List[FaultEvent] = field(default_factory=list)
+    #: chunk spans merged back from forked executor workers — kept
+    #: separate from :attr:`spans` so the algorithm-phase span set is
+    #: identical across serial and process backends
+    exec_spans: List[ExecSpanRecord] = field(default_factory=list)
 
     # -- aggregation -------------------------------------------------------------
 
@@ -148,6 +158,9 @@ class Recorder(Observer):
             "seed": cluster.seed,
             "metric": type(cluster.metric).__name__,
         }
+        ctx = cluster.obs.trace
+        if ctx is not None:
+            rec.log.meta["trace_id"] = ctx.trace_id
         cluster.obs.add(rec)
         return rec
 
@@ -165,3 +178,6 @@ class Recorder(Observer):
 
     def on_fault(self, event: FaultEvent) -> None:
         self.log.faults.append(event)
+
+    def on_exec_span(self, record: ExecSpanRecord) -> None:
+        self.log.exec_spans.append(record)

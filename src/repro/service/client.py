@@ -37,20 +37,37 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.logging import get_logger
+from repro.obs.tracing import TraceContext, current_trace
+
 #: statuses the transport treats as transient and retries
 RETRYABLE_STATUSES = (429, 503)
 
+_log = get_logger("repro.service.client")
+
 
 class ServiceError(RuntimeError):
-    """An HTTP error response from the service."""
+    """An HTTP error response from the service.
+
+    ``request_id`` is the server-assigned id of the failed request
+    (from the ``X-Request-Id`` header — the request's trace id), echoed
+    in the message so a pasted error is greppable in the server's
+    structured log.
+    """
 
     def __init__(self, status: int, message: str,
-                 retry_after: Optional[float] = None) -> None:
-        super().__init__(f"HTTP {status}: {message}")
+                 retry_after: Optional[float] = None,
+                 request_id: Optional[str] = None) -> None:
+        text = f"HTTP {status}: {message}"
+        if request_id:
+            text += f" [request {request_id}]"
+        super().__init__(text)
         self.status = status
         self.message = message
         #: parsed Retry-After header (seconds), when the server sent one
         self.retry_after = retry_after
+        #: server-assigned request/trace id, when the server sent one
+        self.request_id = request_id
 
 
 class ServiceClient:
@@ -89,13 +106,18 @@ class ServiceClient:
         self.max_backoff_s = max_backoff_s
         #: transient failures retried over this client's lifetime
         self.transport_retries = 0
+        #: ``X-Request-Id`` of the most recent response (success or error)
+        self.last_request_id: Optional[str] = None
 
     # -- transport ----------------------------------------------------------
 
-    def _request_once(self, method: str, path: str, body: Optional[dict] = None):
+    def _request_once(self, method: str, path: str, body: Optional[dict] = None,
+                      trace: Optional[TraceContext] = None):
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
+        if trace is not None:
+            headers["traceparent"] = trace.to_traceparent()
         if body is not None:
             data = json.dumps(body).encode()
             headers["Content-Type"] = "application/json"
@@ -104,12 +126,17 @@ class ServiceClient:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                 raw = resp.read().decode()
                 ctype = resp.headers.get("Content-Type", "")
+                self.last_request_id = resp.headers.get("X-Request-Id")
         except urllib.error.HTTPError as exc:
             raw = exc.read().decode()
+            request_id = exc.headers.get("X-Request-Id") if exc.headers else None
             try:
-                message = json.loads(raw).get("error", raw)
+                parsed = json.loads(raw)
+                message = parsed.get("error", raw)
+                request_id = parsed.get("request_id", request_id)
             except (json.JSONDecodeError, AttributeError):
                 message = raw or exc.reason
+            self.last_request_id = request_id
             retry_after = None
             header = exc.headers.get("Retry-After") if exc.headers else None
             if header is not None:
@@ -117,7 +144,8 @@ class ServiceClient:
                     retry_after = float(header)
                 except ValueError:
                     pass
-            raise ServiceError(exc.code, message, retry_after=retry_after) from None
+            raise ServiceError(exc.code, message, retry_after=retry_after,
+                               request_id=request_id) from None
         if ctype.split(";")[0].strip() == "application/json":
             return json.loads(raw)
         return raw
@@ -131,11 +159,20 @@ class ServiceClient:
         safe to repeat: injected faults fire *before* any state
         mutation, and a dropped response at worst re-submits an
         idempotent registration or creates a duplicate job record.
+
+        Each logical request gets its own trace context — a child of
+        the ambient :func:`~repro.obs.tracing.current_trace` when one is
+        set, otherwise a fresh random root — and every attempt sends it
+        as a W3C ``traceparent`` header, so server-side log lines for
+        retried attempts share one trace id.
         """
+        base = current_trace()
+        ctx = (base.child("http-client") if base is not None
+               else TraceContext.generate())
         delay = self.backoff_s
         for attempt in range(self.retries + 1):
             try:
-                return self._request_once(method, path, body)
+                return self._request_once(method, path, body, trace=ctx)
             except ServiceError as exc:
                 if exc.status not in RETRYABLE_STATUSES or attempt >= self.retries:
                     raise
@@ -148,6 +185,12 @@ class ServiceClient:
                     ) from exc
                 wait = delay
             self.transport_retries += 1
+            _log.warning(
+                "transient failure; retrying request",
+                extra={"http_method": method, "path": path,
+                       "attempt": attempt + 1, "trace_id": ctx.trace_id,
+                       "span_id": ctx.span_id},
+            )
             time.sleep(min(wait, self.max_backoff_s))
             delay = min(delay * 2, self.max_backoff_s)
         raise AssertionError("unreachable")  # pragma: no cover

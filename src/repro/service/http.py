@@ -40,7 +40,9 @@ from urllib.parse import parse_qs, urlparse
 from repro._version import __version__
 from repro.faults import FaultPlan
 from repro.obs.export import trace_payload
+from repro.obs.logging import get_logger
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+from repro.obs.tracing import TraceContext, use_trace
 from repro.service.cache import ResultCache
 from repro.service.datasets import DatasetRegistry, UnknownDatasetError
 from repro.service.jobs import JobManager, JobState, QueueFullError, RetryPolicy, UnknownJobError
@@ -49,6 +51,8 @@ from repro.service.spec import JobSpec
 #: request body cap (64 MiB ≈ 4M points × 2 dims as JSON) — a service
 #: guard, not a scaling claim; bulk ingestion is a later PR's shard API
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_log = get_logger("repro.service.http")
 
 
 class ApiError(Exception):
@@ -76,25 +80,35 @@ class ClusteringServiceServer(ThreadingHTTPServer):
     def __init__(self, address, handler, manager: JobManager, faults=None) -> None:
         super().__init__(address, handler)
         self.manager = manager
+        #: wall stamp for display; interval math (uptime, health
+        #: windows) uses the monotonic twin below
         self.started_at = time.time()
+        self._started_mono = time.monotonic()
         self.faults: Optional[FaultPlan] = FaultPlan.from_spec(faults)
         self._request_counter = itertools.count()
         self._fault_lock = threading.Lock()
         self.faults_injected = 0
         self.last_fault_at: Optional[float] = None
+        self._last_fault_mono: Optional[float] = None
 
     def next_request_no(self) -> int:
         return next(self._request_counter)
+
+    def uptime_s(self) -> float:
+        """Seconds since construction, on the monotonic clock — a wall
+        reset cannot make uptime jump or go negative."""
+        return time.monotonic() - self._started_mono
 
     def record_injection(self) -> None:
         with self._fault_lock:
             self.faults_injected += 1
             self.last_fault_at = time.time()
+            self._last_fault_mono = time.monotonic()
 
     def recent_fault_activity(self, window_s: float = 60.0) -> bool:
         with self._fault_lock:
-            last = self.last_fault_at
-        return last is not None and (time.time() - last) <= window_s
+            last = self._last_fault_mono
+        return last is not None and (time.monotonic() - last) <= window_s
 
     def sync_metrics(self) -> MetricsRegistry:
         """Mirror manager + HTTP-layer tallies into the metrics registry
@@ -124,26 +138,49 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = f"repro-service/{__version__}"
     protocol_version = "HTTP/1.1"
 
+    #: this request's trace context: the parsed ``traceparent`` child,
+    #: or a freshly minted root (set at the top of ``_dispatch``)
+    trace_ctx: Optional[TraceContext] = None
+
     # -- plumbing -----------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass  # quiet by default; ops wire their own access log
+        pass  # the structured access log is written by _dispatch
+
+    def _trace_headers(self) -> None:
+        """Echo the request's identity on every response: the trace id
+        doubles as the server-assigned request id, so a client error
+        message is directly greppable in the server's log."""
+        ctx = self.trace_ctx
+        if ctx is not None:
+            self.send_header("X-Request-Id", ctx.trace_id)
+            self.send_header("traceparent", ctx.to_traceparent())
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = (json.dumps(payload) + "\n").encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self._trace_headers()
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
+
+    def _send_error(self, status: int, message: str) -> None:
+        payload = {"error": message}
+        if self.trace_ctx is not None:
+            payload["request_id"] = self.trace_ctx.trace_id
+        self._send_json(status, payload)
 
     def _send_text(self, status: int, content_type: str, text: str) -> None:
         body = text.encode()
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self._trace_headers()
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -184,16 +221,45 @@ class _Handler(BaseHTTPRequestHandler):
             # crashed proxy — the client sees a torn connection
             self.close_connection = True
             return True
-        body = (json.dumps({"error": f"injected fault: synthetic {status}"}) + "\n").encode()
+        payload = {"error": f"injected fault: synthetic {status}"}
+        if self.trace_ctx is not None:
+            payload["request_id"] = self.trace_ctx.trace_id
+        body = (json.dumps(payload) + "\n").encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Retry-After", f"{plan.retry_after_s:g}")
         self.send_header("Content-Length", str(len(body)))
+        self._trace_headers()
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
         return True
 
     def _dispatch(self, method: str) -> None:
+        # parse the W3C traceparent (if any) and mint this request's
+        # context: a child of the caller's span, or a fresh root —
+        # either way every response carries X-Request-Id/traceparent
+        incoming = TraceContext.from_traceparent(self.headers.get("traceparent"))
+        self.trace_ctx = (
+            incoming.child("http") if incoming is not None
+            else TraceContext.generate()
+        )
+        self._status: Optional[int] = None
+        t0 = time.monotonic()
+        try:
+            with use_trace(self.trace_ctx):
+                self._dispatch_traced(method)
+        finally:
+            _log.info(
+                "http request",
+                extra={"method": method, "path": self.path,
+                       "status": self._status,
+                       "duration_ms": round((time.monotonic() - t0) * 1e3, 3),
+                       "trace_id": self.trace_ctx.trace_id,
+                       "span_id": self.trace_ctx.span_id},
+            )
+
+    def _dispatch_traced(self, method: str) -> None:
         try:
             _, parts, query = self._route()
             if self._inject_fault(parts):
@@ -201,19 +267,19 @@ class _Handler(BaseHTTPRequestHandler):
             handler = self._resolve(method, parts)
             handler(parts, query)
         except ApiError as exc:
-            self._send_json(exc.status, {"error": exc.message})
+            self._send_error(exc.status, exc.message)
         except UnknownDatasetError as exc:
-            self._send_json(404, {"error": f"unknown dataset: {exc.args[0]}"})
+            self._send_error(404, f"unknown dataset: {exc.args[0]}")
         except UnknownJobError as exc:
-            self._send_json(404, {"error": f"unknown job: {exc.args[0]}"})
+            self._send_error(404, f"unknown job: {exc.args[0]}")
         except QueueFullError as exc:
-            self._send_json(429, {"error": str(exc)})
+            self._send_error(429, str(exc))
         except ValueError as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._send_error(400, str(exc))
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
         except Exception as exc:  # pragma: no cover - defensive 500
-            self._send_json(500, {"error": f"internal error: {exc!r}"})
+            self._send_error(500, f"internal error: {exc!r}")
 
     def _resolve(self, method: str, parts: list):
         if method == "GET":
@@ -270,7 +336,7 @@ class _Handler(BaseHTTPRequestHandler):
         payload = {
             "status": "degraded" if degraded_because else "ok",
             "version": __version__,
-            "uptime_s": time.time() - self.server.started_at,
+            "uptime_s": self.server.uptime_s(),
             "workers": manager.workers,
             "backend": manager.backend,
             "queue_limit": manager.queue_limit,
@@ -285,7 +351,8 @@ class _Handler(BaseHTTPRequestHandler):
         server = self.server
         stats = server.manager.stats()
         stats["datasets"] = len(server.manager.datasets)
-        stats["uptime_s"] = time.time() - server.started_at
+        stats["uptime_s"] = server.uptime_s()
+        stats["started_at"] = server.started_at
         stats["service_faults"] = {
             "injected_total": server.faults_injected,
             "last_fault_at": server.last_fault_at,
@@ -335,7 +402,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _post_jobs(self, parts, query) -> None:
         body = self._read_json()
         spec = JobSpec.from_dict(body)
-        job = self.server.manager.submit(spec)
+        job = self.server.manager.submit(spec, trace=self.trace_ctx)
         self._send_json(202, job.describe(include_result=job.cached))
 
     def _get_jobs(self, parts, query) -> None:
@@ -374,8 +441,23 @@ class _Handler(BaseHTTPRequestHandler):
                 "traces appear when a job completes",
             )
         fmt = query.get("format", "chrome")
+        annotations = [
+            {"name": "job",
+             "args": {"job_id": job.id,
+                      "trace_id": job.trace.trace_id if job.trace else None,
+                      "state": job.state.value}},
+        ]
+        if job.cached:
+            # the served log is the *producing* run's; mark the hit so
+            # the trace says why its ids differ from this job's
+            annotations.append(
+                {"name": "cache_hit",
+                 "args": {"job_id": job.id,
+                          "trace_id": job.trace.trace_id if job.trace else None}}
+            )
         try:
-            content_type, body = trace_payload(job.run_log, fmt)
+            content_type, body = trace_payload(job.run_log, fmt,
+                                               annotations=annotations)
         except ValueError as exc:
             raise ApiError(400, str(exc)) from None
         self._send_text(200, content_type, body)

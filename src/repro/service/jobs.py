@@ -45,12 +45,16 @@ from enum import Enum
 from typing import Dict, List, Optional
 
 from repro.faults import FaultPlan
+from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.record import RunLog
+from repro.obs.tracing import TraceContext, use_trace
 from repro.service.cache import ResultCache
 from repro.service.datasets import DatasetRegistry
 from repro.service.runner import JobCancelled, JobTimeout, execute_job
 from repro.service.spec import JobSpec
+
+_log = get_logger("repro.service.jobs")
 
 
 class QueueFullError(RuntimeError):
@@ -141,6 +145,10 @@ class Job:
     cached: bool = False
     #: the recorded run log (also set for cache hits: the producing run's)
     run_log: Optional[RunLog] = None
+    #: the request's distributed-trace context (assigned at submit; the
+    #: HTTP layer passes the incoming request's, so one trace id links
+    #: the client call, the job, and the solver run)
+    trace: Optional[TraceContext] = None
     #: 0-based index of the current/last execution attempt
     attempt: int = 0
     #: one record per *failed* attempt that was retried:
@@ -160,6 +168,7 @@ class Job:
             "finished_at": self.finished_at,
             "cached": self.cached,
             "attempt": self.attempt,
+            "trace_id": self.trace.trace_id if self.trace is not None else None,
         }
         if self.attempts:
             out["attempts"] = [dict(a) for a in self.attempts]
@@ -275,7 +284,10 @@ class JobManager:
         self._retries = 0
         self._jobs_recovered = 0
         self._jobs_exhausted = 0
+        #: wall stamp, for display in stats()
         self._last_retry_at: Optional[float] = None
+        #: monotonic stamp, for interval math (immune to clock jumps)
+        self._last_retry_mono: Optional[float] = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -345,8 +357,13 @@ class JobManager:
 
     # -- submission ---------------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> Job:
+    def submit(self, spec: JobSpec, trace: Optional[TraceContext] = None) -> Job:
         """Admit a job: cache hit → instantly ``done``; else enqueue.
+
+        ``trace`` is the submitting request's context (the HTTP layer
+        passes the parsed/minted ``traceparent``); the job becomes a
+        child of it, so the whole solver run shares the request's trace
+        id.  A fresh root is minted when omitted.
 
         Raises :class:`UnknownDatasetError` for an unregistered dataset,
         :class:`ValueError` for invalid parameters, and
@@ -359,9 +376,11 @@ class JobManager:
             )
         if spec.timeout_s is None and self.default_timeout_s is not None:
             spec.timeout_s = float(self.default_timeout_s)
+        base = trace if trace is not None else TraceContext.generate()
 
         with self._lock:
-            job = Job(id=f"job-{next(self._ids):06d}", spec=spec)
+            job = Job(id=f"job-{next(self._ids):06d}", spec=spec,
+                      trace=base.child("job"))
             self._jobs[job.id] = job
             self._submitted += 1
             self._by_algorithm[spec.algorithm] = (
@@ -379,6 +398,11 @@ class JobManager:
                     job.finished_at = time.time()
                 self._prune_history_locked()
             job.done_event.set()
+            _log.info(
+                "job served from cache",
+                extra={"job_id": job.id, "trace_id": job.trace.trace_id,
+                       "algorithm": spec.algorithm},
+            )
             return job
 
         try:
@@ -387,9 +411,19 @@ class JobManager:
             with self._lock:
                 self._rejected += 1
                 del self._jobs[job.id]
+            _log.warning(
+                "job rejected: queue full",
+                extra={"trace_id": base.trace_id, "algorithm": spec.algorithm,
+                       "queue_limit": self.queue_limit},
+            )
             raise QueueFullError(
                 f"job queue full ({self.queue_limit} queued); retry later"
             ) from None
+        _log.info(
+            "job queued",
+            extra={"job_id": job.id, "trace_id": job.trace.trace_id,
+                   "algorithm": spec.algorithm, "dataset": spec.dataset},
+        )
         return job
 
     # -- queries ------------------------------------------------------------
@@ -524,10 +558,16 @@ class JobManager:
 
     def recent_retry_activity(self, window_s: float = 60.0) -> bool:
         """True when a retry fired within the last ``window_s`` seconds
-        (the health endpoint's "degraded" signal)."""
+        (the health endpoint's "degraded" signal).
+
+        Interval math is done on :func:`time.monotonic` stamps — a
+        wall-clock jump (NTP step, manual reset) can neither flip the
+        service to degraded nor mask real retry activity.  The wall
+        stamp in :meth:`stats` remains display-only.
+        """
         with self._lock:
-            last = self._last_retry_at
-        return last is not None and (time.time() - last) <= window_s
+            last = self._last_retry_mono
+        return last is not None and (time.monotonic() - last) <= window_s
 
     # -- worker pool --------------------------------------------------------
 
@@ -577,17 +617,25 @@ class JobManager:
             job.done_event.set()
             return
         spec = job.spec
+        _log.info(
+            "job running",
+            extra={"job_id": job.id,
+                   "trace_id": job.trace.trace_id if job.trace else None,
+                   "algorithm": spec.algorithm, "attempt": job.attempt},
+        )
         try:
             dataset = self.datasets.get(spec.dataset)
-            payload, run_log = execute_job(
-                spec,
-                dataset,
-                backend=self.backend,
-                cancel_event=job.cancel_event,
-                job_id=job.id,
-                faults=self.faults,
-                metrics=self.metrics,
-            )
+            with use_trace(job.trace):
+                payload, run_log = execute_job(
+                    spec,
+                    dataset,
+                    backend=self.backend,
+                    cancel_event=job.cancel_event,
+                    job_id=job.id,
+                    faults=self.faults,
+                    metrics=self.metrics,
+                    trace=job.trace,
+                )
         except JobCancelled:
             state, error, produced = JobState.CANCELLED, None, None
         except JobTimeout:
@@ -618,6 +666,14 @@ class JobManager:
             self._job_latency.labels(spec.algorithm).observe(
                 job.finished_at - job.started_at
             )
+        _log.info(
+            f"job {state.value}",
+            extra={"job_id": job.id,
+                   "trace_id": job.trace.trace_id if job.trace else None,
+                   "algorithm": spec.algorithm, "attempt": job.attempt,
+                   **({"reason": error.strip().splitlines()[-1]}
+                      if error else {})},
+        )
         job.done_event.set()
 
     # -- retry --------------------------------------------------------------
@@ -658,9 +714,17 @@ class JobManager:
             job.started_at = None
             self._retries += 1
             self._last_retry_at = time.time()
+            self._last_retry_mono = time.monotonic()
             timer = threading.Timer(delay, self._requeue, args=(job,))
             timer.daemon = True
             self._retry_timers.append(timer)
+        _log.warning(
+            "job crashed; retry scheduled",
+            extra={"job_id": job.id,
+                   "trace_id": job.trace.trace_id if job.trace else None,
+                   "attempt": job.attempt, "backoff_s": round(delay, 4),
+                   "reason": summary},
+        )
         timer.start()
         return True
 

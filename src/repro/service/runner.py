@@ -28,6 +28,7 @@ from repro.constants import TheoryConstants
 from repro.metric.oracle import CountingOracle
 from repro.obs import Observer, Recorder, RunLog
 from repro.obs.metrics import MetricsObserver, MetricsRegistry
+from repro.obs.tracing import TraceContext, current_trace, use_trace
 from repro.service.datasets import Dataset
 from repro.service.spec import JobSpec
 
@@ -72,6 +73,7 @@ def execute_job(
     job_id: Optional[str] = None,
     faults=None,
     metrics: Optional[MetricsRegistry] = None,
+    trace: Optional[TraceContext] = None,
 ) -> Tuple[dict, RunLog]:
     """Run one job; returns ``(payload, run_log)``.
 
@@ -85,7 +87,15 @@ def execute_job(
     :class:`~repro.obs.metrics.MetricsObserver` streams the run's
     rounds, span durations, oracle deltas, and fault events into it —
     this is what ``GET /metrics`` aggregates across jobs.
+
+    ``trace`` is the request's :class:`~repro.obs.tracing.TraceContext`
+    (the manager passes the job's); it falls back to the ambient
+    context, then to a deterministic seed-derived root — every executed
+    job is traced, and a directly-invoked runner traces reproducibly.
     """
+    ctx = trace if trace is not None else current_trace()
+    if ctx is None:
+        ctx = TraceContext.from_seed(spec.seed, name="run")
     oracle = CountingOracle(dataset.metric)
     cluster = build_cluster(
         metric=oracle,
@@ -94,6 +104,7 @@ def execute_job(
         partition=spec.partition,
         backend=backend,
         faults=faults,
+        trace=ctx,
     )
     recorder = Recorder.attach(cluster, capture_messages=False)
     recorder.log.meta.update(
@@ -140,7 +151,8 @@ def execute_job(
 
     t0 = time.perf_counter()
     try:
-        result = SOLVERS[spec.algorithm](**kwargs)
+        with use_trace(ctx):
+            result = SOLVERS[spec.algorithm](**kwargs)
     finally:
         cluster.obs.remove(control)
         cluster.executor.shutdown()

@@ -1,0 +1,159 @@
+"""Structured logging (:mod:`repro.obs.logging`) and source hygiene.
+
+The logging layer emits one JSON object per line with ``trace_id`` /
+``span_id`` stamped from the ambient :func:`~repro.obs.tracing.
+current_trace`; the hygiene check walks ``src/repro`` and forbids bare
+``print(`` / ``sys.stderr.write`` outside the CLI — library code must
+log through :func:`repro.obs.logging.get_logger` (mirrors the ruff
+``T20`` rule CI enforces).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import logging
+from pathlib import Path
+
+import pytest
+
+from repro.obs.logging import (
+    configure,
+    get_logger,
+    unconfigure,
+)
+from repro.obs.tracing import TraceContext, use_trace
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+@pytest.fixture
+def json_log():
+    stream = io.StringIO()
+    configure(fmt="json", level=logging.DEBUG, stream=stream)
+    yield stream
+    unconfigure()
+
+
+def _lines(stream: io.StringIO) -> list:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLogging:
+    def test_one_json_object_per_line(self, json_log):
+        log = get_logger("repro.test")
+        log.info("first thing")
+        log.warning("second thing", extra={"job_id": "job-1"})
+        lines = _lines(json_log)
+        assert len(lines) == 2
+        assert lines[0]["event"] == "first thing"
+        assert lines[0]["level"] == "info"
+        assert lines[0]["logger"] == "repro.test"
+        assert lines[1]["job_id"] == "job-1"
+
+    def test_trace_ids_stamped_from_ambient_context(self, json_log):
+        ctx = TraceContext.from_seed(4)
+        with use_trace(ctx):
+            get_logger("repro.test").info("inside")
+        get_logger("repro.test").info("outside")
+        inside, outside = _lines(json_log)
+        assert inside["trace_id"] == ctx.trace_id
+        assert inside["span_id"] == ctx.span_id
+        assert "trace_id" not in outside
+
+    def test_explicit_extra_wins_over_ambient(self, json_log):
+        with use_trace(TraceContext.from_seed(4)):
+            get_logger("repro.test").info("x", extra={"trace_id": "override"})
+        assert _lines(json_log)[0]["trace_id"] == "override"
+
+    def test_exception_rendered_inline(self, json_log):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger("repro.test").exception("it broke")
+        (line,) = _lines(json_log)
+        assert line["level"] == "error"
+        assert "ValueError: boom" in line["exc"]
+
+    def test_text_format_and_bad_format(self):
+        stream = io.StringIO()
+        configure(fmt="text", stream=stream)
+        try:
+            with use_trace(TraceContext.from_seed(4)):
+                get_logger("repro.test").info("readable")
+            out = stream.getvalue()
+            assert "readable" in out and "json" not in out.lower()
+        finally:
+            unconfigure()
+        with pytest.raises(ValueError):
+            configure(fmt="yaml")
+
+    def test_reconfigure_replaces_handler(self):
+        a, b = io.StringIO(), io.StringIO()
+        configure(fmt="json", stream=a)
+        configure(fmt="json", stream=b)
+        try:
+            get_logger("repro.test").info("hello")
+        finally:
+            unconfigure()
+        assert a.getvalue() == ""
+        assert json.loads(b.getvalue())["event"] == "hello"
+
+    def test_unconfigured_logging_is_silent_and_cheap(self, capsys):
+        unconfigure()
+        get_logger("repro.test").info("nobody listening")
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+        # INFO is disabled at the root's WARNING default, so the hot
+        # paths skip record creation entirely when unconfigured
+        assert not get_logger("repro.test").isEnabledFor(logging.INFO)
+
+
+# -- source hygiene: no ad-hoc stdout/stderr writes in library code ----------
+
+#: files allowed to print: the CLI is the program's stdout surface
+PRINT_ALLOWED = {SRC / "cli.py"}
+
+
+def _violations(path: Path) -> list:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id in ("print", "pprint"):
+            found.append((path, node.lineno, fn.id))
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "write"
+            and isinstance(fn.value, ast.Attribute)
+            and fn.value.attr in ("stderr", "stdout")
+            and isinstance(fn.value.value, ast.Name)
+            and fn.value.value.id == "sys"
+        ):
+            found.append((path, node.lineno, f"sys.{fn.value.attr}.write"))
+    return found
+
+
+class TestNoAdHocOutputInLibrary:
+    def test_src_repro_is_print_free(self):
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            if path in PRINT_ALLOWED:
+                continue
+            offenders += _violations(path)
+        assert not offenders, (
+            "library code must use repro.obs.logging, found: "
+            + ", ".join(f"{p.relative_to(SRC)}:{line} ({what})"
+                        for p, line, what in offenders)
+        )
+
+    def test_checker_catches_a_plant(self, tmp_path):
+        plant = tmp_path / "bad.py"
+        plant.write_text(
+            "import sys\nprint('x')\nsys.stderr.write('y')\n"
+        )
+        kinds = {what for _, _, what in _violations(plant)}
+        assert kinds == {"print", "sys.stderr.write"}
