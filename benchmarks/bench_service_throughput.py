@@ -16,6 +16,15 @@ the perf baseline CI compares against: rerun with ``--baseline`` to
 fail (exit 1) when cold-phase throughput regresses by more than
 ``--tolerance`` (default 30%).
 
+``--scale 1,2`` adds a third section: a **multi-process scaling
+curve**.  For each point the bench starts one ``--role frontend``
+server on a fresh SQLite state directory, spawns that many
+``repro serve --role worker`` *processes* against the same directory,
+and replays the cold workload through the shared queue.  This is the
+deployment shape ``docs/persistence.md`` describes, measured; the
+curve lands under ``"scaling"`` in the artifact (informational — the
+regression gate only reads the in-process cold phase).
+
 Run standalone (CI runs it at toy scale)::
 
     python benchmarks/bench_service_throughput.py                  # full
@@ -24,7 +33,7 @@ Run standalone (CI runs it at toy scale)::
 
 Regenerate the committed baseline (see docs/performance.md)::
 
-    python benchmarks/bench_service_throughput.py \
+    python benchmarks/bench_service_throughput.py --scale 1,2 \
         --out benchmarks/results/BENCH_service.json
 """
 
@@ -33,7 +42,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -100,6 +111,70 @@ def run_phase(client: ServiceClient, specs: list, concurrency: int,
     }
 
 
+def _spawn_worker(state_dir: str, backend: str) -> subprocess.Popen:
+    """One ``repro serve --role worker`` process on the shared state dir."""
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--role", "worker", "--state-dir", state_dir,
+            "--workers", "1", "--backend", backend,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def run_scale_point(worker_procs: int, args: argparse.Namespace,
+                    seed_base: int) -> dict:
+    """Cold throughput with 1 frontend + ``worker_procs`` worker processes.
+
+    A fresh state directory per point keeps the shared result cache from
+    serving one point's jobs to the next; ``seed_base`` keeps specs
+    distinct across points anyway, so every job really runs the solver.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-scale-") as state_dir:
+        server = serve(
+            port=0, workers=0, backend=args.backend, role="frontend",
+            state_dir=state_dir, queue_limit=max(64, 2 * args.jobs),
+            max_history=max(1024, 4 * args.jobs),
+        )
+        run_in_thread(server)
+        workers = [_spawn_worker(state_dir, args.backend)
+                   for _ in range(worker_procs)]
+        try:
+            client = ServiceClient(server.url, timeout=30.0)
+            ds = client.register_workload("gaussian", args.n, seed=0)
+            # warmup: one job per worker, outside the timed window, so
+            # interpreter start-up does not pollute the curve
+            warm = [
+                client.submit(algorithm="kcenter", dataset=ds["id"],
+                              k=args.k, eps=args.epsilon,
+                              machines=args.machines,
+                              seed=seed_base + 9000 + i)
+                for i in range(max(2, worker_procs))
+            ]
+            for job in warm:
+                client.wait(job["id"], timeout=args.timeout)
+            specs = [
+                dict(algorithm="kcenter", dataset=ds["id"], k=args.k,
+                     eps=args.epsilon, machines=args.machines,
+                     seed=seed_base + i)
+                for i in range(args.jobs)
+            ]
+            phase = run_phase(client, specs, args.concurrency, args.timeout)
+        finally:
+            for proc in workers:
+                proc.terminate()
+            for proc in workers:
+                proc.wait(timeout=30)
+            server.shutdown_service()
+    return {"worker_procs": worker_procs, **phase}
+
+
 def compare_to_baseline(artifact: dict, baseline_path: Path,
                         tolerance: float) -> int:
     """0 if cold throughput is within ``tolerance`` of the baseline."""
@@ -129,6 +204,13 @@ def main(argv=None) -> int:
                     help="concurrent client threads")
     ap.add_argument("--workers", type=int, default=2,
                     help="service worker pool size")
+    ap.add_argument("--backend", default="serial",
+                    help="execution backend for every measured server")
+    ap.add_argument(
+        "--scale", default=None, metavar="N,N,...",
+        help="also measure a multi-process scaling curve: for each N, "
+        "1 frontend + N worker processes over a shared SQLite state dir",
+    )
     ap.add_argument("--timeout", type=float, default=300.0)
     ap.add_argument(
         "--out", default=None,
@@ -142,7 +224,7 @@ def main(argv=None) -> int:
                     help="allowed cold-throughput drop vs the baseline")
     args = ap.parse_args(argv)
 
-    server = serve(port=0, workers=args.workers, backend="serial",
+    server = serve(port=0, workers=args.workers, backend=args.backend,
                    queue_limit=max(64, 2 * args.jobs),
                    max_history=max(1024, 4 * args.jobs))
     run_in_thread(server)
@@ -192,6 +274,32 @@ def main(argv=None) -> int:
           f"{cache['misses_total']} misses "
           f"(hit ratio {cache['hit_ratio']:.2f})")
 
+    scaling = []
+    if args.scale:
+        counts = [int(tok) for tok in args.scale.split(",") if tok.strip()]
+        for i, count in enumerate(counts):
+            scaling.append(run_scale_point(count, args, seed_base=(i + 1) * 100000))
+        print(
+            format_table(
+                [
+                    {
+                        "worker procs": p["worker_procs"],
+                        "jobs": p["jobs"],
+                        "wall-clock (s)": p["wall_s"],
+                        "jobs/s": p["jobs_per_s"],
+                        "p50 latency (s)": p["latency_p50_s"],
+                        "p95 latency (s)": p["latency_p95_s"],
+                    }
+                    for p in scaling
+                ],
+                title=(
+                    "multi-process scaling — 1 frontend + N workers, "
+                    "shared SQLite state dir"
+                ),
+                precision=3,
+            )
+        )
+
     artifact = {
         "meta": {
             "bench": "bench_service_throughput",
@@ -212,6 +320,7 @@ def main(argv=None) -> int:
             "git_sha": _git_sha(),
         },
         "phases": {"cold": cold, "hot": hot},
+        "scaling": scaling,
         "cache": cache,
     }
     out = Path(

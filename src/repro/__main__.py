@@ -1,0 +1,10 @@
+"""``python -m repro`` — the same entry point as the ``repro`` script.
+
+Useful where the console script is not on ``PATH`` (bench harnesses,
+subprocess spawns with an explicit ``PYTHONPATH``).
+"""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

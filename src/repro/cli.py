@@ -484,11 +484,27 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the clustering job service (see docs/service.md)."""
+    """Run the clustering job service (see docs/service.md).
+
+    Roles (``--role``): ``all`` is the classic self-contained server;
+    ``frontend`` serves HTTP but runs no workers; ``worker`` runs no
+    HTTP at all and drains the shared work queue.  The split roles
+    require ``--state-dir`` — a durable directory is what frontends and
+    workers share (see docs/persistence.md).
+    """
     from repro.obs.logging import configure as configure_logging
     from repro.service.http import serve, serve_forever
 
     configure_logging(fmt=args.log_format)
+    if args.role in ("frontend", "worker") and args.state_dir is None:
+        print(
+            f"error: --role {args.role} requires --state-dir "
+            "(split roles share state through a durable directory)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.role == "worker":
+        return _run_worker(args)
     server = serve(
         host=args.host,
         port=args.port,
@@ -499,16 +515,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         max_history=args.max_history,
         max_retries=args.max_retries,
+        state_dir=args.state_dir,
+        role=args.role,
+        lease_s=args.lease_timeout,
         faults=args.faults,
     )
+    store_note = f", state-dir={args.state_dir}" if args.state_dir else ""
     print(
         f"repro service v{__version__} listening on {server.url} "
-        f"(workers={args.workers}, backend={args.backend}, "
-        f"queue-limit={args.queue_limit})"
+        f"(role={args.role}, workers={server.manager.workers}, "
+        f"backend={args.backend}, queue-limit={args.queue_limit}{store_note})"
     )
     if server.faults is not None:
         print(f"fault injection active: {server.faults.describe()}")
     serve_forever(server)
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    """``repro serve --role worker``: drain the shared queue, no HTTP."""
+    import time as _time
+
+    from repro.service.datasets import DatasetRegistry
+    from repro.service.jobs import JobManager, RetryPolicy
+    from repro.service.store import open_stores
+
+    stores = open_stores(
+        args.state_dir,
+        queue_limit=args.queue_limit,
+        cache_entries=args.cache_entries,
+    )
+    manager = JobManager(
+        DatasetRegistry(stores.datasets),
+        stores=stores,
+        role="worker",
+        lease_s=args.lease_timeout,
+        workers=args.workers,
+        backend=args.backend,
+        default_timeout_s=args.job_timeout,
+        max_history=args.max_history,
+        retry_policy=RetryPolicy(max_retries=args.max_retries),
+        faults=args.faults,
+    )
+    manager.start()
+    print(
+        f"repro worker v{__version__} draining {args.state_dir} "
+        f"(worker-id={manager.worker_id}, workers={args.workers}, "
+        f"backend={args.backend}, lease={args.lease_timeout:g}s)"
+    )
+    try:
+        while True:
+            _time.sleep(0.5)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        manager.stop()
     return 0
 
 
@@ -633,6 +694,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="default retry budget for crashed jobs (specs may override)",
+    )
+    p.add_argument(
+        "--role",
+        choices=["all", "frontend", "worker"],
+        default="all",
+        help="all: accept + execute (default); frontend: HTTP only, no "
+        "workers; worker: no HTTP, drain the shared queue (both split "
+        "roles require --state-dir)",
+    )
+    p.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable state directory (SQLite + dataset blobs); omit for "
+        "volatile in-memory state; share one directory across frontend "
+        "and worker processes to scale out",
+    )
+    p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="worker lease on a running job; a worker silent this long is "
+        "declared dead and its jobs are re-enqueued",
     )
     p.add_argument(
         "--faults",

@@ -15,15 +15,10 @@ the native event hooks of :class:`~repro.mpc.cluster.MPCCluster`::
     mpc_kcenter(cluster, k=8)
     print(trace.words_by_tag())
     cluster.obs.remove(trace)          # or trace.detach()
-
-The historical ``MessageTrace.attach(cluster)`` classmethod — which used
-to monkey-patch ``cluster.step`` — survives as a thin deprecated shim
-over the hub API.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import defaultdict
 from typing import Dict, List
 
@@ -51,24 +46,6 @@ class MessageTrace(Observer):
 
     def on_message(self, event: MessageEvent) -> None:
         self.events.append(event)
-
-    # -- lifecycle ---------------------------------------------------------------
-
-    @classmethod
-    def attach(cls, cluster) -> "MessageTrace":
-        """Deprecated shim: register a new trace on ``cluster.obs``.
-
-        Prefer ``cluster.obs.add(MessageTrace())``.  Kept because the
-        pre-hub API attached traces this way (by monkey-patching
-        ``cluster.step``); semantics are unchanged.
-        """
-        warnings.warn(
-            "MessageTrace.attach() is deprecated; use "
-            "cluster.obs.add(MessageTrace()) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return cluster.obs.add(cls())
 
     # -- queries -----------------------------------------------------------------
 

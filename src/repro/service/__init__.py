@@ -26,10 +26,18 @@ Layers (each its own module):
   worker pool, job lifecycle ``queued → running → done|failed|cancelled``,
   and a :class:`RetryPolicy` that re-enqueues crashed jobs with
   exponential backoff (see ``docs/fault_tolerance.md``);
-* :mod:`repro.service.http` — the HTTP/JSON API
-  (``POST /datasets``, ``POST /jobs``, ``GET /jobs/<id>``,
-  ``DELETE /jobs/<id>``, ``GET /jobs/<id>/trace``, ``GET /healthz``,
-  ``GET /stats``) on a threading :mod:`http.server`;
+* :mod:`repro.service.store` — the pluggable state layer:
+  ``JobStore`` / ``WorkQueue`` / ``DatasetStore`` / ``ResultStore``
+  protocols with in-memory and SQLite/file backends
+  (:func:`~repro.service.store.open_stores`); a durable state
+  directory is what lets N worker processes and M frontends form one
+  service (see ``docs/persistence.md``);
+* :mod:`repro.service.http` — the versioned HTTP/JSON API
+  (``POST /v1/datasets``, ``POST /v1/jobs``, ``GET /v1/jobs/<id>``,
+  ``DELETE /v1/jobs/<id>``, ``GET /v1/jobs/<id>/trace``,
+  ``GET /v1/healthz``, ``GET /v1/stats``) on a threading
+  :mod:`http.server`, with uniform error envelopes and deprecated
+  unversioned aliases;
 * :mod:`repro.service.client` — :class:`ServiceClient`, the in-process
   Python client the CLI smoke tests and notebooks use.
 
@@ -63,6 +71,7 @@ from repro.service.jobs import (
 )
 from repro.service.spec import JobSpec
 from repro.service.runner import JobCancelled, JobTimeout
+from repro.service.store import ServiceStores, open_stores
 
 __all__ = [
     "Dataset",
@@ -78,6 +87,8 @@ __all__ = [
     "RetryPolicy",
     "ServiceClient",
     "ServiceError",
+    "ServiceStores",
     "UnknownJobError",
+    "open_stores",
     "serve",
 ]

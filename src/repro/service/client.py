@@ -12,18 +12,23 @@ registers, submits, and waits::
     done = client.wait(job["id"])
     done["result"]["record"]["radius"]
 
-HTTP error responses raise :class:`ServiceError` carrying the status
-code and the server's parsed ``{"error": ...}`` message — a full queue
-surfaces as ``ServiceError`` with ``status == 429``.
+Requests go to the versioned API (``/v1/…`` by default; the
+``api_version`` knob pins another prefix, or ``""`` for the deprecated
+legacy paths).  HTTP error responses raise :class:`ServiceError`
+carrying the status, the machine-readable error ``code`` from the
+server's uniform envelope ``{"error": {"code", "message",
+"request_id"}}``, and the message — a full queue surfaces as
+``ServiceError`` with ``code == "queue_full"``.
 
 The transport is fault-tolerant: transient failures — dropped or
-refused connections, and ``429``/``503`` responses — are retried with
-capped exponential backoff, honouring the server's ``Retry-After``
-header when present.  Other HTTP errors (400, 404, 409, …) raise
-immediately: they are answers, not faults.  :meth:`ServiceClient.wait`
-additionally survives a server restart mid-poll, as long as the new
-server comes back (with the same job state, e.g. a shared manager)
-before the wait deadline.
+refused connections, and responses whose error *code* marks them
+transient (``queue_full``, ``unavailable``, ``injected_fault``) — are
+retried with capped exponential backoff, honouring the server's
+``Retry-After`` header when present.  Other errors (400, 404, 409, …)
+raise immediately: they are answers, not faults.
+:meth:`ServiceClient.wait` additionally survives a server restart
+mid-poll, as long as the new server comes back (with the same job
+state, e.g. a shared state directory) before the wait deadline.
 """
 
 from __future__ import annotations
@@ -33,14 +38,18 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.obs.logging import get_logger
 from repro.obs.tracing import TraceContext, current_trace
 
-#: statuses the transport treats as transient and retries
+#: error codes the transport treats as transient and retries;
+#: ``transport`` is the client-side code for connection-level failures
+RETRYABLE_CODES = ("queue_full", "unavailable", "injected_fault", "transport")
+
+#: status fallback for pre-envelope servers that send no code
 RETRYABLE_STATUSES = (429, 503)
 
 _log = get_logger("repro.service.client")
@@ -49,25 +58,63 @@ _log = get_logger("repro.service.client")
 class ServiceError(RuntimeError):
     """An HTTP error response from the service.
 
+    ``code`` is the machine-readable identifier from the server's error
+    envelope (``queue_full``, ``unknown_job``, …) — or ``"transport"``
+    for connection-level failures that never got a response.  Retry
+    decisions key off it; the human-facing ``message`` is display-only.
     ``request_id`` is the server-assigned id of the failed request
-    (from the ``X-Request-Id`` header — the request's trace id), echoed
-    in the message so a pasted error is greppable in the server's
-    structured log.
+    (the request's trace id), echoed in the message so a pasted error
+    is greppable in the server's structured log.
     """
 
     def __init__(self, status: int, message: str,
                  retry_after: Optional[float] = None,
-                 request_id: Optional[str] = None) -> None:
+                 request_id: Optional[str] = None,
+                 code: Optional[str] = None) -> None:
         text = f"HTTP {status}: {message}"
         if request_id:
             text += f" [request {request_id}]"
         super().__init__(text)
         self.status = status
         self.message = message
+        #: machine-readable error code from the envelope (or "transport")
+        self.code = code
         #: parsed Retry-After header (seconds), when the server sent one
         self.retry_after = retry_after
         #: server-assigned request/trace id, when the server sent one
         self.request_id = request_id
+
+    @property
+    def retryable(self) -> bool:
+        """Whether the transport may safely repeat the request."""
+        if self.code is not None:
+            return self.code in RETRYABLE_CODES
+        return self.status in RETRYABLE_STATUSES
+
+
+def _parse_error_body(raw: str, request_id: Optional[str]):
+    """Extract ``(message, code, request_id)`` from an error body.
+
+    Understands the uniform envelope ``{"error": {"code", "message",
+    "request_id"}}`` and, for compatibility with pre-``/v1`` servers,
+    the flat legacy shape ``{"error": "<message>"}``.
+    """
+    try:
+        parsed = json.loads(raw)
+    except json.JSONDecodeError:
+        return raw, None, request_id
+    if not isinstance(parsed, dict):
+        return raw, None, request_id
+    err = parsed.get("error")
+    if isinstance(err, dict):
+        return (
+            err.get("message", raw),
+            err.get("code"),
+            err.get("request_id") or request_id,
+        )
+    if isinstance(err, str):
+        return err, None, parsed.get("request_id", request_id)
+    return raw, None, request_id
 
 
 class ServiceClient:
@@ -86,6 +133,10 @@ class ServiceClient:
         Initial and maximum backoff between attempts; doubles per
         retry, and the server's ``Retry-After`` overrides the computed
         delay when present.
+    api_version:
+        Path prefix for every route, default ``"v1"``.  Pass ``""`` to
+        use the deprecated unversioned paths (e.g. against an old
+        server).
     """
 
     def __init__(
@@ -96,6 +147,7 @@ class ServiceClient:
         retries: int = 4,
         backoff_s: float = 0.1,
         max_backoff_s: float = 2.0,
+        api_version: str = "v1",
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -104,6 +156,7 @@ class ServiceClient:
         self.retries = retries
         self.backoff_s = backoff_s
         self.max_backoff_s = max_backoff_s
+        self.api_version = api_version.strip("/")
         #: transient failures retried over this client's lifetime
         self.transport_retries = 0
         #: ``X-Request-Id`` of the most recent response (success or error)
@@ -111,9 +164,15 @@ class ServiceClient:
 
     # -- transport ----------------------------------------------------------
 
+    def _url_path(self, path: str) -> str:
+        """Mount a route under the configured API version prefix."""
+        if not self.api_version:
+            return path
+        return f"/{self.api_version}{path}"
+
     def _request_once(self, method: str, path: str, body: Optional[dict] = None,
                       trace: Optional[TraceContext] = None):
-        url = f"{self.base_url}{path}"
+        url = f"{self.base_url}{self._url_path(path)}"
         data = None
         headers = {"Accept": "application/json"}
         if trace is not None:
@@ -130,12 +189,9 @@ class ServiceClient:
         except urllib.error.HTTPError as exc:
             raw = exc.read().decode()
             request_id = exc.headers.get("X-Request-Id") if exc.headers else None
-            try:
-                parsed = json.loads(raw)
-                message = parsed.get("error", raw)
-                request_id = parsed.get("request_id", request_id)
-            except (json.JSONDecodeError, AttributeError):
-                message = raw or exc.reason
+            message, code, request_id = _parse_error_body(raw, request_id)
+            if not raw:
+                message = exc.reason
             self.last_request_id = request_id
             retry_after = None
             header = exc.headers.get("Retry-After") if exc.headers else None
@@ -145,7 +201,7 @@ class ServiceClient:
                 except ValueError:
                     pass
             raise ServiceError(exc.code, message, retry_after=retry_after,
-                               request_id=request_id) from None
+                               request_id=request_id, code=code) from None
         if ctype.split(";")[0].strip() == "application/json":
             return json.loads(raw)
         return raw
@@ -155,10 +211,11 @@ class ServiceClient:
 
         Retried failures: connection errors (refused, reset, dropped
         mid-response — a restarting or fault-injected server) and
-        ``429``/``503`` responses.  The service's handlers make these
-        safe to repeat: injected faults fire *before* any state
-        mutation, and a dropped response at worst re-submits an
-        idempotent registration or creates a duplicate job record.
+        responses whose envelope code is in :data:`RETRYABLE_CODES`.
+        The service's handlers make these safe to repeat: injected
+        faults fire *before* any state mutation, and a dropped response
+        at worst re-submits an idempotent registration or creates a
+        duplicate job record.
 
         Each logical request gets its own trace context — a child of
         the ambient :func:`~repro.obs.tracing.current_trace` when one is
@@ -174,14 +231,15 @@ class ServiceClient:
             try:
                 return self._request_once(method, path, body, trace=ctx)
             except ServiceError as exc:
-                if exc.status not in RETRYABLE_STATUSES or attempt >= self.retries:
+                if not exc.retryable or attempt >= self.retries:
                     raise
                 wait = exc.retry_after if exc.retry_after is not None else delay
             except (urllib.error.URLError, ConnectionError, TimeoutError,
                     http.client.HTTPException) as exc:
                 if attempt >= self.retries:
                     raise ServiceError(
-                        0, f"transport failure after {attempt + 1} attempt(s): {exc}"
+                        0, f"transport failure after {attempt + 1} attempt(s): {exc}",
+                        code="transport",
                     ) from exc
                 wait = delay
             self.transport_retries += 1
@@ -235,9 +293,41 @@ class ServiceClient:
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")
 
-    def jobs(self, state: Optional[str] = None) -> list:
-        path = "/jobs" if state is None else f"/jobs?state={state}"
-        return self._request("GET", path)["jobs"]
+    def jobs_page(self, state: Optional[str] = None,
+                  limit: Optional[int] = None,
+                  cursor: Optional[str] = None) -> dict:
+        """One raw page of ``GET /jobs``: ``{"jobs": [...]}`` plus
+        ``next_cursor`` when another page follows."""
+        params = []
+        if state is not None:
+            params.append(f"state={state}")
+        if limit is not None:
+            params.append(f"limit={int(limit)}")
+        if cursor is not None:
+            params.append(f"cursor={cursor}")
+        path = "/jobs" + ("?" + "&".join(params) if params else "")
+        return self._request("GET", path)
+
+    def iter_jobs(self, state: Optional[str] = None,
+                  page_size: int = 256) -> Iterator[dict]:
+        """Lazily iterate every job, following pagination cursors
+        (stable submit-time order, oldest first)."""
+        cursor: Optional[str] = None
+        while True:
+            page = self.jobs_page(state=state, limit=page_size, cursor=cursor)
+            yield from page["jobs"]
+            cursor = page.get("next_cursor")
+            if cursor is None:
+                return
+
+    def jobs(self, state: Optional[str] = None,
+             page_size: int = 256) -> list:
+        """Every job as a list (cursor-following; see :meth:`iter_jobs`)."""
+        return list(self.iter_jobs(state=state, page_size=page_size))
+
+    #: alias matching the route name — ``client.list_jobs()`` follows
+    #: pagination cursors transparently
+    list_jobs = jobs
 
     def cancel(self, job_id: str) -> dict:
         return self._request("DELETE", f"/jobs/{job_id}")
@@ -271,7 +361,7 @@ class ServiceClient:
             try:
                 job = self.job(job_id)
             except ServiceError as exc:
-                if exc.status not in RETRYABLE_STATUSES and exc.status != 0:
+                if not exc.retryable and exc.status != 0:
                     raise
                 job = None  # server unreachable/overloaded; keep polling
             if job is not None:

@@ -20,6 +20,7 @@ cluster each job builds for itself.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -27,6 +28,7 @@ import numpy as np
 
 from repro.api import make_metric
 from repro.metric.base import Metric
+from repro.service.store import DatasetRecord, DatasetStore, InMemoryDatasetStore
 from repro.workloads.registry import (
     available_workloads,
     fingerprint_metric,
@@ -67,16 +69,30 @@ class Dataset:
 
 
 class DatasetRegistry:
-    """Thread-safe, in-memory dataset store keyed by content.
+    """Thread-safe dataset registry keyed by content, over a pluggable
+    :class:`~repro.service.store.DatasetStore`.
 
     Ids are derived from the fingerprint (``ds-<first 12 hex>``), so
     registration is idempotent: submitting the same bytes twice returns
-    the same :class:`Dataset` object.
+    the same :class:`Dataset` object.  With no ``store`` argument the
+    backing store is in-memory (the PR-3 behaviour); with a durable
+    store, descriptors and point blobs persist across restarts and are
+    visible to every process sharing the state directory — ``get``
+    *rehydrates* a dataset another process registered (rebuilding the
+    workload deterministically from its params, or loading the
+    content-addressed ``.npy`` blob), caching the materialized
+    :class:`Dataset` locally so repeated lookups return the same object.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[DatasetStore] = None) -> None:
         self._lock = threading.Lock()
+        self._store: DatasetStore = store if store is not None else InMemoryDatasetStore()
+        #: locally materialized Dataset objects (with their live metric)
         self._by_id: Dict[str, Dataset] = {}
+
+    @property
+    def store(self) -> DatasetStore:
+        return self._store
 
     # -- registration -------------------------------------------------------
 
@@ -85,7 +101,10 @@ class DatasetRegistry:
         arr = np.asarray(points, dtype=np.float64)
         resolved = make_metric(arr, metric)
         return self._admit(
-            resolved, kind="points", params={"metric": str(metric).lower()}
+            resolved,
+            kind="points",
+            params={"metric": str(metric).lower()},
+            points=arr,
         )
 
     def register_workload(self, name: str, n: int, seed: int = 0) -> Dataset:
@@ -101,7 +120,14 @@ class DatasetRegistry:
             params={"workload": name, "n": int(n), "seed": int(seed)},
         )
 
-    def _admit(self, metric: Metric, *, kind: str, params: dict) -> Dataset:
+    def _admit(
+        self,
+        metric: Metric,
+        *,
+        kind: str,
+        params: dict,
+        points: Optional[np.ndarray] = None,
+    ) -> Dataset:
         fp = fingerprint_metric(metric)
         if fp is None:
             # oracle-only metric: no canonical bytes — key by the
@@ -117,6 +143,20 @@ class DatasetRegistry:
             existing = self._by_id.get(ds_id)
             if existing is not None:
                 return existing
+            # workloads rebuild deterministically from their params, so
+            # only uploaded coordinates need a point blob
+            self._store.put(
+                DatasetRecord(
+                    id=ds_id,
+                    fingerprint=fp,
+                    kind=kind,
+                    params=dict(params),
+                    n=metric.n,
+                    metric_name=type(metric).__name__,
+                    created_at=time.time(),
+                ),
+                points if kind == "points" else None,
+            )
             ds = Dataset(id=ds_id, fingerprint=fp, metric=metric, kind=kind, params=params)
             self._by_id[ds_id] = ds
             return ds
@@ -124,29 +164,72 @@ class DatasetRegistry:
     # -- lookup -------------------------------------------------------------
 
     def get(self, ds_id: str) -> Dataset:
-        """Dataset by id; raises :class:`UnknownDatasetError`."""
+        """Dataset by id; raises :class:`UnknownDatasetError`.
+
+        Datasets registered by *another* process on a shared store are
+        rehydrated on first access and cached locally.
+        """
         with self._lock:
-            try:
-                return self._by_id[ds_id]
-            except KeyError:
-                raise UnknownDatasetError(ds_id) from None
+            ds = self._by_id.get(ds_id)
+        if ds is not None:
+            return ds
+        record = self._store.get(ds_id)
+        if record is None:
+            raise UnknownDatasetError(ds_id)
+        ds = self._materialize(record)
+        with self._lock:
+            # another thread may have materialized concurrently — keep
+            # exactly one live Dataset per id
+            return self._by_id.setdefault(ds_id, ds)
+
+    def _materialize(self, record: DatasetRecord) -> Dataset:
+        """Rebuild a live :class:`Dataset` from its stored record."""
+        if record.kind == "workload":
+            inst = make_workload(
+                record.params["workload"],
+                int(record.params["n"]),
+                seed=int(record.params["seed"]),
+            )
+            metric = inst.metric
+        else:
+            points = self._store.load_points(record.fingerprint)
+            if points is None:
+                raise UnknownDatasetError(
+                    f"{record.id}: point blob {record.fingerprint[:12]}… missing "
+                    "from the dataset store"
+                )
+            metric = make_metric(points, record.params["metric"])
+        return Dataset(
+            id=record.id,
+            fingerprint=record.fingerprint,
+            metric=metric,
+            kind=record.kind,
+            params=dict(record.params),
+        )
 
     def __contains__(self, ds_id: object) -> bool:
         with self._lock:
-            return ds_id in self._by_id
+            if ds_id in self._by_id:
+                return True
+        return ds_id in self._store
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._by_id)
+        return len(self._store)
 
     def list(self) -> List[dict]:
-        """JSON-safe summaries, in registration order."""
-        with self._lock:
-            return [ds.describe() for ds in self._by_id.values()]
+        """JSON-safe summaries, in registration order (store-wide: a
+        shared durable store lists every process's registrations)."""
+        return [rec.describe() for rec in self._store.list()]
 
     def find_fingerprint(self, fingerprint: str) -> Optional[Dataset]:
         with self._lock:
             for ds in self._by_id.values():
                 if ds.fingerprint == fingerprint:
                     return ds
-        return None
+        record = self._store.find_fingerprint(fingerprint)
+        if record is None:
+            return None
+        try:
+            return self.get(record.id)
+        except UnknownDatasetError:
+            return None

@@ -2,29 +2,43 @@
 
 No framework, no new runtime dependency: a
 :class:`http.server.ThreadingHTTPServer` whose handler parses JSON
-bodies and dispatches on ``(method, path)``.  Routes:
+bodies and dispatches on ``(method, path)``.  The API is versioned —
+every route lives under ``/v1``:
 
-========  =========================  =============================================
-method    path                       meaning
-========  =========================  =============================================
-POST      ``/datasets``              register a workload or uploaded points
-GET       ``/datasets``              list registered datasets
-GET       ``/datasets/<id>``         one dataset's summary
-POST      ``/jobs``                  submit a job (``429`` when the queue is full)
-GET       ``/jobs``                  list jobs (``?state=`` filter)
-GET       ``/jobs/<id>``             job status + result when done
-DELETE    ``/jobs/<id>``             cancel (queued: immediate; running: next round)
-GET       ``/jobs/<id>/trace``       the run's obs trace (``?format=chrome|jsonl``)
-GET       ``/healthz``               liveness + version
-GET       ``/stats``                 queue depth, cache hit ratio, per-algo counts
-GET       ``/metrics``               Prometheus text exposition (see docs/metrics.md)
-========  =========================  =============================================
+========  ==============================  ========================================
+method    path                            meaning
+========  ==============================  ========================================
+POST      ``/v1/datasets``                register a workload or uploaded points
+GET       ``/v1/datasets``                list registered datasets
+GET       ``/v1/datasets/<id>``           one dataset's summary
+POST      ``/v1/jobs``                    submit a job (``429`` when queue is full)
+GET       ``/v1/jobs``                    list jobs (``?state=&limit=&cursor=``)
+GET       ``/v1/jobs/<id>``               job status + result when done
+DELETE    ``/v1/jobs/<id>``               cancel (queued: now; running: next round)
+GET       ``/v1/jobs/<id>/trace``         the run's trace (``?format=chrome|jsonl``)
+GET       ``/v1/healthz``                 liveness + version + role
+GET       ``/v1/stats``                   queue depth, cache ratio, per-algo counts
+GET       ``/v1/metrics``                 Prometheus text (see docs/metrics.md)
+========  ==============================  ========================================
 
-Errors are JSON too: ``{"error": "<message>"}`` with the matching status
-code (400 invalid input, 404 unknown id, 409 wrong state, 429 queue
-full).  Build and start one with :func:`serve`; tests pass ``port=0``
-for an ephemeral port and drive :class:`~repro.service.client.ServiceClient`
-against ``server.url``.
+The legacy unversioned paths (``/jobs``, …) still answer as deprecated
+aliases of the same handlers; their first use of each path logs a
+deprecation warning in the access log, and responses carry a
+``Deprecation`` header.  ``GET /v1/jobs`` paginates: ``?limit=`` caps
+the page and the response's ``next_cursor`` (the last job id of the
+page) feeds the next request's ``?cursor=``; ordering is stable by
+submit time.
+
+Every 4xx/5xx body is the uniform envelope
+``{"error": {"code", "message", "request_id"}}`` — ``code`` is
+machine-readable (``invalid_request``, ``unknown_dataset``,
+``unknown_job``, ``no_route``, ``conflict``, ``payload_too_large``,
+``queue_full``, ``injected_fault``, ``unavailable``, ``internal``) and
+is what :class:`~repro.service.client.ServiceClient` keys its retry
+decisions off; ``request_id`` is the trace id echoed in
+``X-Request-Id``.  Build and start one with :func:`serve`; tests pass
+``port=0`` for an ephemeral port and drive the client against
+``server.url``.
 """
 
 from __future__ import annotations
@@ -43,25 +57,49 @@ from repro.obs.export import trace_payload
 from repro.obs.logging import get_logger
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 from repro.obs.tracing import TraceContext, use_trace
-from repro.service.cache import ResultCache
 from repro.service.datasets import DatasetRegistry, UnknownDatasetError
 from repro.service.jobs import JobManager, JobState, QueueFullError, RetryPolicy, UnknownJobError
 from repro.service.spec import JobSpec
+from repro.service.store import open_stores
 
 #: request body cap (64 MiB ≈ 4M points × 2 dims as JSON) — a service
 #: guard, not a scaling claim; bulk ingestion is a later PR's shard API
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+#: the current (and only) API version segment
+API_VERSION = "v1"
+
+#: page-size ceiling for ``GET /v1/jobs``
+MAX_PAGE_LIMIT = 1000
+
+#: default machine-readable error code per status, for errors raised
+#: without an explicit code
+_STATUS_CODES = {
+    400: "invalid_request",
+    404: "not_found",
+    409: "conflict",
+    413: "payload_too_large",
+    429: "queue_full",
+    500: "internal",
+    503: "unavailable",
+}
+
 _log = get_logger("repro.service.http")
 
 
 class ApiError(Exception):
-    """HTTP-visible failure: ``(status, message)``."""
+    """HTTP-visible failure: ``(status, message, code)``.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``code`` is the machine-readable identifier carried in the error
+    envelope (defaulted from the status when not given) — clients
+    branch on it, never on the human-facing message text.
+    """
+
+    def __init__(self, status: int, message: str, code: Optional[str] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.code = code if code is not None else _STATUS_CODES.get(status, "error")
 
 
 class ClusteringServiceServer(ThreadingHTTPServer):
@@ -90,6 +128,19 @@ class ClusteringServiceServer(ThreadingHTTPServer):
         self.faults_injected = 0
         self.last_fault_at: Optional[float] = None
         self._last_fault_mono: Optional[float] = None
+        #: legacy (unversioned) paths already warned about — one
+        #: deprecation line per path, not one per request
+        self._legacy_warned: set = set()
+        self._legacy_lock = threading.Lock()
+
+    def warn_legacy_once(self, method: str, path: str) -> bool:
+        """True exactly once per ``(method, path)`` legacy access."""
+        key = (method, path)
+        with self._legacy_lock:
+            if key in self._legacy_warned:
+                return False
+            self._legacy_warned.add(key)
+            return True
 
     def next_request_no(self) -> int:
         return next(self._request_counter)
@@ -141,6 +192,8 @@ class _Handler(BaseHTTPRequestHandler):
     #: this request's trace context: the parsed ``traceparent`` child,
     #: or a freshly minted root (set at the top of ``_dispatch``)
     trace_ctx: Optional[TraceContext] = None
+    #: False when this request came in on a legacy unversioned path
+    api_versioned: bool = True
 
     # -- plumbing -----------------------------------------------------------
 
@@ -155,6 +208,11 @@ class _Handler(BaseHTTPRequestHandler):
         if ctx is not None:
             self.send_header("X-Request-Id", ctx.trace_id)
             self.send_header("traceparent", ctx.to_traceparent())
+        if not self.api_versioned:
+            self.send_header("Deprecation", "true")
+            self.send_header(
+                "Link", f'</{API_VERSION}{urlparse(self.path).path}>; rel="successor-version"'
+            )
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = (json.dumps(payload) + "\n").encode()
@@ -166,11 +224,20 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
         self._status = status
 
-    def _send_error(self, status: int, message: str) -> None:
-        payload = {"error": message}
-        if self.trace_ctx is not None:
-            payload["request_id"] = self.trace_ctx.trace_id
-        self._send_json(status, payload)
+    def _error_envelope(self, status: int, message: str, code: Optional[str]) -> dict:
+        """The uniform error body every 4xx/5xx carries."""
+        return {
+            "error": {
+                "code": code if code is not None else _STATUS_CODES.get(status, "error"),
+                "message": message,
+                "request_id": (
+                    self.trace_ctx.trace_id if self.trace_ctx is not None else None
+                ),
+            }
+        }
+
+    def _send_error(self, status: int, message: str, code: Optional[str] = None) -> None:
+        self._send_json(status, self._error_envelope(status, message, code))
 
     def _send_text(self, status: int, content_type: str, text: str) -> None:
         body = text.encode()
@@ -221,9 +288,9 @@ class _Handler(BaseHTTPRequestHandler):
             # crashed proxy — the client sees a torn connection
             self.close_connection = True
             return True
-        payload = {"error": f"injected fault: synthetic {status}"}
-        if self.trace_ctx is not None:
-            payload["request_id"] = self.trace_ctx.trace_id
+        payload = self._error_envelope(
+            status, f"injected fault: synthetic {status}", "injected_fault"
+        )
         body = (json.dumps(payload) + "\n").encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -245,41 +312,55 @@ class _Handler(BaseHTTPRequestHandler):
             else TraceContext.generate()
         )
         self._status: Optional[int] = None
+        self.api_versioned = True
         t0 = time.monotonic()
         try:
             with use_trace(self.trace_ctx):
                 self._dispatch_traced(method)
         finally:
-            _log.info(
-                "http request",
-                extra={"method": method, "path": self.path,
-                       "status": self._status,
-                       "duration_ms": round((time.monotonic() - t0) * 1e3, 3),
-                       "trace_id": self.trace_ctx.trace_id,
-                       "span_id": self.trace_ctx.span_id},
-            )
+            extra = {"method": method, "path": self.path,
+                     "status": self._status,
+                     "duration_ms": round((time.monotonic() - t0) * 1e3, 3),
+                     "trace_id": self.trace_ctx.trace_id,
+                     "span_id": self.trace_ctx.span_id}
+            if not self.api_versioned:
+                extra["deprecated"] = True
+            _log.info("http request", extra=extra)
 
     def _dispatch_traced(self, method: str) -> None:
         try:
-            _, parts, query = self._route()
+            raw_path, parts, query = self._route()
+            if parts and parts[0] == API_VERSION:
+                parts = parts[1:]
+            elif parts:
+                # legacy unversioned alias: same handlers, but flagged —
+                # the response gets a Deprecation header and the first
+                # access of each path logs a warning in the access log
+                self.api_versioned = False
+                if self.server.warn_legacy_once(method, raw_path):
+                    _log.warning(
+                        "deprecated unversioned path; use the /v1 prefix",
+                        extra={"method": method, "path": raw_path,
+                               "successor": f"/{API_VERSION}{raw_path}"},
+                    )
             if self._inject_fault(parts):
                 return
             handler = self._resolve(method, parts)
             handler(parts, query)
         except ApiError as exc:
-            self._send_error(exc.status, exc.message)
+            self._send_error(exc.status, exc.message, exc.code)
         except UnknownDatasetError as exc:
-            self._send_error(404, f"unknown dataset: {exc.args[0]}")
+            self._send_error(404, f"unknown dataset: {exc.args[0]}", "unknown_dataset")
         except UnknownJobError as exc:
-            self._send_error(404, f"unknown job: {exc.args[0]}")
+            self._send_error(404, f"unknown job: {exc.args[0]}", "unknown_job")
         except QueueFullError as exc:
-            self._send_error(429, str(exc))
+            self._send_error(429, str(exc), "queue_full")
         except ValueError as exc:
-            self._send_error(400, str(exc))
+            self._send_error(400, str(exc), "invalid_request")
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
         except Exception as exc:  # pragma: no cover - defensive 500
-            self._send_error(500, f"internal error: {exc!r}")
+            self._send_error(500, f"internal error: {exc!r}", "internal")
 
     def _resolve(self, method: str, parts: list):
         if method == "GET":
@@ -307,7 +388,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif method == "DELETE":
             if len(parts) == 2 and parts[0] == "jobs":
                 return self._delete_job
-        raise ApiError(404, f"no route for {method} /{'/'.join(parts)}")
+        raise ApiError(404, f"no route for {method} /{'/'.join(parts)}", "no_route")
 
     # -- HTTP verbs ---------------------------------------------------------
 
@@ -328,6 +409,8 @@ class _Handler(BaseHTTPRequestHandler):
         degraded_because = []
         if manager.recent_retry_activity():
             degraded_because.append("job retries in the last 60s")
+        if manager.recent_orphan_activity():
+            degraded_because.append("orphaned jobs recovered in the last 60s")
         if self.server.recent_fault_activity():
             degraded_because.append("injected service faults in the last 60s")
         stuck = mstats.get("stuck_workers", [])
@@ -336,12 +419,16 @@ class _Handler(BaseHTTPRequestHandler):
         payload = {
             "status": "degraded" if degraded_because else "ok",
             "version": __version__,
+            "api_version": API_VERSION,
             "uptime_s": self.server.uptime_s(),
+            "role": manager.role,
             "workers": manager.workers,
             "backend": manager.backend,
+            "store": manager.stores.backend,
             "queue_limit": manager.queue_limit,
             "faults_injected": self.server.faults_injected,
             "retries": mstats["retry"]["retries_total"],
+            "orphans_recovered": mstats["orphans"]["orphaned_total"],
         }
         if degraded_because:
             payload["degraded_because"] = degraded_because
@@ -416,10 +503,26 @@ class _Handler(BaseHTTPRequestHandler):
                     f"unknown state {query['state']!r}; expected one of "
                     f"{', '.join(s.value for s in JobState)}",
                 ) from None
-        jobs = self.server.manager.list_jobs(state)
-        self._send_json(
-            200, {"jobs": [j.describe(include_result=False) for j in jobs]}
+        limit: Optional[int] = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"])
+            except ValueError:
+                raise ApiError(400, f"limit must be an integer, got {query['limit']!r}") from None
+            if not 1 <= limit <= MAX_PAGE_LIMIT:
+                raise ApiError(400, f"limit must be in [1, {MAX_PAGE_LIMIT}], got {limit}")
+        cursor = query.get("cursor")
+        if cursor is not None and not (
+            cursor.startswith("job-") and cursor.rsplit("-", 1)[1].isdigit()
+        ):
+            raise ApiError(400, f"malformed cursor {cursor!r}; pass the last page's next_cursor")
+        records, next_cursor = self.server.manager.list_records(
+            state, limit=limit, cursor=cursor
         )
+        payload = {"jobs": [rec.describe(include_result=False) for rec in records]}
+        if next_cursor is not None:
+            payload["next_cursor"] = next_cursor
+        self._send_json(200, payload)
 
     def _get_job(self, parts, query) -> None:
         job = self.server.manager.get(parts[1])
@@ -474,6 +577,9 @@ def serve(
     cache_entries: int = 1024,
     max_history: int = 1024,
     max_retries: int = 0,
+    state_dir: Optional[str] = None,
+    role: str = "all",
+    lease_s: float = 15.0,
     faults=None,
     manager: Optional[JobManager] = None,
     start: bool = True,
@@ -487,6 +593,15 @@ def serve(
         ...
         server.shutdown_service()
 
+    With no ``state_dir`` the service is a self-contained process on
+    volatile in-memory stores.  With one, all state (jobs, queue,
+    datasets, results) lives in SQLite + blob files under that
+    directory, restarts resume where they stopped, and any number of
+    processes sharing the directory form one service — typically one
+    ``role='frontend'`` HTTP process plus N ``repro serve --role
+    worker`` processes (see ``docs/persistence.md``).  ``lease_s``
+    bounds how long a dead worker's running job stays unnoticed.
+
     Pass a prebuilt ``manager`` to share registries across servers, or
     ``start=False`` to wire the worker pool up manually.  One ``faults``
     plan drives every layer: its service rates are injected by the HTTP
@@ -496,9 +611,14 @@ def serve(
     """
     plan = FaultPlan.from_spec(faults)
     if manager is None:
+        stores = open_stores(
+            state_dir, queue_limit=queue_limit, cache_entries=cache_entries
+        )
         manager = JobManager(
-            DatasetRegistry(),
-            ResultCache(max_entries=cache_entries),
+            DatasetRegistry(stores.datasets),
+            stores=stores,
+            role=role,
+            lease_s=lease_s,
             workers=workers,
             backend=backend,
             queue_limit=queue_limit,

@@ -1,4 +1,4 @@
-"""Async job manager: bounded FIFO queue + worker pool + lifecycle.
+"""Async job manager: durable job table + shared work queue + worker pool.
 
 The :class:`JobManager` is the service's scheduling core and is fully
 usable without HTTP (the API layer in :mod:`repro.service.http` is a
@@ -6,45 +6,63 @@ thin JSON shim over it):
 
 * **admission** — :meth:`submit` validates the spec against the dataset
   registry, consults the result cache (a hit completes the job
-  instantly, without touching the queue), and otherwise enqueues it.
-  When the bounded queue is full it raises :class:`QueueFullError` —
-  callers apply back-pressure (HTTP maps it to ``429``) instead of
-  buffering unboundedly;
-* **execution** — a fixed pool of worker threads pops jobs FIFO and
-  runs them through :func:`repro.service.runner.execute_job`.  Worker
-  threads are cheap here because the heavy lifting is numpy (GIL
-  released) or delegated to the process execution backend;
+  instantly, without touching the queue), and otherwise persists a
+  record in the :class:`~repro.service.store.JobStore` and pushes its id
+  onto the shared :class:`~repro.service.store.WorkQueue`.  When the
+  bounded queue is full it raises :class:`QueueFullError` — callers
+  apply back-pressure (HTTP maps it to ``429``) instead of buffering
+  unboundedly;
+* **execution** — worker threads pop job ids FIFO, *claim* them with an
+  atomic ``queued → running`` compare-and-set in the store (two workers
+  racing for one id see exactly one winner — the CAS is what makes N
+  worker processes on one state directory safe), and run them through
+  :func:`repro.service.runner.execute_job`;
 * **lifecycle** — ``queued → running → done | failed | cancelled``.
   Cancelling a queued job marks it immediately; cancelling a running
-  job sets its cancel event, which the runner's round-barrier observer
-  turns into an unwind.  Timeouts travel the same path and land in
-  ``failed`` with a timeout error message;
+  job sets a ``cancel_requested`` flag in the store — the owning
+  worker's heartbeat picks it up (even from another process) and its
+  round-barrier observer unwinds the run.  Timeouts travel the same
+  path and land in ``failed``;
 * **retry** — a :class:`RetryPolicy` (manager default, overridable per
   job via ``spec.max_retries``) re-enqueues crashed jobs with
   exponential backoff and deterministic jitter.  Cancellations and
-  timeouts are *not* retried — they are decisions, not faults — and a
-  job goes terminal ``failed`` only after the budget is exhausted.
-  Every attempt is recorded in :attr:`Job.attempts` and surfaced by
-  :meth:`Job.describe`.
+  timeouts are *not* retried — they are decisions, not faults;
+* **orphan recovery** — every running job carries a worker lease,
+  renewed by a heartbeat thread.  A worker that dies (SIGKILL, power
+  loss) stops renewing; the sweeper detects the expired lease and
+  re-enqueues the job through the same requeue path the retry machinery
+  uses, recording the recovery on the job's ``attempts[]``, in the
+  orphan counters (``/stats``, ``/metrics``) and as service-layer
+  :class:`~repro.obs.events.FaultEvent`\\ s.  Because solver runs are
+  deterministic, the re-run's result is bit-identical to what the lost
+  worker would have produced.
 
-Every transition is recorded with a monotonic-free wall timestamp so
-``GET /jobs/<id>`` can report queue latency and run time.
+State lives behind the pluggable stores from
+:mod:`repro.service.store` — in-memory by default (exactly the old
+single-process behaviour), SQLite/file-backed when the service is
+started on a ``--state-dir``.  A manager can then run as one of three
+**roles**: ``all`` (accept + execute, the default), ``frontend``
+(accept and enqueue only, no worker threads), or ``worker`` (drain the
+shared queue, no HTTP) — N workers and M frontends sharing one state
+directory form one horizontal service.
 """
 
 from __future__ import annotations
 
 import hashlib
-import itertools
-import queue
+import os
+import socket
 import threading
 import time
 import traceback
 import warnings
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.faults import FaultPlan
+from repro.obs.events import FaultEvent
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.record import RunLog
@@ -53,12 +71,28 @@ from repro.service.cache import ResultCache
 from repro.service.datasets import DatasetRegistry
 from repro.service.runner import JobCancelled, JobTimeout, execute_job
 from repro.service.spec import JobSpec
+from repro.service.store import (
+    JobRecord,
+    QueueFullError,
+    ServiceStores,
+    UnknownJobError,
+    ensure_queued_jobs_enqueued,
+)
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobState",
+    "QueueFullError",
+    "RetryPolicy",
+    "UnknownJobError",
+    "ROLES",
+]
 
 _log = get_logger("repro.service.jobs")
 
-
-class QueueFullError(RuntimeError):
-    """The bounded job queue is at capacity; resubmit later."""
+#: manager roles: accept+execute / accept only / execute only
+ROLES = ("all", "frontend", "worker")
 
 
 @dataclass(frozen=True)
@@ -111,10 +145,6 @@ class RetryPolicy:
         }
 
 
-class UnknownJobError(KeyError):
-    """No job with the requested id."""
-
-
 class JobState(str, Enum):
     QUEUED = "queued"
     RUNNING = "running"
@@ -129,12 +159,22 @@ class JobState(str, Enum):
 
 @dataclass
 class Job:
-    """One submitted unit of work and everything it produced."""
+    """One submitted unit of work — the live, per-process view.
+
+    The durable twin is :class:`~repro.service.store.JobRecord`; a Job
+    adds the process-local machinery (cancel/done events, the parsed
+    spec and trace context) and tracks which store ``version`` it
+    mirrors, so reads refresh it from the store only when the record
+    actually moved.
+    """
 
     id: str
     spec: JobSpec
     state: JobState = JobState.QUEUED
     created_at: float = field(default_factory=time.time)
+    #: when the job (re-)entered the queue — startup recovery uses it
+    #: to spot records stranded outside the work queue
+    queued_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     #: JSON-safe result payload (set when state == DONE)
@@ -151,9 +191,11 @@ class Job:
     trace: Optional[TraceContext] = None
     #: 0-based index of the current/last execution attempt
     attempt: int = 0
-    #: one record per *failed* attempt that was retried:
-    #: ``{"attempt", "error", "failed_at", "backoff_s"}``
+    #: one record per recovered attempt (crash retries and orphan
+    #: requeues alike): ``{"attempt", "error", "failed_at", "backoff_s"}``
     attempts: List[dict] = field(default_factory=list)
+    #: store version this view reflects (see JobRecord.version)
+    version: int = 0
     cancel_event: threading.Event = field(default_factory=threading.Event)
     done_event: threading.Event = field(default_factory=threading.Event)
 
@@ -179,32 +221,57 @@ class Job:
         return out
 
 
+def default_worker_id() -> str:
+    """``host:pid`` — unique per worker process on a shared state dir."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
 class JobManager:
-    """Bounded FIFO queue in front of a worker pool.
+    """Store-backed job table + shared work queue + worker pool.
 
     Parameters
     ----------
     datasets:
         The registry job specs resolve their ``dataset`` ids against.
     cache:
-        Result cache; a fresh unbounded-ish default when omitted, or
-        ``None``-like behaviour can be had by passing a 1-entry cache.
+        Result cache override.  Defaults to the store bundle's result
+        store (durable bundles share one cache across processes).
+    stores:
+        The :class:`~repro.service.store.ServiceStores` bundle to run
+        on.  Omitted → a fresh in-memory bundle (single-process
+        behaviour).  Pass the same durable bundle (or one opened on the
+        same state dir) to several managers/processes to scale out.
+    role:
+        ``all`` (default) accepts and executes; ``frontend`` accepts
+        and enqueues but runs no workers; ``worker`` executes but is
+        not meant to take submissions.  Every role runs the orphan
+        sweeper — any surviving process can recover a dead worker's
+        jobs.
+    worker_id:
+        Lease-owner name for this manager's workers (default
+        ``host:pid``).
+    lease_s:
+        Worker lease duration.  Heartbeats renew at ``lease_s / 3``; a
+        running job whose lease is this stale is declared orphaned.
+    orphan_requeue_budget:
+        How many times an orphaned job may be re-enqueued before it is
+        failed for good (independent of the crash-retry budget — losing
+        a worker is not the job's fault).
     workers:
-        Worker thread count.
+        Worker thread count (ignored for ``role='frontend'``).
     backend:
         Execution backend name handed to every solver run
         (``serial``/``thread``/``process``).
     queue_limit:
         Maximum number of *queued* (not yet running) jobs; submissions
-        beyond it raise :class:`QueueFullError`.
+        beyond it raise :class:`QueueFullError`.  Ignored when
+        ``stores`` is passed (the bundle's queue carries its own bound).
     default_timeout_s:
         Per-job wall-clock budget applied when the spec carries none.
     max_history:
         Maximum number of *terminal* jobs retained for ``GET /jobs``;
         beyond it the oldest terminal jobs (and their result payloads
-        and run logs) are evicted, so a long-running service holds a
-        bounded amount of history instead of every job ever submitted.
-        Queued and running jobs are never evicted.
+        and run logs) are evicted.  Queued and running jobs never are.
     retry_policy:
         Default :class:`RetryPolicy` for crashed jobs; a job spec's
         ``max_retries`` overrides the budget (backoff shape stays the
@@ -231,6 +298,11 @@ class JobManager:
         datasets: DatasetRegistry,
         cache: Optional[ResultCache] = None,
         *,
+        stores: Optional[ServiceStores] = None,
+        role: str = "all",
+        worker_id: Optional[str] = None,
+        lease_s: float = 15.0,
+        orphan_requeue_budget: int = 5,
         workers: int = 2,
         backend: str = "serial",
         queue_limit: int = 64,
@@ -241,7 +313,9 @@ class JobManager:
         stop_timeout_s: float = 30.0,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        if workers < 1:
+        if role not in ROLES:
+            raise ValueError(f"unknown role {role!r}; expected one of {ROLES}")
+        if role != "frontend" and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
@@ -249,11 +323,34 @@ class JobManager:
             raise ValueError(f"max_history must be >= 1, got {max_history}")
         if stop_timeout_s <= 0:
             raise ValueError(f"stop_timeout_s must be > 0, got {stop_timeout_s}")
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be > 0, got {lease_s}")
+        if orphan_requeue_budget < 0:
+            raise ValueError(
+                f"orphan_requeue_budget must be >= 0, got {orphan_requeue_budget}"
+            )
         self.datasets = datasets
-        self.cache = cache if cache is not None else ResultCache()
+        self.role = role
+        self.worker_id = worker_id if worker_id is not None else default_worker_id()
+        self.lease_s = float(lease_s)
+        self.orphan_requeue_budget = int(orphan_requeue_budget)
+        if stores is None:
+            from repro.service.store import InMemoryJobStore, InMemoryWorkQueue
+
+            stores = ServiceStores(
+                jobs=InMemoryJobStore(),
+                work_queue=InMemoryWorkQueue(limit=queue_limit),
+                datasets=datasets.store,
+                results=cache if cache is not None else ResultCache(),
+                backend="memory",
+            )
+        self.stores = stores
+        self._store = stores.jobs
+        self._wq = stores.work_queue
+        self.cache = cache if cache is not None else stores.results
         self.backend = backend
-        self.queue_limit = queue_limit
-        self.workers = workers
+        self.queue_limit = self._wq.limit
+        self.workers = 0 if role == "frontend" else workers
         self.default_timeout_s = default_timeout_s
         self.max_history = max_history
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
@@ -266,56 +363,89 @@ class JobManager:
             labels=("algorithm",),
         )
 
-        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=queue_limit)
+        #: live per-process handles (the store holds the durable truth)
         self._jobs: Dict[str, Job] = {}
+        #: jobs this manager currently holds a lease on
+        self._leases: Dict[str, Job] = {}
         self._lock = threading.Lock()
-        self._ids = itertools.count(1)
         self._threads: List[threading.Thread] = []
+        self._aux_threads: List[threading.Thread] = []
         self._stuck_threads: List[threading.Thread] = []
         self._retry_timers: List[threading.Timer] = []
         self._stop = threading.Event()
         self._resume = threading.Event()
         self._resume.set()
         self._started = False
-        # counters (under _lock)
+        # counters (under _lock; per-manager admission/recovery tallies)
         self._submitted = 0
         self._rejected = 0
         self._by_algorithm: Dict[str, int] = {}
         self._retries = 0
         self._jobs_recovered = 0
         self._jobs_exhausted = 0
-        #: wall stamp, for display in stats()
+        self._orphaned = 0
+        self._orphans_requeued = 0
+        self._orphans_exhausted = 0
+        #: recent service-layer fault events (worker_lost / orphan_requeue)
+        self.fault_events: "deque[FaultEvent]" = deque(maxlen=256)
+        #: wall stamps, for display in stats()
         self._last_retry_at: Optional[float] = None
-        #: monotonic stamp, for interval math (immune to clock jumps)
+        self._last_recovery_at: Optional[float] = None
+        #: monotonic stamps, for interval math (immune to clock jumps)
         self._last_retry_mono: Optional[float] = None
+        self._last_recovery_mono: Optional[float] = None
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> "JobManager":
-        """Spawn the worker pool (idempotent); returns ``self``."""
+        """Spawn the worker pool, heartbeat, and orphan sweeper
+        (idempotent); returns ``self``.
+
+        On a durable store this first runs a startup recovery pass:
+        RUNNING jobs with expired leases (their worker died with the
+        previous process) are re-enqueued, and queued records stranded
+        outside the work queue are re-pushed — which is how a restart
+        on the same state directory resumes exactly where it stopped.
+        """
         if self._started:
             return self
         self._started = True
         self._stop.clear()
-        for i in range(self.workers):
-            t = threading.Thread(
-                target=self._worker_loop, name=f"repro-job-worker-{i}", daemon=True
+        recovered = self.recover_now(startup=True)
+        if recovered["orphaned"] or recovered["stranded_requeued"]:
+            _log.info(
+                "startup recovery",
+                extra={"worker_id": self.worker_id, **recovered},
             )
-            t.start()
-            self._threads.append(t)
+        if self.role in ("all", "worker"):
+            for i in range(self.workers):
+                t = threading.Thread(
+                    target=self._worker_loop, name=f"repro-job-worker-{i}", daemon=True
+                )
+                t.start()
+                self._threads.append(t)
+            hb = threading.Thread(
+                target=self._heartbeat_loop, name="repro-job-heartbeat", daemon=True
+            )
+            hb.start()
+            self._aux_threads.append(hb)
+        sweeper = threading.Thread(
+            target=self._sweep_loop, name="repro-orphan-sweeper", daemon=True
+        )
+        sweeper.start()
+        self._aux_threads.append(sweeper)
         return self
 
     def stop(self, wait: bool = True) -> None:
-        """Stop the pool.  Queued jobs stay queued (drained on restart);
-        the running job, if any, finishes first.
+        """Stop the pool.  Queued jobs stay queued in the store (drained
+        on restart); the running job, if any, finishes first.
 
         With ``wait=True``, each worker gets :attr:`stop_timeout_s` to
         join.  Workers that miss the deadline are *not* silently
         discarded: a :class:`RuntimeWarning` names them and they stay
         visible as ``stuck_workers`` in :meth:`stats` until they
         actually exit.  Pending retry timers are cancelled; their jobs
-        stay queued in-memory state and re-enter on restart via the
-        normal queue.
+        stay ``queued`` in the store and re-enter via startup recovery.
         """
         self._stop.set()
         self._resume.set()
@@ -339,12 +469,15 @@ class JobManager:
                     RuntimeWarning,
                     stacklevel=2,
                 )
+            for t in self._aux_threads:
+                t.join(timeout=self.stop_timeout_s)
         with self._lock:
             # forget clean exits; remember the stragglers for stats()
             self._stuck_threads = [
                 t for t in self._stuck_threads + stuck if t.is_alive()
             ]
         self._threads = []
+        self._aux_threads = []
         self._started = False
 
     def pause(self) -> None:
@@ -355,10 +488,95 @@ class JobManager:
     def resume(self) -> None:
         self._resume.set()
 
+    # -- record <-> handle plumbing -----------------------------------------
+
+    def _record_from_job(self, job: Job) -> JobRecord:
+        return JobRecord(
+            id=job.id,
+            spec=job.spec.to_dict(),
+            state=job.state.value,
+            created_at=job.created_at,
+            queued_at=job.queued_at or job.created_at,
+            started_at=job.started_at,
+            finished_at=job.finished_at,
+            result=job.result,
+            error=job.error,
+            cached=job.cached,
+            attempt=job.attempt,
+            attempts=[dict(a) for a in job.attempts],
+            trace_id=job.trace.trace_id if job.trace is not None else None,
+            traceparent=job.trace.to_traceparent() if job.trace is not None else None,
+            cancel_requested=job.cancel_event.is_set(),
+            run_log=job.run_log,
+            version=job.version,
+        )
+
+    def _job_from_record(self, rec: JobRecord) -> Job:
+        job = Job(
+            id=rec.id,
+            spec=JobSpec.from_dict(rec.spec),
+            state=JobState(rec.state),
+            created_at=rec.created_at,
+            queued_at=rec.queued_at,
+            started_at=rec.started_at,
+            finished_at=rec.finished_at,
+            result=rec.result,
+            error=rec.error,
+            cached=rec.cached,
+            run_log=rec.run_log,
+            trace=TraceContext.from_traceparent(rec.traceparent),
+            attempt=rec.attempt,
+            attempts=[dict(a) for a in rec.attempts],
+            version=rec.version,
+        )
+        if rec.cancel_requested:
+            job.cancel_event.set()
+        if job.state.terminal:
+            job.done_event.set()
+        return job
+
+    def _apply_record_locked(self, job: Job, rec: JobRecord) -> None:
+        """Refresh a live handle from a store snapshot (caller holds
+        ``_lock``).  Versions make this monotone: a stale snapshot
+        (raced by a concurrent writer) is simply ignored."""
+        if rec.version <= job.version:
+            if rec.cancel_requested:
+                job.cancel_event.set()
+            return
+        job.state = JobState(rec.state)
+        job.created_at = rec.created_at
+        job.queued_at = rec.queued_at
+        job.started_at = rec.started_at
+        job.finished_at = rec.finished_at
+        job.result = rec.result
+        job.error = rec.error
+        job.cached = rec.cached
+        job.attempt = rec.attempt
+        job.attempts = [dict(a) for a in rec.attempts]
+        if rec.run_log is not None:
+            job.run_log = rec.run_log
+        job.version = rec.version
+        if rec.cancel_requested:
+            job.cancel_event.set()
+        if job.state.terminal:
+            job.done_event.set()
+
+    def _adopt_record(self, rec: JobRecord) -> Job:
+        """Get-or-create the live handle for a store record."""
+        with self._lock:
+            job = self._jobs.get(rec.id)
+            if job is None:
+                job = self._job_from_record(rec)
+                self._jobs[rec.id] = job
+            else:
+                self._apply_record_locked(job, rec)
+            return job
+
     # -- submission ---------------------------------------------------------
 
     def submit(self, spec: JobSpec, trace: Optional[TraceContext] = None) -> Job:
-        """Admit a job: cache hit → instantly ``done``; else enqueue.
+        """Admit a job: cache hit → instantly ``done``; else persist and
+        enqueue.
 
         ``trace`` is the submitting request's context (the HTTP layer
         passes the parsed/minted ``traceparent``); the job becomes a
@@ -378,10 +596,15 @@ class JobManager:
             spec.timeout_s = float(self.default_timeout_s)
         base = trace if trace is not None else TraceContext.generate()
 
+        now = time.time()
+        job = Job(
+            id=self._store.next_job_id(),
+            spec=spec,
+            trace=base.child("job"),
+            created_at=now,
+            queued_at=now,
+        )
         with self._lock:
-            job = Job(id=f"job-{next(self._ids):06d}", spec=spec,
-                      trace=base.child("job"))
-            self._jobs[job.id] = job
             self._submitted += 1
             self._by_algorithm[spec.algorithm] = (
                 self._by_algorithm.get(spec.algorithm, 0) + 1
@@ -390,12 +613,14 @@ class JobManager:
         hit = self.cache.get(spec.cache_key(dataset.fingerprint))
         if hit is not None:
             payload, run_log = hit
+            job.result, job.run_log = payload, run_log
+            job.cached = True
+            job.state = JobState.DONE
+            job.finished_at = time.time()
+            created = self._store.create(self._record_from_job(job))
             with self._lock:
-                if job.state is JobState.QUEUED:  # vs a racing cancel()
-                    job.result, job.run_log = payload, run_log
-                    job.cached = True
-                    job.state = JobState.DONE
-                    job.finished_at = time.time()
+                job.version = created.version
+                self._jobs[job.id] = job
                 self._prune_history_locked()
             job.done_event.set()
             _log.info(
@@ -405,20 +630,23 @@ class JobManager:
             )
             return job
 
+        created = self._store.create(self._record_from_job(job))
+        with self._lock:
+            job.version = created.version
+            self._jobs[job.id] = job
         try:
-            self._queue.put_nowait(job)
-        except queue.Full:
+            self._wq.push(job.id)
+        except QueueFullError:
             with self._lock:
                 self._rejected += 1
-                del self._jobs[job.id]
+                self._jobs.pop(job.id, None)
+            self._store.delete(job.id)
             _log.warning(
                 "job rejected: queue full",
                 extra={"trace_id": base.trace_id, "algorithm": spec.algorithm,
                        "queue_limit": self.queue_limit},
             )
-            raise QueueFullError(
-                f"job queue full ({self.queue_limit} queued); retry later"
-            ) from None
+            raise
         _log.info(
             "job queued",
             extra={"job_id": job.id, "trace_id": job.trace.trace_id,
@@ -429,47 +657,89 @@ class JobManager:
     # -- queries ------------------------------------------------------------
 
     def get(self, job_id: str) -> Job:
+        """The live handle for ``job_id``, refreshed from the store.
+
+        Jobs submitted by *another* process on a shared store get a
+        local handle built from their record on first access.
+        """
         with self._lock:
-            try:
-                return self._jobs[job_id]
-            except KeyError:
-                raise UnknownJobError(job_id) from None
+            job = self._jobs.get(job_id)
+        if job is not None and job.state.terminal:
+            return job  # terminal records never move again
+        try:
+            rec = self._store.get(job_id)
+        except UnknownJobError:
+            if job is not None:
+                with self._lock:
+                    self._jobs.pop(job_id, None)
+            raise
+        return self._adopt_record(rec)
 
     def list_jobs(self, state: Optional[JobState] = None) -> List[Job]:
-        with self._lock:
-            jobs = list(self._jobs.values())
-        if state is not None:
-            jobs = [j for j in jobs if j.state is state]
-        return jobs
+        records, _ = self._store.list(
+            state=state.value if state is not None else None
+        )
+        return [self._adopt_record(rec) for rec in records]
+
+    def list_records(
+        self,
+        state: Optional[JobState] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[JobRecord], Optional[str]]:
+        """Paginated store records for the HTTP list endpoint (stable
+        submit-time ordering; ``cursor`` is the last-seen job id)."""
+        return self._store.list(
+            state=state.value if state is not None else None,
+            limit=limit,
+            cursor=cursor,
+        )
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
-        """Block until the job reaches a terminal state."""
+        """Block until the job reaches a terminal state.
+
+        Works across processes: when another worker on the shared store
+        finishes the job, the local poll observes the terminal record.
+        """
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
         job = self.get(job_id)
-        if not job.done_event.wait(timeout):
-            raise TimeoutError(f"job {job_id} still {job.state.value} after {timeout}s")
-        return job
+        while True:
+            if job.state.terminal:
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job.state.value} after {timeout}s"
+                )
+            job.done_event.wait(0.05)
+            job = self.get(job_id)
 
     def cancel(self, job_id: str) -> Job:
         """Request cancellation; returns the job.
 
-        Queued jobs flip to ``cancelled`` right away (the worker skips
-        them); running jobs are unwound at their next round barrier.
-        Terminal jobs are returned unchanged.
+        Queued jobs flip to ``cancelled`` right away (claims check the
+        flag atomically, so a worker can never start one); running jobs
+        are unwound at their next round barrier — the owning worker
+        learns about the request via its local event (same process) or
+        its next heartbeat (remote worker).  Terminal jobs are returned
+        unchanged.
         """
         job = self.get(job_id)
-        # compare-and-set under the lock: either we mark the job
-        # cancelled here, or the worker has already claimed it (flipped
-        # it to RUNNING under the same lock) and will honour the event
-        # at its next round barrier — never both.
-        with self._lock:
-            job.cancel_event.set()
-            flipped = job.state is JobState.QUEUED
-            if flipped:
-                job.state = JobState.CANCELLED
-                job.finished_at = time.time()
+        if job.state.terminal:
+            return job
+        rec = self._store.set_cancel_requested(job_id)
+        job.cancel_event.set()
+        if rec.state == JobState.QUEUED.value:
+            # with cancel_requested set no claim can succeed, so this
+            # write is race-free: the job goes terminal here
+            rec.state = JobState.CANCELLED.value
+            rec.finished_at = time.time()
+            rec = self._store.save(rec)
+            with self._lock:
+                self._apply_record_locked(job, rec)
                 self._prune_history_locked()
-        if flipped:
-            job.done_event.set()
+        else:
+            with self._lock:
+                self._apply_record_locked(job, rec)
         return job
 
     def stats(self) -> dict:
@@ -480,19 +750,29 @@ class JobManager:
         two surfaces — see ``docs/metrics.md``), and
         :meth:`sync_metrics` mirrors exactly these values into the
         registry, so the two endpoints can never disagree.
+
+        Queue depth and per-state counts come from the shared store, so
+        on a durable bundle they are fleet-wide; the admission and
+        recovery tallies are this manager's own.
         """
+        by_state: Dict[str, int] = {s.value: 0 for s in JobState}
+        by_state.update(self._store.count_by_state())
+        queue_depth = self._wq.depth()
         with self._lock:
-            by_state: Dict[str, int] = {s.value: 0 for s in JobState}
-            for job in self._jobs.values():
-                by_state[job.state.value] += 1
             self._stuck_threads = [t for t in self._stuck_threads if t.is_alive()]
             out = {
-                "queue_depth": self._queue.qsize(),
+                "queue_depth": queue_depth,
                 "queue_limit": self.queue_limit,
                 "max_history": self.max_history,
                 "workers": self.workers,
                 "backend": self.backend,
+                "role": self.role,
+                "worker_id": self.worker_id,
                 "paused": not self._resume.is_set(),
+                "store": {
+                    "backend": self.stores.backend,
+                    "state_dir": self.stores.state_dir,
+                },
                 "jobs_submitted_total": self._submitted,
                 "jobs_rejected_total": self._rejected,
                 "jobs_by_state": by_state,
@@ -505,6 +785,17 @@ class JobManager:
                     "jobs_recovered_total": self._jobs_recovered,
                     "jobs_exhausted_total": self._jobs_exhausted,
                     "last_retry_at": self._last_retry_at,
+                },
+                "orphans": {
+                    "lease_s": self.lease_s,
+                    "requeue_budget": self.orphan_requeue_budget,
+                    "orphaned_total": self._orphaned,
+                    "requeued_total": self._orphans_requeued,
+                    "exhausted_total": self._orphans_exhausted,
+                    "last_recovery_at": self._last_recovery_at,
+                    "recent_events": [
+                        e.to_dict() for e in list(self.fault_events)[-8:]
+                    ],
                 },
             }
             if self.faults is not None:
@@ -538,6 +829,19 @@ class JobManager:
         m.counter(
             "repro_jobs_exhausted_total", "jobs that failed with their retry budget spent"
         ).set_total(retry["jobs_exhausted_total"])
+        orphans = stats["orphans"]
+        m.counter(
+            "repro_jobs_orphaned_total",
+            "running jobs whose worker lease expired (worker lost)",
+        ).set_total(orphans["orphaned_total"])
+        m.counter(
+            "repro_jobs_orphan_requeued_total",
+            "orphaned jobs re-enqueued for another worker",
+        ).set_total(orphans["requeued_total"])
+        m.counter(
+            "repro_jobs_orphan_exhausted_total",
+            "orphaned jobs failed with the requeue budget spent",
+        ).set_total(orphans["exhausted_total"])
         cache = stats["cache"]
         m.counter("repro_cache_hits_total", "result-cache hits").set_total(
             cache["hits_total"]
@@ -569,6 +873,13 @@ class JobManager:
             last = self._last_retry_mono
         return last is not None and (time.monotonic() - last) <= window_s
 
+    def recent_orphan_activity(self, window_s: float = 60.0) -> bool:
+        """True when an orphan was recovered within ``window_s`` seconds
+        (a worker died recently — the health endpoint reports degraded)."""
+        with self._lock:
+            last = self._last_recovery_mono
+        return last is not None and (time.monotonic() - last) <= window_s
+
     # -- worker pool --------------------------------------------------------
 
     def _worker_loop(self) -> None:
@@ -576,52 +887,66 @@ class JobManager:
             self._resume.wait(timeout=0.1)
             if not self._resume.is_set():
                 continue
-            try:
-                job = self._queue.get(timeout=0.1)
-            except queue.Empty:
+            job_id = self._wq.pop(timeout=0.1)
+            if job_id is None:
                 continue
             try:
-                self._run_job(job)
-            finally:
-                self._queue.task_done()
+                self._execute(job_id)
+            except Exception:  # pragma: no cover - defensive: keep the pool alive
+                _log.warning(
+                    "worker loop error",
+                    extra={"job_id": job_id,
+                           "reason": traceback.format_exc().strip().splitlines()[-1]},
+                )
+
+    def _execute(self, job_id: str) -> None:
+        """Claim a popped id and run it; losing the claim is normal
+        (another worker won the race, or the job was cancelled)."""
+        rec = self._store.claim(job_id, self.worker_id, time.time() + self.lease_s)
+        if rec is None:
+            self._finalize_unclaimed(job_id)
+            return
+        job = self._adopt_record(rec)
+        with self._lock:
+            self._leases[job_id] = job
+        try:
+            self._run_job(job)
+        finally:
+            with self._lock:
+                self._leases.pop(job_id, None)
+
+    def _finalize_unclaimed(self, job_id: str) -> None:
+        """A popped id we could not claim: if it is a queued record with
+        a pending cancel request, take it terminal here (claims refuse
+        it, so without this it would sit queued forever)."""
+        try:
+            rec = self._store.get(job_id)
+        except UnknownJobError:
+            return
+        if rec.state == JobState.QUEUED.value and rec.cancel_requested:
+            rec.state = JobState.CANCELLED.value
+            rec.finished_at = time.time()
+            rec = self._store.save(rec)
+            job = self._adopt_record(rec)
+            job.done_event.set()
 
     def _prune_history_locked(self) -> None:
         """Evict the oldest terminal jobs beyond ``max_history``.
 
-        Caller holds ``_lock``.  ``_jobs`` preserves insertion (i.e.
-        submission) order, so the slice below is oldest-first; queued
-        and running jobs are never touched.
+        Caller holds ``_lock``.  The store prunes in submission order;
+        queued and running jobs are never touched.
         """
-        terminal = [jid for jid, j in self._jobs.items() if j.state.terminal]
-        excess = len(terminal) - self.max_history
-        if excess > 0:
-            for jid in terminal[:excess]:
-                del self._jobs[jid]
+        for jid in self._store.prune_terminal(self.max_history):
+            self._jobs.pop(jid, None)
 
     def _run_job(self, job: Job) -> None:
-        # claim the job with a compare-and-set paired with cancel():
-        # exactly one of {QUEUED->RUNNING here, QUEUED->CANCELLED there}
-        # wins, so waiters never observe a "terminal then running" job.
-        with self._lock:
-            if job.cancel_event.is_set() or job.state.terminal:
-                if not job.state.terminal:
-                    job.state = JobState.CANCELLED
-                    job.finished_at = time.time()
-                    self._prune_history_locked()
-                claimed = False
-            else:
-                job.state = JobState.RUNNING
-                job.started_at = time.time()
-                claimed = True
-        if not claimed:
-            job.done_event.set()
-            return
         spec = job.spec
         _log.info(
             "job running",
             extra={"job_id": job.id,
                    "trace_id": job.trace.trace_id if job.trace else None,
-                   "algorithm": spec.algorithm, "attempt": job.attempt},
+                   "algorithm": spec.algorithm, "attempt": job.attempt,
+                   "worker_id": self.worker_id},
         )
         try:
             dataset = self.datasets.get(spec.dataset)
@@ -653,28 +978,149 @@ class JobManager:
         else:
             state, error, produced = JobState.DONE, None, (payload, run_log)
             self.cache.put(spec.cache_key(dataset.fingerprint), payload, run_log)
+        self._commit_terminal(job, state, error, produced)
+
+    def _commit_terminal(
+        self,
+        job: Job,
+        state: JobState,
+        error: Optional[str],
+        produced: Optional[tuple],
+    ) -> None:
+        """CAS the claimed job to its terminal state in the store.
+
+        Losing the CAS means the sweeper declared us dead mid-run and
+        re-enqueued the job; the result is discarded — harmless, because
+        the re-run is bit-identical by the determinism guarantee.
+        """
+        rec = self._record_from_job(job)
+        rec.state = state.value
+        rec.error = error
+        rec.finished_at = time.time()
+        if produced is not None:
+            rec.result, rec.run_log = produced
+        finished = self._store.finish(rec, self.worker_id)
+        if finished is None:
+            _log.warning(
+                "job finish lost its lease (declared orphaned mid-run); "
+                "result discarded — the requeued run is bit-identical",
+                extra={"job_id": job.id, "worker_id": self.worker_id},
+            )
+            try:
+                current = self._store.get(job.id)
+            except UnknownJobError:
+                return
+            with self._lock:
+                self._apply_record_locked(job, current)
+            return
         with self._lock:
-            if produced is not None:
-                job.result, job.run_log = produced
-                if job.attempt > 0:
-                    self._jobs_recovered += 1
-            job.error = error
-            job.state = state
-            job.finished_at = time.time()
+            self._apply_record_locked(job, finished)
+            if produced is not None and job.attempt > 0:
+                self._jobs_recovered += 1
             self._prune_history_locked()
-        if job.started_at is not None:
-            self._job_latency.labels(spec.algorithm).observe(
+        if job.started_at is not None and job.finished_at is not None:
+            self._job_latency.labels(job.spec.algorithm).observe(
                 job.finished_at - job.started_at
             )
         _log.info(
             f"job {state.value}",
             extra={"job_id": job.id,
                    "trace_id": job.trace.trace_id if job.trace else None,
-                   "algorithm": spec.algorithm, "attempt": job.attempt,
+                   "algorithm": job.spec.algorithm, "attempt": job.attempt,
                    **({"reason": error.strip().splitlines()[-1]}
                       if error else {})},
         )
         job.done_event.set()
+
+    # -- heartbeat + orphan recovery ----------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        """Renew the lease on every job this manager is running, and
+        pick up cross-process cancel requests."""
+        interval = max(0.2, self.lease_s / 3.0)
+        while not self._stop.wait(interval):
+            with self._lock:
+                held = list(self._leases.items())
+            for job_id, job in held:
+                rec = self._store.heartbeat(
+                    job_id, self.worker_id, time.time() + self.lease_s
+                )
+                if rec is None:
+                    continue  # lease lost (sweeper took it) — CAS at finish decides
+                if rec.cancel_requested and not job.cancel_event.is_set():
+                    job.cancel_event.set()
+
+    def _sweep_loop(self) -> None:
+        interval = max(0.5, self.lease_s / 3.0)
+        while not self._stop.wait(interval):
+            try:
+                self.recover_now()
+            except Exception:  # pragma: no cover - defensive: keep sweeping
+                _log.warning(
+                    "orphan sweep failed",
+                    extra={"reason": traceback.format_exc().strip().splitlines()[-1]},
+                )
+
+    def recover_now(self, startup: bool = False) -> dict:
+        """One orphan-recovery pass (the sweeper calls this; tests may
+        call it directly to avoid waiting out the interval).
+
+        Expired-lease RUNNING jobs are re-enqueued (or failed once the
+        orphan budget is spent), and queued records missing from the
+        work queue — a process died between persisting and pushing, or
+        a retry timer died with its process — are re-pushed.  Returns
+        ``{"orphaned", "requeued", "stranded_requeued"}`` counts.
+        """
+        now = time.time()
+        recovered = self._store.recover_orphans(now, self.orphan_requeue_budget)
+        requeued = 0
+        for rec in recovered:
+            detail = rec.attempts[-1]["error"] if rec.attempts else "lease expired"
+            events = [FaultEvent(
+                layer="service", kind="worker_lost", injected=False,
+                target=rec.id, attempt=rec.attempt, detail=detail, time=now,
+            )]
+            if rec.state == JobState.QUEUED.value:
+                try:
+                    self._wq.push(rec.id)
+                    pushed = True
+                except QueueFullError:
+                    pushed = False  # the stranded sweep below retries later
+                requeued += 1 if pushed else 0
+                events.append(FaultEvent(
+                    layer="service", kind="orphan_requeue", injected=False,
+                    target=rec.id, attempt=rec.attempt,
+                    detail=f"re-enqueued (attempt {rec.attempt})", time=now,
+                ))
+            with self._lock:
+                self._orphaned += 1
+                if rec.state == JobState.QUEUED.value:
+                    self._orphans_requeued += 1
+                elif rec.state == JobState.FAILED.value:
+                    self._orphans_exhausted += 1
+                self.fault_events.extend(events)
+                self._last_recovery_at = now
+                self._last_recovery_mono = time.monotonic()
+                job = self._jobs.get(rec.id)
+                if job is not None:
+                    self._apply_record_locked(job, rec)
+            _log.warning(
+                "orphaned job recovered",
+                extra={"job_id": rec.id, "state": rec.state,
+                       "attempt": rec.attempt, "detail": detail},
+            )
+        # a submission pushes right after persisting, so outside startup
+        # only records queued for a while are considered stranded
+        stranded = ensure_queued_jobs_enqueued(
+            self._store, self._wq,
+            older_than_s=0.0 if startup else max(5.0, self.lease_s),
+            now=now,
+        )
+        return {
+            "orphaned": len(recovered),
+            "requeued": requeued,
+            "stranded_requeued": len(stranded),
+        }
 
     # -- retry --------------------------------------------------------------
 
@@ -700,20 +1146,28 @@ class JobManager:
             return False
         delay = self.retry_policy.delay(job.attempt + 1, key=job.id)
         summary = error.strip().splitlines()[-1] if error.strip() else "unknown error"
+        now = time.time()
+        rec = self._record_from_job(job)
+        rec.attempts.append(
+            {
+                "attempt": job.attempt,
+                "error": summary,
+                "failed_at": now,
+                "backoff_s": round(delay, 4),
+            }
+        )
+        rec.attempt = job.attempt + 1
+        rec.state = JobState.QUEUED.value
+        rec.started_at = None
+        rec.queued_at = now
+        requeued = self._store.finish(rec, self.worker_id)
+        if requeued is None:
+            # lease lost mid-crash: the sweeper owns this job's recovery
+            return True
         with self._lock:
-            job.attempts.append(
-                {
-                    "attempt": job.attempt,
-                    "error": summary,
-                    "failed_at": time.time(),
-                    "backoff_s": round(delay, 4),
-                }
-            )
-            job.attempt += 1
-            job.state = JobState.QUEUED
-            job.started_at = None
+            self._apply_record_locked(job, requeued)
             self._retries += 1
-            self._last_retry_at = time.time()
+            self._last_retry_at = now
             self._last_retry_mono = time.monotonic()
             timer = threading.Timer(delay, self._requeue, args=(job,))
             timer.daemon = True
@@ -729,22 +1183,29 @@ class JobManager:
         return True
 
     def _requeue(self, job: Job) -> None:
-        """Timer callback: put a retried job back on the queue."""
+        """Timer callback: push a retried job's id back on the queue."""
         with self._lock:
             self._retry_timers = [
                 t for t in self._retry_timers if t.is_alive()
             ]
-            if job.state is not JobState.QUEUED or job.cancel_event.is_set():
-                return  # cancelled (or manager reset) while backing off
         try:
-            self._queue.put_nowait(job)
-        except queue.Full:
+            rec = self._store.get(job.id)
+        except UnknownJobError:
+            return
+        if rec.state != JobState.QUEUED.value or rec.cancel_requested:
+            return  # cancelled (or recovered elsewhere) while backing off
+        try:
+            self._wq.push(job.id)
+        except QueueFullError:
             last = job.attempts[-1]["error"] if job.attempts else "unknown error"
+            rec.state = JobState.FAILED.value
+            rec.error = f"retry abandoned (queue full) after: {last}"
+            rec.finished_at = time.time()
+            try:
+                rec = self._store.save(rec)
+            except UnknownJobError:  # pragma: no cover - pruned mid-flight
+                return
             with self._lock:
-                if job.state is not JobState.QUEUED:
-                    return
-                job.state = JobState.FAILED
-                job.error = f"retry abandoned (queue full) after: {last}"
-                job.finished_at = time.time()
+                self._apply_record_locked(job, rec)
                 self._prune_history_locked()
             job.done_event.set()

@@ -1,0 +1,778 @@
+"""SQLite/file-backed store implementations — the durable backends.
+
+One state directory holds everything N frontends and M workers share:
+
+```
+<state_dir>/
+  service.db          # jobs, work queue, dataset descriptors, results
+  datasets/
+    <fingerprint>.npy # content-addressed point blobs
+```
+
+``service.db`` runs in WAL mode so readers never block the single
+writer, with a generous ``busy_timeout`` so short write collisions
+retry instead of failing.  Every compare-and-set transition
+(:meth:`SqliteJobStore.claim` / :meth:`~SqliteJobStore.finish` /
+:meth:`~SqliteJobStore.recover_orphans`) runs under ``BEGIN
+IMMEDIATE``, which takes the write lock up front — two workers racing
+to claim one job serialize at the database and exactly one sees the
+``queued`` precondition hold.
+
+Serialization choices:
+
+* job specs / params / result payloads are stored as canonical JSON
+  (they are JSON-safe by construction — they travel over the HTTP API);
+* run logs are pickled — :class:`~repro.obs.record.RunLog` is a tree of
+  plain dataclasses, and the trace endpoint needs it back verbatim;
+* result-cache keys are ``sha256(repr(cache_key))``:
+  :meth:`~repro.service.spec.JobSpec.cache_key` is a tuple of
+  primitives, so its ``repr`` is stable across processes and Python
+  runs — the property cross-process cache sharing rests on;
+* point blobs are ``.npy`` files named by the dataset fingerprint —
+  content-addressed, so concurrent registrations of the same data are
+  idempotent at the filesystem level (atomic rename, last writer wins
+  with identical bytes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.service.store import (
+    DatasetRecord,
+    JobRecord,
+    QueueFullError,
+    UnknownJobError,
+    _orphan_note,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    num              INTEGER PRIMARY KEY,
+    id               TEXT UNIQUE NOT NULL,
+    state            TEXT NOT NULL,
+    spec             TEXT NOT NULL,
+    created_at       REAL NOT NULL,
+    queued_at        REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    result           TEXT,
+    error            TEXT,
+    cached           INTEGER NOT NULL DEFAULT 0,
+    attempt          INTEGER NOT NULL DEFAULT 0,
+    attempts         TEXT NOT NULL DEFAULT '[]',
+    trace_id         TEXT,
+    traceparent      TEXT,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    worker           TEXT,
+    lease_expires_at REAL,
+    run_log          BLOB,
+    version          INTEGER NOT NULL DEFAULT 1
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs(state);
+
+CREATE TABLE IF NOT EXISTS counters (
+    name TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS work_queue (
+    seq    INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS datasets (
+    seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+    id          TEXT UNIQUE NOT NULL,
+    fingerprint TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    params      TEXT NOT NULL,
+    n           INTEGER NOT NULL,
+    metric_name TEXT NOT NULL,
+    created_at  REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS datasets_by_fp ON datasets(fingerprint);
+
+CREATE TABLE IF NOT EXISTS results (
+    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
+    key     TEXT UNIQUE NOT NULL,
+    payload TEXT NOT NULL,
+    run_log BLOB
+);
+"""
+
+#: how long a writer waits on a locked database before erroring (ms)
+BUSY_TIMEOUT_MS = 10_000
+
+
+def prepare_state_dir(state_dir) -> Tuple[Path, Path]:
+    """Create (or adopt) a state directory; returns (db_path, blob_dir)."""
+    root = Path(state_dir)
+    blob_dir = root / "datasets"
+    blob_dir.mkdir(parents=True, exist_ok=True)
+    db_path = root / "service.db"
+    conn = _connect(db_path)
+    try:
+        conn.executescript(_SCHEMA)
+        conn.commit()
+    finally:
+        conn.close()
+    return db_path, blob_dir
+
+
+def _connect(db_path) -> sqlite3.Connection:
+    conn = sqlite3.connect(str(db_path), timeout=BUSY_TIMEOUT_MS / 1000.0,
+                           check_same_thread=False)
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+    conn.row_factory = sqlite3.Row
+    return conn
+
+
+def result_key(cache_key) -> str:
+    """Stable cross-process text key for a :meth:`JobSpec.cache_key`
+    tuple (primitives only, so ``repr`` is canonical)."""
+    return hashlib.sha256(repr(cache_key).encode("utf-8")).hexdigest()
+
+
+class _SqliteBase:
+    """One locked connection per store instance.
+
+    SQLite serializes writers anyway; funnelling each store's traffic
+    through a single connection under a process lock keeps transaction
+    scoping simple and sidesteps per-thread connection pools.  The lock
+    is a *leaf* lock — no store method ever calls back into manager or
+    registry code while holding it.
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, db_path) -> None:
+        self._db_path = Path(db_path)
+        self._conn = _connect(db_path)
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def _record_from_row(row: sqlite3.Row) -> JobRecord:
+    return JobRecord(
+        id=row["id"],
+        spec=json.loads(row["spec"]),
+        state=row["state"],
+        created_at=row["created_at"],
+        queued_at=row["queued_at"],
+        started_at=row["started_at"],
+        finished_at=row["finished_at"],
+        result=json.loads(row["result"]) if row["result"] is not None else None,
+        error=row["error"],
+        cached=bool(row["cached"]),
+        attempt=row["attempt"],
+        attempts=json.loads(row["attempts"]),
+        trace_id=row["trace_id"],
+        traceparent=row["traceparent"],
+        cancel_requested=bool(row["cancel_requested"]),
+        worker=row["worker"],
+        lease_expires_at=row["lease_expires_at"],
+        run_log=pickle.loads(row["run_log"]) if row["run_log"] is not None else None,
+        version=row["version"],
+    )
+
+
+def _record_params(rec: JobRecord) -> dict:
+    return {
+        "num": rec.numeric_id,
+        "id": rec.id,
+        "state": rec.state,
+        "spec": json.dumps(rec.spec, sort_keys=True),
+        "created_at": rec.created_at,
+        "queued_at": rec.queued_at,
+        "started_at": rec.started_at,
+        "finished_at": rec.finished_at,
+        "result": json.dumps(rec.result, sort_keys=True) if rec.result is not None else None,
+        "error": rec.error,
+        "cached": int(rec.cached),
+        "attempt": rec.attempt,
+        "attempts": json.dumps(rec.attempts),
+        "trace_id": rec.trace_id,
+        "traceparent": rec.traceparent,
+        "cancel_requested": int(rec.cancel_requested),
+        "worker": rec.worker,
+        "lease_expires_at": rec.lease_expires_at,
+        "run_log": pickle.dumps(rec.run_log) if rec.run_log is not None else None,
+    }
+
+
+_UPDATE_FIELDS = (
+    "state", "spec", "created_at", "queued_at", "started_at", "finished_at",
+    "result", "error", "cached", "attempt", "attempts", "trace_id",
+    "traceparent", "cancel_requested", "worker", "lease_expires_at", "run_log",
+)
+_UPDATE_SQL = ", ".join(f"{f} = :{f}" for f in _UPDATE_FIELDS)
+
+
+class SqliteJobStore(_SqliteBase):
+    """The durable job table (see module docstring for semantics)."""
+
+    def next_job_id(self) -> str:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT value FROM counters WHERE name='job_id'"
+                ).fetchone()
+                nxt = (row["value"] if row else 0) + 1
+                self._conn.execute(
+                    "INSERT INTO counters(name, value) VALUES ('job_id', :v) "
+                    "ON CONFLICT(name) DO UPDATE SET value = :v",
+                    {"v": nxt},
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+            return f"job-{nxt:06d}"
+
+    def create(self, record: JobRecord) -> JobRecord:
+        record.version = 1
+        params = _record_params(record)
+        params["version"] = 1
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO jobs (num, id, state, spec, created_at, queued_at, "
+                "started_at, finished_at, result, error, cached, attempt, attempts, "
+                "trace_id, traceparent, cancel_requested, worker, lease_expires_at, "
+                "run_log, version) "
+                "VALUES (:num, :id, :state, :spec, :created_at, :queued_at, "
+                ":started_at, :finished_at, :result, :error, :cached, :attempt, "
+                ":attempts, :trace_id, :traceparent, :cancel_requested, :worker, "
+                ":lease_expires_at, :run_log, :version)",
+                params,
+            )
+            self._conn.commit()
+        return replace(record)
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownJobError(job_id)
+        return _record_from_row(row)
+
+    def save(self, record: JobRecord) -> JobRecord:
+        params = _record_params(record)
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT version FROM jobs WHERE id = ?", (record.id,)
+                ).fetchone()
+                if row is None:
+                    self._conn.rollback()
+                    raise UnknownJobError(record.id)
+                params["version"] = row["version"] + 1
+                self._conn.execute(
+                    f"UPDATE jobs SET {_UPDATE_SQL}, version = :version "
+                    "WHERE id = :id",
+                    params,
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+        record.version = params["version"]
+        return replace(record)
+
+    def delete(self, job_id: str) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM jobs WHERE id = ?", (job_id,))
+            self._conn.commit()
+
+    def list(
+        self,
+        state: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[JobRecord], Optional[str]]:
+        clauses, params = [], []
+        if state is not None:
+            clauses.append("state = ?")
+            params.append(state)
+        if cursor is not None:
+            clauses.append("num > ?")
+            params.append(int(cursor.rsplit("-", 1)[1]))
+        sql = "SELECT * FROM jobs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY num"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(limit + 1)
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        next_cursor = None
+        if limit is not None and len(rows) > limit:
+            rows = rows[:limit]
+            next_cursor = rows[-1]["id"]
+        return [_record_from_row(r) for r in rows], next_cursor
+
+    def count_by_state(self) -> Dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS c FROM jobs GROUP BY state"
+            ).fetchall()
+        return {row["state"]: row["c"] for row in rows}
+
+    def claim(
+        self, job_id: str, worker: str, lease_expires_at: float
+    ) -> Optional[JobRecord]:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                cur = self._conn.execute(
+                    "UPDATE jobs SET state='running', worker=?, lease_expires_at=?, "
+                    "started_at=?, version=version+1 "
+                    "WHERE id=? AND state='queued' AND cancel_requested=0",
+                    (worker, lease_expires_at, time.time(), job_id),
+                )
+                won = cur.rowcount == 1
+                row = (
+                    self._conn.execute(
+                        "SELECT * FROM jobs WHERE id = ?", (job_id,)
+                    ).fetchone()
+                    if won
+                    else None
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+        return _record_from_row(row) if row is not None else None
+
+    def heartbeat(
+        self, job_id: str, worker: str, lease_expires_at: float
+    ) -> Optional[JobRecord]:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                cur = self._conn.execute(
+                    "UPDATE jobs SET lease_expires_at=?, version=version+1 "
+                    "WHERE id=? AND state='running' AND worker=?",
+                    (lease_expires_at, job_id, worker),
+                )
+                won = cur.rowcount == 1
+                row = (
+                    self._conn.execute(
+                        "SELECT * FROM jobs WHERE id = ?", (job_id,)
+                    ).fetchone()
+                    if won
+                    else None
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+        return _record_from_row(row) if row is not None else None
+
+    def finish(self, record: JobRecord, worker: str) -> Optional[JobRecord]:
+        record = replace(record, worker=None, lease_expires_at=None)
+        params = _record_params(record)
+        params["expected_worker"] = worker
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                cur = self._conn.execute(
+                    f"UPDATE jobs SET {_UPDATE_SQL}, version = version + 1 "
+                    "WHERE id = :id AND state = 'running' AND worker = :expected_worker",
+                    params,
+                )
+                won = cur.rowcount == 1
+                row = (
+                    self._conn.execute(
+                        "SELECT * FROM jobs WHERE id = :id", params
+                    ).fetchone()
+                    if won
+                    else None
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+        return _record_from_row(row) if row is not None else None
+
+    def set_cancel_requested(self, job_id: str) -> JobRecord:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                cur = self._conn.execute(
+                    "UPDATE jobs SET cancel_requested=1, version=version+1 "
+                    "WHERE id=? AND cancel_requested=0",
+                    (job_id,),
+                )
+                del cur
+                row = self._conn.execute(
+                    "SELECT * FROM jobs WHERE id = ?", (job_id,)
+                ).fetchone()
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+        if row is None:
+            raise UnknownJobError(job_id)
+        return _record_from_row(row)
+
+    def recover_orphans(self, now: float, max_requeues: int = 5) -> List[JobRecord]:
+        recovered: List[JobRecord] = []
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs WHERE state='running' "
+                    "AND lease_expires_at IS NOT NULL AND lease_expires_at < ? "
+                    "ORDER BY num",
+                    (now,),
+                ).fetchall()
+                for row in rows:
+                    rec = _record_from_row(row)
+                    rec.attempts.append(_orphan_note(rec, now))
+                    if rec.cancel_requested:
+                        rec.state = "cancelled"
+                        rec.finished_at = now
+                    elif rec.attempt + 1 > max_requeues:
+                        rec.state = "failed"
+                        rec.error = (
+                            f"orphaned {rec.attempt + 1} times "
+                            f"(requeue budget {max_requeues} exhausted)"
+                        )
+                        rec.finished_at = now
+                    else:
+                        rec.state = "queued"
+                        rec.attempt += 1
+                        rec.queued_at = now
+                        rec.started_at = None
+                    rec.worker = None
+                    rec.lease_expires_at = None
+                    rec.version += 1
+                    params = _record_params(rec)
+                    params["version"] = rec.version
+                    self._conn.execute(
+                        f"UPDATE jobs SET {_UPDATE_SQL}, version = :version "
+                        "WHERE id = :id",
+                        params,
+                    )
+                    recovered.append(rec)
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+        return recovered
+
+    def prune_terminal(self, max_history: int) -> List[str]:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                rows = self._conn.execute(
+                    "SELECT id FROM jobs "
+                    "WHERE state IN ('done', 'failed', 'cancelled') ORDER BY num"
+                ).fetchall()
+                excess = len(rows) - max_history
+                pruned = [r["id"] for r in rows[:excess]] if excess > 0 else []
+                for jid in pruned:
+                    self._conn.execute("DELETE FROM jobs WHERE id = ?", (jid,))
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+        return pruned
+
+
+class SqliteWorkQueue(_SqliteBase):
+    """Bounded FIFO over a SQLite table, shared across processes.
+
+    ``pop`` polls (SQLite has no cross-process condition variables):
+    each probe atomically deletes the head row under ``BEGIN
+    IMMEDIATE``, sleeping briefly between empty probes until the
+    timeout lapses.  The poll interval bounds added latency at ~50 ms,
+    which is noise next to a solver run.
+    """
+
+    POLL_INTERVAL_S = 0.05
+
+    def __init__(self, db_path, limit: int = 64) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        super().__init__(db_path)
+        self.limit = limit
+
+    def push(self, job_id: str) -> None:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                depth = self._conn.execute(
+                    "SELECT COUNT(*) AS c FROM work_queue"
+                ).fetchone()["c"]
+                if depth >= self.limit:
+                    self._conn.rollback()
+                    raise QueueFullError(
+                        f"job queue full ({self.limit} queued); retry later"
+                    )
+                self._conn.execute(
+                    "INSERT INTO work_queue (job_id) VALUES (?)", (job_id,)
+                )
+                self._conn.commit()
+            except QueueFullError:
+                raise
+            except BaseException:
+                self._conn.rollback()
+                raise
+
+    def _pop_once(self) -> Optional[str]:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT seq, job_id FROM work_queue ORDER BY seq LIMIT 1"
+                ).fetchone()
+                if row is not None:
+                    self._conn.execute(
+                        "DELETE FROM work_queue WHERE seq = ?", (row["seq"],)
+                    )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+        return row["job_id"] if row is not None else None
+
+    def pop(self, timeout: float = 0.1) -> Optional[str]:
+        deadline = time.monotonic() + timeout
+        while True:
+            job_id = self._pop_once()
+            if job_id is not None:
+                return job_id
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            time.sleep(min(self.POLL_INTERVAL_S, remaining))
+
+    def depth(self) -> int:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) AS c FROM work_queue"
+            ).fetchone()["c"]
+
+    def __contains__(self, job_id: object) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM work_queue WHERE job_id = ? LIMIT 1", (job_id,)
+            ).fetchone()
+        return row is not None
+
+
+class SqliteDatasetStore(_SqliteBase):
+    """Dataset descriptors in SQLite, point blobs as fingerprint-named
+    ``.npy`` files (content-addressed: same bytes → same file)."""
+
+    def __init__(self, db_path, blob_dir) -> None:
+        super().__init__(db_path)
+        self._blob_dir = Path(blob_dir)
+
+    def put(self, record: DatasetRecord, points: Optional[np.ndarray]) -> DatasetRecord:
+        if points is not None:
+            self._write_blob(record.fingerprint, points)
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                existing = self._conn.execute(
+                    "SELECT * FROM datasets WHERE id = ?", (record.id,)
+                ).fetchone()
+                if existing is None:
+                    self._conn.execute(
+                        "INSERT INTO datasets (id, fingerprint, kind, params, n, "
+                        "metric_name, created_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            record.id,
+                            record.fingerprint,
+                            record.kind,
+                            json.dumps(record.params, sort_keys=True),
+                            record.n,
+                            record.metric_name,
+                            record.created_at,
+                        ),
+                    )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+        if existing is not None:
+            return _dataset_from_row(existing)
+        return record
+
+    def _write_blob(self, fingerprint: str, points: np.ndarray) -> None:
+        path = self._blob_dir / f"{fingerprint}.npy"
+        if path.exists():
+            return
+        tmp = path.parent / f".{fingerprint}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as fh:  # np.save appends .npy to bare paths
+                np.save(fh, np.asarray(points, dtype=np.float64))
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    def get(self, ds_id: str) -> Optional[DatasetRecord]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM datasets WHERE id = ?", (ds_id,)
+            ).fetchone()
+        return _dataset_from_row(row) if row is not None else None
+
+    def load_points(self, fingerprint: str) -> Optional[np.ndarray]:
+        path = self._blob_dir / f"{fingerprint}.npy"
+        if not path.exists():
+            return None
+        return np.load(path)
+
+    def list(self) -> List[DatasetRecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM datasets ORDER BY seq"
+            ).fetchall()
+        return [_dataset_from_row(r) for r in rows]
+
+    def find_fingerprint(self, fingerprint: str) -> Optional[DatasetRecord]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM datasets WHERE fingerprint = ? ORDER BY seq LIMIT 1",
+                (fingerprint,),
+            ).fetchone()
+        return _dataset_from_row(row) if row is not None else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) AS c FROM datasets"
+            ).fetchone()["c"]
+
+    def __contains__(self, ds_id: object) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM datasets WHERE id = ?", (ds_id,)
+            ).fetchone()
+        return row is not None
+
+
+def _dataset_from_row(row: sqlite3.Row) -> DatasetRecord:
+    return DatasetRecord(
+        id=row["id"],
+        fingerprint=row["fingerprint"],
+        kind=row["kind"],
+        params=json.loads(row["params"]),
+        n=row["n"],
+        metric_name=row["metric_name"],
+        created_at=row["created_at"],
+    )
+
+
+class SqliteResultStore(_SqliteBase):
+    """Durable ``cache_key → (payload, run_log)`` shared by every
+    process on the state dir.
+
+    Hit/miss counters are per-process (they describe *this* instance's
+    traffic, mirroring :class:`~repro.service.cache.ResultCache`);
+    the entry count is global.  Eviction is FIFO by insertion order,
+    like the in-memory cache.
+    """
+
+    def __init__(self, db_path, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        super().__init__(db_path)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key) -> Optional[Tuple[dict, object]]:
+        text_key = result_key(key)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload, run_log FROM results WHERE key = ?", (text_key,)
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+        payload = json.loads(row["payload"])
+        run_log = pickle.loads(row["run_log"]) if row["run_log"] is not None else None
+        return payload, run_log
+
+    def put(self, key, payload: dict, run_log=None) -> None:
+        text_key = result_key(key)
+        blob = pickle.dumps(run_log) if run_log is not None else None
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                # first writer wins: determinism makes later payloads identical
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO results (key, payload, run_log) "
+                    "VALUES (?, ?, ?)",
+                    (text_key, json.dumps(payload, sort_keys=True), blob),
+                )
+                self._conn.execute(
+                    "DELETE FROM results WHERE seq NOT IN ("
+                    "  SELECT seq FROM results ORDER BY seq DESC LIMIT ?)",
+                    (self.max_entries,),
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) AS c FROM results"
+            ).fetchone()["c"]
+
+    def __contains__(self, key: object) -> bool:
+        text_key = result_key(key)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ?", (text_key,)
+            ).fetchone()
+        return row is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM results")
+            self._conn.commit()
+
+    def stats(self) -> dict:
+        with self._lock:
+            entries = self._conn.execute(
+                "SELECT COUNT(*) AS c FROM results"
+            ).fetchone()["c"]
+            total = self.hits + self.misses
+            return {
+                "entries": entries,
+                "max_entries": self.max_entries,
+                "hits_total": self.hits,
+                "misses_total": self.misses,
+                "hit_ratio": (self.hits / total) if total else 0.0,
+            }

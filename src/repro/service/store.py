@@ -1,0 +1,625 @@
+"""Pluggable service state: store protocols and the in-memory backends.
+
+PR 3's service kept its state in plain dictionaries inside
+:class:`~repro.service.jobs.JobManager`, ``DatasetRegistry`` and
+``ResultCache`` — a restart lost everything and a single process capped
+throughput.  This module extracts that state behind four small
+protocols so the rest of the service never touches a dict directly:
+
+* :class:`JobStore`   — the job table: records, atomic state
+  transitions (claim / finish / cancel), lease bookkeeping, orphan
+  recovery, listing with pagination, and bounded terminal history;
+* :class:`WorkQueue`  — the bounded FIFO of queued job ids that worker
+  processes drain;
+* :class:`DatasetStore` — dataset descriptors plus their point blobs,
+  content-addressed by the existing fingerprints;
+* :class:`ResultStore` — the ``cache_key → (payload, run_log)``
+  mapping (the in-memory implementation is
+  :class:`~repro.service.cache.ResultCache`, unchanged).
+
+Two implementations exist for each: the in-memory ones here (exactly
+the PR-3 semantics, now behind the protocol) and the SQLite/file-backed
+ones in :mod:`repro.service.sqlite_store`.  :func:`open_stores` picks a
+backend: ``open_stores()`` is volatile memory, ``open_stores(path)``
+is a durable state directory shared by any number of frontend and
+worker processes.
+
+Concurrency contract (both backends): every method is thread-safe, and
+the compare-and-set transitions (:meth:`JobStore.claim`,
+:meth:`JobStore.finish`, :meth:`JobStore.recover_orphans`) are atomic —
+two workers racing for one job see exactly one winner.  Records carry a
+monotonically increasing ``version`` so readers can tell stale
+snapshots from fresh ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+
+class QueueFullError(RuntimeError):
+    """The bounded job queue is at capacity; resubmit later."""
+
+
+class UnknownJobError(KeyError):
+    """No job with the requested id."""
+
+
+#: job lifecycle states, as stored (mirrors repro.service.jobs.JobState)
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+# ---------------------------------------------------------------------------
+# records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JobRecord:
+    """The persistable form of one job — plain data, no threading state.
+
+    This is what travels through a :class:`JobStore`; the live
+    :class:`~repro.service.jobs.Job` handle (with its cancel/done
+    events) is a per-process view over it.  ``version`` increases on
+    every store write, so two snapshots of the same job are ordered.
+    """
+
+    id: str
+    spec: dict
+    state: str = "queued"
+    created_at: float = 0.0
+    queued_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    cached: bool = False
+    attempt: int = 0
+    attempts: List[dict] = field(default_factory=list)
+    trace_id: Optional[str] = None
+    #: W3C traceparent of the job's trace context, so a worker in
+    #: another process can continue the submitting request's trace
+    traceparent: Optional[str] = None
+    cancel_requested: bool = False
+    #: lease owner while running (``host:pid/worker-i``)
+    worker: Optional[str] = None
+    #: wall-clock lease expiry; a running job whose lease lapsed is an
+    #: orphan (its worker died) and is re-enqueued by the sweeper
+    lease_expires_at: Optional[float] = None
+    #: recorded run log of the producing run (pickled by durable stores)
+    run_log: Optional[object] = None
+    #: store write counter; readers apply a record only if newer
+    version: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def numeric_id(self) -> int:
+        """Submission-order sort key (``job-000042`` → 42)."""
+        return int(self.id.rsplit("-", 1)[1])
+
+    def describe(self, include_result: bool = True) -> dict:
+        """JSON-safe status record for the API (one shape for live
+        handles and store records — ``Job.describe`` delegates here)."""
+        out = {
+            "id": self.id,
+            "state": self.state,
+            "spec": dict(self.spec),
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cached": self.cached,
+            "attempt": self.attempt,
+            "trace_id": self.trace_id,
+        }
+        if self.attempts:
+            out["attempts"] = [dict(a) for a in self.attempts]
+        if self.error is not None:
+            out["error"] = self.error
+        if include_result and self.result is not None:
+            out["result"] = self.result
+        return out
+
+
+@dataclass
+class DatasetRecord:
+    """The persistable form of one registered dataset (no live metric)."""
+
+    id: str
+    fingerprint: str
+    kind: str
+    params: dict
+    n: int
+    metric_name: str
+    created_at: float = 0.0
+
+    def describe(self) -> dict:
+        return {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "n": self.n,
+            "metric": self.metric_name,
+            "params": dict(self.params),
+        }
+
+
+# ---------------------------------------------------------------------------
+# protocols
+# ---------------------------------------------------------------------------
+
+
+@runtime_checkable
+class JobStore(Protocol):
+    """Durable (or volatile) job table with atomic transitions."""
+
+    def next_job_id(self) -> str: ...
+
+    def create(self, record: JobRecord) -> JobRecord: ...
+
+    def get(self, job_id: str) -> JobRecord: ...
+
+    def save(self, record: JobRecord) -> JobRecord: ...
+
+    def delete(self, job_id: str) -> None: ...
+
+    def list(
+        self,
+        state: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[JobRecord], Optional[str]]: ...
+
+    def count_by_state(self) -> Dict[str, int]: ...
+
+    def claim(
+        self, job_id: str, worker: str, lease_expires_at: float
+    ) -> Optional[JobRecord]: ...
+
+    def heartbeat(
+        self, job_id: str, worker: str, lease_expires_at: float
+    ) -> Optional[JobRecord]: ...
+
+    def finish(self, record: JobRecord, worker: str) -> Optional[JobRecord]: ...
+
+    def set_cancel_requested(self, job_id: str) -> JobRecord: ...
+
+    def recover_orphans(
+        self, now: float, max_requeues: int = 5
+    ) -> List[JobRecord]: ...
+
+    def prune_terminal(self, max_history: int) -> List[str]: ...
+
+
+@runtime_checkable
+class WorkQueue(Protocol):
+    """Bounded FIFO of queued job ids, shared by every worker."""
+
+    limit: int
+
+    def push(self, job_id: str) -> None: ...
+
+    def pop(self, timeout: float = 0.1) -> Optional[str]: ...
+
+    def depth(self) -> int: ...
+
+    def __contains__(self, job_id: object) -> bool: ...
+
+
+@runtime_checkable
+class DatasetStore(Protocol):
+    """Dataset descriptors plus content-addressed point blobs."""
+
+    def put(self, record: DatasetRecord, points: Optional[np.ndarray]) -> DatasetRecord: ...
+
+    def get(self, ds_id: str) -> Optional[DatasetRecord]: ...
+
+    def load_points(self, fingerprint: str) -> Optional[np.ndarray]: ...
+
+    def list(self) -> List[DatasetRecord]: ...
+
+    def find_fingerprint(self, fingerprint: str) -> Optional[DatasetRecord]: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, ds_id: object) -> bool: ...
+
+
+@runtime_checkable
+class ResultStore(Protocol):
+    """``cache_key → (payload, run_log)`` with hit/miss accounting."""
+
+    def get(self, key) -> Optional[Tuple[dict, object]]: ...
+
+    def put(self, key, payload: dict, run_log=None) -> None: ...
+
+    def stats(self) -> dict: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, key: object) -> bool: ...
+
+    def clear(self) -> None: ...
+
+
+# ---------------------------------------------------------------------------
+# in-memory implementations
+# ---------------------------------------------------------------------------
+
+
+def _orphan_note(record: JobRecord, now: float) -> dict:
+    """The ``attempts[]`` entry an orphan requeue leaves behind —
+    the same shape crash retries write, so ``attempts`` reads as one
+    unified recovery history."""
+    return {
+        "attempt": record.attempt,
+        "error": f"orphaned: worker lease expired ({record.worker or 'unknown'})",
+        "failed_at": now,
+        "backoff_s": 0.0,
+    }
+
+
+class InMemoryJobStore:
+    """Dict-backed :class:`JobStore` — PR-3 semantics behind the protocol.
+
+    State dies with the process; orphan recovery still works within a
+    process (a record whose lease lapsed is recoverable), which is what
+    the backend-parity contract tests exercise.
+    """
+
+    backend = "memory"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: Dict[str, JobRecord] = {}
+        self._ids = itertools.count(1)
+
+    def next_job_id(self) -> str:
+        return f"job-{next(self._ids):06d}"
+
+    def create(self, record: JobRecord) -> JobRecord:
+        with self._lock:
+            record.version = 1
+            self._records[record.id] = replace(
+                record, attempts=list(record.attempts), spec=dict(record.spec)
+            )
+            return self._snapshot(record.id)
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            if job_id not in self._records:
+                raise UnknownJobError(job_id)
+            return self._snapshot(job_id)
+
+    def save(self, record: JobRecord) -> JobRecord:
+        with self._lock:
+            current = self._records.get(record.id)
+            if current is None:
+                raise UnknownJobError(record.id)
+            record.version = current.version + 1
+            self._records[record.id] = replace(
+                record, attempts=list(record.attempts), spec=dict(record.spec)
+            )
+            return self._snapshot(record.id)
+
+    def delete(self, job_id: str) -> None:
+        with self._lock:
+            self._records.pop(job_id, None)
+
+    def list(
+        self,
+        state: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[JobRecord], Optional[str]]:
+        with self._lock:
+            records = sorted(self._records.values(), key=lambda r: r.numeric_id)
+        if state is not None:
+            records = [r for r in records if r.state == state]
+        if cursor is not None:
+            after = int(cursor.rsplit("-", 1)[1])
+            records = [r for r in records if r.numeric_id > after]
+        next_cursor = None
+        if limit is not None and len(records) > limit:
+            records = records[:limit]
+            next_cursor = records[-1].id
+        return [replace(r, attempts=list(r.attempts)) for r in records], next_cursor
+
+    def count_by_state(self) -> Dict[str, int]:
+        with self._lock:
+            out: Dict[str, int] = {}
+            for rec in self._records.values():
+                out[rec.state] = out.get(rec.state, 0) + 1
+            return out
+
+    def claim(
+        self, job_id: str, worker: str, lease_expires_at: float
+    ) -> Optional[JobRecord]:
+        with self._lock:
+            rec = self._records.get(job_id)
+            if rec is None or rec.state != "queued" or rec.cancel_requested:
+                return None
+            rec.state = "running"
+            rec.worker = worker
+            rec.lease_expires_at = lease_expires_at
+            rec.started_at = time.time()
+            rec.version += 1
+            return self._snapshot(job_id)
+
+    def heartbeat(
+        self, job_id: str, worker: str, lease_expires_at: float
+    ) -> Optional[JobRecord]:
+        with self._lock:
+            rec = self._records.get(job_id)
+            if rec is None or rec.state != "running" or rec.worker != worker:
+                return None
+            rec.lease_expires_at = lease_expires_at
+            rec.version += 1
+            return self._snapshot(job_id)
+
+    def finish(self, record: JobRecord, worker: str) -> Optional[JobRecord]:
+        with self._lock:
+            current = self._records.get(record.id)
+            if current is None or current.state != "running" or current.worker != worker:
+                return None
+            record.worker = None
+            record.lease_expires_at = None
+            record.version = current.version + 1
+            self._records[record.id] = replace(
+                record, attempts=list(record.attempts), spec=dict(record.spec)
+            )
+            return self._snapshot(record.id)
+
+    def set_cancel_requested(self, job_id: str) -> JobRecord:
+        with self._lock:
+            rec = self._records.get(job_id)
+            if rec is None:
+                raise UnknownJobError(job_id)
+            if not rec.cancel_requested:
+                rec.cancel_requested = True
+                rec.version += 1
+            return self._snapshot(job_id)
+
+    def recover_orphans(self, now: float, max_requeues: int = 5) -> List[JobRecord]:
+        recovered: List[JobRecord] = []
+        with self._lock:
+            for rec in self._records.values():
+                if rec.state != "running":
+                    continue
+                if rec.lease_expires_at is None or rec.lease_expires_at >= now:
+                    continue
+                rec.attempts.append(_orphan_note(rec, now))
+                if rec.cancel_requested:
+                    rec.state = "cancelled"
+                    rec.finished_at = now
+                elif rec.attempt + 1 > max_requeues:
+                    rec.state = "failed"
+                    rec.error = (
+                        f"orphaned {rec.attempt + 1} times "
+                        f"(requeue budget {max_requeues} exhausted)"
+                    )
+                    rec.finished_at = now
+                else:
+                    rec.state = "queued"
+                    rec.attempt += 1
+                    rec.queued_at = now
+                rec.worker = None
+                rec.lease_expires_at = None
+                rec.started_at = None if rec.state == "queued" else rec.started_at
+                rec.version += 1
+                recovered.append(self._snapshot(rec.id))
+        return recovered
+
+    def prune_terminal(self, max_history: int) -> List[str]:
+        with self._lock:
+            terminal = [
+                r.id
+                for r in sorted(self._records.values(), key=lambda r: r.numeric_id)
+                if r.terminal
+            ]
+            excess = len(terminal) - max_history
+            pruned = terminal[:excess] if excess > 0 else []
+            for jid in pruned:
+                del self._records[jid]
+            return pruned
+
+    def _snapshot(self, job_id: str) -> JobRecord:
+        rec = self._records[job_id]
+        return replace(rec, attempts=list(rec.attempts), spec=dict(rec.spec))
+
+
+class InMemoryWorkQueue:
+    """:class:`queue.Queue`-backed bounded FIFO (the PR-3 queue)."""
+
+    backend = "memory"
+
+    def __init__(self, limit: int = 64) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._queue: "queue.Queue[str]" = queue.Queue(maxsize=limit)
+
+    def push(self, job_id: str) -> None:
+        try:
+            self._queue.put_nowait(job_id)
+        except queue.Full:
+            raise QueueFullError(
+                f"job queue full ({self.limit} queued); retry later"
+            ) from None
+
+    def pop(self, timeout: float = 0.1) -> Optional[str]:
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    def __contains__(self, job_id: object) -> bool:
+        with self._queue.mutex:
+            return job_id in self._queue.queue
+
+
+class InMemoryDatasetStore:
+    """Dict-backed :class:`DatasetStore`; point arrays held by reference."""
+
+    backend = "memory"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: Dict[str, DatasetRecord] = {}
+        self._points: Dict[str, np.ndarray] = {}
+
+    def put(self, record: DatasetRecord, points: Optional[np.ndarray]) -> DatasetRecord:
+        with self._lock:
+            existing = self._records.get(record.id)
+            if existing is not None:
+                return existing
+            self._records[record.id] = record
+            if points is not None:
+                self._points[record.fingerprint] = np.asarray(points, dtype=np.float64)
+            return record
+
+    def get(self, ds_id: str) -> Optional[DatasetRecord]:
+        with self._lock:
+            return self._records.get(ds_id)
+
+    def load_points(self, fingerprint: str) -> Optional[np.ndarray]:
+        with self._lock:
+            return self._points.get(fingerprint)
+
+    def list(self) -> List[DatasetRecord]:
+        with self._lock:
+            return list(self._records.values())
+
+    def find_fingerprint(self, fingerprint: str) -> Optional[DatasetRecord]:
+        with self._lock:
+            for rec in self._records.values():
+                if rec.fingerprint == fingerprint:
+                    return rec
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __contains__(self, ds_id: object) -> bool:
+        with self._lock:
+            return ds_id in self._records
+
+
+# ---------------------------------------------------------------------------
+# backend factory
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServiceStores:
+    """One bundle of the four stores a service instance runs on."""
+
+    jobs: JobStore
+    work_queue: WorkQueue
+    datasets: DatasetStore
+    results: ResultStore
+    #: ``"memory"`` or ``"sqlite"``
+    backend: str
+    #: the shared state directory for durable backends, else ``None``
+    state_dir: Optional[str] = None
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.backend,
+            "state_dir": self.state_dir,
+            "queue_limit": self.work_queue.limit,
+        }
+
+
+def open_stores(
+    state_dir: Optional[str] = None,
+    *,
+    queue_limit: int = 64,
+    cache_entries: int = 1024,
+) -> ServiceStores:
+    """Open a store bundle: volatile when ``state_dir`` is ``None``,
+    SQLite/file-backed (WAL, safe for concurrent frontend and worker
+    processes) when a directory path is given.
+
+    Any number of processes may open the same directory; they share one
+    job table, one work queue, one dataset store, and one result store.
+    """
+    if state_dir is None:
+        from repro.service.cache import ResultCache
+
+        return ServiceStores(
+            jobs=InMemoryJobStore(),
+            work_queue=InMemoryWorkQueue(limit=queue_limit),
+            datasets=InMemoryDatasetStore(),
+            results=ResultCache(max_entries=cache_entries),
+            backend="memory",
+        )
+    from repro.service.sqlite_store import (
+        SqliteDatasetStore,
+        SqliteJobStore,
+        SqliteResultStore,
+        SqliteWorkQueue,
+        prepare_state_dir,
+    )
+
+    db_path, blob_dir = prepare_state_dir(state_dir)
+    return ServiceStores(
+        jobs=SqliteJobStore(db_path),
+        work_queue=SqliteWorkQueue(db_path, limit=queue_limit),
+        datasets=SqliteDatasetStore(db_path, blob_dir),
+        results=SqliteResultStore(db_path, max_entries=cache_entries),
+        backend="sqlite",
+        state_dir=str(state_dir),
+    )
+
+
+def ensure_queued_jobs_enqueued(
+    jobs: JobStore, work_queue: WorkQueue, *, older_than_s: float = 0.0,
+    now: Optional[float] = None,
+) -> List[str]:
+    """Re-push queued job records missing from the work queue.
+
+    Covers two loss windows: a process that died between persisting a
+    record and pushing its id, and a worker that popped an id and died
+    before claiming the job.  With ``older_than_s > 0`` only records
+    that have sat queued at least that long are considered, so the
+    sweep never races a submission that is about to push.
+    """
+    now = time.time() if now is None else now
+    repushed: List[str] = []
+    queued, _ = jobs.list(state="queued")
+    for rec in queued:
+        if now - rec.queued_at < older_than_s:
+            continue
+        if rec.id in work_queue:
+            continue
+        try:
+            work_queue.push(rec.id)
+        except QueueFullError:
+            break
+        repushed.append(rec.id)
+    return repushed
+
+
+def iterate_jobs(jobs: JobStore, state: Optional[str] = None,
+                 page_size: int = 256) -> Iterable[JobRecord]:
+    """Cursor-following iterator over every record (oldest first)."""
+    cursor: Optional[str] = None
+    while True:
+        page, cursor = jobs.list(state=state, limit=page_size, cursor=cursor)
+        yield from page
+        if cursor is None:
+            return

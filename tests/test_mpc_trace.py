@@ -84,14 +84,18 @@ class TestTracing:
         assert trace.events[0].words == 3 * (1 + metric.point_words())
 
 
-class TestDeprecatedAttach:
-    def test_attach_shim_warns_and_works(self, metric):
+class TestObserverLifecycle:
+    def test_add_and_detach_via_hub(self, metric):
         cluster = MPCCluster(metric, 3, seed=0)
-        with pytest.deprecated_call():
-            trace = MessageTrace.attach(cluster)
+        trace = cluster.obs.add(MessageTrace())
         assert trace in cluster.obs
         cluster.send(0, 1, 2.0, tag="legacy")
         cluster.step()
         assert trace.total_words() == 1
         trace.detach()
         assert trace not in cluster.obs
+
+    def test_attach_shim_removed(self):
+        # the pre-hub MessageTrace.attach() classmethod is gone; the
+        # observer API is the only way to register a trace
+        assert not hasattr(MessageTrace, "attach")

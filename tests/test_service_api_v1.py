@@ -1,0 +1,189 @@
+"""The versioned API surface: ``/v1`` routes, the uniform error
+envelope, legacy aliases, and ``GET /v1/jobs`` pagination."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.service import ServiceClient, ServiceError, serve
+from repro.service.http import run_in_thread
+
+
+@pytest.fixture
+def server():
+    srv = serve(port=0, workers=1, queue_limit=4, backend="serial")
+    run_in_thread(srv)
+    yield srv
+    srv.shutdown_service()
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url, timeout=30.0)
+
+
+@pytest.fixture
+def points():
+    return np.random.default_rng(5).normal(scale=2.0, size=(80, 2))
+
+
+def _raw_get(url):
+    """(status, headers, parsed-json-body) without the client's sugar."""
+    req = urllib.request.Request(url, headers={"Accept": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+class TestVersionedRoutes:
+    def test_client_defaults_to_v1(self, client):
+        assert client.api_version == "v1"
+        health = client.healthz()
+        assert health["api_version"] == "v1"
+        assert health["role"] == "all"
+
+    def test_all_routes_live_under_v1(self, client, points):
+        ds = client.register_points(points)
+        job = client.submit(algorithm="kcenter", dataset=ds["id"], k=4)
+        done = client.wait(job["id"])
+        assert done["state"] == "done"
+        assert client.dataset(ds["id"])["id"] == ds["id"]
+        assert any(d["id"] == ds["id"] for d in client.datasets())
+        assert client.stats()["jobs_by_state"]["done"] >= 1
+        assert "repro_jobs_submitted_total" in client.metrics()
+        assert client.trace(job["id"])["traceEvents"]
+
+    def test_v1_responses_not_deprecated(self, server):
+        status, headers, _ = _raw_get(f"{server.url}/v1/healthz")
+        assert status == 200
+        assert "Deprecation" not in headers
+
+
+class TestLegacyAliases:
+    def test_legacy_path_still_answers_with_deprecation(self, server):
+        status, headers, body = _raw_get(f"{server.url}/healthz")
+        assert status == 200
+        assert headers.get("Deprecation") == "true"
+        assert '/v1/healthz' in headers.get("Link", "")
+        assert body["status"] in ("ok", "degraded")
+
+    def test_legacy_client_mode(self, server, points):
+        legacy = ServiceClient(server.url, timeout=30.0, api_version="")
+        ds = legacy.register_points(points)
+        job = legacy.submit(algorithm="kcenter", dataset=ds["id"], k=3)
+        assert legacy.wait(job["id"])["state"] == "done"
+
+    def test_legacy_warns_once_per_path(self, server):
+        _raw_get(f"{server.url}/healthz")
+        assert ("GET", "/healthz") in server._legacy_warned
+        before = len(server._legacy_warned)
+        _raw_get(f"{server.url}/healthz")
+        assert len(server._legacy_warned) == before  # no second entry
+        _raw_get(f"{server.url}/stats")
+        assert ("GET", "/stats") in server._legacy_warned
+
+
+class TestErrorEnvelope:
+    def test_unknown_job_envelope(self, server):
+        status, _, body = _raw_get(f"{server.url}/v1/jobs/job-999999")
+        assert status == 404
+        err = body["error"]
+        assert err["code"] == "unknown_job"
+        assert "job-999999" in err["message"]
+        assert err["request_id"]
+
+    def test_unknown_dataset_code(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit(algorithm="kcenter", dataset="ds-nope", k=2)
+        assert exc_info.value.status == 404
+        assert exc_info.value.code == "unknown_dataset"
+        assert exc_info.value.request_id
+
+    def test_no_route_code(self, server):
+        status, _, body = _raw_get(f"{server.url}/v1/nonsense")
+        assert status == 404
+        assert body["error"]["code"] == "no_route"
+
+    def test_invalid_request_code(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit(algorithm="kcenter")  # no dataset
+        assert exc_info.value.status == 400
+        assert exc_info.value.code == "invalid_request"
+
+    def test_conflict_code(self, client, points):
+        ds = client.register_points(points)
+        job = client.submit(algorithm="kcenter", dataset=ds["id"], k=3)
+        client.wait(job["id"])
+        with pytest.raises(ServiceError) as exc_info:
+            client.cancel(job["id"])
+        assert exc_info.value.status == 409
+        assert exc_info.value.code == "conflict"
+
+    def test_queue_full_is_retryable_code(self):
+        err = ServiceError(429, "full", code="queue_full")
+        assert err.retryable
+        assert not ServiceError(404, "nope", code="unknown_job").retryable
+        # pre-envelope fallback: no code → status decides
+        assert ServiceError(503, "busy").retryable
+        assert not ServiceError(400, "bad").retryable
+        # connection-level failures carry the client-side transport code
+        assert ServiceError(0, "refused", code="transport").retryable
+
+
+class TestPagination:
+    def _submit_many(self, client, points, count):
+        ds = client.register_points(points)
+        ids = []
+        for seed in range(count):
+            job = client.submit(
+                algorithm="kcenter", dataset=ds["id"], k=3, seed=seed
+            )
+            client.wait(job["id"])
+            ids.append(job["id"])
+        return ids
+
+    def test_limit_and_cursor(self, client, points):
+        ids = self._submit_many(client, points, 5)
+        page = client.jobs_page(limit=2)
+        assert [j["id"] for j in page["jobs"]] == ids[:2]
+        assert page["next_cursor"] == ids[1]
+        page2 = client.jobs_page(limit=2, cursor=page["next_cursor"])
+        assert [j["id"] for j in page2["jobs"]] == ids[2:4]
+        last = client.jobs_page(limit=2, cursor=page2["next_cursor"])
+        assert [j["id"] for j in last["jobs"]] == ids[4:]
+        assert "next_cursor" not in last
+
+    def test_list_jobs_follows_cursors(self, client, points):
+        ids = self._submit_many(client, points, 5)
+        assert [j["id"] for j in client.list_jobs(page_size=2)] == ids
+        assert [j["id"] for j in client.jobs(page_size=2)] == ids
+
+    def test_state_filter_with_pagination(self, client, points):
+        ids = self._submit_many(client, points, 3)
+        done = client.jobs_page(state="done", limit=10)
+        assert [j["id"] for j in done["jobs"]] == ids
+        assert client.jobs_page(state="failed")["jobs"] == []
+
+    def test_bad_limit_and_cursor_rejected(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client.jobs_page(limit=0)
+        assert exc_info.value.code == "invalid_request"
+        with pytest.raises(ServiceError) as exc_info:
+            client._request("GET", "/jobs?limit=abc")
+        assert exc_info.value.code == "invalid_request"
+        with pytest.raises(ServiceError) as exc_info:
+            client.jobs_page(cursor="garbage")
+        assert exc_info.value.code == "invalid_request"
+
+    def test_results_never_inlined_in_lists(self, client, points):
+        self._submit_many(client, points, 1)
+        (job,) = client.jobs_page(limit=10)["jobs"]
+        assert "result" not in job
+        assert job["state"] == "done"
