@@ -16,6 +16,13 @@ the perf baseline CI compares against: rerun with ``--baseline`` to
 fail (exit 1) when cold-phase throughput regresses by more than
 ``--tolerance`` (default 30%).
 
+``--sweep`` adds an **analysis sweep** section: one sweep grid is
+posted to ``/v1/analyses`` cold (every cell runs the solver), then
+resubmitted verbatim (every cell is a cache hit and the analysis
+finalizes at submission); the artifact's ``"sweep"`` block reports
+cells/sec for both passes plus the cache-dedup ratio, and the bench
+fails if the two reports are not byte-identical.
+
 ``--scale 1,2`` adds a third section: a **multi-process scaling
 curve**.  For each point the bench starts one ``--role frontend``
 server on a fresh SQLite state directory, spawns that many
@@ -33,7 +40,7 @@ Run standalone (CI runs it at toy scale)::
 
 Regenerate the committed baseline (see docs/performance.md)::
 
-    python benchmarks/bench_service_throughput.py --scale 1,2 \
+    python benchmarks/bench_service_throughput.py --scale 1,2 --sweep \
         --out benchmarks/results/BENCH_service.json
 """
 
@@ -108,6 +115,64 @@ def run_phase(client: ServiceClient, specs: list, concurrency: int,
         "jobs_per_s": len(specs) / wall if wall > 0 else 0.0,
         "latency_p50_s": _percentile(latencies, 0.50),
         "latency_p95_s": _percentile(latencies, 0.95),
+    }
+
+
+def run_sweep_bench(client: ServiceClient, dataset_id: str,
+                    args: argparse.Namespace) -> dict:
+    """One analysis sweep, cold then resubmitted: cells/sec + cache dedup.
+
+    The cold pass fans the grid out through the worker pool (every cell
+    is a distinct cache key, chosen not to collide with the job phases);
+    the hot pass resubmits the identical spec, so every cell is served
+    from the result cache and the analysis finalizes at submission.  The
+    dedup ratio is the fraction of all submitted cells answered by the
+    cache — 0.5 here, by construction, and the two reports must be
+    byte-identical.
+    """
+    spec = dict(
+        datasets=[dataset_id],
+        solvers=["kcenter", "gonzalez", "malkomes"],
+        ks=[args.k],
+        epss=[args.epsilon],
+        seeds=[777, 778],
+        machines=args.machines,
+        name="bench-sweep",
+    )
+    before = client.stats()["cache"]
+
+    t0 = time.perf_counter()
+    record = client.submit_analysis(**spec)
+    done = client.wait_analysis(record["id"], timeout=args.timeout)
+    cold_wall = time.perf_counter() - t0
+    if done["state"] != "done":
+        raise RuntimeError(f"cold sweep ended {done['state']}: {done.get('error')}")
+    cells = int(record["cells"])
+    report = client.analysis_report(record["id"])
+
+    t0 = time.perf_counter()
+    again = client.submit_analysis(**spec)
+    done2 = client.wait_analysis(again["id"], timeout=args.timeout)
+    hot_wall = time.perf_counter() - t0
+    if done2["state"] != "done":
+        raise RuntimeError(f"hot sweep ended {done2['state']}: {done2.get('error')}")
+    report2 = client.analysis_report(again["id"])
+    identical = json.dumps(report, sort_keys=True) == json.dumps(report2, sort_keys=True)
+    if not identical:
+        raise RuntimeError("resubmitted sweep report is not byte-identical")
+
+    after = client.stats()["cache"]
+    hits = after["hits_total"] - before["hits_total"]
+    misses = after["misses_total"] - before["misses_total"]
+    submitted = hits + misses
+    return {
+        "cells": cells,
+        "cold": {"wall_s": cold_wall,
+                 "cells_per_s": cells / cold_wall if cold_wall > 0 else 0.0},
+        "hot": {"wall_s": hot_wall,
+                "cells_per_s": cells / hot_wall if hot_wall > 0 else 0.0},
+        "cache_dedup_ratio": hits / submitted if submitted else 0.0,
+        "reports_identical": identical,
     }
 
 
@@ -207,6 +272,11 @@ def main(argv=None) -> int:
     ap.add_argument("--backend", default="serial",
                     help="execution backend for every measured server")
     ap.add_argument(
+        "--sweep", action="store_true",
+        help="also measure an analysis sweep (POST /v1/analyses): cold "
+        "cells/sec, cache-served cells/sec, and the cache-dedup ratio",
+    )
+    ap.add_argument(
         "--scale", default=None, metavar="N,N,...",
         help="also measure a multi-process scaling curve: for each N, "
         "1 frontend + N worker processes over a shared SQLite state dir",
@@ -239,6 +309,9 @@ def main(argv=None) -> int:
         cold = run_phase(client, specs, args.concurrency, args.timeout)
         hot = run_phase(client, specs, args.concurrency, args.timeout)
         stats = client.stats()
+        # the sweep pass reuses the same server but tracks its own cache
+        # deltas, so it runs after the job-phase stats snapshot
+        sweep = run_sweep_bench(client, ds["id"], args) if args.sweep else None
     finally:
         server.shutdown_service()
 
@@ -273,6 +346,25 @@ def main(argv=None) -> int:
     print(f"\ncache after both phases: {cache['hits_total']} hits / "
           f"{cache['misses_total']} misses "
           f"(hit ratio {cache['hit_ratio']:.2f})")
+
+    if sweep is not None:
+        print(
+            format_table(
+                [
+                    {
+                        "pass": name,
+                        "cells": sweep["cells"],
+                        "wall-clock (s)": sweep[name]["wall_s"],
+                        "cells/s": sweep[name]["cells_per_s"],
+                    }
+                    for name in ("cold", "hot")
+                ],
+                title="analysis sweep — one grid cold, then cache-served",
+                precision=3,
+            )
+        )
+        print(f"sweep cache-dedup ratio: {sweep['cache_dedup_ratio']:.2f} "
+              f"(reports byte-identical: {sweep['reports_identical']})")
 
     scaling = []
     if args.scale:
@@ -320,6 +412,7 @@ def main(argv=None) -> int:
             "git_sha": _git_sha(),
         },
         "phases": {"cold": cold, "hot": hot},
+        "sweep": sweep,
         "scaling": scaling,
         "cache": cache,
     }

@@ -51,6 +51,17 @@ from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.baselines import (
+    charikar_kcenter_outliers,
+    ene_sampling_kcenter,
+    gonzalez_diversity,
+    gonzalez_kcenter,
+    hochbaum_shmoys_kcenter,
+    indyk_diversity,
+    malkomes_kcenter,
+    malkomes_kcenter_outliers,
+    streaming_kcenter,
+)
 from repro.constants import TheoryConstants
 from repro.core.diversity import mpc_diversity
 from repro.core.kcenter import mpc_kcenter
@@ -343,13 +354,204 @@ def _resolve_cluster(
     )
 
 
+def _baseline_solver(name: str, kind: str, run: Callable, doc: str):
+    """Build a facade entry point around one ``repro.baselines`` comparator.
+
+    ``run(cluster, k, outliers)`` executes the baseline and returns
+    ``(ids, value)``; ``kind`` says whether ``value`` is a k-center
+    radius or a diversity.  The wrapper accepts the full facade keyword
+    surface — ``eps``/``constants``/``trim_mode`` are taken for
+    interface parity (the baselines have no such knobs) so the service
+    runner dispatches every :data:`SOLVERS` name uniformly.  Sequential
+    baselines run on the cluster's metric (so a service
+    ``CountingOracle`` still meters them) and report 0 MPC rounds; the
+    MPC baselines report the rounds they actually spent on the cluster.
+    """
+
+    def solver(
+        points=None,
+        k: int = 1,
+        *,
+        metric: MetricSpec = "euclidean",
+        machines: Optional[int] = None,
+        eps: float = 0.1,
+        backend: Union[str, ExecutionBackend] = "serial",
+        seed: Optional[int] = None,
+        partition: PartitionSpec = "random",
+        constants: Optional[TheoryConstants] = None,
+        trim_mode: str = "random",
+        limits: Optional[Limits] = None,
+        cluster: Optional[MPCCluster] = None,
+        faults=None,
+        outliers: Optional[int] = None,
+    ):
+        del constants, trim_mode  # interface parity only; baselines have no knobs
+        cluster = _resolve_cluster(
+            cluster, points, metric, machines, seed, partition, backend, limits,
+            faults,
+        )
+        rounds_before = cluster.stats.rounds
+
+        def call():
+            ids, value = run(cluster, int(k), outliers)
+            rounds = cluster.stats.rounds - rounds_before
+            ids = np.asarray(ids, dtype=np.int64)
+            if kind == "kcenter":
+                return ClusteringResult(
+                    centers=ids, radius=float(value), k=int(k),
+                    epsilon=float(eps), tau=float(value),
+                    coreset_value=float(value), rounds=rounds,
+                )
+            return DiversityResult(
+                ids=ids, diversity=float(value), k=int(k), epsilon=float(eps),
+                coreset_value=float(value), rounds=rounds,
+            )
+
+        return _observed_solve(name, cluster, call)
+
+    solver.__name__ = f"solve_{name}"
+    solver.__qualname__ = solver.__name__
+    solver.__doc__ = doc
+    return solver
+
+
+def _no_outliers(name: str, outliers: Optional[int]) -> None:
+    if outliers is not None:
+        raise ValueError(f"solver {name!r} does not take an outlier budget")
+
+
+def _outlier_budget(cluster: MPCCluster, outliers: Optional[int]) -> int:
+    z = 0 if outliers is None else int(outliers)
+    if z < 0:
+        raise ValueError(f"outliers must be >= 0, got {z}")
+    if z >= cluster.metric.n:
+        raise ValueError(
+            f"outliers must be < n={cluster.metric.n}, got {z}"
+        )
+    return z
+
+
+solve_gonzalez = _baseline_solver(
+    "gonzalez", "kcenter",
+    lambda cluster, k, z: (
+        _no_outliers("gonzalez", z) or gonzalez_kcenter(cluster.metric, k)
+    ),
+    "Sequential GMM 2-approximation k-center (Gonzalez 1985).",
+)
+
+solve_gonzalez_diversity = _baseline_solver(
+    "gonzalez_diversity", "diversity",
+    lambda cluster, k, z: (
+        _no_outliers("gonzalez_diversity", z)
+        or gonzalez_diversity(cluster.metric, k)
+    ),
+    "Sequential GMM 2-approximation diversity (Ravi et al. 1994).",
+)
+
+solve_hochbaum_shmoys = _baseline_solver(
+    "hochbaum_shmoys", "kcenter",
+    lambda cluster, k, z: (
+        _no_outliers("hochbaum_shmoys", z)
+        or hochbaum_shmoys_kcenter(cluster.metric, k)
+    ),
+    "Parametric-pruning 2-approximation k-center (Hochbaum & Shmoys "
+    "1985); O(n²) candidate radii — small instances only.",
+)
+
+solve_streaming = _baseline_solver(
+    "streaming", "kcenter",
+    lambda cluster, k, z: (
+        _no_outliers("streaming", z) or streaming_kcenter(cluster.metric, k)
+    ),
+    "One-pass doubling 8-approximation streaming k-center.",
+)
+
+solve_charikar_outliers = _baseline_solver(
+    "charikar_outliers", "kcenter",
+    lambda cluster, k, z: charikar_kcenter_outliers(
+        cluster.metric, k, _outlier_budget(cluster, z)
+    ),
+    "Sequential 3-approximation k-center with up to ``outliers`` "
+    "ignored points (Charikar et al. 2001); ``outliers=0`` (the "
+    "default) degenerates to plain k-center.",
+)
+
+solve_malkomes = _baseline_solver(
+    "malkomes", "kcenter",
+    lambda cluster, k, z: (
+        _no_outliers("malkomes", z) or malkomes_kcenter(cluster, k)
+    ),
+    "Two-round 4-approximation MPC k-center via GMM coresets "
+    "(Malkomes et al. 2015).",
+)
+
+solve_malkomes_outliers = _baseline_solver(
+    "malkomes_outliers", "kcenter",
+    lambda cluster, k, z: malkomes_kcenter_outliers(
+        cluster, k, _outlier_budget(cluster, z)
+    ),
+    "Two-round 13-approximation MPC k-center with up to ``outliers`` "
+    "ignored points (Malkomes et al. 2015).",
+)
+
+solve_ene = _baseline_solver(
+    "ene", "kcenter",
+    lambda cluster, k, z: (
+        _no_outliers("ene", z) or ene_sampling_kcenter(cluster, k)
+    ),
+    "Sampling-style MapReduce k-center in the spirit of Ene et al. 2011.",
+)
+
+solve_indyk = _baseline_solver(
+    "indyk", "diversity",
+    lambda cluster, k, z: (
+        _no_outliers("indyk", z) or indyk_diversity(cluster, k)
+    ),
+    "6-approximation MPC diversity via 3-composable GMM coresets "
+    "(Indyk et al. 2014).",
+)
+
+
 #: solver dispatch table: algorithm name → facade entry point.  The
 #: service layer (:mod:`repro.service`) schedules jobs against these
-#: names; adding a solver here makes it servable with no other change.
+#: names; adding a solver here makes it servable (and sweepable) with
+#: no other change.  The first three are the paper's algorithms; the
+#: rest are the :mod:`repro.baselines` comparators behind the same
+#: keyword surface.  (``exact_*`` and the MIS references stay out: the
+#: former are combinatorial brute force, the latter are not
+#: solver-shaped.)
 SOLVERS = {
     "kcenter": solve_kcenter,
     "diversity": solve_diversity,
     "ksupplier": solve_ksupplier,
+    "gonzalez": solve_gonzalez,
+    "gonzalez_diversity": solve_gonzalez_diversity,
+    "hochbaum_shmoys": solve_hochbaum_shmoys,
+    "streaming": solve_streaming,
+    "charikar_outliers": solve_charikar_outliers,
+    "malkomes": solve_malkomes,
+    "malkomes_outliers": solve_malkomes_outliers,
+    "ene": solve_ene,
+    "indyk": solve_indyk,
+}
+
+#: objective each solver optimizes — what sweeps score it against.
+#: ``kcenter``-objective solvers return a ``radius`` (lower is better,
+#: ratio vs. the optimal radius); ``diversity`` solvers return a
+#: ``diversity`` (higher is better, ratio expressed as opt/achieved).
+SOLVER_OBJECTIVES = {
+    "kcenter": "kcenter",
+    "diversity": "diversity",
+    "ksupplier": "ksupplier",
+    "gonzalez": "kcenter",
+    "gonzalez_diversity": "diversity",
+    "hochbaum_shmoys": "kcenter",
+    "streaming": "kcenter",
+    "charikar_outliers": "kcenter",
+    "malkomes": "kcenter",
+    "malkomes_outliers": "kcenter",
+    "ene": "kcenter",
+    "indyk": "diversity",
 }
 
 
@@ -372,6 +574,7 @@ def solve(algorithm: str, points=None, **kwargs):
 __all__: Sequence[str] = [
     "DEFAULT_MACHINES",
     "SOLVERS",
+    "SOLVER_OBJECTIVES",
     "make_metric",
     "make_executor",
     "build_cluster",

@@ -539,6 +539,7 @@ def _run_worker(args: argparse.Namespace) -> int:
     from repro.service.datasets import DatasetRegistry
     from repro.service.jobs import JobManager, RetryPolicy
     from repro.service.store import open_stores
+    from repro.sweeps import SweepManager
 
     stores = open_stores(
         args.state_dir,
@@ -558,6 +559,10 @@ def _run_worker(args: argparse.Namespace) -> int:
         faults=args.faults,
     )
     manager.start()
+    # workers also run a sweeper: an analysis whose submitting frontend
+    # (or a fellow worker) died mid-sweep still gets finalized by
+    # whoever drains the last cell
+    sweeps = SweepManager(manager).start()
     print(
         f"repro worker v{__version__} draining {args.state_dir} "
         f"(worker-id={manager.worker_id}, workers={args.workers}, "
@@ -569,7 +574,119 @@ def _run_worker(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
     finally:
+        sweeps.stop()
         manager.stop()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: expand a grid of solver runs, score and rank
+    every cell, print the report (see docs/sweeps.md).
+
+    In-process by default; ``--url`` submits the identical SweepSpec to
+    a running service instead — determinism makes the two reports
+    byte-identical for a fixed spec.
+    """
+    spec_kwargs = {
+        "solvers": list(args.solvers),
+        "ks": [int(k) for k in args.ks],
+        "epss": [float(e) for e in args.epsilons],
+        "partitions": list(args.partitions),
+        "trim_modes": list(args.trim_modes),
+        "seeds": [int(s) for s in args.seeds],
+        "machines": args.machines,
+        "constants": args.constants,
+        "outliers": args.outliers,
+        "name": args.name,
+    }
+    workloads = args.workload or ["gaussian"]
+
+    if args.url is not None:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.url)
+        ds_ids = [
+            client.register_workload(w, args.n, seed=args.dataset_seed)["id"]
+            for w in workloads
+        ]
+        record = client.submit_analysis(datasets=ds_ids, **spec_kwargs)
+        analysis_id, n_cells = record["id"], record["cells"]
+        print(f"analysis {analysis_id}: {n_cells} cells submitted to {args.url}")
+        record = client.wait_analysis(analysis_id, timeout=args.timeout)
+        state, error = record["state"], record.get("error")
+        report = client.analysis_report(analysis_id) if state == "done" else None
+    else:
+        from repro.service.datasets import DatasetRegistry
+        from repro.service.jobs import JobManager
+        from repro.service.store import open_stores
+        from repro.sweeps import SweepManager, SweepSpec
+
+        stores = open_stores(args.state_dir)
+        datasets = DatasetRegistry(stores.datasets)
+        ds_ids = [
+            datasets.register_workload(w, args.n, seed=args.dataset_seed).id
+            for w in workloads
+        ]
+        manager = JobManager(
+            datasets, stores=stores, workers=args.workers, backend=args.backend
+        ).start()
+        sweeps = SweepManager(manager)
+        try:
+            rec = sweeps.submit(SweepSpec(datasets=ds_ids, **spec_kwargs))
+            print(f"analysis {rec.id}: {len(rec.cell_job_ids)} cells submitted")
+            rec = sweeps.wait(rec.id, timeout=args.timeout)
+            analysis_id, state, error = rec.id, rec.state, rec.error
+            report = rec.report if state == "done" else None
+        finally:
+            sweeps.stop()
+            manager.stop()
+
+    if report is None:
+        print(f"analysis {analysis_id} ended {state}: {error or ''}", file=sys.stderr)
+        return 1
+
+    cells = {cell["index"]: cell for cell in report["cells"]}
+    frontier = set(report["frontier"]["cells"])
+    rows = []
+    for rank, index in enumerate(report["ranking"], start=1):
+        cell = cells[index]
+        rows.append(
+            {
+                "rank": rank,
+                "cell": index,
+                "solver": cell["solver"],
+                "dataset": cell["dataset"][:12],
+                "k": cell["k"],
+                "eps": cell["eps"],
+                "seed": cell["seed"],
+                "ratio": "-" if cell["ratio"] is None else f"{cell['ratio']:.4f}",
+                "vs": cell["reference_kind"] or "-",
+                "rounds": cell["rounds"],
+                "words": cell["words"],
+                "oracle": cell["oracle_calls"],
+                "front": "*" if index in frontier else "",
+            }
+        )
+    counts = report["counts"]
+    print(
+        format_table(
+            rows,
+            title=f"analysis {analysis_id} — {len(report['cells'])} cells "
+            f"({', '.join(f'{v} {k}' for k, v in sorted(counts.items()))})",
+        )
+    )
+    print()
+    print(report["ascii_frontier"])
+    reco = report["recommendation"]
+    if reco is not None:
+        print(f"\nrecommendation: {reco['reason']}")
+    if args.json_out:
+        import json as _json
+
+        with open(args.json_out, "w") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote report JSON to {args.json_out}")
     return 0
 
 
@@ -735,6 +852,107 @@ def build_parser() -> argparse.ArgumentParser:
         "(with trace_id/span_id/job_id fields) or human-readable text",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run an analysis sweep (a scored grid of solver runs) and "
+        "print the ranked report with a recommendation",
+    )
+    p.add_argument(
+        "--workload",
+        action="append",
+        choices=available_workloads(),
+        default=None,
+        help="workload to sweep over; repeat for a multi-dataset sweep "
+        "(default: gaussian)",
+    )
+    p.add_argument("--n", type=int, default=500, help="points per workload")
+    p.add_argument(
+        "--dataset-seed", type=int, default=0, help="workload generation seed"
+    )
+    p.add_argument(
+        "--solvers",
+        nargs="+",
+        default=["kcenter", "gonzalez", "malkomes"],
+        metavar="SOLVER",
+        help="solver axis (repro.api.SOLVERS names; ksupplier excluded)",
+    )
+    p.add_argument(
+        "--ks", nargs="+", type=int, default=[4, 8], metavar="K", help="k axis"
+    )
+    p.add_argument(
+        "--epsilons",
+        nargs="+",
+        type=float,
+        default=[0.1],
+        metavar="EPS",
+        help="epsilon axis",
+    )
+    p.add_argument(
+        "--partitions",
+        nargs="+",
+        choices=["random", "block", "skewed"],
+        default=["random"],
+        help="partitioner axis",
+    )
+    p.add_argument(
+        "--trim-modes",
+        nargs="+",
+        choices=["random", "id", "paper"],
+        default=["random"],
+        help="trim tie-breaking axis",
+    )
+    p.add_argument(
+        "--seeds", nargs="+", type=int, default=[0], metavar="SEED", help="seed axis"
+    )
+    p.add_argument("--machines", type=int, default=None, help="MPC machines per cell")
+    p.add_argument(
+        "--constants", choices=["practical", "paper"], default="practical"
+    )
+    p.add_argument(
+        "--outliers",
+        type=int,
+        default=None,
+        help="outlier budget z, applied to outlier-capable solvers only",
+    )
+    p.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="serial",
+        help="execution backend for in-process cell runs",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="in-process worker threads"
+    )
+    p.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="submit to a running service (POST /v1/analyses) instead of "
+        "running in-process; the report is byte-identical either way",
+    )
+    p.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable state directory for the in-process run (shares the "
+        "result cache with a service using the same directory)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="overall sweep deadline",
+    )
+    p.add_argument("--name", default="", help="free-form sweep label")
+    p.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="also write the full ranked report as JSON",
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("workloads", help="list available workload names")
     p.set_defaults(func=_cmd_workloads)

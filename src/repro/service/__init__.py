@@ -35,7 +35,8 @@ Layers (each its own module):
 * :mod:`repro.service.http` — the versioned HTTP/JSON API
   (``POST /v1/datasets``, ``POST /v1/jobs``, ``GET /v1/jobs/<id>``,
   ``DELETE /v1/jobs/<id>``, ``GET /v1/jobs/<id>/trace``,
-  ``GET /v1/healthz``, ``GET /v1/stats``) on a threading
+  ``GET /v1/healthz``, ``GET /v1/stats``, plus the ``/v1/analyses``
+  sweep routes backed by :mod:`repro.sweeps`) on a threading
   :mod:`http.server`, with uniform error envelopes and deprecated
   unversioned aliases;
 * :mod:`repro.service.client` — :class:`ServiceClient`, the in-process
@@ -71,9 +72,15 @@ from repro.service.jobs import (
 )
 from repro.service.spec import JobSpec
 from repro.service.runner import JobCancelled, JobTimeout
-from repro.service.store import ServiceStores, open_stores
+from repro.service.store import (
+    AnalysisRecord,
+    ServiceStores,
+    UnknownAnalysisError,
+    open_stores,
+)
 
 __all__ = [
+    "AnalysisRecord",
     "Dataset",
     "DatasetRegistry",
     "Job",
@@ -88,6 +95,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceStores",
+    "UnknownAnalysisError",
     "UnknownJobError",
     "open_stores",
     "serve",

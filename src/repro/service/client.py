@@ -39,6 +39,7 @@ import time
 import urllib.error
 import urllib.request
 from typing import Iterator, Optional
+from urllib.parse import urlencode
 
 import numpy as np
 
@@ -293,32 +294,69 @@ class ServiceClient:
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")
 
+    def _list_page(self, route: str, key: str, state: Optional[str] = None,
+                   limit: Optional[int] = None,
+                   cursor: Optional[str] = None) -> dict:
+        """One raw page of a paginated listing route.
+
+        Query params are URL-encoded (a state or cursor with reserved
+        characters must not corrupt the query string; the server remains
+        the validator), and a response missing the collection key —
+        e.g. an empty filtered page from an older server — is
+        normalized to ``{key: []}`` so callers can rely on the shape.
+        """
+        params = {}
+        if state is not None:
+            params["state"] = state
+        if limit is not None:
+            params["limit"] = int(limit)
+        if cursor is not None:
+            params["cursor"] = cursor
+        path = route + ("?" + urlencode(params) if params else "")
+        page = self._request("GET", path)
+        page.setdefault(key, [])
+        return page
+
+    def _iter_pages(self, route: str, key: str, state: Optional[str] = None,
+                    page_size: int = 256) -> Iterator[dict]:
+        """Follow pagination cursors, defensively.
+
+        Two edge cases matter when records transition state while we
+        paginate a filtered listing:
+
+        * a page may be *empty yet not final* (every record in the
+          cursor window left the filtered state between pages) — we keep
+          following ``next_cursor`` instead of treating emptiness as the
+          end;
+        * a buggy or proxied server could echo a non-advancing cursor —
+          we stop rather than loop forever.
+        """
+        if int(page_size) < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        cursor: Optional[str] = None
+        while True:
+            page = self._list_page(route, key, state=state,
+                                   limit=page_size, cursor=cursor)
+            yield from page[key]
+            next_cursor = page.get("next_cursor")
+            if next_cursor is None or next_cursor == cursor:
+                return
+            cursor = next_cursor
+
     def jobs_page(self, state: Optional[str] = None,
                   limit: Optional[int] = None,
                   cursor: Optional[str] = None) -> dict:
         """One raw page of ``GET /jobs``: ``{"jobs": [...]}`` plus
         ``next_cursor`` when another page follows."""
-        params = []
-        if state is not None:
-            params.append(f"state={state}")
-        if limit is not None:
-            params.append(f"limit={int(limit)}")
-        if cursor is not None:
-            params.append(f"cursor={cursor}")
-        path = "/jobs" + ("?" + "&".join(params) if params else "")
-        return self._request("GET", path)
+        return self._list_page("/jobs", "jobs", state=state,
+                               limit=limit, cursor=cursor)
 
     def iter_jobs(self, state: Optional[str] = None,
                   page_size: int = 256) -> Iterator[dict]:
         """Lazily iterate every job, following pagination cursors
         (stable submit-time order, oldest first)."""
-        cursor: Optional[str] = None
-        while True:
-            page = self.jobs_page(state=state, limit=page_size, cursor=cursor)
-            yield from page["jobs"]
-            cursor = page.get("next_cursor")
-            if cursor is None:
-                return
+        return self._iter_pages("/jobs", "jobs", state=state,
+                                page_size=page_size)
 
     def jobs(self, state: Optional[str] = None,
              page_size: int = 256) -> list:
@@ -371,6 +409,74 @@ class ServiceClient:
             if time.monotonic() > deadline:
                 raise TimeoutError(
                     f"job {job_id} still {last_state} after {timeout}s"
+                )
+            time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+            delay = min(delay * 1.5, max_poll_s)
+
+    # -- analyses -----------------------------------------------------------
+
+    def submit_analysis(self, **spec) -> dict:
+        """Submit an analysis sweep (the ``POST /analyses`` body — a
+        :class:`~repro.sweeps.SweepSpec` — as keywords)."""
+        return self._request("POST", "/analyses", spec)
+
+    def analysis(self, analysis_id: str) -> dict:
+        return self._request("GET", f"/analyses/{analysis_id}")
+
+    def analyses_page(self, state: Optional[str] = None,
+                      limit: Optional[int] = None,
+                      cursor: Optional[str] = None) -> dict:
+        """One raw page of ``GET /analyses``: ``{"analyses": [...]}``
+        plus ``next_cursor`` when another page follows."""
+        return self._list_page("/analyses", "analyses", state=state,
+                               limit=limit, cursor=cursor)
+
+    def iter_analyses(self, state: Optional[str] = None,
+                      page_size: int = 256) -> Iterator[dict]:
+        """Lazily iterate every analysis, following pagination cursors
+        (stable submit-time order, oldest first)."""
+        return self._iter_pages("/analyses", "analyses", state=state,
+                                page_size=page_size)
+
+    def analyses(self, state: Optional[str] = None,
+                 page_size: int = 256) -> list:
+        """Every analysis as a list (see :meth:`iter_analyses`)."""
+        return list(self.iter_analyses(state=state, page_size=page_size))
+
+    def analysis_report(self, analysis_id: str) -> dict:
+        """The finished sweep's ranked report (``409``/``conflict``
+        :class:`ServiceError` while it is still running)."""
+        return self._request("GET", f"/analyses/{analysis_id}/report")
+
+    def wait_analysis(
+        self,
+        analysis_id: str,
+        timeout: float = 300.0,
+        poll_s: float = 0.05,
+        max_poll_s: float = 1.0,
+    ) -> dict:
+        """Poll until the analysis reaches a terminal state; returns it.
+
+        Same contract as :meth:`wait`: transient transport failures keep
+        polling until the deadline, genuine errors raise immediately.
+        """
+        deadline = time.monotonic() + timeout
+        delay = poll_s
+        last_state = "unknown"
+        while True:
+            try:
+                record = self.analysis(analysis_id)
+            except ServiceError as exc:
+                if not exc.retryable and exc.status != 0:
+                    raise
+                record = None  # server unreachable/overloaded; keep polling
+            if record is not None:
+                last_state = record["state"]
+                if last_state in ("done", "failed"):
+                    return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"analysis {analysis_id} still {last_state} after {timeout}s"
                 )
             time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
             delay = min(delay * 1.5, max_poll_s)

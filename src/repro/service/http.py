@@ -16,6 +16,10 @@ GET       ``/v1/jobs``                    list jobs (``?state=&limit=&cursor=``)
 GET       ``/v1/jobs/<id>``               job status + result when done
 DELETE    ``/v1/jobs/<id>``               cancel (queued: now; running: next round)
 GET       ``/v1/jobs/<id>/trace``         the run's trace (``?format=chrome|jsonl``)
+POST      ``/v1/analyses``                submit an analysis sweep (a grid of jobs)
+GET       ``/v1/analyses``                list analyses (``?state=&limit=&cursor=``)
+GET       ``/v1/analyses/<id>``           analysis status + cell job ids
+GET       ``/v1/analyses/<id>/report``    the ranked report (``409`` until done)
 GET       ``/v1/healthz``                 liveness + version + role
 GET       ``/v1/stats``                   queue depth, cache ratio, per-algo counts
 GET       ``/v1/metrics``                 Prometheus text (see docs/metrics.md)
@@ -60,7 +64,8 @@ from repro.obs.tracing import TraceContext, use_trace
 from repro.service.datasets import DatasetRegistry, UnknownDatasetError
 from repro.service.jobs import JobManager, JobState, QueueFullError, RetryPolicy, UnknownJobError
 from repro.service.spec import JobSpec
-from repro.service.store import open_stores
+from repro.service.store import ANALYSIS_STATES, UnknownAnalysisError, open_stores
+from repro.sweeps import AnalysisNotReady, SweepManager, SweepSpec
 
 #: request body cap (64 MiB ≈ 4M points × 2 dims as JSON) — a service
 #: guard, not a scaling claim; bulk ingestion is a later PR's shard API
@@ -115,9 +120,11 @@ class ClusteringServiceServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, handler, manager: JobManager, faults=None) -> None:
+    def __init__(self, address, handler, manager: JobManager, faults=None,
+                 sweeps: Optional[SweepManager] = None) -> None:
         super().__init__(address, handler)
         self.manager = manager
+        self.sweeps = sweeps if sweeps is not None else SweepManager(manager)
         #: wall stamp for display; interval math (uptime, health
         #: windows) uses the monotonic twin below
         self.started_at = time.time()
@@ -166,6 +173,7 @@ class ClusteringServiceServer(ThreadingHTTPServer):
         (called right before every scrape; see
         :meth:`~repro.service.jobs.JobManager.sync_metrics`)."""
         registry = self.manager.sync_metrics()
+        self.sweeps.sync_metrics()
         registry.counter(
             "repro_service_faults_injected_total",
             "synthetic HTTP faults injected by the active plan",
@@ -181,6 +189,7 @@ class ClusteringServiceServer(ThreadingHTTPServer):
         """Stop accepting requests, then stop the worker pool."""
         self.shutdown()
         self.server_close()
+        self.sweeps.stop(wait=wait)
         self.manager.stop(wait=wait)
 
 
@@ -353,6 +362,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(404, f"unknown dataset: {exc.args[0]}", "unknown_dataset")
         except UnknownJobError as exc:
             self._send_error(404, f"unknown job: {exc.args[0]}", "unknown_job")
+        except UnknownAnalysisError as exc:
+            self._send_error(
+                404, f"unknown analysis: {exc.args[0]}", "unknown_analysis"
+            )
+        except AnalysisNotReady as exc:
+            self._send_error(409, str(exc), "conflict")
         except QueueFullError as exc:
             self._send_error(429, str(exc), "queue_full")
         except ValueError as exc:
@@ -380,11 +395,19 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._get_job
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
                 return self._get_trace
+            if parts == ["analyses"]:
+                return self._get_analyses
+            if len(parts) == 2 and parts[0] == "analyses":
+                return self._get_analysis
+            if len(parts) == 3 and parts[0] == "analyses" and parts[2] == "report":
+                return self._get_analysis_report
         elif method == "POST":
             if parts == ["datasets"]:
                 return self._post_datasets
             if parts == ["jobs"]:
                 return self._post_jobs
+            if parts == ["analyses"]:
+                return self._post_analyses
         elif method == "DELETE":
             if len(parts) == 2 and parts[0] == "jobs":
                 return self._delete_job
@@ -438,6 +461,7 @@ class _Handler(BaseHTTPRequestHandler):
         server = self.server
         stats = server.manager.stats()
         stats["datasets"] = len(server.manager.datasets)
+        stats["analyses"] = server.sweeps.stats()
         stats["uptime_s"] = server.uptime_s()
         stats["started_at"] = server.started_at
         stats["service_faults"] = {
@@ -492,6 +516,23 @@ class _Handler(BaseHTTPRequestHandler):
         job = self.server.manager.submit(spec, trace=self.trace_ctx)
         self._send_json(202, job.describe(include_result=job.cached))
 
+    def _page_params(self, query, id_prefix: str) -> Tuple[Optional[int], Optional[str]]:
+        """Validate the shared ``?limit=&cursor=`` pagination params."""
+        limit: Optional[int] = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"])
+            except ValueError:
+                raise ApiError(400, f"limit must be an integer, got {query['limit']!r}") from None
+            if not 1 <= limit <= MAX_PAGE_LIMIT:
+                raise ApiError(400, f"limit must be in [1, {MAX_PAGE_LIMIT}], got {limit}")
+        cursor = query.get("cursor")
+        if cursor is not None and not (
+            cursor.startswith(id_prefix) and cursor.rsplit("-", 1)[1].isdigit()
+        ):
+            raise ApiError(400, f"malformed cursor {cursor!r}; pass the last page's next_cursor")
+        return limit, cursor
+
     def _get_jobs(self, parts, query) -> None:
         state: Optional[JobState] = None
         if "state" in query:
@@ -503,19 +544,7 @@ class _Handler(BaseHTTPRequestHandler):
                     f"unknown state {query['state']!r}; expected one of "
                     f"{', '.join(s.value for s in JobState)}",
                 ) from None
-        limit: Optional[int] = None
-        if "limit" in query:
-            try:
-                limit = int(query["limit"])
-            except ValueError:
-                raise ApiError(400, f"limit must be an integer, got {query['limit']!r}") from None
-            if not 1 <= limit <= MAX_PAGE_LIMIT:
-                raise ApiError(400, f"limit must be in [1, {MAX_PAGE_LIMIT}], got {limit}")
-        cursor = query.get("cursor")
-        if cursor is not None and not (
-            cursor.startswith("job-") and cursor.rsplit("-", 1)[1].isdigit()
-        ):
-            raise ApiError(400, f"malformed cursor {cursor!r}; pass the last page's next_cursor")
+        limit, cursor = self._page_params(query, "job-")
         records, next_cursor = self.server.manager.list_records(
             state, limit=limit, cursor=cursor
         )
@@ -564,6 +593,35 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as exc:
             raise ApiError(400, str(exc)) from None
         self._send_text(200, content_type, body)
+
+    def _post_analyses(self, parts, query) -> None:
+        body = self._read_json()
+        spec = SweepSpec.from_dict(body)
+        record = self.server.sweeps.submit(spec, trace=self.trace_ctx)
+        self._send_json(202, record.describe())
+
+    def _get_analyses(self, parts, query) -> None:
+        state = query.get("state")
+        if state is not None and state not in ANALYSIS_STATES:
+            raise ApiError(
+                400,
+                f"unknown state {state!r}; expected one of "
+                f"{', '.join(ANALYSIS_STATES)}",
+            )
+        limit, cursor = self._page_params(query, "an-")
+        records, next_cursor = self.server.sweeps.list_records(
+            state, limit=limit, cursor=cursor
+        )
+        payload = {"analyses": [rec.describe() for rec in records]}
+        if next_cursor is not None:
+            payload["next_cursor"] = next_cursor
+        self._send_json(200, payload)
+
+    def _get_analysis(self, parts, query) -> None:
+        self._send_json(200, self.server.sweeps.get(parts[1]).describe())
+
+    def _get_analysis_report(self, parts, query) -> None:
+        self._send_json(200, self.server.sweeps.report(parts[1]))
 
 
 def serve(
@@ -630,6 +688,7 @@ def serve(
     server = ClusteringServiceServer((host, port), _Handler, manager, faults=plan)
     if start:
         manager.start()
+        server.sweeps.start()
     return server
 
 

@@ -335,13 +335,18 @@ class JobManager:
         self.lease_s = float(lease_s)
         self.orphan_requeue_budget = int(orphan_requeue_budget)
         if stores is None:
-            from repro.service.store import InMemoryJobStore, InMemoryWorkQueue
+            from repro.service.store import (
+                InMemoryAnalysisStore,
+                InMemoryJobStore,
+                InMemoryWorkQueue,
+            )
 
             stores = ServiceStores(
                 jobs=InMemoryJobStore(),
                 work_queue=InMemoryWorkQueue(limit=queue_limit),
                 datasets=datasets.store,
                 results=cache if cache is not None else ResultCache(),
+                analyses=InMemoryAnalysisStore(),
                 backend="memory",
             )
         self.stores = stores

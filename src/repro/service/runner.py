@@ -148,6 +148,8 @@ def execute_job(
     if spec.algorithm == "ksupplier":
         kwargs["customers"] = list(spec.customers)
         kwargs["suppliers"] = list(spec.suppliers)
+    if spec.outliers is not None:
+        kwargs["outliers"] = spec.outliers
 
     t0 = time.perf_counter()
     try:

@@ -16,6 +16,9 @@ from typing import Optional, Sequence, Tuple
 
 from repro.api import SOLVERS
 
+#: solvers that accept an ``outliers`` budget
+OUTLIER_SOLVERS = ("charikar_outliers", "malkomes_outliers")
+
 #: partition strategies accepted by the facade
 PARTITIONS = ("random", "block", "skewed")
 
@@ -46,6 +49,8 @@ class JobSpec:
     constants: str = "practical"
     customers: Optional[Sequence[int]] = None
     suppliers: Optional[Sequence[int]] = None
+    #: outlier budget; only meaningful for the outlier-capable solvers
+    outliers: Optional[int] = None
     #: wall-clock budget; checked at MPC round granularity
     timeout_s: Optional[float] = None
     #: per-job retry budget; ``None`` defers to the manager's policy
@@ -103,6 +108,15 @@ class JobSpec:
             raise ValueError(
                 f"customers/suppliers only apply to ksupplier jobs, not {self.algorithm!r}"
             )
+        if self.outliers is not None:
+            if self.algorithm not in OUTLIER_SOLVERS:
+                raise ValueError(
+                    f"outliers only applies to "
+                    f"{', '.join(OUTLIER_SOLVERS)} jobs, not {self.algorithm!r}"
+                )
+            self.outliers = int(self.outliers)
+            if self.outliers < 0:
+                raise ValueError(f"outliers must be >= 0, got {self.outliers}")
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JobSpec":
@@ -136,6 +150,8 @@ class JobSpec:
         if self.customers is not None:
             out["customers"] = list(self.customers)
             out["suppliers"] = list(self.suppliers)
+        if self.outliers is not None:
+            out["outliers"] = self.outliers
         if self.tags:
             out["tags"] = dict(self.tags)
         return out
@@ -160,4 +176,5 @@ class JobSpec:
             self.constants,
             self.customers,
             self.suppliers,
+            self.outliers,
         )

@@ -50,9 +50,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.service.store import (
+    AnalysisRecord,
     DatasetRecord,
     JobRecord,
     QueueFullError,
+    UnknownAnalysisError,
     UnknownJobError,
     _orphan_note,
 )
@@ -110,6 +112,22 @@ CREATE TABLE IF NOT EXISTS results (
     payload TEXT NOT NULL,
     run_log BLOB
 );
+
+CREATE TABLE IF NOT EXISTS analyses (
+    num          INTEGER PRIMARY KEY,
+    id           TEXT UNIQUE NOT NULL,
+    state        TEXT NOT NULL,
+    spec         TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    finished_at  REAL,
+    cell_job_ids TEXT NOT NULL DEFAULT '[]',
+    report       TEXT,
+    error        TEXT,
+    trace_id     TEXT,
+    traceparent  TEXT,
+    version      INTEGER NOT NULL DEFAULT 1
+);
+CREATE INDEX IF NOT EXISTS analyses_by_state ON analyses(state);
 """
 
 #: how long a writer waits on a locked database before erroring (ms)
@@ -776,3 +794,187 @@ class SqliteResultStore(_SqliteBase):
                 "misses_total": self.misses,
                 "hit_ratio": (self.hits / total) if total else 0.0,
             }
+
+
+def _analysis_from_row(row: sqlite3.Row) -> AnalysisRecord:
+    return AnalysisRecord(
+        id=row["id"],
+        spec=json.loads(row["spec"]),
+        state=row["state"],
+        created_at=row["created_at"],
+        finished_at=row["finished_at"],
+        cell_job_ids=json.loads(row["cell_job_ids"]),
+        report=json.loads(row["report"]) if row["report"] is not None else None,
+        error=row["error"],
+        trace_id=row["trace_id"],
+        traceparent=row["traceparent"],
+        version=row["version"],
+    )
+
+
+def _analysis_params(rec: AnalysisRecord) -> dict:
+    return {
+        "num": rec.numeric_id,
+        "id": rec.id,
+        "state": rec.state,
+        "spec": json.dumps(rec.spec, sort_keys=True),
+        "created_at": rec.created_at,
+        "finished_at": rec.finished_at,
+        "cell_job_ids": json.dumps(list(rec.cell_job_ids)),
+        "report": (
+            json.dumps(rec.report, sort_keys=True) if rec.report is not None else None
+        ),
+        "error": rec.error,
+        "trace_id": rec.trace_id,
+        "traceparent": rec.traceparent,
+    }
+
+
+_ANALYSIS_FIELDS = (
+    "state", "spec", "created_at", "finished_at", "cell_job_ids", "report",
+    "error", "trace_id", "traceparent",
+)
+_ANALYSIS_UPDATE_SQL = ", ".join(f"{f} = :{f}" for f in _ANALYSIS_FIELDS)
+
+
+class SqliteAnalysisStore(_SqliteBase):
+    """The durable analysis-sweep table.
+
+    Same transaction discipline as :class:`SqliteJobStore`; the one CAS
+    is :meth:`finalize`, a conditional ``UPDATE … WHERE state =
+    'running'`` — two sweepers racing to attach the report serialize at
+    the database and exactly one wins.
+    """
+
+    def next_analysis_id(self) -> str:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT value FROM counters WHERE name='analysis_id'"
+                ).fetchone()
+                nxt = (row["value"] if row else 0) + 1
+                self._conn.execute(
+                    "INSERT INTO counters(name, value) VALUES ('analysis_id', :v) "
+                    "ON CONFLICT(name) DO UPDATE SET value = :v",
+                    {"v": nxt},
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+            return f"an-{nxt:06d}"
+
+    def create(self, record: AnalysisRecord) -> AnalysisRecord:
+        record.version = 1
+        params = _analysis_params(record)
+        params["version"] = 1
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO analyses (num, id, state, spec, created_at, "
+                "finished_at, cell_job_ids, report, error, trace_id, traceparent, "
+                "version) "
+                "VALUES (:num, :id, :state, :spec, :created_at, :finished_at, "
+                ":cell_job_ids, :report, :error, :trace_id, :traceparent, :version)",
+                params,
+            )
+            self._conn.commit()
+        return replace(record)
+
+    def get(self, analysis_id: str) -> AnalysisRecord:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM analyses WHERE id = ?", (analysis_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownAnalysisError(analysis_id)
+        return _analysis_from_row(row)
+
+    def save(self, record: AnalysisRecord) -> AnalysisRecord:
+        params = _analysis_params(record)
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT version FROM analyses WHERE id = ?", (record.id,)
+                ).fetchone()
+                if row is None:
+                    self._conn.rollback()
+                    raise UnknownAnalysisError(record.id)
+                params["version"] = row["version"] + 1
+                self._conn.execute(
+                    f"UPDATE analyses SET {_ANALYSIS_UPDATE_SQL}, "
+                    "version = :version WHERE id = :id",
+                    params,
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+        record.version = params["version"]
+        return replace(record)
+
+    def delete(self, analysis_id: str) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM analyses WHERE id = ?", (analysis_id,))
+            self._conn.commit()
+
+    def list(
+        self,
+        state: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[AnalysisRecord], Optional[str]]:
+        clauses, params = [], []
+        if state is not None:
+            clauses.append("state = ?")
+            params.append(state)
+        if cursor is not None:
+            clauses.append("num > ?")
+            params.append(int(cursor.rsplit("-", 1)[1]))
+        sql = "SELECT * FROM analyses"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY num"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(limit + 1)
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        next_cursor = None
+        if limit is not None and len(rows) > limit:
+            rows = rows[:limit]
+            next_cursor = rows[-1]["id"]
+        return [_analysis_from_row(r) for r in rows], next_cursor
+
+    def count_by_state(self) -> Dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS c FROM analyses GROUP BY state"
+            ).fetchall()
+        return {row["state"]: row["c"] for row in rows}
+
+    def finalize(self, record: AnalysisRecord) -> Optional[AnalysisRecord]:
+        params = _analysis_params(record)
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                cur = self._conn.execute(
+                    f"UPDATE analyses SET {_ANALYSIS_UPDATE_SQL}, "
+                    "version = version + 1 "
+                    "WHERE id = :id AND state = 'running'",
+                    params,
+                )
+                won = cur.rowcount == 1
+                row = (
+                    self._conn.execute(
+                        "SELECT * FROM analyses WHERE id = :id", params
+                    ).fetchone()
+                    if won
+                    else None
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+        return _analysis_from_row(row) if row is not None else None

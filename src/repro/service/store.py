@@ -3,7 +3,7 @@
 PR 3's service kept its state in plain dictionaries inside
 :class:`~repro.service.jobs.JobManager`, ``DatasetRegistry`` and
 ``ResultCache`` — a restart lost everything and a single process capped
-throughput.  This module extracts that state behind four small
+throughput.  This module extracts that state behind small
 protocols so the rest of the service never touches a dict directly:
 
 * :class:`JobStore`   — the job table: records, atomic state
@@ -15,7 +15,10 @@ protocols so the rest of the service never touches a dict directly:
   content-addressed by the existing fingerprints;
 * :class:`ResultStore` — the ``cache_key → (payload, run_log)``
   mapping (the in-memory implementation is
-  :class:`~repro.service.cache.ResultCache`, unchanged).
+  :class:`~repro.service.cache.ResultCache`, unchanged);
+* :class:`AnalysisStore` — the analysis-sweep table (jobs-of-jobs, see
+  :mod:`repro.sweeps`): records, listing with pagination, and the
+  atomic report finalization.
 
 Two implementations exist for each: the in-memory ones here (exactly
 the PR-3 semantics, now behind the protocol) and the SQLite/file-backed
@@ -52,8 +55,20 @@ class UnknownJobError(KeyError):
     """No job with the requested id."""
 
 
+class UnknownAnalysisError(KeyError):
+    """No analysis with the requested id."""
+
+
 #: job lifecycle states, as stored (mirrors repro.service.jobs.JobState)
 TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: analysis lifecycle states — an analysis is "running" from the moment
+#: its record exists (every cell job is submitted before the record is
+#: created, so there is no partially-submitted persisted state)
+ANALYSIS_STATES = ("running", "done", "failed")
+
+#: analysis states that no sweeper will touch again
+ANALYSIS_TERMINAL_STATES = ("done", "failed")
 
 
 # ---------------------------------------------------------------------------
@@ -131,6 +146,61 @@ class JobRecord:
 
 
 @dataclass
+class AnalysisRecord:
+    """The persistable form of one analysis sweep (a job-of-jobs).
+
+    ``spec`` is the canonical :class:`~repro.sweeps.SweepSpec` dict and
+    ``cell_job_ids`` the grid's job ids **in expansion order** — the
+    scorer reads cell results back in this order, which is what makes a
+    re-finalized report byte-identical.  The ``report`` (ranked cells,
+    recommendation, Pareto frontier) is attached atomically by
+    :meth:`AnalysisStore.finalize` when every cell is terminal.
+    """
+
+    id: str
+    spec: dict
+    state: str = "running"
+    created_at: float = 0.0
+    finished_at: Optional[float] = None
+    cell_job_ids: List[str] = field(default_factory=list)
+    report: Optional[dict] = None
+    error: Optional[str] = None
+    trace_id: Optional[str] = None
+    #: W3C traceparent of the sweep's root context; every cell job's
+    #: trace is a child of it, so one trace id spans the whole fan-out
+    traceparent: Optional[str] = None
+    #: store write counter; readers apply a record only if newer
+    version: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ANALYSIS_TERMINAL_STATES
+
+    @property
+    def numeric_id(self) -> int:
+        """Submission-order sort key (``an-000042`` → 42)."""
+        return int(self.id.rsplit("-", 1)[1])
+
+    def describe(self, include_report: bool = False) -> dict:
+        """JSON-safe status record for the API."""
+        out = {
+            "id": self.id,
+            "state": self.state,
+            "spec": dict(self.spec),
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+            "cells": len(self.cell_job_ids),
+            "cell_job_ids": list(self.cell_job_ids),
+            "trace_id": self.trace_id,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if include_report and self.report is not None:
+            out["report"] = self.report
+        return out
+
+
+@dataclass
 class DatasetRecord:
     """The persistable form of one registered dataset (no live metric)."""
 
@@ -198,6 +268,41 @@ class JobStore(Protocol):
     ) -> List[JobRecord]: ...
 
     def prune_terminal(self, max_history: int) -> List[str]: ...
+
+
+@runtime_checkable
+class AnalysisStore(Protocol):
+    """Durable (or volatile) analysis table.
+
+    Analyses have no claim/lease machinery of their own — the heavy
+    lifting is done by the cell *jobs*, which already carry leases and
+    orphan recovery.  The only race to arbitrate is finalization (two
+    sweepers observing "all cells terminal" at once), which
+    :meth:`finalize` resolves with a compare-and-set on
+    ``state == 'running'``: exactly one writer wins, and since reports
+    are deterministic the loser's report was byte-identical anyway.
+    """
+
+    def next_analysis_id(self) -> str: ...
+
+    def create(self, record: AnalysisRecord) -> AnalysisRecord: ...
+
+    def get(self, analysis_id: str) -> AnalysisRecord: ...
+
+    def save(self, record: AnalysisRecord) -> AnalysisRecord: ...
+
+    def delete(self, analysis_id: str) -> None: ...
+
+    def list(
+        self,
+        state: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[AnalysisRecord], Optional[str]]: ...
+
+    def count_by_state(self) -> Dict[str, int]: ...
+
+    def finalize(self, record: AnalysisRecord) -> Optional[AnalysisRecord]: ...
 
 
 @runtime_checkable
@@ -437,6 +542,91 @@ class InMemoryJobStore:
         return replace(rec, attempts=list(rec.attempts), spec=dict(rec.spec))
 
 
+class InMemoryAnalysisStore:
+    """Dict-backed :class:`AnalysisStore`."""
+
+    backend = "memory"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: Dict[str, AnalysisRecord] = {}
+        self._ids = itertools.count(1)
+
+    def next_analysis_id(self) -> str:
+        return f"an-{next(self._ids):06d}"
+
+    def create(self, record: AnalysisRecord) -> AnalysisRecord:
+        with self._lock:
+            record.version = 1
+            self._records[record.id] = self._copy(record)
+            return self._snapshot(record.id)
+
+    def get(self, analysis_id: str) -> AnalysisRecord:
+        with self._lock:
+            if analysis_id not in self._records:
+                raise UnknownAnalysisError(analysis_id)
+            return self._snapshot(analysis_id)
+
+    def save(self, record: AnalysisRecord) -> AnalysisRecord:
+        with self._lock:
+            current = self._records.get(record.id)
+            if current is None:
+                raise UnknownAnalysisError(record.id)
+            record.version = current.version + 1
+            self._records[record.id] = self._copy(record)
+            return self._snapshot(record.id)
+
+    def delete(self, analysis_id: str) -> None:
+        with self._lock:
+            self._records.pop(analysis_id, None)
+
+    def list(
+        self,
+        state: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[AnalysisRecord], Optional[str]]:
+        with self._lock:
+            records = sorted(self._records.values(), key=lambda r: r.numeric_id)
+            records = [self._copy(r) for r in records]
+        if state is not None:
+            records = [r for r in records if r.state == state]
+        if cursor is not None:
+            after = int(cursor.rsplit("-", 1)[1])
+            records = [r for r in records if r.numeric_id > after]
+        next_cursor = None
+        if limit is not None and len(records) > limit:
+            records = records[:limit]
+            next_cursor = records[-1].id
+        return records, next_cursor
+
+    def count_by_state(self) -> Dict[str, int]:
+        with self._lock:
+            out: Dict[str, int] = {}
+            for rec in self._records.values():
+                out[rec.state] = out.get(rec.state, 0) + 1
+            return out
+
+    def finalize(self, record: AnalysisRecord) -> Optional[AnalysisRecord]:
+        with self._lock:
+            current = self._records.get(record.id)
+            if current is None or current.state != "running":
+                return None
+            record.version = current.version + 1
+            self._records[record.id] = self._copy(record)
+            return self._snapshot(record.id)
+
+    def _copy(self, record: AnalysisRecord) -> AnalysisRecord:
+        return replace(
+            record,
+            spec=dict(record.spec),
+            cell_job_ids=list(record.cell_job_ids),
+        )
+
+    def _snapshot(self, analysis_id: str) -> AnalysisRecord:
+        return self._copy(self._records[analysis_id])
+
+
 class InMemoryWorkQueue:
     """:class:`queue.Queue`-backed bounded FIFO (the PR-3 queue)."""
 
@@ -525,12 +715,13 @@ class InMemoryDatasetStore:
 
 @dataclass
 class ServiceStores:
-    """One bundle of the four stores a service instance runs on."""
+    """One bundle of the stores a service instance runs on."""
 
     jobs: JobStore
     work_queue: WorkQueue
     datasets: DatasetStore
     results: ResultStore
+    analyses: AnalysisStore
     #: ``"memory"`` or ``"sqlite"``
     backend: str
     #: the shared state directory for durable backends, else ``None``
@@ -565,9 +756,11 @@ def open_stores(
             work_queue=InMemoryWorkQueue(limit=queue_limit),
             datasets=InMemoryDatasetStore(),
             results=ResultCache(max_entries=cache_entries),
+            analyses=InMemoryAnalysisStore(),
             backend="memory",
         )
     from repro.service.sqlite_store import (
+        SqliteAnalysisStore,
         SqliteDatasetStore,
         SqliteJobStore,
         SqliteResultStore,
@@ -581,6 +774,7 @@ def open_stores(
         work_queue=SqliteWorkQueue(db_path, limit=queue_limit),
         datasets=SqliteDatasetStore(db_path, blob_dir),
         results=SqliteResultStore(db_path, max_entries=cache_entries),
+        analyses=SqliteAnalysisStore(db_path),
         backend="sqlite",
         state_dir=str(state_dir),
     )

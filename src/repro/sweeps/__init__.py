@@ -1,0 +1,73 @@
+"""Analysis sweeps: jobs-of-jobs with scoring, ranking, recommendation.
+
+One :class:`SweepSpec` names axis lists (datasets, solvers, k values,
+epsilons, partitioners, trim modes, seeds); the
+:class:`SweepManager` expands the Cartesian product into a
+deterministic fan-out of plain jobs, runs them through the existing
+service machinery (result cache, retries, faults, tracing), scores
+every cell against the tightest available quality reference, and
+attaches a ranked report with an explicit recommendation and a
+JSON + ASCII Pareto frontier.
+
+Quickstart (in-memory, synchronous)::
+
+    import numpy as np
+    from repro.service import JobManager, DatasetRegistry, open_stores
+    from repro.sweeps import SweepManager, SweepSpec
+
+    stores = open_stores()
+    datasets = DatasetRegistry(stores.datasets)
+    ds = datasets.register_points(
+        np.random.default_rng(0).normal(size=(64, 2)), metric="euclidean"
+    )
+    jobs = JobManager(datasets, stores=stores, workers=2).start()
+    sweeps = SweepManager(jobs).start()
+    spec = SweepSpec(datasets=[ds.id], solvers=["kcenter", "gonzalez"],
+                     ks=[4, 8])
+    record = sweeps.submit(spec)
+    record = sweeps.wait(record.id, timeout=120)
+    report = sweeps.report(record.id)
+    report["recommendation"]["reason"]
+
+Reports are byte-identical for a fixed spec: same grid expansion
+order, same cell results, same ranking — no matter which process
+(CLI, HTTP frontend, restarted worker) produced them.  See
+``docs/sweeps.md``.
+"""
+
+from repro.service.store import AnalysisRecord, AnalysisStore, UnknownAnalysisError
+from repro.sweeps.manager import AnalysisNotReady, SweepManager
+from repro.sweeps.scoring import (
+    FRONTIER_AXES,
+    RANKING_AXES,
+    ascii_frontier,
+    build_report,
+    pareto_frontier,
+    quality_ratio,
+    rank_cells,
+    recommend,
+    reference_for,
+    score_cell,
+)
+from repro.sweeps.spec import MAX_CELLS, SWEEPABLE_SOLVERS, SweepSpec
+
+__all__ = [
+    "AnalysisNotReady",
+    "AnalysisRecord",
+    "AnalysisStore",
+    "FRONTIER_AXES",
+    "MAX_CELLS",
+    "RANKING_AXES",
+    "SWEEPABLE_SOLVERS",
+    "SweepManager",
+    "SweepSpec",
+    "UnknownAnalysisError",
+    "ascii_frontier",
+    "build_report",
+    "pareto_frontier",
+    "quality_ratio",
+    "rank_cells",
+    "recommend",
+    "reference_for",
+    "score_cell",
+]

@@ -1,0 +1,293 @@
+"""Scoring, ranking, recommendation, and the Pareto frontier.
+
+Everything in this module is a pure function of (sweep spec, cell
+outcomes, quality references) — no wall clock, no job ids, no trace
+ids.  That is a hard requirement: the ranked report must be
+**byte-identical** across the CLI and HTTP paths, across a worker kill
+and restart, and across re-finalization by a different process.
+Wall-clock timings live on the cell *job* records
+(``GET /v1/jobs/<id>``), not in the report.
+
+Scoring model
+-------------
+
+Each done cell gets a quality **ratio** against the tightest available
+reference for its ``(dataset, objective, k)``:
+
+* ``kcenter``-objective solvers return a radius; ``ratio = radius /
+  reference`` where the reference is the exact optimal radius (brute
+  force, small instances) or the certified GMM lower bound —
+  see :mod:`repro.analysis.ratios`.  Lower is better, 1.0 is optimal.
+* ``diversity`` solvers return a diversity; ``ratio = reference /
+  diversity`` (the reference is the exact optimum or the certified
+  upper bound), so again lower is better and 1.0 is optimal.
+
+Cost is measured in MPC **rounds**, communication **words**, and
+distance-**oracle calls**, straight off each cell's ledger.
+
+The ranking sorts by ``(ratio, rounds, words, oracle_calls, index)``
+ascending — quality first, then cheaper cells, with the grid index as
+the final deterministic tie-break.  The recommendation is the ranking's
+head.  The Pareto frontier is the set of done cells not dominated on
+``(ratio, rounds, words)`` — a cell dominates another if it is no worse
+on all three and strictly better on at least one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.ratios import diversity_ratio, kcenter_ratio
+from repro.metric.base import Metric
+
+#: ranking sort axes, in priority order (documented in docs/sweeps.md)
+RANKING_AXES = ("ratio", "rounds", "words", "oracle_calls", "index")
+
+#: frontier dominance axes
+FRONTIER_AXES = ("ratio", "rounds", "words")
+
+#: a reference resolver: (dataset_id, objective, k) → (reference, kind)
+ReferenceResolver = Callable[[str, str, int], Tuple[float, str]]
+
+
+def reference_for(metric: Metric, objective: str, k: int) -> Tuple[float, str]:
+    """The quality reference for one ``(metric, objective, k)``:
+    exact optimum on small instances, certified bound otherwise.
+
+    For k-center the reference is the ratio *denominator* (optimal
+    radius or lower bound); for diversity it is the *numerator* (optimal
+    diversity or upper bound).  Either way ``ratio ≥ 1`` with equality
+    at the optimum, so one "lower is better" scale serves both
+    objectives.
+    """
+    if objective == "kcenter":
+        probe = kcenter_ratio(metric, 0.0, k)
+        return float(probe.reference), probe.reference_kind
+    if objective == "diversity":
+        probe = diversity_ratio(metric, 1.0, k)
+        return float(probe.value), probe.reference_kind
+    raise ValueError(f"unscorable objective {objective!r}")
+
+
+def quality_ratio(value: float, reference: float, objective: str) -> Optional[float]:
+    """The cell's quality ratio, or ``None`` when it is not finite
+    (degenerate zero references/values) — ``None`` ranks last."""
+    if objective == "kcenter":
+        num, den = value, reference
+    else:
+        num, den = reference, value
+    if den == 0.0:
+        return 1.0 if num == 0.0 else None
+    ratio = num / den
+    return ratio if math.isfinite(ratio) else None
+
+
+def score_cell(cell: dict, outcome: dict, resolve: ReferenceResolver) -> dict:
+    """One scored report cell: the grid axes plus outcome and scores.
+
+    ``outcome`` is ``{"state": ..., "result": payload-or-None,
+    "error": ...}`` distilled from the cell's job record.
+    """
+    scored = {
+        "index": cell["index"],
+        "dataset": cell["dataset"],
+        "solver": cell["solver"],
+        "k": cell["k"],
+        "eps": cell["eps"],
+        "partition": cell["partition"],
+        "trim_mode": cell["trim_mode"],
+        "seed": cell["seed"],
+        "objective": cell["objective"],
+        "state": outcome["state"],
+        "value": None,
+        "ratio": None,
+        "reference": None,
+        "reference_kind": None,
+        "rounds": None,
+        "words": None,
+        "oracle_calls": None,
+        "oracle_evaluations": None,
+    }
+    if outcome.get("error"):
+        scored["error"] = str(outcome["error"])
+    payload = outcome.get("result")
+    if outcome["state"] != "done" or payload is None:
+        return scored
+    record = payload["record"]
+    mpc = payload["mpc_stats"]
+    oracle = payload["oracle"]
+    value = float(
+        record["radius"] if cell["objective"] == "kcenter"
+        else record["diversity"]
+    )
+    reference, kind = resolve(cell["dataset"], cell["objective"], cell["k"])
+    scored.update(
+        {
+            "value": value,
+            "ratio": quality_ratio(value, reference, cell["objective"]),
+            "reference": reference,
+            "reference_kind": kind,
+            "rounds": int(mpc["rounds"]),
+            "words": int(mpc["total_words"]),
+            "oracle_calls": int(oracle["calls"]),
+            "oracle_evaluations": int(oracle["evaluations"]),
+        }
+    )
+    return scored
+
+
+def _rank_key(cell: dict):
+    ratio = cell["ratio"]
+    return (
+        ratio is None,
+        ratio if ratio is not None else 0.0,
+        cell["rounds"],
+        cell["words"],
+        cell["oracle_calls"],
+        cell["index"],
+    )
+
+
+def rank_cells(cells: List[dict]) -> List[int]:
+    """Done-cell indices, best first (see module docstring for the key)."""
+    done = [c for c in cells if c["state"] == "done"]
+    return [c["index"] for c in sorted(done, key=_rank_key)]
+
+
+def _dominates(a: dict, b: dict) -> bool:
+    """True iff ``a`` is no worse than ``b`` on every frontier axis and
+    strictly better on at least one (``None`` ratios never dominate)."""
+    if a["ratio"] is None:
+        return False
+    if b["ratio"] is None:
+        return True
+    axes_a = (a["ratio"], a["rounds"], a["words"])
+    axes_b = (b["ratio"], b["rounds"], b["words"])
+    return all(x <= y for x, y in zip(axes_a, axes_b)) and axes_a != axes_b
+
+
+def pareto_frontier(cells: List[dict]) -> List[int]:
+    """Indices of done cells not dominated on ``(ratio, rounds, words)``,
+    in grid order."""
+    done = [c for c in cells if c["state"] == "done"]
+    out = []
+    for cell in done:
+        if not any(_dominates(other, cell) for other in done if other is not cell):
+            out.append(cell["index"])
+    return out
+
+
+def ascii_frontier(
+    cells: List[dict], frontier: List[int], width: int = 57, height: int = 11
+) -> str:
+    """A deterministic ASCII scatter of quality (ratio, y, lower is
+    better) vs. MPC rounds (x): ``*`` marks frontier cells, ``.`` the
+    dominated ones.  Degenerate spans collapse to one row/column."""
+    plotted = [
+        c for c in cells if c["state"] == "done" and c["ratio"] is not None
+    ]
+    if not plotted:
+        return "(no scored cells)"
+    frontier_set = set(frontier)
+    ratios = [c["ratio"] for c in plotted]
+    rounds = [c["rounds"] for c in plotted]
+    r_lo, r_hi = min(ratios), max(ratios)
+    x_lo, x_hi = min(rounds), max(rounds)
+
+    def col(value: int) -> int:
+        if x_hi == x_lo:
+            return 0
+        return round((value - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row(value: float) -> int:
+        if r_hi == r_lo:
+            return 0
+        return round((value - r_lo) / (r_hi - r_lo) * (height - 1))
+
+    canvas = [[" "] * width for _ in range(height)]
+    # dominated first so frontier markers overwrite on shared pixels
+    for cell in sorted(plotted, key=lambda c: (c["index"] in frontier_set, c["index"])):
+        marker = "*" if cell["index"] in frontier_set else "."
+        canvas[row(cell["ratio"])][col(cell["rounds"])] = marker
+
+    lines = [f"ratio (lower = better)        * frontier ({len(frontier)})  . dominated"]
+    for i, chars in enumerate(canvas):
+        label = r_lo + (r_hi - r_lo) * (i / (height - 1)) if height > 1 else r_lo
+        lines.append(f"{label:8.3f} |{''.join(chars)}|")
+    lines.append(" " * 9 + "+" + "-" * width + "+")
+    lines.append(f"{'':9s} {x_lo:<{max(1, width // 2)}d}{x_hi:>{width - width // 2}d}")
+    lines.append(" " * 9 + " MPC rounds")
+    return "\n".join(lines)
+
+
+def recommend(spec_dict: dict, cells: List[dict], ranking: List[int],
+              frontier: List[int]) -> Optional[dict]:
+    """The explicit recommendation: the ranking's head, with a
+    deterministic human-readable reason."""
+    if not ranking:
+        return None
+    by_index: Dict[int, dict] = {c["index"]: c for c in cells}
+    best = by_index[ranking[0]]
+    axes = (
+        f"ratio={best['ratio']:.6g}" if best["ratio"] is not None
+        else "ratio=unscored"
+    )
+    reason = (
+        f"cell {best['index']} ({best['solver']}, dataset={best['dataset']}, "
+        f"k={best['k']}, eps={best['eps']:g}, partition={best['partition']}, "
+        f"trim={best['trim_mode']}, seed={best['seed']}) ranks first: "
+        f"{axes} against the {best['reference_kind'] or 'missing'} reference, "
+        f"at {best['rounds']} MPC rounds / {best['words']} words / "
+        f"{best['oracle_calls']} oracle calls; ties break toward fewer "
+        f"rounds, then words, then oracle calls. "
+        f"{len(frontier)} of {len(ranking)} scored cells are "
+        f"Pareto-optimal on (ratio, rounds, words)."
+    )
+    return {
+        "cell": best["index"],
+        "solver": best["solver"],
+        "dataset": best["dataset"],
+        "k": best["k"],
+        "eps": best["eps"],
+        "partition": best["partition"],
+        "trim_mode": best["trim_mode"],
+        "seed": best["seed"],
+        "ratio": best["ratio"],
+        "rounds": best["rounds"],
+        "words": best["words"],
+        "oracle_calls": best["oracle_calls"],
+        "reason": reason,
+    }
+
+
+def build_report(spec_dict: dict, grid: List[dict], outcomes: List[dict],
+                 resolve: ReferenceResolver) -> dict:
+    """Assemble the full deterministic report for one finished sweep.
+
+    ``outcomes[i]`` is the distilled job outcome for ``grid[i]`` (same
+    order).  The result is JSON-safe and contains no timestamps, job
+    ids, or trace ids — see the module docstring.
+    """
+    cells = [
+        score_cell(cell, outcome, resolve)
+        for cell, outcome in zip(grid, outcomes)
+    ]
+    ranking = rank_cells(cells)
+    frontier = pareto_frontier(cells)
+    counts: Dict[str, int] = {}
+    for cell in cells:
+        counts[cell["state"]] = counts.get(cell["state"], 0) + 1
+    return {
+        "spec": dict(spec_dict),
+        "cells": cells,
+        "counts": counts,
+        "ranking": ranking,
+        "ranking_axes": list(RANKING_AXES),
+        "recommendation": recommend(spec_dict, cells, ranking, frontier),
+        "frontier": {
+            "axes": list(FRONTIER_AXES),
+            "cells": frontier,
+        },
+        "ascii_frontier": ascii_frontier(cells, frontier),
+    }

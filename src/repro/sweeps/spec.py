@@ -1,0 +1,272 @@
+"""Sweep specification: the validated description of one analysis grid.
+
+A :class:`SweepSpec` is what travels in a ``POST /v1/analyses`` body
+(and what ``repro sweep`` builds from its flags).  It names axis
+*lists* — datasets, solvers, k values, epsilons, partitioners, trim
+modes, seeds — and :meth:`~SweepSpec.grid` expands their Cartesian
+product into cells in one documented, deterministic order::
+
+    itertools.product(datasets, solvers, ks, epss, partitions,
+                      trim_modes, seeds)
+
+i.e. the last axis varies fastest.  Cell index = position in that
+product.  Everything downstream — cell job submission, scoring,
+ranking, the Pareto frontier — keys off this order, which is what makes
+a seeded sweep's report byte-identical no matter which process
+expands it.
+
+The metric axis is expressed through *datasets*: the same points
+registered under two metrics are two dataset ids (the registry
+fingerprints the metric), so a metric sweep is just a multi-dataset
+sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.api import SOLVER_OBJECTIVES, SOLVERS
+from repro.service.spec import (
+    CONSTANT_PRESETS,
+    OUTLIER_SOLVERS,
+    PARTITIONS,
+    TRIM_MODES,
+    JobSpec,
+)
+
+#: hard cap on grid size — one sweep may not fan out more cells than
+#: this (keeps a single POST from monopolizing the work queue)
+MAX_CELLS = 512
+
+#: solvers a sweep may request: everything in SOLVERS except
+#: ksupplier, which needs per-dataset customer/supplier id sets that
+#: do not grid
+SWEEPABLE_SOLVERS = tuple(
+    name for name in SOLVERS if name != "ksupplier"
+)
+
+
+def _as_list(value, name: str) -> list:
+    """Accept a scalar or a sequence for an axis; always return a list."""
+    if value is None:
+        raise ValueError(f"sweep axis {name!r} must not be null")
+    if isinstance(value, (str, bytes)) or not hasattr(value, "__iter__"):
+        return [value]
+    out = list(value)
+    if not out:
+        raise ValueError(f"sweep axis {name!r} must not be empty")
+    return out
+
+
+def _no_duplicates(values: list, name: str) -> list:
+    if len(set(values)) != len(values):
+        raise ValueError(f"sweep axis {name!r} has duplicate entries: {values}")
+    return values
+
+
+@dataclass
+class SweepSpec:
+    """Parameters of one analysis sweep (a grid of solver runs).
+
+    ``datasets`` are registry ids (``ds-…``); ``solvers`` are
+    :data:`repro.api.SOLVERS` names (``ksupplier`` excluded).  Scalar
+    convenience is accepted on every axis (``ks=4`` ≡ ``ks=[4]``).
+    """
+
+    datasets: List[str]
+    solvers: List[str]
+    ks: List[int]
+    epss: List[float] = field(default_factory=lambda: [0.1])
+    partitions: List[str] = field(default_factory=lambda: ["random"])
+    trim_modes: List[str] = field(default_factory=lambda: ["random"])
+    seeds: List[int] = field(default_factory=lambda: [0])
+    machines: Optional[int] = None
+    constants: str = "practical"
+    #: outlier budget, applied to the outlier-capable solvers only
+    outliers: Optional[int] = None
+    #: per-cell wall-clock budget (JobSpec.timeout_s)
+    timeout_s: Optional[float] = None
+    #: per-cell retry budget (JobSpec.max_retries)
+    max_retries: Optional[int] = None
+    #: free-form label, echoed in records and reports
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.datasets = _no_duplicates(
+            [str(d) for d in _as_list(self.datasets, "datasets")], "datasets"
+        )
+        self.solvers = _no_duplicates(
+            [str(s).lower() for s in _as_list(self.solvers, "solvers")], "solvers"
+        )
+        for solver in self.solvers:
+            if solver not in SOLVERS:
+                raise ValueError(
+                    f"unknown solver {solver!r}; expected one of "
+                    f"{', '.join(sorted(SWEEPABLE_SOLVERS))}"
+                )
+            if solver not in SWEEPABLE_SOLVERS:
+                raise ValueError(
+                    f"solver {solver!r} is not sweepable (it needs "
+                    "customer/supplier id sets); submit it as a plain job"
+                )
+        self.ks = _no_duplicates(
+            [int(k) for k in _as_list(self.ks, "ks")], "ks"
+        )
+        for k in self.ks:
+            if k < 1:
+                raise ValueError(f"every k must be >= 1, got {k}")
+        self.epss = _no_duplicates(
+            [float(e) for e in _as_list(self.epss, "epss")], "epss"
+        )
+        for eps in self.epss:
+            if eps <= 0:
+                raise ValueError(f"every eps must be > 0, got {eps}")
+        self.partitions = _no_duplicates(
+            [str(p) for p in _as_list(self.partitions, "partitions")], "partitions"
+        )
+        for part in self.partitions:
+            if part not in PARTITIONS:
+                raise ValueError(
+                    f"unknown partition {part!r}; expected one of "
+                    f"{', '.join(PARTITIONS)}"
+                )
+        self.trim_modes = _no_duplicates(
+            [str(t) for t in _as_list(self.trim_modes, "trim_modes")], "trim_modes"
+        )
+        for mode in self.trim_modes:
+            if mode not in TRIM_MODES:
+                raise ValueError(
+                    f"unknown trim_mode {mode!r}; expected one of "
+                    f"{', '.join(TRIM_MODES)}"
+                )
+        self.seeds = _no_duplicates(
+            [int(s) for s in _as_list(self.seeds, "seeds")], "seeds"
+        )
+        if self.machines is not None:
+            self.machines = int(self.machines)
+            if self.machines < 1:
+                raise ValueError(f"machines must be >= 1, got {self.machines}")
+        if self.constants not in CONSTANT_PRESETS:
+            raise ValueError(
+                f"unknown constants preset {self.constants!r}; expected one of "
+                f"{', '.join(CONSTANT_PRESETS)}"
+            )
+        if self.outliers is not None:
+            self.outliers = int(self.outliers)
+            if self.outliers < 0:
+                raise ValueError(f"outliers must be >= 0, got {self.outliers}")
+            if not any(s in OUTLIER_SOLVERS for s in self.solvers):
+                raise ValueError(
+                    "outliers set but no outlier-capable solver in the sweep "
+                    f"(expected one of {', '.join(OUTLIER_SOLVERS)})"
+                )
+        if self.timeout_s is not None:
+            self.timeout_s = float(self.timeout_s)
+            if self.timeout_s <= 0:
+                raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.max_retries is not None:
+            self.max_retries = int(self.max_retries)
+            if self.max_retries < 0:
+                raise ValueError(
+                    f"max_retries must be >= 0, got {self.max_retries}"
+                )
+        self.name = str(self.name)
+        n_cells = self.cell_count
+        if n_cells > MAX_CELLS:
+            raise ValueError(
+                f"sweep expands to {n_cells} cells, over the {MAX_CELLS}-cell "
+                "limit; split it into smaller sweeps"
+            )
+
+    @property
+    def cell_count(self) -> int:
+        return (
+            len(self.datasets) * len(self.solvers) * len(self.ks)
+            * len(self.epss) * len(self.partitions) * len(self.trim_modes)
+            * len(self.seeds)
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepSpec":
+        """Build from a JSON body, rejecting unknown fields loudly."""
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown sweep field(s): {', '.join(unknown)}; "
+                f"accepted: {', '.join(sorted(known))}"
+            )
+        for required in ("datasets", "solvers", "ks"):
+            if required not in payload:
+                raise ValueError(
+                    "a sweep needs at least 'datasets', 'solvers', and 'ks'"
+                )
+        return cls(**payload)
+
+    def to_dict(self) -> dict:
+        """JSON-safe canonical echo of the spec (the stored form)."""
+        return {
+            "datasets": list(self.datasets),
+            "solvers": list(self.solvers),
+            "ks": list(self.ks),
+            "epss": list(self.epss),
+            "partitions": list(self.partitions),
+            "trim_modes": list(self.trim_modes),
+            "seeds": list(self.seeds),
+            "machines": self.machines,
+            "constants": self.constants,
+            "outliers": self.outliers,
+            "timeout_s": self.timeout_s,
+            "max_retries": self.max_retries,
+            "name": self.name,
+        }
+
+    def grid(self) -> List[dict]:
+        """The expanded cells, in the canonical order (see module
+        docstring).  Each entry carries its axis values, its ``index``,
+        and the solver's ``objective`` (what it gets scored against)."""
+        cells = []
+        product = itertools.product(
+            self.datasets, self.solvers, self.ks, self.epss,
+            self.partitions, self.trim_modes, self.seeds,
+        )
+        for index, (dataset, solver, k, eps, partition, trim, seed) in enumerate(
+            product
+        ):
+            cells.append(
+                {
+                    "index": index,
+                    "dataset": dataset,
+                    "solver": solver,
+                    "k": k,
+                    "eps": eps,
+                    "partition": partition,
+                    "trim_mode": trim,
+                    "seed": seed,
+                    "objective": SOLVER_OBJECTIVES[solver],
+                }
+            )
+        return cells
+
+    def cell_job_spec(self, cell: dict, tags: Optional[dict] = None) -> JobSpec:
+        """The :class:`~repro.service.spec.JobSpec` for one grid cell."""
+        outliers = (
+            self.outliers if cell["solver"] in OUTLIER_SOLVERS else None
+        )
+        return JobSpec(
+            algorithm=cell["solver"],
+            dataset=cell["dataset"],
+            k=cell["k"],
+            eps=cell["eps"],
+            machines=self.machines,
+            seed=cell["seed"],
+            partition=cell["partition"],
+            trim_mode=cell["trim_mode"],
+            constants=self.constants,
+            outliers=outliers,
+            timeout_s=self.timeout_s,
+            max_retries=self.max_retries,
+            tags=dict(tags) if tags else {},
+        )

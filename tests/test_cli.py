@@ -342,3 +342,48 @@ class TestMetricsOut:
         capsys.readouterr()
         counters = json.loads(path.read_text())["counters"]
         assert counters["repro_mpc_rounds_total"][""] > 0
+
+
+class TestSweepCommand:
+    def test_sweep_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.solvers == ["kcenter", "gonzalez", "malkomes"]
+        assert args.ks == [4, 8] and args.epsilons == [0.1]
+        assert args.url is None and args.workers == 2
+
+    def test_sweep_rejects_bad_axis_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--partitions", "bogus"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--workload", "bogus"])
+
+    def test_sweep_runs_and_writes_report(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        rc = main([
+            "sweep",
+            "--workload", "gaussian",
+            "--n", "64",
+            "--solvers", "gonzalez", "malkomes",
+            "--ks", "3", "4",
+            "--json-out", str(path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cells submitted" in out
+        assert "recommendation:" in out
+        assert "ratio (lower = better)" in out
+        report = json.loads(path.read_text())
+        assert sorted(report["ranking"]) == [0, 1, 2, 3]
+        assert report["recommendation"]["cell"] == report["ranking"][0]
+
+    def test_sweep_unknown_solver_fails_loudly(self, capsys):
+        with pytest.raises(ValueError, match="unknown solver"):
+            main([
+                "sweep",
+                "--workload", "gaussian",
+                "--n", "32",
+                "--solvers", "bogus",
+                "--ks", "3",
+            ])

@@ -187,3 +187,172 @@ class TestPagination:
         (job,) = client.jobs_page(limit=10)["jobs"]
         assert "result" not in job
         assert job["state"] == "done"
+
+
+class TestClientCursorEdges:
+    """ServiceClient pagination against awkward pages: empty-but-not-
+    final filtered pages, non-advancing cursors, reserved characters in
+    query params, and cursor stability while jobs transition state."""
+
+    def _scripted_client(self, pages):
+        """A client whose transport replays canned pages and records
+        every requested path."""
+        client = ServiceClient("http://scripted", retries=0)
+        calls = []
+
+        def fake_request(method, path, body=None):
+            calls.append(path)
+            return dict(pages[len(calls) - 1])
+
+        client._request = fake_request
+        return client, calls
+
+    def test_empty_filtered_page_does_not_end_iteration(self):
+        # every job in the first cursor window left the filtered state
+        # between pages: the page is empty, yet a cursor follows
+        client, _ = self._scripted_client([
+            {"jobs": [], "next_cursor": "job-000002"},
+            {"jobs": [{"id": "job-000003"}]},
+        ])
+        assert [j["id"] for j in client.iter_jobs(state="queued")] == [
+            "job-000003"
+        ]
+
+    def test_non_advancing_cursor_terminates(self):
+        page = {"jobs": [{"id": "job-000001"}], "next_cursor": "job-000001"}
+        client, calls = self._scripted_client([page, dict(page), dict(page)])
+        jobs = list(client.iter_jobs())
+        # one follow-up for the echoed cursor, then stop — not a loop
+        assert [j["id"] for j in jobs] == ["job-000001", "job-000001"]
+        assert len(calls) == 2
+
+    def test_missing_collection_key_tolerated(self):
+        client, _ = self._scripted_client([{}, {}])
+        assert client.jobs_page(state="failed")["jobs"] == []
+        assert list(client.iter_jobs()) == []
+
+    def test_query_params_are_url_encoded(self):
+        client, calls = self._scripted_client([{"jobs": []}])
+        client.jobs_page(state="do ne&x=1", cursor="job-000001")
+        assert calls == ["/jobs?state=do+ne%26x%3D1&cursor=job-000001"]
+
+    def test_bad_page_size_rejected_client_side(self):
+        client, _ = self._scripted_client([])
+        with pytest.raises(ValueError, match="page_size"):
+            list(client.iter_jobs(page_size=0))
+
+    def test_cursor_stable_while_jobs_transition(self, client, points):
+        """Jobs finishing between page fetches must not shift, repeat,
+        or hide earlier pages: the cursor pins a position by id."""
+        ds = client.register_points(points)
+        first = [
+            client.submit(algorithm="kcenter", dataset=ds["id"], k=3, seed=s)
+            for s in range(2)
+        ]
+        page1 = client.jobs_page(limit=2)
+        assert [j["id"] for j in page1["jobs"]] == [j["id"] for j in first]
+        # state churn mid-pagination: the first page's jobs finish and
+        # new jobs arrive before the cursor is followed
+        for job in first:
+            client.wait(job["id"])
+        later = [
+            client.submit(algorithm="kcenter", dataset=ds["id"], k=4, seed=s)
+            for s in range(2)
+        ]
+        # (no next_cursor yet — the listing was complete at fetch time;
+        # resuming from the last seen id is the cursor contract)
+        page2 = client.jobs_page(limit=10, cursor=page1["jobs"][-1]["id"])
+        assert [j["id"] for j in page2["jobs"]] == [j["id"] for j in later]
+        for job in later:
+            client.wait(job["id"])
+        # a filtered walk started now sees every job exactly once
+        seen = [j["id"] for j in client.iter_jobs(state="done", page_size=1)]
+        assert seen == [j["id"] for j in first + later]
+
+
+class TestAnalysesApi:
+    """The ``/v1/analyses`` sweep surface: submission, pagination, the
+    ranked report, and its error envelopes."""
+
+    def _small_sweep(self, client, points, **overrides):
+        ds = client.register_points(points)
+        body = {"datasets": [ds["id"]], "solvers": ["gonzalez"], "ks": [3]}
+        body.update(overrides)
+        return client.submit_analysis(**body)
+
+    def test_submit_wait_report(self, client, points):
+        record = self._small_sweep(client, points, ks=[3, 4])
+        assert record["id"].startswith("an-") and record["cells"] == 2
+        done = client.wait_analysis(record["id"], timeout=120)
+        assert done["state"] == "done"
+        report = client.analysis_report(record["id"])
+        assert sorted(report["ranking"]) == [0, 1]
+        assert report["recommendation"]["cell"] == report["ranking"][0]
+        got = client.analysis(record["id"])
+        assert got["cells"] == 2 and "report" not in got
+
+    def test_envelopes(self, server, client, points):
+        ds = client.register_points(points)
+        cases = [
+            (lambda: client.analysis("an-999999"), 404, "unknown_analysis"),
+            (lambda: client.analysis_report("an-999999"), 404,
+             "unknown_analysis"),
+            (lambda: client.submit_analysis(
+                datasets=[ds["id"]], solvers=["nope"], ks=[3]),
+             400, "invalid_request"),
+            (lambda: client.submit_analysis(
+                datasets=["ds-nope"], solvers=["gonzalez"], ks=[3]),
+             404, "unknown_dataset"),
+            (lambda: client.analyses_page(state="bogus"), 400,
+             "invalid_request"),
+            (lambda: client.analyses_page(cursor="job-000001"), 400,
+             "invalid_request"),
+        ]
+        for call, status, code in cases:
+            with pytest.raises(ServiceError) as exc_info:
+                call()
+            assert exc_info.value.status == status
+            assert exc_info.value.code == code
+            assert exc_info.value.request_id
+
+    def test_report_conflict_while_running(self, server, client):
+        # a hand-planted running analysis: deterministic stand-in for
+        # "the grid is still draining"
+        from repro.service.store import AnalysisRecord
+
+        store = server.sweeps.store
+        record = AnalysisRecord(
+            id=store.next_analysis_id(), spec={}, state="running",
+            created_at=0.0, cell_job_ids=["job-999999"],
+        )
+        store.create(record)
+        with pytest.raises(ServiceError) as exc_info:
+            client.analysis_report(record.id)
+        assert exc_info.value.status == 409
+        assert exc_info.value.code == "conflict"
+        store.delete(record.id)
+
+    def test_pagination(self, client, points):
+        ids = []
+        for k in (3, 4, 5):
+            record = self._small_sweep(client, points, ks=[k])
+            client.wait_analysis(record["id"], timeout=60)
+            ids.append(record["id"])
+        page = client.analyses_page(limit=2)
+        assert [a["id"] for a in page["analyses"]] == ids[:2]
+        assert page["next_cursor"] == ids[1]
+        rest = client.analyses_page(limit=2, cursor=page["next_cursor"])
+        assert [a["id"] for a in rest["analyses"]] == ids[2:]
+        assert "next_cursor" not in rest
+        assert [a["id"] for a in client.iter_analyses(page_size=1)] == ids
+        assert [a["id"] for a in client.analyses(state="done")] == ids
+        assert client.analyses(state="failed") == []
+
+    def test_stats_and_metrics_expose_sweeps(self, client, points):
+        record = self._small_sweep(client, points)
+        client.wait_analysis(record["id"], timeout=60)
+        stats = client.stats()
+        assert stats["analyses"]["analyses_by_state"]["done"] >= 1
+        text = client.metrics()
+        assert "repro_sweeps_submitted_total" in text
+        assert "repro_sweep_cells_total" in text
