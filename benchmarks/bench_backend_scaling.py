@@ -53,9 +53,10 @@ def _git_sha() -> str:
 
 
 def run_backend(points, backend: str, *, k: int, machines: int, seed: int,
-                eps: float, workers: int | None) -> dict:
+                eps: float, workers: int | None,
+                remote_workers=None) -> dict:
     oracle = CountingOracle(EuclideanMetric(points))
-    executor = get_executor(backend, max_workers=workers)
+    executor = get_executor(backend, max_workers=workers, workers=remote_workers)
     cluster = build_cluster(
         metric=oracle, machines=machines, seed=seed, backend=executor
     )
@@ -66,8 +67,9 @@ def run_backend(points, backend: str, *, k: int, machines: int, seed: int,
         "backend": backend,
         "wall_s": wall,
         # the *effective* parallelism: caps, cpu count, batch size, and
-        # any serial fallback applied — so a cpu_count=1 run is visible
-        # in the artifact instead of silently posing as a parallel one
+        # any serial fallback or mid-run worker loss applied — so a
+        # cpu_count=1 run (or a degraded remote pool) is visible in the
+        # artifact instead of silently posing as a parallel one
         "requested_workers": workers,
         "effective_workers": executor.effective_workers(machines),
         "radius": float(res.radius),
@@ -77,8 +79,16 @@ def run_backend(points, backend: str, *, k: int, machines: int, seed: int,
         "oracle_calls": int(oracle.calls),
         "oracle_evaluations": int(oracle.evaluations),
     }
-    if isinstance(executor, ProcessExecutor) and executor.fallback_reason:
+    if getattr(executor, "fallback_reason", None):
         row["fallback_reason"] = executor.fallback_reason
+    if backend == "remote":
+        rec = executor.recovery_stats()
+        row["remote"] = {
+            "dispatched_chunks": rec["dispatched_chunks"],
+            "redispatched_chunks": rec["redispatched_chunks"],
+            "workers_lost": rec["workers_lost"],
+            "datasets_shipped": rec["datasets_shipped"],
+        }
     executor.shutdown()
     return row
 
@@ -99,6 +109,12 @@ def main(argv=None) -> int:
         "--backends", nargs="+", choices=list(BACKENDS), default=list(BACKENDS)
     )
     ap.add_argument(
+        "--remote-workers", default=None, metavar="HOST:PORT,...",
+        help="worker agent addresses for the remote backend; when omitted "
+        "(and 'remote' is benched) the bench spawns in-process agents — "
+        "REPRO_WORKERS many, default 2 — on ephemeral ports",
+    )
+    ap.add_argument(
         "--out", default=None,
         help="JSON artifact path (default: benchmarks/results/bench_backend_scaling.json)",
     )
@@ -107,13 +123,31 @@ def main(argv=None) -> int:
     rng = np.random.default_rng(args.seed)
     points = rng.normal(scale=4.0, size=(args.n, 2))
 
-    rows = [
-        run_backend(
-            points, b, k=args.k, machines=args.machines, seed=args.seed,
-            eps=args.epsilon, workers=args.workers,
-        )
-        for b in args.backends
-    ]
+    # the remote backend needs agents: use the given addresses, or spawn
+    # a local in-process pool so the artifact records >1 effective worker
+    # even on a single box (the agents are real socket peers either way)
+    agents = []
+    remote_workers = args.remote_workers
+    if "remote" in args.backends and remote_workers is None:
+        from repro.mpc.executor import workers_from_env  # noqa: E402
+        from repro.mpc.remote import WorkerAgent  # noqa: E402
+
+        pool = workers_from_env() or 2
+        agents = [WorkerAgent() for _ in range(pool)]
+        remote_workers = [a.start() for a in agents]
+
+    try:
+        rows = [
+            run_backend(
+                points, b, k=args.k, machines=args.machines, seed=args.seed,
+                eps=args.epsilon, workers=args.workers,
+                remote_workers=remote_workers if b == "remote" else None,
+            )
+            for b in args.backends
+        ]
+    finally:
+        for agent in agents:
+            agent.stop()
 
     # the tentpole contract: bit-identical results AND oracle ledger
     base = rows[0]

@@ -23,9 +23,11 @@ Every solver accepts the same assembly keywords:
     Number of simulated MPC machines (default
     :data:`DEFAULT_MACHINES`, capped at ``n``).
 ``backend``
-    Local-compute backend: ``'serial'``, ``'thread'``, or
-    ``'process'`` — or any :class:`~repro.mpc.executor.ExecutionBackend`
-    instance (see :mod:`repro.mpc.executor`).
+    Compute backend: ``'serial'``, ``'thread'``, ``'process'``, or
+    ``'remote'`` (socket-connected worker agents, see
+    :mod:`repro.mpc.remote`) — or any
+    :class:`~repro.mpc.executor.ExecutionBackend` instance (see
+    :mod:`repro.mpc.executor`).
 ``seed``
     Master RNG seed; ``None`` means 0.  Same seed ⇒ bit-identical
     results on every backend.
@@ -122,10 +124,16 @@ def make_metric(points, metric: MetricSpec = "euclidean") -> Metric:
 
 
 def make_executor(backend: Union[str, ExecutionBackend] = "serial",
-                  max_workers: Optional[int] = None):
+                  max_workers: Optional[int] = None,
+                  workers=None):
     """Resolve a backend spec into an executor (see
-    :func:`repro.mpc.executor.get_executor`)."""
-    return get_executor(backend, max_workers=max_workers)
+    :func:`repro.mpc.executor.get_executor`).
+
+    ``workers`` is the remote worker-agent address spec
+    (``"HOST:PORT,HOST:PORT"`` or a list of addresses) consumed by the
+    ``'remote'`` backend; other backends ignore it.
+    """
+    return get_executor(backend, max_workers=max_workers, workers=workers)
 
 
 def build_cluster(
@@ -139,6 +147,7 @@ def build_cluster(
     strict: bool = True,
     limits: Optional[Limits] = None,
     max_workers: Optional[int] = None,
+    workers=None,
     faults=None,
     trace: Optional[TraceContext] = None,
 ) -> MPCCluster:
@@ -174,7 +183,7 @@ def build_cluster(
         seed=seed,
         strict=strict,
         limits=limits,
-        executor=make_executor(backend, max_workers=max_workers),
+        executor=make_executor(backend, max_workers=max_workers, workers=workers),
         faults=faults,
     )
     resolved_trace = trace if trace is not None else current_trace()

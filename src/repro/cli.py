@@ -61,6 +61,7 @@ def _build_cluster(args: argparse.Namespace, metric) -> MPCCluster:
         seed=args.seed,
         partition=args.partition,
         backend=getattr(args, "backend", "serial"),
+        workers=getattr(args, "workers", None),
         faults=getattr(args, "faults", None),
         trace=TraceContext.from_seed(args.seed, name="cli"),
     )
@@ -88,9 +89,19 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         "--backend",
         choices=list(BACKENDS),
         default="serial",
-        help="local-compute backend for the per-machine work; 'process' "
-        "keeps the point matrix in shared memory and is bit-identical "
-        "to 'serial' for any fixed seed",
+        help="compute backend for the per-machine work; 'process' "
+        "keeps the point matrix in shared memory, 'remote' dispatches "
+        "to socket-connected worker agents (--workers) — every backend "
+        "is bit-identical to 'serial' for any fixed seed",
+    )
+    p.add_argument(
+        "--workers",
+        metavar="HOST:PORT,...",
+        default=None,
+        help="remote worker agent addresses for --backend remote "
+        "(comma-separated; default: the REPRO_REMOTE_WORKERS "
+        "environment variable); start agents with 'repro worker "
+        "--listen HOST:PORT'",
     )
     p.add_argument(
         "--partition",
@@ -510,6 +521,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         backend=args.backend,
+        remote_workers=args.remote_workers,
         queue_limit=args.queue_limit,
         default_timeout_s=args.job_timeout,
         cache_entries=args.cache_entries,
@@ -553,6 +565,7 @@ def _run_worker(args: argparse.Namespace) -> int:
         lease_s=args.lease_timeout,
         workers=args.workers,
         backend=args.backend,
+        remote_workers=args.remote_workers,
         default_timeout_s=args.job_timeout,
         max_history=args.max_history,
         retry_policy=RetryPolicy(max_retries=args.max_retries),
@@ -576,6 +589,39 @@ def _run_worker(args: argparse.Namespace) -> int:
     finally:
         sweeps.stop()
         manager.stop()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """``repro worker --listen HOST:PORT``: run one remote compute agent.
+
+    Agents serve pickled machine batches to a ``--backend remote``
+    driver (see docs/remote.md).  The slot count — concurrent chunks
+    this agent computes — comes from ``--slots``, falling back to the
+    ``REPRO_WORKERS`` environment variable, then the CPU count.
+    """
+    import os
+
+    from repro.mpc.remote import WorkerAgent, parse_worker_addresses
+
+    try:
+        ((host, port),) = parse_worker_addresses(
+            args.listen, allow_zero_port=True
+        )
+    except ValueError as exc:
+        print(f"error: --listen: {exc}", file=sys.stderr)
+        return 2
+    agent = WorkerAgent(host, port, slots=args.slots, allow_exit=True)
+    bound_host, bound_port = agent.start()
+    print(
+        f"repro worker v{__version__} listening on {bound_host}:{bound_port} "
+        f"(slots={agent.slots}, pid={os.getpid()})",
+        flush=True,
+    )
+    try:
+        agent.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        agent.stop()
     return 0
 
 
@@ -785,6 +831,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend each job's solver run uses",
     )
     p.add_argument(
+        "--remote-workers",
+        metavar="HOST:PORT,...",
+        default=None,
+        help="remote worker agent addresses for --backend remote jobs "
+        "(comma-separated; default: the REPRO_REMOTE_WORKERS "
+        "environment variable)",
+    )
+    p.add_argument(
         "--queue-limit",
         type=int,
         default=64,
@@ -953,6 +1007,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full ranked report as JSON",
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "worker",
+        help="run one remote compute agent for --backend remote drivers",
+    )
+    p.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="bind address (PORT 0 = ephemeral; the bound port is printed)",
+    )
+    p.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        help="concurrent chunk slots (default: REPRO_WORKERS env var, "
+        "then the CPU count)",
+    )
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("workloads", help="list available workload names")
     p.set_defaults(func=_cmd_workloads)

@@ -17,7 +17,7 @@ Rolls are computed by hashing ``(seed, layer, *coordinates)`` with
 BLAKE2b and mapping the digest to ``[0, 1)`` — stable across processes
 and interpreter runs (unlike ``hash()``, which is salted).
 
-Three layers of fault coordinates:
+Four layers of fault coordinates:
 
 executor
     ``(batch_no, worker_index)`` — one forked chunk worker.  Actions:
@@ -26,6 +26,16 @@ executor
     firing for the first :attr:`worker_fault_attempts` executions of
     its chunk, then clears — so the executor's bounded chunk retry
     recovers unless the plan is configured to out-persist it.
+remote
+    ``(batch_no, chunk_slot)`` — one chunk dispatched to a remote
+    worker agent (see :mod:`repro.mpc.remote`).  Actions: ``drop``
+    (the connection closes with no reply), ``kill`` (the agent dies —
+    permanently, like a SIGKILL), ``corrupt`` (undecodable response
+    payload), ``delay`` (the agent sleeps :attr:`remote_delay_s`
+    before computing; heartbeats keep its lease alive).  Faults are
+    decided in the driver (observers see every injection) and enacted
+    by the agent; like the executor layer, a fault persists for the
+    first :attr:`remote_fault_attempts` executions of its chunk.
 machine
     ``(round_no, dispatch_no, machine_id)`` — one per-machine task in
     a ``map_machines`` dispatch.  The fault is a transient
@@ -87,6 +97,20 @@ class FaultPlan:
     #: executions of a chunk the fault persists for (1 = first try only)
     worker_fault_attempts: int = 1
 
+    # -- remote layer (chunks dispatched to remote worker agents) --
+    #: probability a dispatched chunk's connection is dropped, no reply
+    remote_drop: float = 0.0
+    #: probability the receiving agent dies (permanently, like SIGKILL)
+    remote_kill: float = 0.0
+    #: probability the agent replies with an undecodable payload
+    remote_corrupt: float = 0.0
+    #: probability the agent stalls before computing (slow worker)
+    remote_delay: float = 0.0
+    #: slow-worker stall, seconds (heartbeats keep the lease alive)
+    remote_delay_s: float = 0.02
+    #: executions of a chunk the remote fault persists for
+    remote_fault_attempts: int = 1
+
     # -- machine layer (map_machines tasks) --
     #: probability a (dispatch, machine) task raises a MachineFault
     machine_fault: float = 0.0
@@ -106,19 +130,27 @@ class FaultPlan:
     def __post_init__(self) -> None:
         self.seed = int(self.seed)
         for name in ("worker_kill", "worker_corrupt", "worker_delay",
+                     "remote_drop", "remote_kill", "remote_corrupt", "remote_delay",
                      "machine_fault", "service_error", "service_drop"):
             setattr(self, name, _validate_rate(name, getattr(self, name)))
         if self.worker_kill + self.worker_corrupt + self.worker_delay > 1.0:
             raise ValueError("worker_kill + worker_corrupt + worker_delay must be <= 1")
+        if self.remote_drop + self.remote_kill + self.remote_corrupt + self.remote_delay > 1.0:
+            raise ValueError(
+                "remote_drop + remote_kill + remote_corrupt + remote_delay must be <= 1"
+            )
         if self.service_error + self.service_drop > 1.0:
             raise ValueError("service_error + service_drop must be <= 1")
         self.worker_delay_s = float(self.worker_delay_s)
+        self.remote_delay_s = float(self.remote_delay_s)
         self.retry_after_s = float(self.retry_after_s)
-        if self.worker_delay_s < 0 or self.retry_after_s < 0:
+        if self.worker_delay_s < 0 or self.remote_delay_s < 0 or self.retry_after_s < 0:
             raise ValueError("delay/retry-after durations must be >= 0")
         self.worker_fault_attempts = int(self.worker_fault_attempts)
+        self.remote_fault_attempts = int(self.remote_fault_attempts)
         self.machine_fault_attempts = int(self.machine_fault_attempts)
-        if self.worker_fault_attempts < 1 or self.machine_fault_attempts < 1:
+        if (self.worker_fault_attempts < 1 or self.remote_fault_attempts < 1
+                or self.machine_fault_attempts < 1):
             raise ValueError("fault_attempts values must be >= 1")
         self.error_burst = int(self.error_burst)
         if self.error_burst < 0:
@@ -130,6 +162,12 @@ class FaultPlan:
     def worker_active(self) -> bool:
         """True when the executor layer can inject anything."""
         return (self.worker_kill + self.worker_corrupt + self.worker_delay) > 0
+
+    @property
+    def remote_active(self) -> bool:
+        """True when remote chunk dispatches can be faulted."""
+        return (self.remote_drop + self.remote_kill
+                + self.remote_corrupt + self.remote_delay) > 0
 
     @property
     def machine_active(self) -> bool:
@@ -171,6 +209,33 @@ class FaultPlan:
         if r < self.worker_kill + self.worker_corrupt:
             return "corrupt"
         if r < self.worker_kill + self.worker_corrupt + self.worker_delay:
+            return "delay"
+        return None
+
+    def remote_fault(
+        self, batch_no: int, chunk_slot: int, attempt: int = 0
+    ) -> Optional[str]:
+        """Fault for one remote chunk dispatch, or ``None``.
+
+        Returns ``'drop'``, ``'kill'``, ``'corrupt'``, or ``'delay'``.
+        Like :meth:`worker_fault`, the roll is keyed by ``(batch,
+        chunk_slot)`` — not the attempt — so a faulted chunk keeps
+        drawing the *same* fault until ``attempt`` reaches
+        :attr:`remote_fault_attempts`, at which point it clears and the
+        re-dispatch succeeds (on a surviving worker, if the fault was a
+        kill).
+        """
+        if attempt >= self.remote_fault_attempts or not self.remote_active:
+            return None
+        r = self._roll("remote", int(batch_no), int(chunk_slot))
+        if r < self.remote_drop:
+            return "drop"
+        if r < self.remote_drop + self.remote_kill:
+            return "kill"
+        if r < self.remote_drop + self.remote_kill + self.remote_corrupt:
+            return "corrupt"
+        if (r < self.remote_drop + self.remote_kill
+                + self.remote_corrupt + self.remote_delay):
             return "delay"
         return None
 
@@ -281,6 +346,12 @@ class FaultPlan:
             parts.append(
                 f"worker(kill={self.worker_kill}, corrupt={self.worker_corrupt}, "
                 f"delay={self.worker_delay}, attempts={self.worker_fault_attempts})"
+            )
+        if self.remote_active:
+            parts.append(
+                f"remote(drop={self.remote_drop}, kill={self.remote_kill}, "
+                f"corrupt={self.remote_corrupt}, delay={self.remote_delay}, "
+                f"attempts={self.remote_fault_attempts})"
             )
         if self.machine_active:
             parts.append(

@@ -24,6 +24,12 @@ from repro.mpc.executor import (
     ThreadedExecutor,
     get_executor,
 )
+from repro.mpc.remote import (
+    REMOTE_WORKERS_ENV_VAR,
+    RemoteExecutor,
+    WorkerAgent,
+    parse_worker_addresses,
+)
 from repro.mpc.trace import MessageTrace, TraceEvent
 from repro.mpc.machine import Machine
 from repro.mpc.message import Ids, Message, PointBatch, payload_words
@@ -49,6 +55,10 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "ProcessExecutor",
+    "RemoteExecutor",
+    "WorkerAgent",
+    "REMOTE_WORKERS_ENV_VAR",
+    "parse_worker_addresses",
     "get_executor",
     "MessageTrace",
     "TraceEvent",

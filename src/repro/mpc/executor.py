@@ -1,8 +1,10 @@
 """Execution backends for per-machine local computation.
 
 Within an MPC round, machines compute independently — the simulator can
-therefore fan the per-machine work out to an execution backend.  Three
-are provided, all implementing the :class:`ExecutionBackend` protocol:
+therefore fan the per-machine work out to an execution backend.  Four
+are provided, all implementing the :class:`ExecutionBackend` protocol
+(the fourth, the multi-host :class:`~repro.mpc.remote.RemoteExecutor`,
+lives in :mod:`repro.mpc.remote`):
 
 * :class:`SerialExecutor` — one task after another (the default);
 * :class:`ThreadedExecutor` — a shared thread pool; the heavy kernels
@@ -250,6 +252,10 @@ class ProcessExecutor:
         self.faults_injected = 0
         self.chunk_retries_used = 0
         self.serial_fallbacks = 0
+        #: worker slots that died permanently (outlived the chunk retry
+        #: budget) — subtracted from the parallelism this executor
+        #: *reports*, so bench artifacts record the surviving pool
+        self.workers_lost = 0
         self._batch_no = 0
         self._cluster_ref: Optional[weakref.ref] = None
         if not hasattr(os, "fork") or sys.platform in ("win32", "emscripten"):
@@ -281,6 +287,8 @@ class ProcessExecutor:
             "chunk_retries": self.chunk_retries_used,
             "serial_fallbacks": self.serial_fallbacks,
             "degradations": list(self.degradations),
+            "workers_lost": self.workers_lost,
+            "effective_workers": self.effective_workers(),
         }
 
     def _emit_fault(self, kind: str, injected: bool, target: str = "",
@@ -312,17 +320,20 @@ class ProcessExecutor:
         return max(1, min(self.max_workers or (os.cpu_count() or 1), count))
 
     def effective_workers(self, count: int | None = None) -> int:
-        """Workers a ``count``-task batch would actually fork.
+        """Workers a ``count``-task batch can actually be trusted to.
 
         Accounts for the configured cap, the CPU count, the batch size,
-        and the serial fallback — this is the number a bench artifact
-        should record, not the requested one.
+        the serial fallback, *and* worker slots lost permanently
+        mid-run (chunks that outlived the retry budget) — this is the
+        surviving pool a bench artifact should record, not the
+        configured one.
         """
         if self.fallback_reason is not None:
             return 1
+        base = max(1, (self.max_workers or (os.cpu_count() or 1)) - self.workers_lost)
         if count is None:
-            return max(1, self.max_workers or (os.cpu_count() or 1))
-        return self._workers_for(count)
+            return base
+        return max(1, min(base, count))
 
     def map_indexed(self, fn: Callable[[int], T], count: int) -> List[T]:
         """Evaluate ``fn(i)`` for ``i in range(count)`` across forked
@@ -426,6 +437,9 @@ class ProcessExecutor:
             if not retryable:
                 return results
             if attempt >= self.chunk_retries:
+                # these worker slots died permanently: report the
+                # surviving pool from here on (see effective_workers)
+                self.workers_lost = max(self.workers_lost, len(retryable))
                 raise _WorkerFailure(
                     "; ".join(earlier_reasons + reasons)
                     + f" (chunk retry budget {self.chunk_retries} exhausted)"
@@ -570,7 +584,7 @@ class ProcessExecutor:
 
 
 #: canonical backend names accepted by the CLI and the solver facade
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "remote")
 
 _ALIASES = {
     "serial": "serial",
@@ -580,15 +594,26 @@ _ALIASES = {
     "process": "process",
     "processes": "process",
     "fork": "process",
+    "remote": "remote",
+    "sockets": "remote",
 }
 
 
-def get_executor(backend: str = "serial", max_workers: int | None = None):
+def get_executor(
+    backend: str = "serial",
+    max_workers: int | None = None,
+    workers=None,
+):
     """Build an execution backend from its name.
 
-    ``backend`` is one of ``'serial'``, ``'thread'``/``'threaded'``, or
-    ``'process'`` (alias ``'fork'``); an :class:`ExecutionBackend`
-    instance passes through unchanged.
+    ``backend`` is one of ``'serial'``, ``'thread'``/``'threaded'``,
+    ``'process'`` (alias ``'fork'``), or ``'remote'`` (alias
+    ``'sockets'``); an :class:`ExecutionBackend` instance passes
+    through unchanged.  ``workers`` carries remote worker addresses
+    (``'host:port,host:port'`` or a list) for the remote backend —
+    when omitted the :data:`~repro.mpc.remote.REMOTE_WORKERS_ENV_VAR`
+    environment variable is consulted; it is ignored by the local
+    backends.
     """
     if not isinstance(backend, str):
         if isinstance(backend, ExecutionBackend):
@@ -601,6 +626,10 @@ def get_executor(backend: str = "serial", max_workers: int | None = None):
         return ThreadedExecutor(max_workers=max_workers)
     if name == "process":
         return ProcessExecutor(max_workers=max_workers)
+    if name == "remote":
+        from repro.mpc.remote import RemoteExecutor  # avoid an import cycle
+
+        return RemoteExecutor(workers, max_workers=max_workers)
     aliases = sorted(set(_ALIASES) - set(BACKENDS))
     raise ValueError(
         f"unknown backend {backend!r}; valid backends: "

@@ -12,8 +12,9 @@ production deployment's failure modes) speak about:
 * :class:`FaultEvent` — one injected fault or one recovery action
   (*what went wrong and what fixed it*; see :mod:`repro.faults`);
 * :class:`ExecSpanRecord` — one executor chunk executed in a forked
-  worker process, timed inside the child and shipped back with its
-  results (*where the fork-level parallelism goes*).
+  worker process or on a remote worker agent, timed inside the worker
+  and shipped back with its results (*where the worker-level
+  parallelism goes*).
 
 All records are plain dataclasses with a ``to_dict`` for serialization;
 they carry no references back into the simulator, so a recorded run log
@@ -86,7 +87,7 @@ class FaultEvent:
     an unpaired injection and a propagated error.
     """
 
-    #: which layer: "executor", "machine", or "service"
+    #: which layer: "executor", "machine", "remote", or "service"
     layer: str
     #: e.g. "worker_kill", "payload_corrupt", "machine_fault",
     #: "chunk_retry", "serial_fallback", "machine_retry", "job_retry"
@@ -217,19 +218,24 @@ class SpanRecord:
 
 @dataclass
 class ExecSpanRecord:
-    """One executor chunk, timed inside the forked worker process.
+    """One executor chunk, timed inside the worker that computed it.
 
-    The driver derives the chunk's trace context *before* forking; the
-    child stamps ``start_time``/``end_time`` (``time.perf_counter``,
-    which is system-wide on Linux and therefore comparable across
-    ``fork()``) and ships the record back over the result pipe.  Merged
-    into :attr:`~repro.obs.record.RunLog.exec_spans`, these are the
+    The driver derives the chunk's trace context *before* dispatching;
+    the worker — a forked child of the process backend, or a socket
+    agent of the remote backend (then ``name`` is ``"remote/chunk"``
+    and the context travels as a ``traceparent`` header in the request
+    frame) — stamps ``start_time``/``end_time`` and ships the record
+    back with its results.  Merged into
+    :attr:`~repro.obs.record.RunLog.exec_spans`, these are the
     "child spans under distinct pids" of the Chrome export — kept apart
-    from the algorithm-phase :class:`SpanRecord` list so serial and
-    process runs produce identical *phase* span sets.
+    from the algorithm-phase :class:`SpanRecord` list so serial,
+    process, and remote runs produce identical *phase* span sets.
+    Forked children share the driver's ``time.perf_counter`` domain;
+    remote agents do not, so their stamps order events only within one
+    agent.
     """
 
-    #: span name, e.g. ``"exec/chunk"``
+    #: span name, e.g. ``"exec/chunk"`` or ``"remote/chunk"``
     name: str
     #: worker slot within the batch (also the synthetic Chrome pid - 1)
     worker: int

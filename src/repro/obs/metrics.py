@@ -462,6 +462,27 @@ class MetricsObserver(Observer):
         self._recovered = reg.counter(
             "repro_faults_recovered_total", "recovery actions taken",
             labels=("layer", "kind"))
+        # remote-backend pool health: the same events that feed the
+        # generic fault families, broken out under stable names so the
+        # service's /metrics can be checked against recovery_stats()
+        self._remote_chunks = reg.counter(
+            "repro_remote_chunks_total",
+            "chunks completed by remote worker agents")
+        self._remote_redispatch = reg.counter(
+            "repro_remote_redispatches_total",
+            "remote chunks re-dispatched after a lost or failed attempt")
+        self._remote_lost = reg.counter(
+            "repro_remote_workers_lost_total",
+            "remote worker agents declared dead")
+        self._remote_duplicates = reg.counter(
+            "repro_remote_duplicate_results_total",
+            "late duplicate chunk results discarded (first-writer-wins)")
+        self._remote_reships = reg.counter(
+            "repro_remote_dataset_reships_total",
+            "dataset re-ships to restarted workers (cache misses)")
+        self._remote_fallbacks = reg.counter(
+            "repro_remote_fallbacks_total",
+            "whole-pool degradations to a local backend", labels=("to",))
 
     def on_round_end(self, record: RoundRecord) -> None:
         self._rounds.inc()
@@ -481,9 +502,27 @@ class MetricsObserver(Observer):
             if span.oracle_evaluations:
                 self._oracle_evals.inc(span.oracle_evaluations)
 
+    def on_exec_span(self, span) -> None:
+        if span.name == "remote/chunk":
+            self._remote_chunks.inc()
+
     def on_fault(self, event: FaultEvent) -> None:
         fam = self._injected if event.injected else self._recovered
         fam.labels(event.layer, event.kind).inc()
+        if event.layer != "remote" or event.injected:
+            return
+        if event.kind == "chunk_redispatch":
+            self._remote_redispatch.inc()
+        elif event.kind == "worker_lost":
+            self._remote_lost.inc()
+        elif event.kind == "duplicate_result":
+            self._remote_duplicates.inc()
+        elif event.kind == "dataset_reship":
+            self._remote_reships.inc()
+        elif event.kind == "local_fallback":
+            self._remote_fallbacks.labels("process").inc()
+        elif event.kind == "serial_fallback":
+            self._remote_fallbacks.labels("serial").inc()
 
 
 __all__ = [

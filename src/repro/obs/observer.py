@@ -85,8 +85,9 @@ class Observer:
         :mod:`repro.faults` and :class:`FaultEvent`)."""
 
     def on_exec_span(self, record: ExecSpanRecord) -> None:
-        """A forked executor chunk completed and shipped its span back
-        (process backend only; see :class:`ExecSpanRecord`)."""
+        """An executor chunk computed out-of-process completed and
+        shipped its span back (process and remote backends; see
+        :class:`ExecSpanRecord`)."""
 
 
 class ObserverHub:

@@ -439,6 +439,23 @@ class _Handler(BaseHTTPRequestHandler):
         stuck = mstats.get("stuck_workers", [])
         if stuck:
             degraded_because.append(f"stuck worker(s): {', '.join(stuck)}")
+        remote = manager.remote_status()
+        pool = (remote or {}).get("pool")
+        if pool is not None:
+            if pool.get("fallback_reason"):
+                degraded_because.append(
+                    f"remote pool degraded: {pool['fallback_reason']}"
+                )
+            elif pool.get("alive", 0) < pool.get("configured", 0):
+                dead = {
+                    label: w.get("reason")
+                    for label, w in pool.get("workers", {}).items()
+                    if not w.get("alive")
+                }
+                degraded_because.append(
+                    "remote workers lost: "
+                    + ", ".join(f"{lbl} ({why})" for lbl, why in dead.items())
+                )
         payload = {
             "status": "degraded" if degraded_because else "ok",
             "version": __version__,
@@ -453,6 +470,8 @@ class _Handler(BaseHTTPRequestHandler):
             "retries": mstats["retry"]["retries_total"],
             "orphans_recovered": mstats["orphans"]["orphaned_total"],
         }
+        if remote is not None:
+            payload["remote"] = remote
         if degraded_because:
             payload["degraded_because"] = degraded_because
         self._send_json(200, payload)
@@ -630,6 +649,7 @@ def serve(
     *,
     workers: int = 2,
     backend: str = "serial",
+    remote_workers=None,
     queue_limit: int = 64,
     default_timeout_s: Optional[float] = None,
     cache_entries: int = 1024,
@@ -679,6 +699,7 @@ def serve(
             lease_s=lease_s,
             workers=workers,
             backend=backend,
+            remote_workers=remote_workers,
             queue_limit=queue_limit,
             default_timeout_s=default_timeout_s,
             max_history=max_history,

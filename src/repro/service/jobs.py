@@ -261,7 +261,13 @@ class JobManager:
         Worker thread count (ignored for ``role='frontend'``).
     backend:
         Execution backend name handed to every solver run
-        (``serial``/``thread``/``process``).
+        (``serial``/``thread``/``process``/``remote``); a job spec that
+        pins ``backend=`` overrides it per job.
+    remote_workers:
+        Remote worker-agent addresses (``'host:port,host:port'`` or a
+        list) handed to the ``remote`` backend; ignored by the local
+        backends.  Defaults to the ``REPRO_REMOTE_WORKERS`` environment
+        variable via :class:`~repro.mpc.remote.RemoteExecutor`.
     queue_limit:
         Maximum number of *queued* (not yet running) jobs; submissions
         beyond it raise :class:`QueueFullError`.  Ignored when
@@ -305,6 +311,7 @@ class JobManager:
         orphan_requeue_budget: int = 5,
         workers: int = 2,
         backend: str = "serial",
+        remote_workers=None,
         queue_limit: int = 64,
         default_timeout_s: Optional[float] = None,
         max_history: int = 1024,
@@ -354,6 +361,12 @@ class JobManager:
         self._wq = stores.work_queue
         self.cache = cache if cache is not None else stores.results
         self.backend = backend
+        self.remote_workers = remote_workers
+        #: last-seen remote pool shape + summed dispatch/recovery
+        #: counters across this manager's remote-backend jobs (under
+        #: ``_lock``); surfaced by /healthz and /v1/stats
+        self._remote_pool: Optional[dict] = None
+        self._remote_totals: Dict[str, int] = {}
         self.queue_limit = self._wq.limit
         self.workers = 0 if role == "frontend" else workers
         self.default_timeout_s = default_timeout_s
@@ -763,6 +776,7 @@ class JobManager:
         by_state: Dict[str, int] = {s.value: 0 for s in JobState}
         by_state.update(self._store.count_by_state())
         queue_depth = self._wq.depth()
+        remote = self.remote_status()
         with self._lock:
             self._stuck_threads = [t for t in self._stuck_threads if t.is_alive()]
             out = {
@@ -803,6 +817,8 @@ class JobManager:
                     ],
                 },
             }
+            if remote is not None:
+                out["remote"] = remote
             if self.faults is not None:
                 out["faults"] = self.faults.describe()
             return out
@@ -960,6 +976,7 @@ class JobManager:
                     spec,
                     dataset,
                     backend=self.backend,
+                    remote_workers=self.remote_workers,
                     cancel_event=job.cancel_event,
                     job_id=job.id,
                     faults=self.faults,
@@ -982,8 +999,49 @@ class JobManager:
             state, produced = JobState.FAILED, None
         else:
             state, error, produced = JobState.DONE, None, (payload, run_log)
+            self._note_remote(payload)
             self.cache.put(spec.cache_key(dataset.fingerprint), payload, run_log)
         self._commit_terminal(job, state, error, produced)
+
+    def _note_remote(self, payload: dict) -> None:
+        """Fold one remote-backend job's pool shape and dispatch/recovery
+        counters into the manager tallies behind ``remote_status()``."""
+        pool = payload.get("remote_pool")
+        if pool is None:
+            return
+        stats = (payload.get("recovery") or {}).get("executor") or {}
+        with self._lock:
+            self._remote_pool = pool
+            for key, value in stats.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                if key == "effective_workers":
+                    self._remote_totals[key] = int(value)
+                else:
+                    self._remote_totals[key] = (
+                        self._remote_totals.get(key, 0) + int(value)
+                    )
+
+    def remote_status(self) -> Optional[dict]:
+        """Remote-pool view for ``/healthz`` and ``/v1/stats``: the
+        last finished remote job's :meth:`~repro.mpc.remote.RemoteExecutor.
+        pool_status` plus counters summed across this manager's remote
+        jobs.  ``None`` until a remote-backend job has run (and always
+        ``None`` on purely local managers)."""
+        with self._lock:
+            if self._remote_pool is None:
+                if self.backend != "remote":
+                    return None
+                return {
+                    "pool": None,
+                    "totals": {},
+                    "workers": self.remote_workers,
+                }
+            return {
+                "pool": dict(self._remote_pool),
+                "totals": dict(self._remote_totals),
+                "workers": self.remote_workers,
+            }
 
     def _commit_terminal(
         self,

@@ -69,6 +69,7 @@ def execute_job(
     dataset: Dataset,
     *,
     backend: str = "serial",
+    remote_workers=None,
     cancel_event: Optional[threading.Event] = None,
     job_id: Optional[str] = None,
     faults=None,
@@ -83,6 +84,12 @@ def execute_job(
     plan was active — a ``recovery`` section with the injection and
     recovery counts.
 
+    ``backend`` is the manager's default; a spec that pins
+    ``backend=`` overrides it per job.  ``remote_workers`` carries the
+    remote worker-agent addresses handed to
+    :class:`~repro.mpc.remote.RemoteExecutor` when the effective
+    backend is ``'remote'`` (other backends ignore it).
+
     When ``metrics`` is given (the manager passes its own registry), a
     :class:`~repro.obs.metrics.MetricsObserver` streams the run's
     rounds, span durations, oracle deltas, and fault events into it —
@@ -96,6 +103,7 @@ def execute_job(
     ctx = trace if trace is not None else current_trace()
     if ctx is None:
         ctx = TraceContext.from_seed(spec.seed, name="run")
+    backend = spec.backend if spec.backend is not None else backend
     oracle = CountingOracle(dataset.metric)
     cluster = build_cluster(
         metric=oracle,
@@ -103,6 +111,7 @@ def execute_job(
         seed=spec.seed,
         partition=spec.partition,
         backend=backend,
+        workers=remote_workers,
         faults=faults,
         trace=ctx,
     )
@@ -182,4 +191,14 @@ def execute_job(
         if stats_fn is not None:
             recovery["executor"] = stats_fn()
         payload["recovery"] = recovery
+    pool_fn = getattr(cluster.executor, "pool_status", None)
+    if pool_fn is not None:
+        # remote backend: record the pool's end-of-run shape (surviving
+        # workers, per-worker loss reasons, any degradation) even on
+        # fault-free runs — agents can die without an injection plan
+        payload["remote_pool"] = pool_fn()
+        if "recovery" not in payload:
+            stats_fn = getattr(cluster.executor, "recovery_stats", None)
+            if stats_fn is not None:
+                payload["recovery"] = {"executor": stats_fn()}
     return payload, recorder.log

@@ -5,8 +5,10 @@ worker pool executes.  Its :meth:`~JobSpec.cache_key` is the result
 cache's identity — ``(dataset fingerprint, algorithm, and every
 result-relevant parameter)``.  The execution backend and the timeout are
 deliberately *excluded*: the PR-2 determinism guarantee makes results
-bit-identical across ``serial``/``thread``/``process``, so a result
-computed on any backend serves submissions targeting every backend.
+bit-identical across ``serial``/``thread``/``process``/``remote``, so a
+result computed on any backend serves submissions targeting every
+backend — a spec may still pin ``backend=`` (e.g. ``'remote'``) to
+choose where it runs without changing its cache identity.
 """
 
 from __future__ import annotations
@@ -51,6 +53,10 @@ class JobSpec:
     suppliers: Optional[Sequence[int]] = None
     #: outlier budget; only meaningful for the outlier-capable solvers
     outliers: Optional[int] = None
+    #: execution backend override for this job (``None`` = the
+    #: manager's default); excluded from :meth:`cache_key` — every
+    #: backend is bit-identical, so results are shared across them
+    backend: Optional[str] = None
     #: wall-clock budget; checked at MPC round granularity
     timeout_s: Optional[float] = None
     #: per-job retry budget; ``None`` defers to the manager's policy
@@ -91,6 +97,15 @@ class JobSpec:
                 f"unknown constants preset {self.constants!r}; expected one of "
                 f"{', '.join(CONSTANT_PRESETS)}"
             )
+        if self.backend is not None:
+            from repro.mpc.executor import _ALIASES
+
+            self.backend = str(self.backend).lower()
+            if self.backend not in _ALIASES:
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; expected one of "
+                    f"{', '.join(sorted(set(_ALIASES.values())))}"
+                )
         if self.timeout_s is not None:
             self.timeout_s = float(self.timeout_s)
             if self.timeout_s <= 0:
@@ -147,6 +162,8 @@ class JobSpec:
             "timeout_s": self.timeout_s,
             "max_retries": self.max_retries,
         }
+        if self.backend is not None:
+            out["backend"] = self.backend
         if self.customers is not None:
             out["customers"] = list(self.customers)
             out["suppliers"] = list(self.suppliers)

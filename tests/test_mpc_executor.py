@@ -165,12 +165,16 @@ class TestBackendProtocolAndFactory:
             assert isinstance(ex, ExecutionBackend)
 
     def test_factory_names_and_aliases(self):
+        from repro.mpc.remote import RemoteExecutor
+
         assert isinstance(get_executor("serial"), SerialExecutor)
         assert isinstance(get_executor("thread"), ThreadedExecutor)
         assert isinstance(get_executor("threaded"), ThreadedExecutor)
         assert isinstance(get_executor("process"), ProcessExecutor)
         assert isinstance(get_executor("fork"), ProcessExecutor)
-        assert set(BACKENDS) == {"serial", "thread", "process"}
+        assert isinstance(get_executor("remote"), RemoteExecutor)
+        assert isinstance(get_executor("sockets"), RemoteExecutor)
+        assert set(BACKENDS) == {"serial", "thread", "process", "remote"}
 
     def test_factory_passthrough_and_errors(self):
         ex = ThreadedExecutor()
