@@ -1,0 +1,180 @@
+"""S3 — warm-start re-solve vs cold solve across an append chain.
+
+Builds a seeded trajectory arrival stream (``repro.workloads.
+trajectory_stream``), grows an append chain one batch at a time, and
+re-solves every chained version twice: **cold** (from scratch, the
+only option before incremental datasets) and **warm** (reusing the
+previous version's centers as GMM state, what a ``warm_start`` job
+does).  For each version the artifact records oracle calls /
+evaluations, wall-clock, the drift report, and — because the MIS
+ladder dominates total evaluations at small n — the *coreset-stage*
+evaluation counts, where the composable-coreset warm start saves
+≈ k·base_n distance evaluations per machine sweep.
+
+Run standalone (CI runs it at toy scale)::
+
+    python benchmarks/bench_stream.py                     # full, n=4000
+    python benchmarks/bench_stream.py --n 400 --out results/smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.reports import format_table  # noqa: E402
+from repro.api import build_cluster  # noqa: E402
+from repro.core import WarmStart, mpc_kcenter, mpc_kcenter_coreset  # noqa: E402
+from repro.metric.euclidean import EuclideanMetric  # noqa: E402
+from repro.metric.oracle import CountingOracle  # noqa: E402
+from repro.service.runner import drift_report  # noqa: E402
+from repro.workloads.trajectories import trajectory_stream  # noqa: E402
+
+
+def _solve(points, *, k, machines, seed, eps, warm_start=None):
+    """One measured solver run → (result, ledger row)."""
+    oracle = CountingOracle(EuclideanMetric(points))
+    cluster = build_cluster(metric=oracle, machines=machines, seed=seed)
+    t0 = time.perf_counter()
+    res = mpc_kcenter(cluster, k, epsilon=eps, warm_start=warm_start)
+    wall = time.perf_counter() - t0
+    return res, {
+        "wall_s": wall,
+        "oracle_calls": int(oracle.calls),
+        "oracle_evaluations": int(oracle.evaluations),
+        "radius": float(res.radius),
+        "centers": sorted(int(c) for c in res.centers),
+    }
+
+
+def _coreset_evals(points, *, k, machines, seed, warm_start=None) -> int:
+    """Oracle evaluations of the two-round coreset stage alone."""
+    oracle = CountingOracle(EuclideanMetric(points))
+    cluster = build_cluster(metric=oracle, machines=machines, seed=seed)
+    mpc_kcenter_coreset(cluster, k, warm_start=warm_start)
+    return int(oracle.evaluations)
+
+
+def run(n: int, appends: int, k: int, machines: int, seed: int,
+        eps: float) -> dict:
+    batches = trajectory_stream(
+        n, batches=appends + 1, rng=np.random.default_rng(seed)
+    )
+    versions = []
+    prev_warm_res = None
+    prev_n = 0
+    for v in range(appends + 1):
+        points = np.vstack(batches[: v + 1])
+        row: dict = {"version": v, "n": len(points)}
+        cold_res, cold = _solve(points, k=k, machines=machines, seed=seed,
+                                eps=eps)
+        row["cold"] = cold
+        if v > 0:
+            ws = WarmStart(
+                base_n=prev_n,
+                centers=np.asarray(prev_warm_res.centers, dtype=np.int64),
+                objective=float(prev_warm_res.radius),
+            )
+            warm_res, warm = _solve(points, k=k, machines=machines,
+                                    seed=seed, eps=eps, warm_start=ws)
+            row["warm"] = warm
+            row["drift"] = drift_report(
+                warm_res.centers,
+                float(warm_res.radius),
+                parent_centers=ws.centers,
+                parent_objective=ws.objective,
+                appended=len(points) - prev_n,
+            )
+            row["savings"] = {
+                "evaluations": cold["oracle_evaluations"]
+                - warm["oracle_evaluations"],
+                "evaluations_pct": 100.0
+                * (1.0 - warm["oracle_evaluations"] / cold["oracle_evaluations"]),
+                "coreset_evaluations_cold": _coreset_evals(
+                    points, k=k, machines=machines, seed=seed
+                ),
+                "coreset_evaluations_warm": _coreset_evals(
+                    points, k=k, machines=machines, seed=seed, warm_start=ws
+                ),
+            }
+            prev_warm_res = warm_res
+        else:
+            prev_warm_res = cold_res
+        prev_n = len(points)
+        versions.append(row)
+    return {
+        "bench": "stream_warm_vs_cold",
+        "params": {"n": n, "appends": appends, "k": k,
+                   "machines": machines, "seed": seed, "epsilon": eps},
+        "versions": versions,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=4000)
+    ap.add_argument("--appends", type=int, default=3)
+    ap.add_argument("--k", type=int, default=8)
+    ap.add_argument("--machines", type=int, default=8)
+    ap.add_argument("--epsilon", type=float, default=0.2)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument(
+        "--out", default=None,
+        help="JSON artifact path (default: benchmarks/results/BENCH_stream.json)",
+    )
+    args = ap.parse_args(argv)
+
+    report = run(args.n, args.appends, args.k, args.machines, args.seed,
+                 args.epsilon)
+
+    rows = []
+    for ver in report["versions"]:
+        if "warm" not in ver:
+            rows.append({
+                "version": ver["version"], "n": ver["n"], "mode": "cold",
+                "evals": ver["cold"]["oracle_evaluations"],
+                "wall_s": f"{ver['cold']['wall_s']:.3f}",
+                "saved": "-", "coreset_saved": "-", "drift": "-",
+            })
+            continue
+        sav = ver["savings"]
+        coreset_pct = 100.0 * (
+            1.0
+            - sav["coreset_evaluations_warm"] / sav["coreset_evaluations_cold"]
+        )
+        rows.append({
+            "version": ver["version"], "n": ver["n"], "mode": "warm",
+            "evals": ver["warm"]["oracle_evaluations"],
+            "wall_s": f"{ver['warm']['wall_s']:.3f}",
+            "saved": f"{sav['evaluations_pct']:.1f}%",
+            "coreset_saved": f"{coreset_pct:.1f}%",
+            "drift": f"{ver['drift']['drift_ratio']:.4f}",
+        })
+    print(format_table(rows, title="S3 — warm-start vs cold re-solve"))
+
+    for ver in report["versions"][1:]:
+        assert (
+            ver["warm"]["oracle_evaluations"]
+            < ver["cold"]["oracle_evaluations"]
+        ), f"warm must beat cold at version {ver['version']}"
+
+    out = args.out or str(
+        Path(__file__).resolve().parent / "results" / "BENCH_stream.json"
+    )
+    Path(out).parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,7 @@ from repro.core import (
     MISResult,
     SupplierResult,
     ThresholdGraphView,
+    WarmStart,
     gmm,
     mpc_degree_approximation,
     mpc_diversity,
@@ -202,6 +203,7 @@ __all__ = [
     "mpc_ksupplier",
     "mpc_dominating_set",
     "neighborhood_independence",
+    "WarmStart",
     # results
     "DominatingSetResult",
     "MISResult",

@@ -253,11 +253,15 @@ def solve_kcenter(
     limits: Optional[Limits] = None,
     cluster: Optional[MPCCluster] = None,
     faults=None,
+    warm_start=None,
 ) -> ClusteringResult:
     """(2+ε)-approximate MPC k-center over raw points (Algorithm 5).
 
     Pass ``cluster=`` to solve on a pre-assembled deployment (every
-    other assembly keyword must then stay at its default).
+    other assembly keyword must then stay at its default).  Pass
+    ``warm_start=`` (a :class:`repro.core.WarmStart`) to re-solve an
+    append-grown dataset from a parent version's centers — see
+    ``docs/streaming.md``.
     """
     cluster = _resolve_cluster(
         cluster, points, metric, machines, seed, partition, backend, limits, faults
@@ -265,7 +269,7 @@ def solve_kcenter(
     return _observed_solve(
         "kcenter", cluster,
         lambda: mpc_kcenter(cluster, k, epsilon=eps, constants=constants,
-                            trim_mode=trim_mode),
+                            trim_mode=trim_mode, warm_start=warm_start),
     )
 
 
@@ -284,15 +288,20 @@ def solve_diversity(
     limits: Optional[Limits] = None,
     cluster: Optional[MPCCluster] = None,
     faults=None,
+    warm_start=None,
 ) -> DiversityResult:
-    """(2+ε)-approximate MPC k-diversity maximization (Algorithm 2)."""
+    """(2+ε)-approximate MPC k-diversity maximization (Algorithm 2).
+
+    ``warm_start=`` re-solves an append-grown dataset from a parent
+    version's solution — see ``docs/streaming.md``.
+    """
     cluster = _resolve_cluster(
         cluster, points, metric, machines, seed, partition, backend, limits, faults
     )
     return _observed_solve(
         "diversity", cluster,
         lambda: mpc_diversity(cluster, k, epsilon=eps, constants=constants,
-                              trim_mode=trim_mode),
+                              trim_mode=trim_mode, warm_start=warm_start),
     )
 
 

@@ -736,6 +736,175 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: record fields included in the ``repro stream`` report — the
+#: deterministic subset (solution ids, objective, ladder state);
+#: excludes wall-clock timings and other run-environment noise so the
+#: JSON report is byte-identical across backends and service topologies
+_STREAM_RECORD_KEYS = (
+    "centers",
+    "radius",
+    "ids",
+    "diversity",
+    "tau",
+    "coreset_value",
+    "k",
+    "epsilon",
+)
+
+
+def _stream_entry(version: int, ds: dict, payload: dict, warm: bool) -> dict:
+    """One deterministic per-version row of the stream report."""
+    record = payload["record"]
+    return {
+        "version": version,
+        "dataset": ds["id"],
+        "fingerprint": ds["fingerprint"],
+        "n": ds["n"],
+        "warm": warm,
+        "record": {k: record[k] for k in _STREAM_RECORD_KEYS if k in record},
+        "oracle": payload.get("oracle"),
+        "warm_start": payload.get("warm_start"),
+        "drift": payload.get("drift"),
+    }
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """``repro stream``: simulate an arrival stream — register a base
+    batch, append delta batches one at a time, warm-start re-solve each
+    chained version, and print the per-version drift table (see
+    docs/streaming.md).
+
+    In-process by default; ``--url`` drives a running service through
+    ``POST /v1/datasets/<id>/append`` + ``warm_start`` jobs instead.
+    For a fixed seed the ``--json-out`` report is byte-identical either
+    way, across execution backends, and across worker crashes — the CI
+    stream-smoke job diffs exactly that.
+    """
+    from repro.workloads.trajectories import trajectory_stream
+
+    if args.appends < 1:
+        print("error: --appends must be >= 1", file=sys.stderr)
+        return 2
+    batches = trajectory_stream(
+        args.n,
+        batches=args.appends + 1,
+        rng=np.random.default_rng(args.dataset_seed),
+    )
+    spec_kwargs = {
+        "algorithm": args.algorithm,
+        "k": args.k,
+        "eps": args.epsilon,
+        "machines": args.machines,
+        "seed": args.seed,
+    }
+
+    entries = []
+    if args.url is not None:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.url)
+        ds = client.register_points(batches[0])
+        for version in range(args.appends + 1):
+            if version > 0:
+                ds = client.append_dataset(ds["id"], batches[version])
+            warm = version > 0
+            job = client.submit(dataset=ds["id"], warm_start=warm, **spec_kwargs)
+            job = client.wait(job["id"], timeout=args.timeout)
+            if job["state"] != "done":
+                print(
+                    f"job {job['id']} ended {job['state']}: {job.get('error') or ''}",
+                    file=sys.stderr,
+                )
+                return 1
+            entries.append(_stream_entry(version, ds, job["result"], warm))
+    else:
+        from repro.service.datasets import DatasetRegistry
+        from repro.service.jobs import JobManager
+        from repro.service.spec import JobSpec
+        from repro.service.store import open_stores
+
+        stores = open_stores(args.state_dir)
+        datasets = DatasetRegistry(stores.datasets)
+        manager = JobManager(
+            datasets, stores=stores, workers=args.workers, backend=args.backend
+        ).start()
+        try:
+            ds = datasets.register_points(batches[0]).describe()
+            for version in range(args.appends + 1):
+                if version > 0:
+                    ds = datasets.append(ds["id"], batches[version]).describe()
+                warm = version > 0
+                job = manager.submit(
+                    JobSpec(dataset=ds["id"], warm_start=warm, **spec_kwargs)
+                )
+                job = manager.wait(job.id, timeout=args.timeout)
+                if job.state.value != "done":
+                    print(
+                        f"job {job.id} ended {job.state.value}: {job.error or ''}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                entries.append(_stream_entry(version, ds, job.result, warm))
+        finally:
+            manager.stop()
+
+    rows = []
+    for entry in entries:
+        record = entry["record"]
+        drift = entry["drift"] or {}
+        objective = record.get("radius", record.get("diversity"))
+        oracle = entry["oracle"] or {}
+        rows.append(
+            {
+                "version": entry["version"],
+                "dataset": entry["dataset"][:14],
+                "n": entry["n"],
+                "mode": "warm" if entry["warm"] else "cold",
+                "objective": f"{objective:.4f}",
+                "appended": drift.get("appended", "-"),
+                "overlap": (
+                    "-"
+                    if drift.get("center_overlap") is None
+                    else f"{drift['center_overlap']:.2f}"
+                ),
+                "drift": (
+                    "-"
+                    if drift.get("drift_ratio") is None
+                    else f"{drift['drift_ratio']:.4f}"
+                ),
+                "oracle_evals": oracle.get("evaluations", "-"),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"stream — {args.algorithm}, k={args.k}, "
+                f"{len(entries)} versions ({args.appends} appends)"
+            ),
+        )
+    )
+
+    if args.json_out:
+        import json as _json
+
+        report = {
+            "algorithm": args.algorithm,
+            "k": args.k,
+            "epsilon": args.epsilon,
+            "seed": args.seed,
+            "dataset_seed": args.dataset_seed,
+            "n": args.n,
+            "appends": args.appends,
+            "versions": entries,
+        }
+        with open(args.json_out, "w") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote stream report JSON to {args.json_out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -1007,6 +1176,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full ranked report as JSON",
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "stream",
+        help="simulate an arrival stream: append chained dataset versions "
+        "and warm-start re-solve each one, reporting solution drift",
+    )
+    p.add_argument(
+        "--algorithm", choices=["kcenter", "diversity"], default="kcenter"
+    )
+    p.add_argument(
+        "--n", type=int, default=240, help="total points across all batches"
+    )
+    p.add_argument(
+        "--appends",
+        type=int,
+        default=3,
+        help="delta batches appended after the base batch",
+    )
+    p.add_argument("--k", type=int, default=6)
+    p.add_argument("--epsilon", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=0, help="solver seed")
+    p.add_argument(
+        "--dataset-seed",
+        type=int,
+        default=0,
+        help="trajectory arrival-stream generation seed",
+    )
+    p.add_argument("--machines", type=int, default=None, help="MPC machines")
+    p.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="serial",
+        help="execution backend for in-process solver runs",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="in-process worker threads"
+    )
+    p.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="drive a running service (append + warm_start jobs over HTTP) "
+        "instead of running in-process; the report is byte-identical "
+        "either way",
+    )
+    p.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable state directory for the in-process run",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-job deadline",
+    )
+    p.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="write the deterministic per-version stream report as JSON",
+    )
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser(
         "worker",

@@ -10,6 +10,7 @@
 * :mod:`repro.core.diversity` — Algorithm 2 (Theorem 3) + 4-approx coreset.
 * :mod:`repro.core.kcenter` — Algorithm 5 (Theorem 17) + 4-approx coreset.
 * :mod:`repro.core.ksupplier` — Algorithm 6 (Theorem 18).
+* :mod:`repro.core.warm` — warm-start state for incremental re-solves.
 """
 
 from repro.core.degree_approx import DegreeApproxResult, mpc_degree_approximation
@@ -33,6 +34,7 @@ from repro.core.results import (
 )
 from repro.core.threshold_graph import ThresholdGraphView
 from repro.core.trim import trim
+from repro.core.warm import WarmStart
 
 __all__ = [
     "gmm",
@@ -56,4 +58,5 @@ __all__ = [
     "CoresetResult",
     "DiversityResult",
     "SupplierResult",
+    "WarmStart",
 ]

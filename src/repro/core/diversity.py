@@ -28,29 +28,52 @@ from repro.core.gmm import gmm
 from repro.core.kbounded_mis import mpc_k_bounded_mis
 from repro.core.results import CoresetResult, DiversityResult
 from repro.core.threshold_search import find_flip
+from repro.core.warm import WarmStart
 from repro.exceptions import InfeasibleInstanceError, InvalidSolutionError
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.message import PointBatch
 
 
-def mpc_diversity_coreset(cluster: MPCCluster, k: int) -> CoresetResult:
+def mpc_diversity_coreset(
+    cluster: MPCCluster, k: int, warm_start: Optional[WarmStart] = None
+) -> CoresetResult:
     """Lines 1–3 of Algorithm 2: the two-round 4-approximation.
 
     Returns a :class:`CoresetResult` — a k-subset ``ids`` with
     ``div(ids) = value`` and the guarantee ``value ≤ div_k(V) ≤ 4·value``
     (Theorem 3's first stage); unpacking as ``Q, r = ...`` keeps working.
+
+    With ``warm_start`` (an append-chained child re-solve), each
+    machine's GMM runs only over its *delta* points (ids ≥ ``base_n``)
+    and ships the parent centers it owns alongside, so the central
+    union still sees the summary of the old points — same rounds,
+    ``O(k·base_n)`` fewer oracle evaluations.
     """
     if k < 2:
         raise InfeasibleInstanceError("diversity maximization needs k >= 2")
     if k > cluster.n:
         raise InfeasibleInstanceError(f"k={k} exceeds the number of points n={cluster.n}")
+    if warm_start is not None and warm_start.base_n >= cluster.n:
+        raise InfeasibleInstanceError(
+            f"warm start base_n={warm_start.base_n} leaves no delta in n={cluster.n}"
+        )
     round0 = cluster.round_no
 
-    with cluster.obs.span("div/coreset", k=k):
+    with cluster.obs.span("div/coreset", k=k, warm=warm_start is not None):
+        ws = warm_start
+
         def _local(mach):
-            T_i = gmm(mach, mach.local_ids, k)
-            r_i = mach.diversity(T_i) if T_i.size == k else 0.0
-            return T_i, float(r_i)
+            if ws is None:
+                T_i = gmm(mach, mach.local_ids, k)
+                r_i = mach.diversity(T_i) if T_i.size == k else 0.0
+                return T_i, float(r_i)
+            # warm: GMM over the delta only, parent centers shipped
+            # alongside.  The local certificate r_i is skipped — the
+            # shipped set mixes delta picks with parent centers, so its
+            # diversity is not a pure local GMM bound; the central
+            # candidate carries the warm value instead.
+            T_i = gmm(mach, ws.delta_ids(mach.local_ids), k)
+            return np.union1d(T_i, ws.local_centers(mach.local_ids)), 0.0
 
         locals_T = cluster.map_machines(_local)
         payloads = {
@@ -86,6 +109,7 @@ def mpc_diversity(
     epsilon: float = 0.1,
     constants: Optional[TheoryConstants] = None,
     trim_mode: str = "random",
+    warm_start: Optional[WarmStart] = None,
 ) -> DiversityResult:
     """Algorithm 2: (2+ε)-approximate k-diversity in O(log 1/ε) probes.
 
@@ -102,6 +126,13 @@ def mpc_diversity(
         Analysis constants for the inner MIS runs.
     trim_mode:
         Tie-break rule forwarded to the MIS runs.
+    warm_start:
+        Optional :class:`~repro.core.warm.WarmStart` from a parent
+        dataset version; only the coreset stage changes (per-machine
+        GMM over the delta, parent centers joining the union).  Because
+        the warm coreset value is a valid lower bound but not a
+        certified 4-approximation, the ladder extends itself upward if
+        the top rung still yields a size-k independent set.
 
     Returns
     -------
@@ -114,7 +145,7 @@ def mpc_diversity(
     round0 = cluster.round_no
 
     with cluster.obs.span("div/run", k=k, epsilon=epsilon):
-        Q, r = mpc_diversity_coreset(cluster, k)
+        Q, r = mpc_diversity_coreset(cluster, k, warm_start=warm_start)
         if r <= 0.0:
             # optimum is 0 (≥ k duplicate points); any k-subset is optimal
             return DiversityResult(
@@ -141,19 +172,52 @@ def mpc_diversity(
         def good(M: np.ndarray) -> bool:
             return M.size == k
 
-        cache: dict[int, np.ndarray] = {}
-        if good(probe_t := probe(t)):
-            # theory forbids this (τ_t > 4r ≥ div_k(V)); a size-k independent
-            # set at τ_t would certify diversity > 4r, contradicting r's
-            # 4-approximation guarantee.
-            raise InvalidSolutionError(
-                "k-bounded MIS returned a size-k independent set above the "
-                "4-approximation ceiling — the MIS or the coreset stage is broken"
-            )
-        cache[t] = probe_t
-        cache[0] = Q
+        cache: dict[int, np.ndarray] = {0: Q}
+
+        def cached_probe(i: int) -> np.ndarray:
+            if i not in cache:
+                cache[i] = probe(i)
+            return cache[i]
+
+        lo, hi = 0, t
+        if warm_start is not None and warm_start.objective > 0.0:
+            # Bracket the flip search at the rung nearest the parent's
+            # objective (diversity only grows under appends, so the
+            # child's flip usually sits at or above it).  A bad pivot
+            # probe bounds the search in [0, pivot] and skips the τ_t
+            # probe — and with it the whole ladder-extension question.
+            guess = math.log(warm_start.objective / r) / math.log1p(epsilon)
+            pivot = min(max(int(round(guess)), 1), t - 1)
+            if good(cached_probe(pivot)):
+                lo = pivot
+            else:
+                hi = pivot
+        if hi == t:
+            probe_t = cached_probe(t)
+            if good(probe_t) and warm_start is not None:
+                # The warm coreset value is a valid lower bound but not a
+                # certified 4-approximation, so the ladder may start too
+                # low.  Extend it geometrically (each block multiplies the
+                # ceiling by another 4×) until the top rung goes bad.
+                for _ in range(8):
+                    taus.extend(
+                        taus[-1] * (1.0 + epsilon) ** i for i in range(1, t + 1)
+                    )
+                    t = len(taus) - 1
+                    hi = t
+                    probe_t = cached_probe(t)
+                    if not good(probe_t):
+                        break
+            if good(probe_t):
+                # theory forbids this (τ_t > 4r ≥ div_k(V)); a size-k
+                # independent set at τ_t would certify diversity > 4r,
+                # contradicting r's 4-approximation guarantee.
+                raise InvalidSolutionError(
+                    "k-bounded MIS returned a size-k independent set above the "
+                    "4-approximation ceiling — the MIS or the coreset stage is broken"
+                )
         j, M_j, _ = find_flip(
-            probe, good, 0, t, cache, obs=cluster.obs, span="div/search"
+            probe, good, lo, hi, cache, obs=cluster.obs, span="div/search"
         )
 
         div_val = float(cluster.metric.diversity(M_j))

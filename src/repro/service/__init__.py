@@ -60,7 +60,13 @@ Over HTTP: ``repro serve --port 8000`` then
 
 from repro.service.cache import ResultCache
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.datasets import Dataset, DatasetRegistry
+from repro.service.datasets import (
+    Dataset,
+    DatasetRegistry,
+    MetricMismatchError,
+    NotAppendableError,
+    UnknownDatasetError,
+)
 from repro.service.http import serve
 from repro.service.jobs import (
     Job,
@@ -89,6 +95,8 @@ __all__ = [
     "JobSpec",
     "JobState",
     "JobTimeout",
+    "MetricMismatchError",
+    "NotAppendableError",
     "QueueFullError",
     "ResultCache",
     "RetryPolicy",
@@ -96,6 +104,7 @@ __all__ = [
     "ServiceError",
     "ServiceStores",
     "UnknownAnalysisError",
+    "UnknownDatasetError",
     "UnknownJobError",
     "open_stores",
     "serve",

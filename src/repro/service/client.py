@@ -279,6 +279,21 @@ class ServiceClient:
             "POST", "/datasets", {"workload": workload, "n": int(n), "seed": int(seed)}
         )
 
+    def append_dataset(self, ds_id: str, points, metric: Optional[str] = None) -> dict:
+        """Grow ``ds_id`` with a batch of points → the new chained
+        version's summary (idempotent: same parent + same bytes = same
+        child).  ``metric``, when given, must match the parent's
+        (``409 metric_mismatch`` otherwise)."""
+        pts = np.asarray(points, dtype=np.float64).tolist()
+        body: dict = {"points": pts}
+        if metric is not None:
+            body["metric"] = metric
+        return self._request("POST", f"/datasets/{ds_id}/append", body)
+
+    def resolve_chain(self, ds_id: str) -> list:
+        """The version chain of ``ds_id``, root first (ends at ``ds_id``)."""
+        return self._request("GET", f"/datasets/{ds_id}/chain")["chain"]
+
     def datasets(self) -> list:
         return self._request("GET", "/datasets")["datasets"]
 

@@ -1,16 +1,24 @@
 """Dataset registry: register once, fingerprint, reuse across jobs.
 
-A dataset is either a *named workload* (built deterministically from the
-:mod:`repro.workloads.registry` with a seed) or *uploaded points* (raw
-coordinates plus a metric name).  Registration materializes the metric
-once and computes the content fingerprint — the SHA-256 of the metric's
-distance-function identity plus the canonical point bytes (see
+A dataset is a *named workload* (built deterministically from the
+:mod:`repro.workloads.registry` with a seed), *uploaded points* (raw
+coordinates plus a metric name), or an *append version* (a parent
+dataset plus a batch of new points, see :meth:`DatasetRegistry.append`).
+Registration materializes the metric once and computes the content
+fingerprint — the SHA-256 of the metric's distance-function identity
+plus the canonical point bytes (see
 :func:`repro.workloads.registry.fingerprint_metric`) — so two
 registrations of bit-identical data under the same metric collapse to
 the same dataset id, while the same points under *different* metrics
 (euclidean vs manhattan) stay distinct, and the result cache can treat
 "same fingerprint" as "same input".
 
+Every registered dataset *version* is immutable — appending never
+mutates the parent, it mints a new chained version whose fingerprint is
+derived from ``(parent fingerprint, delta digest, metric)``, so the
+chain is content-addressed exactly like flat registrations: the same
+parent grown by the same bytes is the same child, and the result cache
+can never cross-serve a parent result for a child (or vice versa).
 Metrics are immutable (point arrays are read-only and kernels are
 pure), so one registered dataset is safely shared by concurrent jobs;
 per-job mutable state (RNG streams, counting wrappers) lives on the
@@ -19,6 +27,7 @@ cluster each job builds for itself.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
@@ -32,12 +41,25 @@ from repro.service.store import DatasetRecord, DatasetStore, InMemoryDatasetStor
 from repro.workloads.registry import (
     available_workloads,
     fingerprint_metric,
+    fingerprint_points,
     make_workload,
 )
 
 
 class UnknownDatasetError(KeyError):
     """No dataset with the requested id (or fingerprint) is registered."""
+
+
+class NotAppendableError(ValueError):
+    """The parent dataset kind does not support appends (workloads
+    rebuild from their generator params and oracle-only metrics have no
+    canonical coordinates; register the coordinates as points first)."""
+
+
+class MetricMismatchError(ValueError):
+    """An append named a metric different from the parent's — chained
+    versions must share one metric or their fingerprints (and cached
+    results) would silently disagree."""
 
 
 @dataclass
@@ -47,14 +69,26 @@ class Dataset:
     id: str
     fingerprint: str
     metric: Metric
-    #: ``'workload'`` or ``'points'``
+    #: ``'workload'``, ``'points'``, or ``'append'``
     kind: str
-    #: registration parameters (workload name/n/seed, or metric name)
+    #: registration parameters (workload name/n/seed, or metric name;
+    #: append versions add parent/parent_fingerprint/delta_fingerprint/
+    #: base_n/depth)
     params: dict = field(default_factory=dict)
 
     @property
     def n(self) -> int:
         return self.metric.n
+
+    @property
+    def parent(self) -> Optional[str]:
+        """Parent version's dataset id (``None`` for non-append datasets)."""
+        return self.params.get("parent")
+
+    @property
+    def base_n(self) -> int:
+        """Points inherited from the parent version (0 for roots)."""
+        return int(self.params.get("base_n", 0))
 
     def describe(self) -> dict:
         """JSON-safe summary (no point data)."""
@@ -120,6 +154,89 @@ class DatasetRegistry:
             params={"workload": name, "n": int(n), "seed": int(seed)},
         )
 
+    def append(self, ds_id: str, points, metric: Optional[str] = None) -> Dataset:
+        """Grow a dataset: mint a new chained version with ``points``
+        appended after the parent's.
+
+        The parent is untouched; the child is a full, self-contained
+        dataset (parent coordinates + delta, in order) whose fingerprint
+        is the SHA-256 of ``(parent fingerprint, delta digest, metric)``
+        — content-addressed, so the same parent grown by the same bytes
+        is the same child and the operation is idempotent.  Ids
+        ``< parent.n`` in the child are exactly the parent's points,
+        which is what lets warm-start re-solves reuse the parent's
+        centers (see :mod:`repro.core.warm`).
+
+        Raises :class:`NotAppendableError` for workload/oracle-only
+        parents, :class:`MetricMismatchError` if ``metric`` names a
+        different metric than the parent's, and :class:`ValueError` for
+        shape problems (empty delta, dimension mismatch).
+        """
+        parent = self.get(ds_id)
+        if parent.kind not in ("points", "append"):
+            raise NotAppendableError(
+                f"dataset {parent.id} (kind={parent.kind!r}) is not appendable; "
+                "register its coordinates as points first"
+            )
+        parent_metric = str(parent.params["metric"]).lower()
+        if metric is not None and str(metric).lower() != parent_metric:
+            raise MetricMismatchError(
+                f"append metric {str(metric).lower()!r} does not match parent "
+                f"{parent.id} metric {parent_metric!r}"
+            )
+        delta = np.asarray(points, dtype=np.float64)
+        if delta.ndim == 1:
+            delta = delta.reshape(1, -1) if delta.size else delta.reshape(0, 0)
+        if delta.ndim != 2 or delta.shape[0] == 0:
+            raise ValueError("append requires a non-empty (m, d) batch of points")
+        parent_pts = self._store.load_points(parent.fingerprint)
+        if parent_pts is None:
+            raise UnknownDatasetError(
+                f"{parent.id}: point blob {parent.fingerprint[:12]}… missing "
+                "from the dataset store"
+            )
+        if delta.shape[1] != parent_pts.shape[1]:
+            raise ValueError(
+                f"append dimension mismatch: parent {parent.id} has "
+                f"d={parent_pts.shape[1]}, delta has d={delta.shape[1]}"
+            )
+        combined = np.vstack([parent_pts, delta])
+        delta_fp = fingerprint_points(delta)
+        fp = hashlib.sha256(
+            b"append\x00"
+            + parent.fingerprint.encode()
+            + b"\x00"
+            + delta_fp.encode()
+            + b"\x00"
+            + parent_metric.encode()
+        ).hexdigest()
+        return self._admit(
+            make_metric(combined, parent_metric),
+            kind="append",
+            params={
+                "metric": parent_metric,
+                "parent": parent.id,
+                "parent_fingerprint": parent.fingerprint,
+                "delta_fingerprint": delta_fp,
+                "base_n": int(parent.n),
+                "depth": int(parent.params.get("depth", 0)) + 1,
+            },
+            points=combined,
+            fingerprint=fp,
+        )
+
+    def chain(self, ds_id: str) -> List[Dataset]:
+        """The version chain of ``ds_id``, root first (ends at ``ds_id``)."""
+        out: List[Dataset] = []
+        ds = self.get(ds_id)
+        while True:
+            out.append(ds)
+            if ds.parent is None:
+                break
+            ds = self.get(ds.parent)
+        out.reverse()
+        return out
+
     def _admit(
         self,
         metric: Metric,
@@ -127,12 +244,12 @@ class DatasetRegistry:
         kind: str,
         params: dict,
         points: Optional[np.ndarray] = None,
+        fingerprint: Optional[str] = None,
     ) -> Dataset:
-        fp = fingerprint_metric(metric)
+        fp = fingerprint if fingerprint is not None else fingerprint_metric(metric)
         if fp is None:
             # oracle-only metric: no canonical bytes — key by the
             # registration parameters instead (still deterministic)
-            import hashlib
             import json
 
             fp = hashlib.sha256(
@@ -144,7 +261,7 @@ class DatasetRegistry:
             if existing is not None:
                 return existing
             # workloads rebuild deterministically from their params, so
-            # only uploaded coordinates need a point blob
+            # only uploaded/appended coordinates need a point blob
             self._store.put(
                 DatasetRecord(
                     id=ds_id,
@@ -155,7 +272,7 @@ class DatasetRegistry:
                     metric_name=type(metric).__name__,
                     created_at=time.time(),
                 ),
-                points if kind == "points" else None,
+                points if kind in ("points", "append") else None,
             )
             ds = Dataset(id=ds_id, fingerprint=fp, metric=metric, kind=kind, params=params)
             self._by_id[ds_id] = ds

@@ -11,6 +11,8 @@ method    path                            meaning
 POST      ``/v1/datasets``                register a workload or uploaded points
 GET       ``/v1/datasets``                list registered datasets
 GET       ``/v1/datasets/<id>``           one dataset's summary
+POST      ``/v1/datasets/<id>/append``    grow a dataset: mint a chained version
+GET       ``/v1/datasets/<id>/chain``     the version chain, root first
 POST      ``/v1/jobs``                    submit a job (``429`` when queue is full)
 GET       ``/v1/jobs``                    list jobs (``?state=&limit=&cursor=``)
 GET       ``/v1/jobs/<id>``               job status + result when done
@@ -36,8 +38,9 @@ submit time.
 Every 4xx/5xx body is the uniform envelope
 ``{"error": {"code", "message", "request_id"}}`` — ``code`` is
 machine-readable (``invalid_request``, ``unknown_dataset``,
-``unknown_job``, ``no_route``, ``conflict``, ``payload_too_large``,
-``queue_full``, ``injected_fault``, ``unavailable``, ``internal``) and
+``unknown_job``, ``no_route``, ``conflict``, ``metric_mismatch``,
+``not_appendable``, ``payload_too_large``, ``queue_full``,
+``injected_fault``, ``unavailable``, ``internal``) and
 is what :class:`~repro.service.client.ServiceClient` keys its retry
 decisions off; ``request_id`` is the trace id echoed in
 ``X-Request-Id``.  Build and start one with :func:`serve`; tests pass
@@ -61,7 +64,12 @@ from repro.obs.export import trace_payload
 from repro.obs.logging import get_logger
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 from repro.obs.tracing import TraceContext, use_trace
-from repro.service.datasets import DatasetRegistry, UnknownDatasetError
+from repro.service.datasets import (
+    DatasetRegistry,
+    MetricMismatchError,
+    NotAppendableError,
+    UnknownDatasetError,
+)
 from repro.service.jobs import JobManager, JobState, QueueFullError, RetryPolicy, UnknownJobError
 from repro.service.spec import JobSpec
 from repro.service.store import ANALYSIS_STATES, UnknownAnalysisError, open_stores
@@ -360,6 +368,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(exc.status, exc.message, exc.code)
         except UnknownDatasetError as exc:
             self._send_error(404, f"unknown dataset: {exc.args[0]}", "unknown_dataset")
+        except MetricMismatchError as exc:
+            self._send_error(409, str(exc), "metric_mismatch")
+        except NotAppendableError as exc:
+            self._send_error(409, str(exc), "not_appendable")
         except UnknownJobError as exc:
             self._send_error(404, f"unknown job: {exc.args[0]}", "unknown_job")
         except UnknownAnalysisError as exc:
@@ -389,6 +401,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._get_datasets
             if len(parts) == 2 and parts[0] == "datasets":
                 return self._get_dataset
+            if len(parts) == 3 and parts[0] == "datasets" and parts[2] == "chain":
+                return self._get_dataset_chain
             if parts == ["jobs"]:
                 return self._get_jobs
             if len(parts) == 2 and parts[0] == "jobs":
@@ -404,6 +418,8 @@ class _Handler(BaseHTTPRequestHandler):
         elif method == "POST":
             if parts == ["datasets"]:
                 return self._post_datasets
+            if len(parts) == 3 and parts[0] == "datasets" and parts[2] == "append":
+                return self._post_dataset_append
             if parts == ["jobs"]:
                 return self._post_jobs
             if parts == ["analyses"]:
@@ -522,6 +538,27 @@ class _Handler(BaseHTTPRequestHandler):
                 "'seed') or 'points' (+ optional 'metric')",
             )
         self._send_json(201, ds.describe())
+
+    def _post_dataset_append(self, parts, query) -> None:
+        """Grow dataset ``parts[1]`` with a batch of points → a new
+        chained version (201).  Appending the same bytes twice returns
+        the same child — content addressing makes the route idempotent."""
+        body = self._read_json()
+        extra = set(body) - {"points", "metric"}
+        if extra:
+            raise ApiError(400, f"unknown append field(s): {sorted(extra)}")
+        if "points" not in body:
+            raise ApiError(400, "an append body needs 'points' (+ optional 'metric')")
+        registry = self.server.manager.datasets
+        ds = registry.append(parts[1], body["points"], metric=body.get("metric"))
+        self.server.manager.metrics.counter(
+            "repro_datasets_appended_total", "dataset append versions minted over HTTP"
+        ).inc()
+        self._send_json(201, ds.describe())
+
+    def _get_dataset_chain(self, parts, query) -> None:
+        chain = self.server.manager.datasets.chain(parts[1])
+        self._send_json(200, {"chain": [ds.describe() for ds in chain]})
 
     def _get_datasets(self, parts, query) -> None:
         self._send_json(200, {"datasets": self.server.manager.datasets.list()})

@@ -610,6 +610,11 @@ class JobManager:
             raise ValueError(
                 f"k={spec.k} exceeds dataset size n={dataset.n} ({dataset.id})"
             )
+        if spec.warm_start and dataset.parent is None:
+            raise ValueError(
+                f"warm_start requires an append-chained dataset version; "
+                f"{dataset.id} (kind={dataset.kind!r}) has no parent"
+            )
         if spec.timeout_s is None and self.default_timeout_s is not None:
             spec.timeout_s = float(self.default_timeout_s)
         base = trace if trace is not None else TraceContext.generate()
@@ -972,6 +977,11 @@ class JobManager:
         try:
             dataset = self.datasets.get(spec.dataset)
             with use_trace(job.trace):
+                warm = (
+                    self._resolve_warm(spec, dataset, cancel_event=job.cancel_event)
+                    if spec.warm_start
+                    else None
+                )
                 payload, run_log = execute_job(
                     spec,
                     dataset,
@@ -982,6 +992,7 @@ class JobManager:
                     faults=self.faults,
                     metrics=self.metrics,
                     trace=job.trace,
+                    warm=warm,
                 )
         except JobCancelled:
             state, error, produced = JobState.CANCELLED, None, None
@@ -1000,8 +1011,90 @@ class JobManager:
         else:
             state, error, produced = JobState.DONE, None, (payload, run_log)
             self._note_remote(payload)
+            self._note_warm(payload)
             self.cache.put(spec.cache_key(dataset.fingerprint), payload, run_log)
         self._commit_terminal(job, state, error, produced)
+
+    def _resolve_warm(
+        self,
+        spec: JobSpec,
+        dataset,
+        cancel_event: Optional[threading.Event] = None,
+    ) -> dict:
+        """Resolve the parent version's solution for a warm-start job.
+
+        The parent result is looked up under its own cache key (a
+        warm-start spec if the parent is itself a chained version, a
+        cold one at the chain root) and computed on the spot on a miss
+        — recursing to the root if nothing along the chain is cached.
+        Each ancestor result lands in the cache under its own key, so
+        the warm job's payload (and its own oracle ledger, which covers
+        only its own run) is path-independent: identical whether the
+        chain was solved version-by-version or materialized here in one
+        go after a restart on a cold cache.
+        """
+        parent = self.datasets.get(dataset.parent)
+        parent_spec = JobSpec(
+            algorithm=spec.algorithm,
+            dataset=parent.id,
+            k=spec.k,
+            eps=spec.eps,
+            machines=spec.machines,
+            seed=spec.seed,
+            partition=spec.partition,
+            trim_mode=spec.trim_mode,
+            constants=spec.constants,
+            warm_start=parent.parent is not None,
+        )
+        key = parent_spec.cache_key(parent.fingerprint)
+        hit = self.cache.get(key)
+        if hit is not None:
+            payload = hit[0]
+        else:
+            warm = (
+                self._resolve_warm(parent_spec, parent, cancel_event=cancel_event)
+                if parent_spec.warm_start
+                else None
+            )
+            payload, run_log = execute_job(
+                parent_spec,
+                parent,
+                backend=self.backend,
+                remote_workers=self.remote_workers,
+                cancel_event=cancel_event,
+                faults=self.faults,
+                metrics=self.metrics,
+                warm=warm,
+            )
+            self.cache.put(key, payload, run_log)
+        record = payload["record"]
+        if spec.algorithm == "kcenter":
+            centers, objective = record["centers"], record["radius"]
+        else:
+            centers, objective = record["ids"], record["diversity"]
+        return {
+            "dataset": parent.id,
+            "fingerprint": parent.fingerprint,
+            "base_n": int(parent.n),
+            "centers": centers,
+            "objective": float(objective),
+        }
+
+    def _note_warm(self, payload: dict) -> None:
+        """Stream one finished warm-start job into the metrics registry."""
+        drift = payload.get("drift")
+        if drift is None:
+            return
+        self.metrics.counter(
+            "repro_warm_start_jobs_total", "warm-start re-solve jobs completed"
+        ).inc()
+        ratio = drift.get("drift_ratio")
+        if ratio is not None:
+            self.metrics.histogram(
+                "repro_warm_start_drift_ratio",
+                "child/parent objective ratio per warm-start job",
+                buckets=(0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 4.0),
+            ).observe(float(ratio))
 
     def _note_remote(self, payload: dict) -> None:
         """Fold one remote-backend job's pool shape and dispatch/recovery

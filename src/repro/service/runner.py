@@ -23,8 +23,11 @@ from typing import Optional, Tuple
 
 import threading
 
+import numpy as np
+
 from repro.api import SOLVERS, build_cluster
 from repro.constants import TheoryConstants
+from repro.core.warm import WarmStart
 from repro.metric.oracle import CountingOracle
 from repro.obs import Observer, Recorder, RunLog
 from repro.obs.metrics import MetricsObserver, MetricsRegistry
@@ -64,6 +67,45 @@ class _JobControl(Observer):
         self._check()
 
 
+def drift_report(
+    ids,
+    objective: float,
+    *,
+    parent_centers,
+    parent_objective: float,
+    appended: int,
+) -> dict:
+    """Quantify how far a child solution drifted from its parent's.
+
+    All fields are pure functions of the two solutions (no wall-clock,
+    no job ids), so the report is bit-identical wherever the same
+    chain is re-solved:
+
+    * ``appended`` — points added since the parent version;
+    * ``center_overlap`` — fraction of the parent's centers retained
+      in the child solution;
+    * ``objective_delta`` — child objective minus parent objective
+      (positive = radius grew / diversity rose);
+    * ``drift_ratio`` — child objective over parent objective
+      (``None`` when the parent objective is 0).
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    parent_centers = np.asarray(parent_centers, dtype=np.int64)
+    shared = np.intersect1d(ids, parent_centers).size
+    overlap = float(shared) / float(parent_centers.size) if parent_centers.size else 0.0
+    return {
+        "appended": int(appended),
+        "center_overlap": overlap,
+        "objective": float(objective),
+        "objective_delta": float(objective) - float(parent_objective),
+        "drift_ratio": (
+            float(objective) / float(parent_objective)
+            if parent_objective not in (0, 0.0)
+            else None
+        ),
+    }
+
+
 def execute_job(
     spec: JobSpec,
     dataset: Dataset,
@@ -75,8 +117,18 @@ def execute_job(
     faults=None,
     metrics: Optional[MetricsRegistry] = None,
     trace: Optional[TraceContext] = None,
+    warm: Optional[dict] = None,
 ) -> Tuple[dict, RunLog]:
     """Run one job; returns ``(payload, run_log)``.
+
+    ``warm`` (for ``spec.warm_start`` jobs; the manager resolves it
+    from the parent version's cached result) is a dict with the parent
+    ``dataset``/``fingerprint``/``base_n``/``centers``/``objective``;
+    the solver then reuses the parent's centers as the initial GMM
+    state (:class:`repro.core.WarmStart`) and the payload gains
+    ``warm_start`` and ``drift`` sections.  Everything in those
+    sections derives from solver output, so warm payloads stay
+    bit-identical across backends and kill/restart recovery.
 
     The payload is JSON-safe: the solver's result record
     (:meth:`to_dict`), the cluster's MPC accounting summary, the
@@ -159,6 +211,12 @@ def execute_job(
         kwargs["suppliers"] = list(spec.suppliers)
     if spec.outliers is not None:
         kwargs["outliers"] = spec.outliers
+    if warm is not None:
+        kwargs["warm_start"] = WarmStart(
+            base_n=int(warm["base_n"]),
+            centers=np.asarray(warm["centers"], dtype=np.int64),
+            objective=float(warm["objective"]),
+        )
 
     t0 = time.perf_counter()
     try:
@@ -185,6 +243,25 @@ def execute_job(
         },
         "phases": recorder.log.phase_summary(),
     }
+    if warm is not None:
+        ids = result.centers if spec.algorithm == "kcenter" else result.ids
+        objective = (
+            result.radius if spec.algorithm == "kcenter" else result.diversity
+        )
+        payload["warm_start"] = {
+            "parent": {
+                "dataset": warm["dataset"],
+                "fingerprint": warm["fingerprint"],
+                "n": int(warm["base_n"]),
+                "objective": float(warm["objective"]),
+            }
+        }
+        payload["drift"] = drift_report(
+            ids, float(objective),
+            parent_centers=warm["centers"],
+            parent_objective=float(warm["objective"]),
+            appended=dataset.n - int(warm["base_n"]),
+        )
     if cluster.faults is not None or recorder.log.faults:
         recovery = {"fault_summary": recorder.log.fault_summary()}
         stats_fn = getattr(cluster.executor, "recovery_stats", None)

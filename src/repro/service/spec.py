@@ -53,6 +53,10 @@ class JobSpec:
     suppliers: Optional[Sequence[int]] = None
     #: outlier budget; only meaningful for the outlier-capable solvers
     outliers: Optional[int] = None
+    #: re-solve an append-chained dataset version from its parent's
+    #: solution (kcenter/diversity only); warm results legitimately
+    #: differ from cold ones, so this *is* part of :meth:`cache_key`
+    warm_start: bool = False
     #: execution backend override for this job (``None`` = the
     #: manager's default); excluded from :meth:`cache_key` — every
     #: backend is bit-identical, so results are shared across them
@@ -132,6 +136,12 @@ class JobSpec:
             self.outliers = int(self.outliers)
             if self.outliers < 0:
                 raise ValueError(f"outliers must be >= 0, got {self.outliers}")
+        self.warm_start = bool(self.warm_start)
+        if self.warm_start and self.algorithm not in ("kcenter", "diversity"):
+            raise ValueError(
+                f"warm_start only applies to kcenter and diversity jobs, "
+                f"not {self.algorithm!r}"
+            )
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JobSpec":
@@ -169,6 +179,8 @@ class JobSpec:
             out["suppliers"] = list(self.suppliers)
         if self.outliers is not None:
             out["outliers"] = self.outliers
+        if self.warm_start:
+            out["warm_start"] = True
         if self.tags:
             out["tags"] = dict(self.tags)
         return out
@@ -194,4 +206,5 @@ class JobSpec:
             self.customers,
             self.suppliers,
             self.outliers,
+            self.warm_start,
         )

@@ -10,6 +10,8 @@
 * :mod:`repro.workloads.suppliers` — customer/supplier instances;
 * :mod:`repro.workloads.graphs` — graph-metric workloads (grids,
   random geometric graphs);
+* :mod:`repro.workloads.trajectories` — bursty walker arrival batches
+  for append chains and warm-start re-solves;
 * :mod:`repro.workloads.registry` — name → builder registry used by the
   CLI and the benchmark harness.
 """
@@ -26,6 +28,7 @@ from repro.workloads.graphs import grid_graph_metric, random_geometric_graph_met
 from repro.workloads.outliers import clustered_with_outliers
 from repro.workloads.registry import available_workloads, make_workload
 from repro.workloads.suppliers import supplier_instance
+from repro.workloads.trajectories import trajectory_stream
 from repro.workloads.synthetic import (
     anisotropic_blobs,
     gaussian_mixture,
@@ -49,6 +52,7 @@ __all__ = [
     "random_geometric_graph_metric",
     "synthetic_cities",
     "world_cities_metric",
+    "trajectory_stream",
     "make_workload",
     "available_workloads",
 ]

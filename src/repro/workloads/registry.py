@@ -181,6 +181,22 @@ def _cities(n: int, rng: np.random.Generator) -> WorkloadInstance:
     return WorkloadInstance("cities", metric, labels, notes={"unit": "km"})
 
 
+def _trajectories(n: int, rng: np.random.Generator) -> WorkloadInstance:
+    from repro.workloads.trajectories import trajectory_stream
+
+    batches = trajectory_stream(n, rng=rng)
+    pts = np.vstack(batches)
+    labels = np.concatenate(
+        [np.full(len(b), i, dtype=np.int64) for i, b in enumerate(batches)]
+    )
+    return WorkloadInstance(
+        "trajectories",
+        EuclideanMetric(pts),
+        labels,
+        notes={"batches": len(batches), "unit": "deg"},
+    )
+
+
 _REGISTRY: Dict[str, Callable[[int, np.random.Generator], WorkloadInstance]] = {
     "gaussian": _gaussian,
     "uniform": _uniform,
@@ -192,6 +208,7 @@ _REGISTRY: Dict[str, Callable[[int, np.random.Generator], WorkloadInstance]] = {
     "chain": _chain,
     "manhattan-gaussian": _manhattan_gaussian,
     "cities": _cities,
+    "trajectories": _trajectories,
 }
 
 

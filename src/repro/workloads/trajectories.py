@@ -1,0 +1,78 @@
+"""Trajectory-style arrival workloads: bursty walkers for append chains.
+
+The incremental-dataset machinery (``DatasetRegistry.append`` + the
+warm-start re-solve, see ``docs/streaming.md``) needs a workload whose
+points *arrive over time* with the statistical signature of movement
+data (GeoLife-like GPS traces): a handful of walkers anchored around
+population centers, each emitting a burst of positions per epoch and
+drifting between epochs.  Built on the synthetic-cities anchors of
+:mod:`repro.workloads.geo`, but emitted as planar (lat, lon)-degree
+coordinates under the *Euclidean* metric — append chains rebuild their
+metric from a registered name, so the arrival workload stays in the
+named-metric family.
+
+:func:`trajectory_stream` is the arrival view — a list of per-epoch
+batches whose concatenation is the full dataset — and is what the
+``repro stream`` CLI feeds to ``append``.  The registered
+``'trajectories'`` workload is the flat view (all epochs concatenated),
+so cold solves of the full dataset are expressible as a plain named
+workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.workloads.geo import synthetic_cities
+
+
+def trajectory_stream(
+    n: int,
+    batches: int = 4,
+    walkers: int = 8,
+    step_deg: float = 0.8,
+    burst_spread_deg: float = 0.35,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Generate ``batches`` arrival batches totalling ``n`` points.
+
+    ``walkers`` start at synthetic-city anchors; each epoch every
+    walker takes a random step of scale ``step_deg`` (with an
+    occasional longer relocation — bursty, heavy-ish tails) and emits
+    its share of the epoch's points as a Gaussian burst of spread
+    ``burst_spread_deg`` around its position.  Earlier epochs get the
+    rounding remainder, so batch sizes differ by at most one and
+    ``sum(len(b) for b in batches) == n``.
+
+    Deterministic for a fixed ``rng`` seed; coordinates are planar
+    (lat, lon) degrees intended for the Euclidean metric.
+    """
+    if n < batches:
+        raise ValueError(f"need n >= batches, got n={n}, batches={batches}")
+    if batches < 1 or walkers < 1:
+        raise ValueError("need batches >= 1 and walkers >= 1")
+    rng = rng or np.random.default_rng(0)
+    anchors, _ = synthetic_cities(walkers, rng=rng)
+    positions = anchors.copy()
+
+    base, extra = divmod(n, batches)
+    out: List[np.ndarray] = []
+    for epoch in range(batches):
+        size = base + (1 if epoch < extra else 0)
+        # walker drift: small Gaussian step, occasionally a relocation
+        # jump an order of magnitude longer (bursty movement)
+        steps = rng.normal(scale=step_deg, size=positions.shape)
+        jumps = rng.random(walkers) < 0.15
+        steps[jumps] *= 10.0
+        positions = positions + steps
+        owners = rng.integers(0, walkers, size=size)
+        points = positions[owners] + rng.normal(
+            scale=burst_spread_deg, size=(size, 2)
+        )
+        out.append(points)
+    return out
+
+
+__all__ = ["trajectory_stream"]

@@ -387,3 +387,50 @@ class TestSweepCommand:
                 "--solvers", "bogus",
                 "--ks", "3",
             ])
+
+
+class TestStreamCommand:
+    def test_stream_parser_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.algorithm == "kcenter" and args.appends == 3
+        assert args.n == 240 and args.k == 6
+        assert args.url is None and args.backend == "serial"
+
+    def test_stream_rejects_bad_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--algorithm", "bogus"])
+
+    def test_stream_runs_and_writes_report(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "stream.json"
+        rc = main([
+            "stream",
+            "--n", "120",
+            "--appends", "2",
+            "--k", "4",
+            "--json-out", str(path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 versions (2 appends)" in out
+        assert "warm" in out and "cold" in out
+        report = json.loads(path.read_text())
+        versions = report["versions"]
+        assert [v["version"] for v in versions] == [0, 1, 2]
+        assert versions[0]["warm"] is False and versions[0]["drift"] is None
+        assert versions[2]["warm"] is True
+        assert versions[2]["drift"]["appended"] == 40
+        assert versions[2]["n"] == 120
+
+    def test_stream_report_deterministic_across_runs(self, capsys, tmp_path):
+        import json
+
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main([
+                "stream", "--n", "120", "--appends", "2", "--k", "4",
+                "--json-out", str(path),
+            ]) == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()

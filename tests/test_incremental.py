@@ -1,0 +1,173 @@
+"""Tests for incremental datasets: append chains in the registry.
+
+Covers the ISSUE acceptance bar for the dataset side of streaming:
+chained fingerprints (content-addressed, parent-linked, idempotent),
+the append-eligibility and metric-compatibility errors as typed
+exceptions, chain traversal order, and durability — a chain built
+against a SQLite state dir must reopen intact (points, base_n, parent
+links) in a fresh registry, as after a process restart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.datasets import (
+    DatasetRegistry,
+    MetricMismatchError,
+    NotAppendableError,
+    UnknownDatasetError,
+)
+from repro.service.store import open_stores
+
+
+@pytest.fixture
+def batches(rng):
+    return [rng.normal(scale=3.0, size=(40, 2)) for _ in range(3)]
+
+
+@pytest.fixture
+def registry():
+    return DatasetRegistry()
+
+
+class TestAppendChains:
+    def test_append_mints_chained_version(self, registry, batches):
+        base = registry.register_points(batches[0])
+        child = registry.append(base.id, batches[1])
+        assert child.id != base.id
+        assert child.kind == "append"
+        assert child.n == 80
+        assert child.parent == base.id
+        assert child.base_n == 40
+        assert child.params["parent_fingerprint"] == base.fingerprint
+        assert child.params["depth"] == 1
+
+    def test_grandchild_depth_and_base_n(self, registry, batches):
+        base = registry.register_points(batches[0])
+        child = registry.append(base.id, batches[1])
+        grand = registry.append(child.id, batches[2])
+        assert grand.parent == child.id
+        assert grand.base_n == 80 and grand.n == 120
+        assert grand.params["depth"] == 2
+
+    def test_append_is_idempotent(self, registry, batches):
+        base = registry.register_points(batches[0])
+        first = registry.append(base.id, batches[1])
+        second = registry.append(base.id, batches[1])
+        assert first.id == second.id
+        assert first.fingerprint == second.fingerprint
+
+    def test_chain_fingerprint_differs_from_flat_registration(
+        self, registry, batches
+    ):
+        """A chained version and a flat registration of the identical
+        combined points must never collide — the cache would otherwise
+        cross-serve warm-chain results to flat datasets."""
+        base = registry.register_points(batches[0])
+        child = registry.append(base.id, batches[1])
+        flat = registry.register_points(np.vstack([batches[0], batches[1]]))
+        assert child.fingerprint != flat.fingerprint
+        assert child.id != flat.id
+        # ...but the materialized points are the same bytes
+        np.testing.assert_array_equal(
+            child.metric.points.data, flat.metric.points.data
+        )
+
+    def test_chain_returns_root_first(self, registry, batches):
+        base = registry.register_points(batches[0])
+        child = registry.append(base.id, batches[1])
+        grand = registry.append(child.id, batches[2])
+        assert [d.id for d in registry.chain(grand.id)] == [
+            base.id,
+            child.id,
+            grand.id,
+        ]
+        assert [d.id for d in registry.chain(base.id)] == [base.id]
+
+    def test_single_point_delta_reshaped(self, registry, batches):
+        base = registry.register_points(batches[0])
+        child = registry.append(base.id, batches[1][0])
+        assert child.n == 41
+
+    def test_combined_points_order(self, registry, batches):
+        base = registry.register_points(batches[0])
+        child = registry.append(base.id, batches[1])
+        np.testing.assert_array_equal(
+            child.metric.points.data,
+            np.vstack([batches[0], batches[1]]),
+        )
+
+
+class TestAppendErrors:
+    def test_unknown_dataset(self, registry, batches):
+        with pytest.raises(UnknownDatasetError):
+            registry.append("ds-missing", batches[0])
+
+    def test_workload_not_appendable(self, registry, batches):
+        ds = registry.register_workload("gaussian", 50, seed=0)
+        with pytest.raises(NotAppendableError):
+            registry.append(ds.id, batches[0])
+
+    def test_metric_mismatch(self, registry, batches):
+        base = registry.register_points(batches[0], metric="euclidean")
+        with pytest.raises(MetricMismatchError):
+            registry.append(base.id, batches[1], metric="manhattan")
+
+    def test_matching_metric_accepted_explicitly(self, registry, batches):
+        base = registry.register_points(batches[0], metric="manhattan")
+        child = registry.append(base.id, batches[1], metric="manhattan")
+        assert child.params["metric"] == "manhattan"
+
+    def test_dimension_mismatch(self, registry, batches):
+        base = registry.register_points(batches[0])
+        with pytest.raises(ValueError, match="dimension"):
+            registry.append(base.id, np.zeros((5, 3)))
+
+    def test_empty_delta(self, registry, batches):
+        base = registry.register_points(batches[0])
+        with pytest.raises(ValueError):
+            registry.append(base.id, np.zeros((0, 2)))
+
+    def test_errors_are_value_errors(self):
+        # the HTTP layer relies on both being ValueError subclasses so
+        # unhandled cases still map to a 4xx envelope, never a 500
+        assert issubclass(MetricMismatchError, ValueError)
+        assert issubclass(NotAppendableError, ValueError)
+
+
+class TestDurability:
+    def test_chain_reopens_from_sqlite(self, tmp_path, batches):
+        state = str(tmp_path / "state")
+        stores = open_stores(state)
+        registry = DatasetRegistry(stores.datasets)
+        base = registry.register_points(batches[0])
+        child = registry.append(base.id, batches[1])
+        grand = registry.append(child.id, batches[2])
+
+        # fresh process: same state dir, empty in-memory caches
+        reopened = DatasetRegistry(open_stores(state).datasets)
+        got = reopened.get(grand.id)
+        assert got.fingerprint == grand.fingerprint
+        assert got.base_n == 80 and got.parent == child.id
+        np.testing.assert_array_equal(
+            got.metric.points.data, np.vstack(batches)
+        )
+        assert [d.id for d in reopened.chain(grand.id)] == [
+            base.id,
+            child.id,
+            grand.id,
+        ]
+
+    def test_append_continues_reopened_chain(self, tmp_path, batches, rng):
+        state = str(tmp_path / "state")
+        stores = open_stores(state)
+        registry = DatasetRegistry(stores.datasets)
+        base = registry.register_points(batches[0])
+        child = registry.append(base.id, batches[1])
+
+        reopened = DatasetRegistry(open_stores(state).datasets)
+        grand = reopened.append(child.id, batches[2])
+        assert grand.base_n == 80 and grand.n == 120
+        assert grand.params["parent_fingerprint"] == child.fingerprint
